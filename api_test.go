@@ -1,0 +1,78 @@
+package embsan_test
+
+import (
+	"strings"
+	"testing"
+
+	"embsan"
+	"embsan/internal/probe"
+)
+
+// TestPublicAPIFlow exercises the documented public-facade workflow end to
+// end: build a bundled firmware, distil sanitizers, probe, boot, execute a
+// trigger and read the formatted report.
+func TestPublicAPIFlow(t *testing.T) {
+	if len(embsan.FirmwareNames) != 11 {
+		t.Fatalf("FirmwareNames = %d", len(embsan.FirmwareNames))
+	}
+	fw, err := embsan.BuildFirmware("InfiniTime")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	spec, err := embsan.Distill("kasan", "kcsan")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Name != "kasan+kcsan" {
+		t.Errorf("merged spec name = %q", spec.Name)
+	}
+
+	probed, err := embsan.Probe(fw.Image, probe.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(probed.Text(), "pvPortMalloc") {
+		t.Errorf("probe output lacks the allocator:\n%s", probed.Text())
+	}
+
+	inst, err := embsan.New(embsan.Config{
+		Image:      fw.Image,
+		Sanitizers: []string{"kasan"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.Boot(100_000_000); err != nil {
+		t.Fatal(err)
+	}
+	inst.Snapshot()
+
+	res := inst.Exec(fw.Bugs[0].Trigger, 50_000_000)
+	if len(res.Reports) == 0 {
+		t.Fatal("trigger produced no report")
+	}
+	text := res.Reports[0].Format(inst.Image())
+	for _, want := range []string{"BUG: KASAN", fw.Bugs[0].Fn, "object at"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("report missing %q:\n%s", want, text)
+		}
+	}
+
+	// The fuzzer is reachable through the façade too.
+	inst.Restore()
+	f, err := embsan.NewFuzzer(embsan.FuzzConfig{
+		Instance: inst,
+		Frontend: 1, // bytes
+		Seeds:    fw.Seeds,
+		MaxExecs: 200,
+		Seed:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := f.Run()
+	if out.Stats.Execs != 200 {
+		t.Errorf("execs = %d", out.Stats.Execs)
+	}
+}

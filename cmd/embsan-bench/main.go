@@ -1,0 +1,82 @@
+// Command embsan-bench regenerates the paper's evaluation artefacts:
+// every table and the overhead figure, printed as text.
+//
+// Usage:
+//
+//	embsan-bench -table 1         # firmware registry (Table 1)
+//	embsan-bench -table 2         # known-bug detection matrix (Table 2)
+//	embsan-bench -table 3         # fuzzing campaign classification (Table 3)
+//	embsan-bench -table 4         # full found-bug list (Table 4)
+//	embsan-bench -figure 2        # runtime overhead (Figure 2)
+//	embsan-bench -all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"embsan/internal/exps"
+	"embsan/internal/guest/firmware"
+)
+
+func main() {
+	var (
+		table  = flag.Int("table", 0, "regenerate table N (1-4)")
+		figure = flag.Int("figure", 0, "regenerate figure N (2)")
+		all    = flag.Bool("all", false, "regenerate everything")
+		execs  = flag.Int("execs", 30000, "campaign budget for tables 3/4")
+		progs  = flag.Int("programs", 16, "workload size for figure 2")
+		seed   = flag.Int64("seed", 7, "RNG seed")
+	)
+	flag.Parse()
+
+	run := func(n int) bool { return *all || *table == n }
+
+	var campaigns []*exps.Campaign
+	needCampaigns := run(3) || *table == 4 || *all
+
+	if run(1) {
+		fws, err := firmware.BuildAll()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(exps.FormatTable1(fws))
+	}
+	if run(2) {
+		rows, err := exps.RunTable2()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(exps.FormatTable2(rows))
+	}
+	if needCampaigns {
+		cs, err := exps.RunAllCampaigns(exps.CampaignOptions{Execs: *execs, Seed: *seed})
+		if err != nil {
+			fatal(err)
+		}
+		campaigns = cs
+	}
+	if run(3) {
+		fmt.Println(exps.FormatTable3(campaigns))
+		fmt.Println(exps.FormatCampaignStats(campaigns))
+	}
+	if run(4) || (*all && campaigns != nil) {
+		fmt.Println(exps.FormatTable4(campaigns))
+	}
+	if *figure == 2 || *all {
+		rows, err := exps.RunOverhead(firmware.Names, exps.OverheadOptions{Programs: *progs, Seed: *seed})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(exps.FormatFigure2(rows))
+	}
+	if !*all && *table == 0 && *figure == 0 {
+		flag.Usage()
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "embsan-bench:", err)
+	os.Exit(1)
+}

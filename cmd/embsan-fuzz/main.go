@@ -1,0 +1,98 @@
+// Command embsan-fuzz runs an EMBSAN-assisted fuzzing campaign against one
+// bundled firmware, mirroring the paper's Table 3/4 pipeline: boot, probe,
+// attach the sanitizer runtime, then drive the Syzkaller- or Tardis-style
+// frontend until the execution budget is exhausted.
+//
+// Usage:
+//
+//	embsan-fuzz -firmware OpenWRT-bcm63xx [-execs 30000] [-seed 7]
+//	embsan-fuzz -all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"embsan"
+	"embsan/internal/exps"
+	"embsan/internal/guest/firmware"
+)
+
+func sanitizeName(n string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+			return r
+		}
+		return '_'
+	}, n)
+}
+
+func main() {
+	var (
+		fwName = flag.String("firmware", "", "bundled firmware name")
+		all    = flag.Bool("all", false, "fuzz every Table 1 firmware")
+		execs  = flag.Int("execs", 30000, "execution budget per firmware")
+		seed   = flag.Int64("seed", 7, "campaign RNG seed")
+		outDir = flag.String("out", "", "save corpus and crash artifacts under this directory")
+	)
+	flag.Parse()
+
+	opts := exps.CampaignOptions{Execs: *execs, Seed: *seed}
+	var campaigns []*exps.Campaign
+	switch {
+	case *all:
+		cs, err := exps.RunAllCampaigns(opts)
+		if err != nil {
+			fatal(err)
+		}
+		campaigns = cs
+	case *fwName != "":
+		fw, err := embsan.BuildFirmware(*fwName)
+		if err != nil {
+			fatal(err)
+		}
+		c, err := exps.RunCampaign(fw, opts)
+		if err != nil {
+			fatal(err)
+		}
+		campaigns = []*exps.Campaign{c}
+	default:
+		fatal(fmt.Errorf("need -firmware or -all"))
+	}
+
+	if *outDir != "" {
+		for _, c := range campaigns {
+			dir := filepath.Join(*outDir, sanitizeName(c.Firmware.Name))
+			if err := c.Raw.SaveArtifacts(dir, c.Firmware.Image); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("artifacts saved to %s\n", dir)
+		}
+	}
+
+	fmt.Print(exps.FormatCampaignStats(campaigns))
+	fmt.Println()
+	for _, c := range campaigns {
+		for _, f := range c.Found {
+			fmt.Printf("%-24s %-36s %-12s (after %d execs)\n", f.Firmware, f.Location, f.Class, f.Execs)
+		}
+		for _, m := range c.Missed {
+			fmt.Printf("%-24s MISSED: %s\n", c.Firmware.Name, m)
+		}
+	}
+	total := 0
+	for _, c := range campaigns {
+		total += len(c.Found)
+	}
+	fmt.Printf("\n%d bugs found across %d firmware\n", total, len(campaigns))
+	_ = firmware.Names
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "embsan-fuzz:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,149 @@
+// Command embsan runs a firmware image under the EMBSAN sanitizer and
+// prints any reports. It accepts either a bundled Table 1 firmware name or
+// an image file produced by the toolchain (kasm.Image.Encode).
+//
+// Usage:
+//
+//	embsan -firmware OpenWRT-x86_64 [-sanitizers kasan,kcsan] [-trigger N]
+//	embsan -image fw.img [-probe-text]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"embsan"
+	"embsan/internal/core"
+	"embsan/internal/emu"
+	"embsan/internal/isa"
+	"embsan/internal/kasm"
+	"embsan/internal/probe"
+)
+
+func main() {
+	var (
+		fwName     = flag.String("firmware", "", "bundled Table 1 firmware name (see -list)")
+		imagePath  = flag.String("image", "", "path to an encoded firmware image")
+		sanitizers = flag.String("sanitizers", "kasan", "comma-separated sanitizers: kasan,kcsan")
+		trigger    = flag.Int("trigger", -1, "fire seeded bug #N of the firmware (requires -firmware)")
+		probeText  = flag.Bool("probe-text", false, "print the Prober's DSL output and exit")
+		platform   = flag.String("platform", "", "use a tester-prepared platform DSL file instead of probing")
+		list       = flag.Bool("list", false, "list bundled firmware")
+		budget     = flag.Uint64("budget", 200_000_000, "instruction budget")
+		trace      = flag.Int("trace", 0, "print a disassembled trace of the first N instructions")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, n := range embsan.FirmwareNames {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	var img *kasm.Image
+	var fw *embsan.Firmware
+	switch {
+	case *fwName != "":
+		var err error
+		fw, err = embsan.BuildFirmware(*fwName)
+		if err != nil {
+			fatal(err)
+		}
+		img = fw.Image
+	case *imagePath != "":
+		raw, err := os.ReadFile(*imagePath)
+		if err != nil {
+			fatal(err)
+		}
+		img, err = kasm.DecodeImage(raw)
+		if err != nil {
+			fatal(err)
+		}
+	default:
+		fatal(fmt.Errorf("need -firmware or -image (try -list)"))
+	}
+
+	if *probeText {
+		res, err := embsan.Probe(img, probe.Options{})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("// probing mode: %s\n%s", res.Mode, res.Text())
+		return
+	}
+
+	cfg := core.Config{
+		Image:      img,
+		Sanitizers: strings.Split(*sanitizers, ","),
+		Machine:    emu.Config{MaxHarts: 2},
+	}
+	if *platform != "" {
+		text, err := os.ReadFile(*platform)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.PlatformText = string(text)
+	}
+	inst, err := embsan.New(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	if *trace > 0 {
+		remaining := *trace
+		inst.Machine.TraceHook = func(hart int, pc uint32, in isa.Inst) {
+			if remaining <= 0 {
+				return
+			}
+			remaining--
+			fmt.Printf("[h%d] %08x: %s\n", hart, pc, isa.Disasm(in, pc))
+		}
+	}
+	if err := inst.Boot(*budget); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("firmware %q booted (%s, %d instructions)\n",
+		img.Name, img.Arch, inst.Machine.ICount())
+	inst.Snapshot()
+
+	if *trigger >= 0 {
+		if fw == nil || *trigger >= len(fw.Bugs) {
+			fatal(fmt.Errorf("trigger %d out of range", *trigger))
+		}
+		bug := fw.Bugs[*trigger]
+		fmt.Printf("firing seeded bug %d: %s (%s)\n", *trigger, bug.Fn, bug.Location)
+		res := inst.Exec(bug.Trigger, *budget)
+		printOutcome(inst, res)
+		return
+	}
+
+	// No trigger: run the firmware until it stops or the budget expires.
+	stop := inst.Run(*budget)
+	fmt.Printf("stopped: %v\n", stop)
+	for _, r := range inst.Reports() {
+		fmt.Print(r.Format(img))
+	}
+	if out := inst.Machine.UART.String(); out != "" {
+		fmt.Printf("console: %s\n", out)
+	}
+}
+
+func printOutcome(inst *embsan.Instance, res embsan.ExecResult) {
+	fmt.Printf("executed %d instructions, done=%v\n", res.Insts, res.Done)
+	if res.Fault != nil {
+		fmt.Printf("guest fault: %v\n", res.Fault)
+	}
+	for _, r := range res.Reports {
+		fmt.Print(r.Format(inst.Image()))
+	}
+	if len(res.Reports) == 0 && res.Fault == nil {
+		fmt.Println("no sanitizer reports")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "embsan:", err)
+	os.Exit(1)
+}

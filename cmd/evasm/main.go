@@ -1,0 +1,87 @@
+// Command evasm is the standalone EVA32 assembler/disassembler of the
+// firmware toolchain.
+//
+// Usage:
+//
+//	evasm -o fw.img [-arch arm32e] [-sanitize embsan-c] prog.s
+//	evasm -d fw.img
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"embsan/internal/isa"
+	"embsan/internal/kasm"
+)
+
+func main() {
+	var (
+		out      = flag.String("o", "", "output image path")
+		archName = flag.String("arch", "arm32e", "target frontend: arm32e, mips32e, x86e")
+		sanitize = flag.String("sanitize", "none", "instrumentation: none, embsan-c, native-kasan, native-kcsan")
+		disasm   = flag.Bool("d", false, "disassemble an image instead of assembling")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fatal(fmt.Errorf("need exactly one input file"))
+	}
+	input, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+
+	if *disasm {
+		img, err := kasm.DecodeImage(input)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(kasm.Disassemble(img))
+		return
+	}
+
+	arch, ok := isa.ArchByName(*archName)
+	if !ok {
+		fatal(fmt.Errorf("unknown arch %q", *archName))
+	}
+	mode, err := parseMode(*sanitize)
+	if err != nil {
+		fatal(err)
+	}
+	img, err := kasm.Assemble(string(input), kasm.Target{Arch: arch, Sanitize: mode})
+	if err != nil {
+		fatal(err)
+	}
+	enc, err := img.Encode()
+	if err != nil {
+		fatal(err)
+	}
+	if *out == "" {
+		*out = "a.img"
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s: %d text bytes, %d data bytes, %d symbols\n",
+		*out, len(img.Text), len(img.Data), len(img.Symbols))
+}
+
+func parseMode(s string) (kasm.SanitizeMode, error) {
+	switch s {
+	case "none":
+		return kasm.SanNone, nil
+	case "embsan-c":
+		return kasm.SanEmbsanC, nil
+	case "native-kasan":
+		return kasm.SanNativeKASAN, nil
+	case "native-kcsan":
+		return kasm.SanNativeKCSAN, nil
+	}
+	return 0, fmt.Errorf("unknown sanitize mode %q", s)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "evasm:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,109 @@
+// Package embsan is the public API of the EMBSAN reproduction: an embedded
+// operating-systems sanitizer that attaches KASAN- and KCSAN-equivalent
+// runtimes to emulated firmware through dynamic instrumentation of the
+// emulator's translation templates (EMBSAN-D) or through compile-time
+// trapping instrumentation (EMBSAN-C), without porting a sanitizer to each
+// kernel.
+//
+// The typical flow mirrors the paper's two phases:
+//
+//	img, _ := embsan.BuildFirmware("OpenWRT-x86_64") // or bring your own image
+//	inst, _ := embsan.New(embsan.Config{
+//		Image:      img.Image,
+//		Sanitizers: []string{"kasan", "kcsan"},
+//	})
+//	_ = inst.Boot(0)     // pre-testing: distil, probe, compile initial state
+//	inst.Snapshot()
+//	res := inst.Exec(input, 0) // testing: run inputs, collect reports
+//	for _, r := range res.Reports {
+//		fmt.Print(r.Format(inst.Image()))
+//	}
+package embsan
+
+import (
+	"embsan/internal/core"
+	"embsan/internal/distill"
+	"embsan/internal/dsl"
+	"embsan/internal/emu"
+	"embsan/internal/fuzz"
+	"embsan/internal/guest/firmware"
+	"embsan/internal/kasm"
+	"embsan/internal/probe"
+	"embsan/internal/san"
+)
+
+// Core orchestration types.
+type (
+	// Config configures one EMBSAN deployment (see core.Config).
+	Config = core.Config
+	// Instance is a prepared machine with the sanitizer runtime attached.
+	Instance = core.Instance
+	// ExecResult is the outcome of executing one input.
+	ExecResult = core.ExecResult
+)
+
+// Sanitizer runtime types.
+type (
+	// Report is a sanitizer finding.
+	Report = san.Report
+	// BugType classifies a finding.
+	BugType = san.BugType
+	// KCSANConfig tunes the concurrency sanitizer.
+	KCSANConfig = san.KCSANConfig
+)
+
+// Toolchain and emulator types.
+type (
+	// Image is a linked firmware image.
+	Image = kasm.Image
+	// Builder assembles firmware.
+	Builder = kasm.Builder
+	// Machine is the emulated system.
+	Machine = emu.Machine
+	// MachineConfig sizes a machine.
+	MachineConfig = emu.Config
+)
+
+// Firmware registry types.
+type (
+	// Firmware is one Table 1 evaluation image with its seeded bugs.
+	Firmware = firmware.Firmware
+)
+
+// Fuzzing types.
+type (
+	// FuzzConfig configures a campaign.
+	FuzzConfig = fuzz.Config
+	// FuzzResult is the campaign outcome.
+	FuzzResult = fuzz.Result
+	// Crash is one deduplicated finding.
+	Crash = fuzz.Crash
+)
+
+// FirmwareNames lists the Table 1 evaluation firmware.
+var FirmwareNames = firmware.Names
+
+// New runs the pre-testing probing phase on cfg.Image and prepares the
+// testing phase.
+func New(cfg Config) (*Instance, error) { return core.New(cfg) }
+
+// BuildFirmware builds one of the bundled Table 1 evaluation firmware.
+func BuildFirmware(name string) (*Firmware, error) { return firmware.Build(name) }
+
+// BuildAllFirmware builds every Table 1 firmware.
+func BuildAllFirmware() ([]*Firmware, error) { return firmware.BuildAll() }
+
+// Distill produces the merged DSL specification of the named reference
+// sanitizers ("kasan", "kcsan"), applying the union merge rules.
+func Distill(names ...string) (*dsl.Sanitizer, error) {
+	return distill.DistillMerged(names...)
+}
+
+// Probe analyses a firmware image and returns its platform configuration
+// and initial setup routine (as DSL-expressible artefacts).
+func Probe(img *Image, opts probe.Options) (*probe.Result, error) {
+	return probe.Probe(img, opts)
+}
+
+// NewFuzzer creates a fuzzing campaign against a prepared instance.
+func NewFuzzer(cfg FuzzConfig) (*fuzz.Fuzzer, error) { return fuzz.New(cfg) }

@@ -1,0 +1,64 @@
+// Bugdemo: the Table 2 experiment in miniature. Replays three known
+// Embedded Linux bugs (a slab overflow, a use-after-free and a global
+// out-of-bounds) under EMBSAN-C and EMBSAN-D, showing the capability
+// split: without compile-time redzones the global bug is invisible.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"embsan"
+	"embsan/internal/core"
+	"embsan/internal/emu"
+	"embsan/internal/guest/firmware"
+	"embsan/internal/guest/gabi"
+	"embsan/internal/kasm"
+)
+
+func main() {
+	bugs := []string{"ringbuf_map_alloc", "ieee80211_scan_rx", "fbcon_get_font"}
+
+	for _, mode := range []kasm.SanitizeMode{kasm.SanEmbsanC, kasm.SanNone} {
+		label := "EMBSAN-C (compile-time trapping instrumentation)"
+		if mode == kasm.SanNone {
+			label = "EMBSAN-D (dynamic instrumentation, stock binary)"
+		}
+		fmt.Printf("=== %s ===\n", label)
+
+		fw, err := firmware.BuildSyzbotCorpus(mode)
+		if err != nil {
+			log.Fatal(err)
+		}
+		inst, err := embsan.New(core.Config{
+			Image:      fw.Image,
+			Sanitizers: []string{"kasan"},
+			Machine:    emu.Config{MaxHarts: 2},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := inst.Boot(100_000_000); err != nil {
+			log.Fatal(err)
+		}
+		inst.Snapshot()
+
+		for _, fn := range bugs {
+			bug, ok := fw.BugByFn(fn)
+			if !ok {
+				log.Fatalf("no bug %s", fn)
+			}
+			inst.Restore()
+			res := inst.Exec(gabi.Prog{bug.Trigger()}.Encode(), 50_000_000)
+			if len(res.Reports) == 0 {
+				fmt.Printf("%-22s (%s): NOT DETECTED\n", fn, bug.Def.KernelVer)
+				continue
+			}
+			r := res.Reports[0]
+			fmt.Printf("%-22s (%s): %s\n", fn, bug.Def.KernelVer, r.Title())
+		}
+		fmt.Println()
+	}
+	fmt.Println("The global out-of-bounds needs compile-time redzones — exactly the")
+	fmt.Println("difference between EMBSAN-C and EMBSAN-D the paper's Table 2 shows.")
+}

@@ -1,0 +1,59 @@
+// Closedfw: sanitizing closed-source binary-only firmware. The TP-Link
+// image ships stripped — no symbols, no metadata — so the Prober's
+// multi-pass dry run discovers the allocator behaviourally (entry point,
+// which argument is the size, the heap bounds), and EMBSAN still catches
+// a malformed-packet overflow in the PPPoE daemon.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"embsan"
+	"embsan/internal/core"
+	"embsan/internal/emu"
+	"embsan/internal/probe"
+)
+
+func main() {
+	fw, err := embsan.BuildFirmware("TP-Link WDR-7660")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("image %q: stripped=%v, %d text bytes\n\n",
+		fw.Image.Name, fw.Image.Stripped, len(fw.Image.Text))
+
+	// Show what the Prober recovers from the binary alone.
+	res, err := embsan.Probe(fw.Image, probe.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("probing mode: %s\n%s\n", res.Mode, res.Text())
+
+	// Attach EMBSAN-D and feed the malformed PPPoE discovery frame.
+	inst, err := embsan.New(core.Config{
+		Image:      fw.Image,
+		Sanitizers: []string{"kasan"},
+		Machine:    emu.Config{MaxHarts: 2},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := inst.Boot(100_000_000); err != nil {
+		log.Fatal(err)
+	}
+	inst.Snapshot()
+
+	for _, bug := range fw.Bugs {
+		inst.Restore()
+		r := inst.Exec(bug.Trigger, 50_000_000)
+		fmt.Printf("service %s (%s):\n", bug.Fn, bug.Location)
+		for _, rep := range r.Reports {
+			fmt.Print(rep.Format(fw.Image))
+		}
+		if len(r.Reports) == 0 {
+			fmt.Println("  no report")
+		}
+	}
+	fmt.Println("Reports carry raw addresses — the firmware has no symbols to offer.")
+}

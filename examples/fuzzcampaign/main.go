@@ -1,0 +1,56 @@
+// Fuzzcampaign: EMBSAN assisting a Tardis-style byte fuzzer on the
+// InfiniTime (FreeRTOS) firmware — the paper's Table 3/4 pipeline on one
+// target. The fuzzer mutates valid service requests; EMBSAN's sanitizer
+// runtime turns silent corruptions into crisp reports.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"embsan"
+	"embsan/internal/core"
+	"embsan/internal/emu"
+	"embsan/internal/fuzz"
+)
+
+func main() {
+	fw, err := embsan.BuildFirmware("InfiniTime")
+	if err != nil {
+		log.Fatal(err)
+	}
+	inst, err := embsan.New(core.Config{
+		Image:        fw.Image,
+		Sanitizers:   []string{"kasan"},
+		StopOnReport: true,
+		Machine:      emu.Config{MaxHarts: 2},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := inst.Boot(100_000_000); err != nil {
+		log.Fatal(err)
+	}
+	inst.Snapshot()
+
+	f, err := embsan.NewFuzzer(fuzz.Config{
+		Instance: inst,
+		Frontend: fuzz.FrontendBytes,
+		Seeds:    fw.Seeds,
+		Seed:     42,
+		MaxExecs: 12000,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	f.OnCrash = func(c *fuzz.Crash) {
+		fmt.Printf("[exec %5d] %s\n", c.Execs, c.Signature)
+		if c.Report != nil {
+			fmt.Print(c.Report.Format(fw.Image))
+		}
+		fmt.Printf("  reproducer (%d bytes): % x\n", len(c.Minimized), c.Minimized)
+	}
+	res := f.Run()
+	fmt.Printf("\ncampaign: %d execs, %d corpus entries, %d coverage blocks, %d distinct crashes\n",
+		res.Stats.Execs, res.Stats.CorpusSize, res.Stats.CoverBlocks, len(res.Crashes))
+}

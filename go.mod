@@ -1,0 +1,3 @@
+module embsan
+
+go 1.22

@@ -1,0 +1,307 @@
+// Package distill implements EMBSAN's Sanitizer Common Function Distiller.
+// It parses the header files of a reference sanitizer implementation to
+// enumerate its interception APIs, parses the source files to build the
+// interfaces' call graph and identify external resources, classifies each
+// API's operational semantics, and emits the result as a DSL sanitizer
+// specification. Multiple specifications merge under the union rules of the
+// paper (§3.1), implemented in the dsl package.
+package distill
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"embsan/internal/dsl"
+)
+
+// Prototype is one C function prototype from a header file.
+type Prototype struct {
+	Ret    string
+	Name   string
+	Params []Param
+}
+
+// Param is one C parameter.
+type Param struct {
+	Type string
+	Name string
+}
+
+// CallGraph maps function name to the set of functions it calls.
+type CallGraph map[string]map[string]bool
+
+// Reaches reports whether from transitively calls to.
+func (g CallGraph) Reaches(from, to string) bool {
+	seen := map[string]bool{}
+	var walk func(string) bool
+	walk = func(f string) bool {
+		if f == to {
+			return true
+		}
+		if seen[f] {
+			return false
+		}
+		seen[f] = true
+		for callee := range g[f] {
+			if walk(callee) {
+				return true
+			}
+		}
+		return false
+	}
+	return walk(from)
+}
+
+var (
+	protoRe  = regexp.MustCompile(`(?m)^\s*([A-Za-z_][\w\s\*]*?)\s*\*?\s*([A-Za-z_]\w*)\s*\(([^)]*)\)\s*;`)
+	defineRe = regexp.MustCompile(`(?m)^\s*#define\s+([A-Za-z_]\w*)\s+(\d+)`)
+	fnDefRe  = regexp.MustCompile(`(?m)^\s*(?:static\s+)?[A-Za-z_][\w\s\*]*?\*?\s*([A-Za-z_]\w*)\s*\(([^)]*)\)\s*\{`)
+	callRe   = regexp.MustCompile(`([A-Za-z_]\w*)\s*\(`)
+)
+
+// ParseHeader extracts the prototypes and numeric #defines from header text.
+func ParseHeader(src string) ([]Prototype, map[string]uint32) {
+	var protos []Prototype
+	for _, m := range protoRe.FindAllStringSubmatch(src, -1) {
+		p := Prototype{Ret: normalizeType(m[1]), Name: m[2]}
+		params := strings.TrimSpace(m[3])
+		if params != "" && params != "void" {
+			for _, raw := range strings.Split(params, ",") {
+				p.Params = append(p.Params, parseParam(raw))
+			}
+		}
+		protos = append(protos, p)
+	}
+	defines := map[string]uint32{}
+	for _, m := range defineRe.FindAllStringSubmatch(src, -1) {
+		if v, err := strconv.ParseUint(m[2], 10, 32); err == nil {
+			defines[m[1]] = uint32(v)
+		}
+	}
+	return protos, defines
+}
+
+func parseParam(raw string) Param {
+	raw = strings.TrimSpace(raw)
+	// The last identifier is the name; everything before is the type.
+	idx := strings.LastIndexFunc(raw, func(r rune) bool {
+		return !(r == '_' || r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9')
+	})
+	if idx < 0 || idx == len(raw)-1 && !strings.ContainsAny(raw, " *") {
+		return Param{Type: normalizeType(raw), Name: ""}
+	}
+	return Param{Type: normalizeType(raw[:idx+1]), Name: raw[idx+1:]}
+}
+
+// normalizeType maps C type spellings to the DSL type vocabulary.
+func normalizeType(t string) string {
+	t = strings.TrimSpace(t)
+	t = strings.ReplaceAll(t, "const", "")
+	t = strings.ReplaceAll(t, "volatile", "")
+	t = strings.ReplaceAll(t, "struct", "")
+	t = strings.Join(strings.Fields(t), " ")
+	switch {
+	case strings.Contains(t, "*"), strings.Contains(t, "long"),
+		t == "uintptr_t", t == "void *":
+		return "ptr"
+	case t == "size_t", t == "unsigned int", t == "u32", t == "gfp_t", t == "int":
+		return "u32"
+	case t == "u16", t == "unsigned short":
+		return "u16"
+	case t == "u8", t == "bool", t == "char", t == "unsigned char":
+		return "u8"
+	case t == "void":
+		return ""
+	}
+	return "u32"
+}
+
+// ParseCallGraph extracts the function call graph from source text.
+func ParseCallGraph(src string) CallGraph {
+	g := CallGraph{}
+	defs := fnDefRe.FindAllStringSubmatchIndex(src, -1)
+	for i, d := range defs {
+		name := src[d[2]:d[3]]
+		bodyStart := d[1]
+		bodyEnd := len(src)
+		if i+1 < len(defs) {
+			bodyEnd = defs[i+1][0]
+		}
+		body := src[bodyStart:bodyEnd]
+		calls := map[string]bool{}
+		for _, c := range callRe.FindAllStringSubmatch(body, -1) {
+			if c[1] != name && !isKeyword(c[1]) {
+				calls[c[1]] = true
+			}
+		}
+		g[name] = calls
+	}
+	return g
+}
+
+func isKeyword(s string) bool {
+	switch s {
+	case "if", "while", "for", "switch", "return", "sizeof":
+		return true
+	}
+	return false
+}
+
+var (
+	asanSizedRe = regexp.MustCompile(`^__(?:asan|tsan)_(load|store|read|write)(\d+)`)
+)
+
+// Distill converts a reference sanitizer implementation into its DSL
+// specification.
+func Distill(name, header, source string) (*dsl.Sanitizer, error) {
+	protos, defines := ParseHeader(header)
+	if len(protos) == 0 {
+		return nil, fmt.Errorf("distill: no interception APIs found in %s header", name)
+	}
+	graph := ParseCallGraph(source)
+
+	s := &dsl.Sanitizer{Name: name}
+	add := func(it *dsl.Intercept) {
+		for _, have := range s.Intercepts {
+			if have.Key() == it.Key() {
+				return
+			}
+		}
+		s.Intercepts = append(s.Intercepts, it)
+	}
+	memArgs := func() []dsl.Arg {
+		return []dsl.Arg{{Name: "addr", Type: "ptr"}, {Name: "size", Type: "u32"}}
+	}
+
+	reachesReport := func(api string) bool {
+		return graph.Reaches(api, name+"_report") || graph.Reaches(api, "kasan_report") ||
+			graph.Reaches(api, "kcsan_report")
+	}
+
+	for _, p := range protos {
+		switch {
+		case asanSizedRe.MatchString(p.Name):
+			m := asanSizedRe.FindStringSubmatch(p.Name)
+			kind := dsl.InterceptLoad
+			if m[1] == "store" || m[1] == "write" {
+				kind = dsl.InterceptStore
+			}
+			if !reachesReport(p.Name) {
+				continue
+			}
+			add(&dsl.Intercept{Kind: kind, Args: memArgs(), Action: dsl.ActionCheck,
+				Sources: []string{name}})
+
+		case strings.HasSuffix(p.Name, "_check_read"):
+			if reachesReport(p.Name) {
+				add(&dsl.Intercept{Kind: dsl.InterceptLoad, Args: memArgs(),
+					Action: dsl.ActionCheck, Sources: []string{name}})
+			}
+
+		case strings.HasSuffix(p.Name, "_check_write"):
+			if reachesReport(p.Name) {
+				add(&dsl.Intercept{Kind: dsl.InterceptStore, Args: memArgs(),
+					Action: dsl.ActionCheck, Sources: []string{name}})
+			}
+
+		case strings.HasSuffix(p.Name, "_check_access"):
+			// A combined access checker covers loads, stores and atomics;
+			// the type argument discriminates at run time.
+			if !reachesReport(p.Name) {
+				continue
+			}
+			args := append(memArgs(), dsl.Arg{Name: "type", Type: "u32"})
+			add(&dsl.Intercept{Kind: dsl.InterceptLoad, Args: args, Action: dsl.ActionCheck, Sources: []string{name}})
+			add(&dsl.Intercept{Kind: dsl.InterceptStore, Args: args, Action: dsl.ActionCheck, Sources: []string{name}})
+			add(&dsl.Intercept{Kind: dsl.InterceptAtomic, Args: args, Action: dsl.ActionCheck, Sources: []string{name}})
+
+		case strings.Contains(p.Name, "atomic") && strings.Contains(p.Name, "load"),
+			strings.Contains(p.Name, "atomic") && strings.Contains(p.Name, "store"):
+			add(&dsl.Intercept{Kind: dsl.InterceptAtomic, Args: memArgs(),
+				Action: dsl.ActionCheck, Sources: []string{name}})
+
+		case strings.Contains(p.Name, "kmalloc") || strings.Contains(p.Name, "alloc"):
+			fn := hookTarget(p.Name)
+			add(&dsl.Intercept{
+				Kind: dsl.InterceptFunc, Func: fn,
+				Args:   []dsl.Arg{{Name: "size", Type: "u32"}},
+				Ret:    "ptr",
+				Action: dsl.ActionAlloc, Sources: []string{name},
+			})
+
+		case strings.Contains(p.Name, "kfree") || strings.Contains(p.Name, "free"):
+			fn := hookTarget(p.Name)
+			add(&dsl.Intercept{
+				Kind: dsl.InterceptFunc, Func: fn,
+				Args:   []dsl.Arg{{Name: "ptr", Type: "ptr"}},
+				Action: dsl.ActionFree, Sources: []string{name},
+			})
+		}
+	}
+
+	// External resources from the #define constants.
+	if g, ok := defines["KASAN_SHADOW_GRANULE"]; ok {
+		s.Resources = append(s.Resources, dsl.Resource{
+			Name: "shadow", Params: map[string]uint32{"granularity": g},
+		})
+	}
+	if q, ok := defines["KASAN_QUARANTINE_SLOTS"]; ok {
+		s.Resources = append(s.Resources, dsl.Resource{
+			Name: "quarantine", Params: map[string]uint32{"slots": q},
+		})
+	}
+	if w, ok := defines["KCSAN_NUM_WATCHPOINTS"]; ok {
+		s.Resources = append(s.Resources, dsl.Resource{
+			Name: "watchpoints", Params: map[string]uint32{"slots": w},
+		})
+	}
+	if d, ok := defines["KCSAN_UDELAY_TASK"]; ok {
+		s.Resources = append(s.Resources, dsl.Resource{
+			Name: "delay", Params: map[string]uint32{"task": d},
+		})
+	}
+
+	if len(s.Intercepts) == 0 {
+		return nil, fmt.Errorf("distill: %s: no interception points classified", name)
+	}
+	return s, nil
+}
+
+// hookTarget maps a sanitizer hook name to the kernel function it
+// intercepts: kasan_kmalloc hooks kmalloc, kasan_kfree hooks kfree.
+func hookTarget(hook string) string {
+	for _, prefix := range []string{"__kasan_", "kasan_", "__kcsan_", "kcsan_", "__"} {
+		if strings.HasPrefix(hook, prefix) {
+			return strings.TrimPrefix(hook, prefix)
+		}
+	}
+	return hook
+}
+
+// DistillReference distills one of the bundled reference sanitizers.
+func DistillReference(name string) (*dsl.Sanitizer, error) {
+	h, s, ok := Reference(name)
+	if !ok {
+		return nil, fmt.Errorf("distill: unknown reference sanitizer %q", name)
+	}
+	return Distill(name, h, s)
+}
+
+// DistillMerged distills several reference sanitizers and merges them into a
+// single specification under the union rules.
+func DistillMerged(names ...string) (*dsl.Sanitizer, error) {
+	var specs []*dsl.Sanitizer
+	for _, n := range names {
+		s, err := DistillReference(n)
+		if err != nil {
+			return nil, err
+		}
+		specs = append(specs, s)
+	}
+	if len(specs) == 1 {
+		return specs[0], nil
+	}
+	return dsl.MergeSanitizers(strings.Join(names, "+"), specs), nil
+}

@@ -1,0 +1,225 @@
+package distill
+
+import (
+	"strings"
+	"testing"
+
+	"embsan/internal/dsl"
+)
+
+func TestParseHeaderPrototypes(t *testing.T) {
+	protos, defines := ParseHeader(ReferenceKASANHeader)
+	byName := map[string]Prototype{}
+	for _, p := range protos {
+		byName[p.Name] = p
+	}
+	if _, ok := byName["__asan_load4"]; !ok {
+		t.Fatalf("missing __asan_load4 in %v", protos)
+	}
+	ck := byName["__kasan_check_read"]
+	if len(ck.Params) != 2 || ck.Params[0].Type != "ptr" || ck.Params[1].Type != "u32" {
+		t.Errorf("__kasan_check_read params = %+v", ck.Params)
+	}
+	km := byName["kasan_kmalloc"]
+	if len(km.Params) != 3 || km.Params[1].Name != "size" {
+		t.Errorf("kasan_kmalloc params = %+v", km.Params)
+	}
+	if defines["KASAN_SHADOW_GRANULE"] != 8 {
+		t.Errorf("defines = %v", defines)
+	}
+}
+
+func TestCallGraph(t *testing.T) {
+	g := ParseCallGraph(ReferenceKASANSource)
+	if !g.Reaches("__asan_load1", "kasan_report") {
+		t.Error("__asan_load1 should reach kasan_report")
+	}
+	if !g.Reaches("__kasan_check_write", "kasan_report") {
+		t.Error("__kasan_check_write should reach kasan_report")
+	}
+	if g.Reaches("kasan_kfree", "kasan_report") {
+		t.Error("kasan_kfree should not reach kasan_report")
+	}
+	if !g.Reaches("kasan_kfree", "kasan_quarantine_put") {
+		t.Error("kasan_kfree should reach kasan_quarantine_put")
+	}
+	// Self-recursion and keywords must not break traversal.
+	g2 := ParseCallGraph(`void a(void) { if (x) a(); b(); } void b(void) { while (1) c(); }`)
+	if !g2.Reaches("a", "c") {
+		t.Error("a should reach c through b")
+	}
+}
+
+func TestDistillKASAN(t *testing.T) {
+	s, err := DistillReference("kasan")
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := map[string]*dsl.Intercept{}
+	for _, it := range s.Intercepts {
+		keys[it.Key()] = it
+	}
+	for _, want := range []string{"load", "store", "func:kmalloc", "func:kfree"} {
+		if keys[want] == nil {
+			t.Errorf("missing intercept %s (have %v)", want, keysOf(keys))
+		}
+	}
+	if keys["func:kmalloc"].Action != dsl.ActionAlloc || keys["func:kmalloc"].Ret != "ptr" {
+		t.Errorf("kmalloc intercept: %+v", keys["func:kmalloc"])
+	}
+	if keys["func:kfree"].Action != dsl.ActionFree {
+		t.Errorf("kfree intercept: %+v", keys["func:kfree"])
+	}
+	var shadow, quar bool
+	for _, r := range s.Resources {
+		if r.Name == "shadow" && r.Params["granularity"] == 8 {
+			shadow = true
+		}
+		if r.Name == "quarantine" && r.Params["slots"] == 256 {
+			quar = true
+		}
+	}
+	if !shadow || !quar {
+		t.Errorf("resources = %+v", s.Resources)
+	}
+	// The spec must be expressible in the DSL.
+	text := dsl.Print(&dsl.File{Sanitizers: []*dsl.Sanitizer{s}})
+	if _, err := dsl.Parse(text); err != nil {
+		t.Errorf("distilled spec does not parse: %v\n%s", err, text)
+	}
+}
+
+func TestDistillKCSAN(t *testing.T) {
+	s, err := DistillReference("kcsan")
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := map[string]bool{}
+	for _, it := range s.Intercepts {
+		keys[it.Key()] = true
+	}
+	for _, want := range []string{"load", "store", "atomic"} {
+		if !keys[want] {
+			t.Errorf("missing intercept %s", want)
+		}
+	}
+	var wp bool
+	for _, r := range s.Resources {
+		if r.Name == "watchpoints" && r.Params["slots"] == 4 {
+			wp = true
+		}
+	}
+	if !wp {
+		t.Errorf("resources = %+v", s.Resources)
+	}
+}
+
+func TestDistillMergedSpec(t *testing.T) {
+	m, err := DistillMerged("kasan", "kcsan")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name != "kasan+kcsan" {
+		t.Errorf("merged name = %q", m.Name)
+	}
+	var load *dsl.Intercept
+	for _, it := range m.Intercepts {
+		if it.Key() == "load" {
+			load = it
+		}
+	}
+	if load == nil {
+		t.Fatal("no merged load intercept")
+	}
+	if strings.Join(load.Sources, ",") != "kasan,kcsan" {
+		t.Errorf("load sources = %v", load.Sources)
+	}
+	// KCSAN's extra type argument must survive the union, annotated.
+	var typeArg *dsl.Arg
+	for i := range load.Args {
+		if load.Args[i].Name == "type" {
+			typeArg = &load.Args[i]
+		}
+	}
+	if typeArg == nil || strings.Join(typeArg.Sources, ",") != "kcsan" {
+		t.Errorf("type arg = %+v", typeArg)
+	}
+	// Resource union: shadow + quarantine + watchpoints + delay.
+	if len(m.Resources) != 4 {
+		t.Errorf("merged resources = %+v", m.Resources)
+	}
+}
+
+func TestDistillUBSAN(t *testing.T) {
+	s, err := DistillReference("ubsan")
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := map[string]bool{}
+	for _, it := range s.Intercepts {
+		keys[it.Key()] = true
+	}
+	for _, want := range []string{"load", "store", "atomic"} {
+		if !keys[want] {
+			t.Errorf("ubsan spec missing intercept %s", want)
+		}
+	}
+	// Three-way merge: kasan + kcsan + ubsan must still be a valid spec.
+	m, err := DistillMerged("kasan", "kcsan", "ubsan")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := dsl.Print(&dsl.File{Sanitizers: []*dsl.Sanitizer{m}})
+	if _, err := dsl.Parse(text); err != nil {
+		t.Errorf("three-way merged spec does not parse: %v\n%s", err, text)
+	}
+}
+
+func TestDistillErrors(t *testing.T) {
+	if _, err := DistillReference("msan"); err == nil {
+		t.Error("unknown sanitizer accepted")
+	}
+	if _, err := Distill("x", "/* nothing */", ""); err == nil {
+		t.Error("empty header accepted")
+	}
+}
+
+func TestNormalizeType(t *testing.T) {
+	cases := map[string]string{
+		"unsigned long":         "ptr",
+		"const volatile void *": "ptr",
+		"size_t":                "u32",
+		"unsigned int":          "u32",
+		"gfp_t":                 "u32",
+		"u8":                    "u8",
+		"bool":                  "u8",
+		"void":                  "",
+	}
+	for in, want := range cases {
+		if got := normalizeType(in); got != want {
+			t.Errorf("normalizeType(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestHookTarget(t *testing.T) {
+	cases := map[string]string{
+		"kasan_kmalloc":  "kmalloc",
+		"kasan_kfree":    "kfree",
+		"__kasan_poison": "poison",
+		"plain":          "plain",
+	}
+	for in, want := range cases {
+		if got := hookTarget(in); got != want {
+			t.Errorf("hookTarget(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func keysOf(m map[string]*dsl.Intercept) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

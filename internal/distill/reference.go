@@ -1,0 +1,163 @@
+package distill
+
+// Reference sanitizer implementations, as extracted from an OS kernel tree.
+// The pre-testing probing phase feeds these header and source files to the
+// Distiller, which produces the interception-API specifications in the DSL.
+// They are deliberately written in kernel style: the Distiller has to cope
+// with real prototype shapes, hook indirection and per-size API variants.
+
+// ReferenceKASANHeader is the interception interface of the reference KASAN.
+const ReferenceKASANHeader = `
+/* kasan.h — reference Kernel Address Sanitizer interface */
+#define KASAN_SHADOW_GRANULE 8
+#define KASAN_QUARANTINE_SLOTS 256
+
+void __asan_load1(unsigned long addr);
+void __asan_load2(unsigned long addr);
+void __asan_load4(unsigned long addr);
+void __asan_store1(unsigned long addr);
+void __asan_store2(unsigned long addr);
+void __asan_store4(unsigned long addr);
+
+void __kasan_check_read(const volatile void *p, unsigned int size);
+void __kasan_check_write(const volatile void *p, unsigned int size);
+
+void *kasan_kmalloc(const void *object, size_t size, gfp_t flags);
+void kasan_kfree(void *object);
+void kasan_poison(const void *addr, size_t size, u8 value);
+void kasan_unpoison(const void *addr, size_t size);
+`
+
+// ReferenceKASANSource is the reference KASAN core, used for call-graph
+// construction and logic distillation.
+const ReferenceKASANSource = `
+/* kasan.c — reference core */
+static u8 *kasan_shadow_start;
+
+static bool kasan_check_region(unsigned long addr, size_t size, bool write)
+{
+	u8 shadow = kasan_shadow_start[addr >> 3];
+	if (shadow != 0)
+		return kasan_slow_path(addr, size, write);
+	return true;
+}
+
+static bool kasan_slow_path(unsigned long addr, size_t size, bool write)
+{
+	kasan_report(addr, size, write);
+	return false;
+}
+
+void __asan_load1(unsigned long addr) { kasan_check_region(addr, 1, false); }
+void __asan_load2(unsigned long addr) { kasan_check_region(addr, 2, false); }
+void __asan_load4(unsigned long addr) { kasan_check_region(addr, 4, false); }
+void __asan_store1(unsigned long addr) { kasan_check_region(addr, 1, true); }
+void __asan_store2(unsigned long addr) { kasan_check_region(addr, 2, true); }
+void __asan_store4(unsigned long addr) { kasan_check_region(addr, 4, true); }
+
+void __kasan_check_read(const volatile void *p, unsigned int size)
+{
+	kasan_check_region((unsigned long)p, size, false);
+}
+
+void __kasan_check_write(const volatile void *p, unsigned int size)
+{
+	kasan_check_region((unsigned long)p, size, true);
+}
+
+void *kasan_kmalloc(const void *object, size_t size, gfp_t flags)
+{
+	kasan_unpoison(object, size);
+	kasan_track_alloc(object, size);
+	return (void *)object;
+}
+
+void kasan_kfree(void *object)
+{
+	kasan_poison(object, kasan_object_size(object), KASAN_FREE);
+	kasan_quarantine_put(object);
+}
+`
+
+// ReferenceKCSANHeader is the interception interface of the reference KCSAN.
+const ReferenceKCSANHeader = `
+/* kcsan.h — reference Kernel Concurrency Sanitizer interface */
+#define KCSAN_NUM_WATCHPOINTS 4
+#define KCSAN_UDELAY_TASK 80
+
+void __kcsan_check_access(const volatile void *ptr, size_t size, int type);
+void __tsan_read1(void *addr);
+void __tsan_read2(void *addr);
+void __tsan_read4(void *addr);
+void __tsan_write1(void *addr);
+void __tsan_write2(void *addr);
+void __tsan_write4(void *addr);
+void __tsan_atomic32_load(const int *ptr, int memorder);
+void __tsan_atomic32_store(int *ptr, int v, int memorder);
+`
+
+// ReferenceKCSANSource is the reference KCSAN core.
+const ReferenceKCSANSource = `
+/* kcsan.c — reference core */
+static struct kcsan_watchpoint watchpoints[KCSAN_NUM_WATCHPOINTS];
+
+static void kcsan_setup_watchpoint(unsigned long ptr, size_t size, int type)
+{
+	kcsan_delay();
+	if (kcsan_watch_conflict(ptr, size))
+		kcsan_report(ptr, size, type);
+}
+
+void __kcsan_check_access(const volatile void *ptr, size_t size, int type)
+{
+	kcsan_setup_watchpoint((unsigned long)ptr, size, type);
+}
+
+void __tsan_read1(void *addr) { __kcsan_check_access(addr, 1, 0); }
+void __tsan_read2(void *addr) { __kcsan_check_access(addr, 2, 0); }
+void __tsan_read4(void *addr) { __kcsan_check_access(addr, 4, 0); }
+void __tsan_write1(void *addr) { __kcsan_check_access(addr, 1, 1); }
+void __tsan_write2(void *addr) { __kcsan_check_access(addr, 2, 1); }
+void __tsan_write4(void *addr) { __kcsan_check_access(addr, 4, 1); }
+void __tsan_atomic32_load(const int *ptr, int memorder) { __kcsan_check_access(ptr, 4, 2); }
+void __tsan_atomic32_store(int *ptr, int v, int memorder) { __kcsan_check_access(ptr, 4, 3); }
+`
+
+// ReferenceUBSANHeader is a third sanitizer used to demonstrate the
+// adaptability claim of the paper's discussion section: new sanitizer
+// functionalities plug in by distilling their interface and writing the
+// runtime logic — no kernel porting.
+const ReferenceUBSANHeader = `
+/* ubsan.h — reference undefined-behaviour (alignment) checker interface */
+#define UBSAN_ALIGNMENT 1
+
+void __ubsan_check_access(const volatile void *ptr, size_t size, int type);
+`
+
+// ReferenceUBSANSource is the reference alignment-checker core.
+const ReferenceUBSANSource = `
+/* ubsan.c — reference core */
+static void ubsan_check_alignment(unsigned long ptr, size_t size, int type)
+{
+	if (ptr & (size - 1))
+		ubsan_report(ptr, size, type);
+}
+
+void __ubsan_check_access(const volatile void *ptr, size_t size, int type)
+{
+	ubsan_check_alignment((unsigned long)ptr, size, type);
+}
+`
+
+// Reference returns the reference implementation texts for a sanitizer name.
+func Reference(name string) (header, source string, ok bool) {
+	switch name {
+	case "kasan":
+		return ReferenceKASANHeader, ReferenceKASANSource, true
+	case "kcsan":
+		return ReferenceKCSANHeader, ReferenceKCSANSource, true
+	case "ubsan":
+		return ReferenceUBSANHeader, ReferenceUBSANSource, true
+	}
+	return "", "", false
+}

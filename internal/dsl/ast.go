@@ -1,0 +1,340 @@
+// Package dsl implements EMBSAN's in-house domain-specific language. The
+// Distiller emits sanitizer interception specifications in it, the Prober
+// emits platform configurations and initial setup routines in it, and the
+// Common Sanitizer Runtime compiles it into live emulator hooks — the DSL
+// is the actual interchange format between the pipeline stages, as in the
+// paper.
+package dsl
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// File is a parsed DSL file: any mix of sanitizer, platform and init blocks.
+type File struct {
+	Sanitizers []*Sanitizer
+	Platforms  []*Platform
+	Inits      []*Init
+}
+
+// InterceptKind says where an interception point attaches.
+type InterceptKind uint8
+
+const (
+	// InterceptLoad/Store/Atomic attach to instruction classes.
+	InterceptLoad InterceptKind = iota
+	InterceptStore
+	InterceptAtomic
+	// InterceptFunc attaches to a named guest function.
+	InterceptFunc
+)
+
+func (k InterceptKind) String() string {
+	switch k {
+	case InterceptLoad:
+		return "load"
+	case InterceptStore:
+		return "store"
+	case InterceptAtomic:
+		return "atomic"
+	case InterceptFunc:
+		return "func"
+	}
+	return "?"
+}
+
+// Action is what the runtime does at an interception point.
+type Action uint8
+
+const (
+	ActionCheck Action = iota // validate the operation
+	ActionAlloc               // record an allocation (ptr, size)
+	ActionFree                // record a deallocation (ptr)
+	ActionNone
+)
+
+func (a Action) String() string {
+	switch a {
+	case ActionCheck:
+		return "check"
+	case ActionAlloc:
+		return "alloc"
+	case ActionFree:
+		return "free"
+	}
+	return "none"
+}
+
+// Arg is one argument of an interception API. Sources records which
+// sanitizers contributed the argument — the annotation the paper's merge
+// rules require when arguments are unioned.
+type Arg struct {
+	Name    string
+	Type    string
+	Sources []string
+}
+
+// Intercept is one interception point of a sanitizer specification.
+type Intercept struct {
+	Kind    InterceptKind
+	Func    string // for InterceptFunc
+	Args    []Arg
+	Ret     string // return type, "" if none
+	Action  Action
+	Sources []string // sanitizers that requested this point
+}
+
+// Key identifies an interception point for merging.
+func (it *Intercept) Key() string {
+	if it.Kind == InterceptFunc {
+		return "func:" + it.Func
+	}
+	return it.Kind.String()
+}
+
+// Resource is an external resource a sanitizer needs (e.g. shadow memory).
+type Resource struct {
+	Name   string
+	Params map[string]uint32
+}
+
+// Sanitizer is a distilled sanitizer specification.
+type Sanitizer struct {
+	Name       string
+	Intercepts []*Intercept
+	Resources  []Resource
+}
+
+// Region is a half-open address range.
+type Region struct {
+	Start, End uint32
+}
+
+func (r Region) Contains(addr uint32) bool { return addr >= r.Start && addr < r.End }
+func (r Region) Size() uint32              { return r.End - r.Start }
+
+// AllocFn describes a discovered or declared allocator entry point.
+type AllocFn struct {
+	Name    string
+	Entry   uint32
+	Exits   []uint32 // return-instruction addresses inside the function
+	SizeArg string   // register holding the requested size at entry
+	RetArg  string   // register holding the returned pointer at exit
+}
+
+// FreeFn describes a deallocator entry point.
+type FreeFn struct {
+	Name    string
+	Entry   uint32
+	PtrArg  string
+	SizeArg string // "" when the free interface carries no size
+}
+
+// Platform is a probed platform configuration.
+type Platform struct {
+	Name     string
+	Arch     string
+	RAM      uint32
+	Ready    uint32 // PC of the ready-to-run point (0 = use the ready hypercall)
+	Heaps    []Region
+	Allocs   []AllocFn
+	Frees    []FreeFn
+	Suppress []Region // code ranges whose accesses are not checked (allocator internals)
+	Notes    []string // manual-intervention annotations
+}
+
+// InitOpKind enumerates initial-setup operations.
+type InitOpKind uint8
+
+const (
+	InitShadow   InitOpKind = iota // initialise shadow memory
+	InitPoison                     // poison [Addr, Addr+Size) with Code
+	InitUnpoison                   // unpoison [Addr, Addr+Size)
+	InitAlloc                      // replay a recorded pre-ready allocation
+)
+
+func (k InitOpKind) String() string {
+	switch k {
+	case InitShadow:
+		return "shadow_init"
+	case InitPoison:
+		return "poison"
+	case InitUnpoison:
+		return "unpoison"
+	case InitAlloc:
+		return "alloc"
+	}
+	return "?"
+}
+
+// InitOp is one step of the initial setup routine.
+type InitOp struct {
+	Kind InitOpKind
+	Addr uint32
+	Size uint32
+	Code string // poison code name, for InitPoison
+}
+
+// Init is the initial setup routine recorded by the Prober's dry run.
+type Init struct {
+	Platform string // the platform this routine belongs to
+	Ops      []InitOp
+}
+
+// ---- merge rules (§3.1) ----
+
+// MergeSanitizers combines several sanitizer specifications into one, using
+// the paper's rules: the interception-point set is the union of the
+// individual sets; per point, the argument list is the union of the
+// individual argument lists; arguments that share target data are combined
+// and annotated with their source APIs.
+func MergeSanitizers(name string, in []*Sanitizer) *Sanitizer {
+	out := &Sanitizer{Name: name}
+	points := map[string]*Intercept{}
+	var order []string
+	resources := map[string]Resource{}
+	var resOrder []string
+
+	for _, s := range in {
+		for _, it := range s.Intercepts {
+			key := it.Key()
+			dst, ok := points[key]
+			if !ok {
+				cp := *it
+				cp.Args = append([]Arg(nil), it.Args...)
+				for i := range cp.Args {
+					cp.Args[i].Sources = mergeSources(cp.Args[i].Sources, []string{s.Name})
+				}
+				cp.Sources = []string{s.Name}
+				points[key] = &cp
+				order = append(order, key)
+				continue
+			}
+			dst.Sources = mergeSources(dst.Sources, []string{s.Name})
+			// Union the argument lists; arguments with the same name share
+			// target data and are combined into one annotated argument.
+			for _, a := range it.Args {
+				found := false
+				for i := range dst.Args {
+					if dst.Args[i].Name == a.Name {
+						found = true
+						dst.Args[i].Sources = mergeSources(dst.Args[i].Sources, []string{s.Name})
+						// Take the largest possible union of the data: a
+						// wider type wins.
+						if typeWidth(a.Type) > typeWidth(dst.Args[i].Type) {
+							dst.Args[i].Type = a.Type
+						}
+					}
+				}
+				if !found {
+					na := a
+					na.Sources = mergeSources(a.Sources, []string{s.Name})
+					dst.Args = append(dst.Args, na)
+				}
+			}
+			// The strongest action wins: check < free < alloc ordering is
+			// arbitrary but stable; in practice actions agree per point.
+			if dst.Action == ActionNone {
+				dst.Action = it.Action
+			}
+		}
+		for _, r := range s.Resources {
+			if have, ok := resources[r.Name]; ok {
+				// Union parameters, keeping the larger value (e.g. the finer
+				// granularity requirement expressed as a smaller number
+				// stays — callers encode requirements so that max works).
+				for k, v := range r.Params {
+					if v > have.Params[k] {
+						have.Params[k] = v
+					}
+				}
+				continue
+			}
+			cp := Resource{Name: r.Name, Params: map[string]uint32{}}
+			for k, v := range r.Params {
+				cp.Params[k] = v
+			}
+			resources[r.Name] = cp
+			resOrder = append(resOrder, r.Name)
+		}
+	}
+	for _, key := range order {
+		out.Intercepts = append(out.Intercepts, points[key])
+	}
+	for _, rn := range resOrder {
+		out.Resources = append(out.Resources, resources[rn])
+	}
+	return out
+}
+
+func mergeSources(a, b []string) []string {
+	set := map[string]bool{}
+	for _, s := range a {
+		set[s] = true
+	}
+	for _, s := range b {
+		set[s] = true
+	}
+	out := make([]string, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func typeWidth(t string) int {
+	switch strings.ToLower(t) {
+	case "u8":
+		return 1
+	case "u16":
+		return 2
+	case "u32", "ptr":
+		return 4
+	case "u64":
+		return 8
+	}
+	return 4
+}
+
+// Validate performs structural checks on a file.
+func (f *File) Validate() error {
+	seen := map[string]bool{}
+	for _, s := range f.Sanitizers {
+		if s.Name == "" {
+			return fmt.Errorf("dsl: sanitizer with empty name")
+		}
+		if seen["san:"+s.Name] {
+			return fmt.Errorf("dsl: duplicate sanitizer %q", s.Name)
+		}
+		seen["san:"+s.Name] = true
+		pts := map[string]bool{}
+		for _, it := range s.Intercepts {
+			if it.Kind == InterceptFunc && it.Func == "" {
+				return fmt.Errorf("dsl: sanitizer %q: func intercept without a name", s.Name)
+			}
+			if pts[it.Key()] {
+				return fmt.Errorf("dsl: sanitizer %q: duplicate intercept %q", s.Name, it.Key())
+			}
+			pts[it.Key()] = true
+		}
+	}
+	for _, p := range f.Platforms {
+		if p.Name == "" || p.Arch == "" {
+			return fmt.Errorf("dsl: platform needs name and arch")
+		}
+		for _, h := range p.Heaps {
+			if h.End <= h.Start {
+				return fmt.Errorf("dsl: platform %q: empty heap region %#x..%#x", p.Name, h.Start, h.End)
+			}
+		}
+		for _, a := range p.Allocs {
+			if a.Entry == 0 {
+				return fmt.Errorf("dsl: platform %q: alloc %q without entry", p.Name, a.Name)
+			}
+		}
+	}
+	return nil
+}

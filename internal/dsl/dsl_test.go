@@ -1,0 +1,210 @@
+package dsl
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleSrc = `
+// KASAN specification, distilled.
+sanitizer kasan {
+  intercept load(addr: ptr, size: u32) -> check;
+  intercept store(addr: ptr, size: u32) -> check;
+  intercept atomic(addr: ptr, size: u32) -> check;
+  intercept func kmalloc(size: u32) ret ptr -> alloc;
+  intercept func kfree(ptr: ptr) -> free;
+  resource shadow { granularity = 8; }
+}
+
+platform "openwrt-x86_64" {
+  arch x86e;
+  ram 0x1000000;
+  ready 0x1234;
+  heap 0x200000 .. 0x600000;
+  alloc "kmalloc" entry 0x1040 size a0 ret a0 exits [0x10a0, 0x10c4];
+  free "kfree" entry 0x1100 ptr a0 size a1;
+  suppress 0x1040 .. 0x1200;
+  note "heap bounds confirmed by dry run";
+}
+
+init for "openwrt-x86_64" {
+  shadow_init;
+  poison 0x200000 4194304 code heap;
+  alloc 0x200010 64;
+}
+`
+
+func TestParseSample(t *testing.T) {
+	f, err := Parse(sampleSrc)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if len(f.Sanitizers) != 1 || len(f.Platforms) != 1 || len(f.Inits) != 1 {
+		t.Fatalf("blocks: %d/%d/%d", len(f.Sanitizers), len(f.Platforms), len(f.Inits))
+	}
+	s := f.Sanitizers[0]
+	if s.Name != "kasan" || len(s.Intercepts) != 5 {
+		t.Fatalf("sanitizer: %s, %d intercepts", s.Name, len(s.Intercepts))
+	}
+	km := s.Intercepts[3]
+	if km.Kind != InterceptFunc || km.Func != "kmalloc" || km.Action != ActionAlloc || km.Ret != "ptr" {
+		t.Errorf("kmalloc intercept: %+v", km)
+	}
+	if len(s.Resources) != 1 || s.Resources[0].Params["granularity"] != 8 {
+		t.Errorf("resources: %+v", s.Resources)
+	}
+	p := f.Platforms[0]
+	if p.Arch != "x86e" || p.RAM != 0x1000000 || p.Ready != 0x1234 {
+		t.Errorf("platform header: %+v", p)
+	}
+	if len(p.Heaps) != 1 || p.Heaps[0] != (Region{0x200000, 0x600000}) {
+		t.Errorf("heaps: %+v", p.Heaps)
+	}
+	a := p.Allocs[0]
+	if a.Name != "kmalloc" || a.Entry != 0x1040 || a.SizeArg != "a0" || a.RetArg != "a0" ||
+		len(a.Exits) != 2 || a.Exits[1] != 0x10c4 {
+		t.Errorf("alloc: %+v", a)
+	}
+	fr := p.Frees[0]
+	if fr.PtrArg != "a0" || fr.SizeArg != "a1" || fr.Entry != 0x1100 {
+		t.Errorf("free: %+v", fr)
+	}
+	in := f.Inits[0]
+	if in.Platform != "openwrt-x86_64" || len(in.Ops) != 3 {
+		t.Fatalf("init: %+v", in)
+	}
+	if in.Ops[1].Kind != InitPoison || in.Ops[1].Code != "heap" || in.Ops[1].Size != 4194304 {
+		t.Errorf("poison op: %+v", in.Ops[1])
+	}
+}
+
+func TestPrintParseRoundTrip(t *testing.T) {
+	f, err := Parse(sampleSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := Print(f)
+	f2, err := Parse(text)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, text)
+	}
+	if Print(f2) != text {
+		t.Errorf("print not canonical:\n%s\n----\n%s", text, Print(f2))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		`sanitizer {`,
+		`sanitizer s { intercept bogus() -> check; }`,
+		`sanitizer s { intercept load(addr ptr) -> check; }`,
+		`sanitizer s { intercept load(addr: ptr) -> explode; }`,
+		`platform "p" { arch }`,
+		`platform "p" { arch arm32e; heap 5 .. 2; }`, // empty region fails Validate
+		`init { rewind 0 0; }`,
+		`garbage`,
+		`sanitizer s { intercept load(a: ptr) -> check; intercept load(a: ptr) -> check; }`,
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("no error for %q", src)
+		}
+	}
+}
+
+func TestMergeSanitizersUnionRules(t *testing.T) {
+	kasan, err := Parse(`
+sanitizer kasan {
+  intercept load(addr: ptr, size: u32) -> check;
+  intercept store(addr: ptr, size: u32) -> check;
+  intercept func kmalloc(size: u32) ret ptr -> alloc;
+  resource shadow { granularity = 8; }
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kcsan, err := Parse(`
+sanitizer kcsan {
+  intercept load(addr: ptr, size: u32, is_atomic: u8) -> check;
+  intercept store(addr: ptr, size: u32) -> check;
+  intercept atomic(addr: ptr, size: u32) -> check;
+  resource shadow { granularity = 8; }
+  resource watchpoints { slots = 4; }
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := MergeSanitizers("merged", []*Sanitizer{kasan.Sanitizers[0], kcsan.Sanitizers[0]})
+
+	// Union of interception points: load, store, kmalloc, atomic.
+	if len(m.Intercepts) != 4 {
+		t.Fatalf("merged intercepts = %d, want 4", len(m.Intercepts))
+	}
+	byKey := map[string]*Intercept{}
+	for _, it := range m.Intercepts {
+		byKey[it.Key()] = it
+	}
+	ld := byKey["load"]
+	if ld == nil {
+		t.Fatal("no merged load intercept")
+	}
+	// Argument union: addr, size from both; is_atomic only from kcsan.
+	if len(ld.Args) != 3 {
+		t.Fatalf("load args = %+v", ld.Args)
+	}
+	var isAtomic *Arg
+	for i := range ld.Args {
+		if ld.Args[i].Name == "is_atomic" {
+			isAtomic = &ld.Args[i]
+		}
+		if ld.Args[i].Name == "addr" {
+			if strings.Join(ld.Args[i].Sources, ",") != "kasan,kcsan" {
+				t.Errorf("addr sources = %v", ld.Args[i].Sources)
+			}
+		}
+	}
+	if isAtomic == nil || strings.Join(isAtomic.Sources, ",") != "kcsan" {
+		t.Errorf("is_atomic annotation wrong: %+v", isAtomic)
+	}
+	if strings.Join(ld.Sources, ",") != "kasan,kcsan" {
+		t.Errorf("load sources = %v", ld.Sources)
+	}
+	if strings.Join(byKey["atomic"].Sources, ",") != "kcsan" {
+		t.Errorf("atomic sources = %v", byKey["atomic"].Sources)
+	}
+	if strings.Join(byKey["func:kmalloc"].Sources, ",") != "kasan" {
+		t.Errorf("kmalloc sources = %v", byKey["func:kmalloc"].Sources)
+	}
+	// Resource union: one shadow, one watchpoints.
+	if len(m.Resources) != 2 {
+		t.Errorf("resources = %+v", m.Resources)
+	}
+	// The merged spec must survive printing and reparsing.
+	text := Print(&File{Sanitizers: []*Sanitizer{m}})
+	if _, err := Parse(text); err != nil {
+		t.Errorf("merged spec does not reparse: %v\n%s", err, text)
+	}
+}
+
+func TestMergeWiderTypeWins(t *testing.T) {
+	a := &Sanitizer{Name: "a", Intercepts: []*Intercept{{
+		Kind: InterceptLoad, Args: []Arg{{Name: "size", Type: "u8"}}, Action: ActionCheck,
+	}}}
+	b := &Sanitizer{Name: "b", Intercepts: []*Intercept{{
+		Kind: InterceptLoad, Args: []Arg{{Name: "size", Type: "u32"}}, Action: ActionCheck,
+	}}}
+	m := MergeSanitizers("m", []*Sanitizer{a, b})
+	if m.Intercepts[0].Args[0].Type != "u32" {
+		t.Errorf("merged type = %s, want u32 (largest union of the data)", m.Intercepts[0].Args[0].Type)
+	}
+}
+
+func TestRegionContains(t *testing.T) {
+	r := Region{0x100, 0x200}
+	if !r.Contains(0x100) || r.Contains(0x200) || r.Contains(0xFF) || !r.Contains(0x1FF) {
+		t.Error("Region.Contains boundary behaviour wrong")
+	}
+	if r.Size() != 0x100 {
+		t.Errorf("size = %#x", r.Size())
+	}
+}

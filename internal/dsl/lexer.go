@@ -1,0 +1,147 @@
+package dsl
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokPunct // single punctuation or "->" / ".."
+)
+
+type token struct {
+	kind tokKind
+	text string
+	num  uint32
+	line int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	case tokString:
+		return fmt.Sprintf("%q", t.text)
+	default:
+		return t.text
+	}
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	toks []token
+}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src, line: 1}
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '"':
+			if err := l.lexString(); err != nil {
+				return nil, err
+			}
+		case c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '>':
+			l.emit(tokPunct, "->")
+			l.pos += 2
+		case c == '.' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '.':
+			l.emit(tokPunct, "..")
+			l.pos += 2
+		case strings.ContainsRune("{}():;,[]=", rune(c)):
+			l.emit(tokPunct, string(c))
+			l.pos++
+		case c >= '0' && c <= '9':
+			if err := l.lexNumber(); err != nil {
+				return nil, err
+			}
+		case isIdentStart(rune(c)):
+			l.lexIdent()
+		default:
+			return nil, fmt.Errorf("dsl: line %d: unexpected character %q", l.line, c)
+		}
+	}
+	l.emit(tokEOF, "")
+	return l.toks, nil
+}
+
+func (l *lexer) emit(k tokKind, text string) {
+	l.toks = append(l.toks, token{kind: k, text: text, line: l.line})
+}
+
+func (l *lexer) lexString() error {
+	start := l.pos + 1
+	i := start
+	for i < len(l.src) && l.src[i] != '"' {
+		if l.src[i] == '\n' {
+			return fmt.Errorf("dsl: line %d: unterminated string", l.line)
+		}
+		i++
+	}
+	if i >= len(l.src) {
+		return fmt.Errorf("dsl: line %d: unterminated string", l.line)
+	}
+	l.emit(tokString, l.src[start:i])
+	l.pos = i + 1
+	return nil
+}
+
+func (l *lexer) lexNumber() error {
+	start := l.pos
+	base := 10
+	if strings.HasPrefix(l.src[l.pos:], "0x") || strings.HasPrefix(l.src[l.pos:], "0X") {
+		base = 16
+		l.pos += 2
+	}
+	for l.pos < len(l.src) && isDigit(l.src[l.pos], base) {
+		l.pos++
+	}
+	text := l.src[start:l.pos]
+	v, err := strconv.ParseUint(strings.TrimPrefix(strings.TrimPrefix(text, "0x"), "0X"), base, 32)
+	if err != nil {
+		return fmt.Errorf("dsl: line %d: bad number %q", l.line, text)
+	}
+	l.toks = append(l.toks, token{kind: tokNumber, text: text, num: uint32(v), line: l.line})
+	return nil
+}
+
+func (l *lexer) lexIdent() {
+	start := l.pos
+	for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	l.emit(tokIdent, l.src[start:l.pos])
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+func isDigit(c byte, base int) bool {
+	if base == 16 {
+		return (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+	}
+	return c >= '0' && c <= '9'
+}

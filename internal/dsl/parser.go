@@ -1,0 +1,505 @@
+package dsl
+
+import "fmt"
+
+// Parse parses DSL source into a File.
+func Parse(src string) (*File, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	f := &File{}
+	for !p.at(tokEOF, "") {
+		switch {
+		case p.at(tokIdent, "sanitizer"):
+			s, err := p.parseSanitizer()
+			if err != nil {
+				return nil, err
+			}
+			f.Sanitizers = append(f.Sanitizers, s)
+		case p.at(tokIdent, "platform"):
+			pl, err := p.parsePlatform()
+			if err != nil {
+				return nil, err
+			}
+			f.Platforms = append(f.Platforms, pl)
+		case p.at(tokIdent, "init"):
+			in, err := p.parseInit()
+			if err != nil {
+				return nil, err
+			}
+			f.Inits = append(f.Inits, in)
+		default:
+			return nil, p.errf("expected sanitizer, platform or init, got %s", p.peek())
+		}
+	}
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) at(k tokKind, text string) bool {
+	t := p.peek()
+	return t.kind == k && (text == "" || t.text == text)
+}
+
+func (p *parser) accept(k tokKind, text string) bool {
+	if p.at(k, text) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(k tokKind, text string) (token, error) {
+	if p.at(k, text) {
+		return p.next(), nil
+	}
+	want := text
+	if want == "" {
+		switch k {
+		case tokIdent:
+			want = "identifier"
+		case tokNumber:
+			want = "number"
+		case tokString:
+			want = "string"
+		}
+	}
+	return token{}, p.errf("expected %s, got %s", want, p.peek())
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("dsl: line %d: %s", p.peek().line, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) parseName() (string, error) {
+	t := p.peek()
+	if t.kind == tokIdent || t.kind == tokString {
+		p.next()
+		return t.text, nil
+	}
+	return "", p.errf("expected name, got %s", t)
+}
+
+func (p *parser) parseNumber() (uint32, error) {
+	t, err := p.expect(tokNumber, "")
+	if err != nil {
+		return 0, err
+	}
+	return t.num, nil
+}
+
+// parseSources parses an optional source annotation: [a, b, c].
+func (p *parser) parseSources() ([]string, error) {
+	if !p.accept(tokPunct, "[") {
+		return nil, nil
+	}
+	var out []string
+	for {
+		n, err := p.parseName()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, n)
+		if p.accept(tokPunct, "]") {
+			return out, nil
+		}
+		if _, err := p.expect(tokPunct, ","); err != nil {
+			return nil, err
+		}
+	}
+}
+
+func (p *parser) parseSanitizer() (*Sanitizer, error) {
+	p.next() // "sanitizer"
+	name, err := p.parseName()
+	if err != nil {
+		return nil, err
+	}
+	s := &Sanitizer{Name: name}
+	if _, err := p.expect(tokPunct, "{"); err != nil {
+		return nil, err
+	}
+	for !p.accept(tokPunct, "}") {
+		switch {
+		case p.at(tokIdent, "intercept"):
+			it, err := p.parseIntercept()
+			if err != nil {
+				return nil, err
+			}
+			s.Intercepts = append(s.Intercepts, it)
+		case p.at(tokIdent, "resource"):
+			r, err := p.parseResource()
+			if err != nil {
+				return nil, err
+			}
+			s.Resources = append(s.Resources, r)
+		default:
+			return nil, p.errf("expected intercept or resource, got %s", p.peek())
+		}
+	}
+	return s, nil
+}
+
+func (p *parser) parseIntercept() (*Intercept, error) {
+	p.next() // "intercept"
+	it := &Intercept{}
+	kind, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	switch kind.text {
+	case "load":
+		it.Kind = InterceptLoad
+	case "store":
+		it.Kind = InterceptStore
+	case "atomic":
+		it.Kind = InterceptAtomic
+	case "func":
+		it.Kind = InterceptFunc
+		fn, err := p.parseName()
+		if err != nil {
+			return nil, err
+		}
+		it.Func = fn
+	default:
+		return nil, p.errf("unknown intercept kind %q", kind.text)
+	}
+	if _, err := p.expect(tokPunct, "("); err != nil {
+		return nil, err
+	}
+	for !p.accept(tokPunct, ")") {
+		var a Arg
+		n, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		a.Name = n.text
+		if _, err := p.expect(tokPunct, ":"); err != nil {
+			return nil, err
+		}
+		ty, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		a.Type = ty.text
+		if a.Sources, err = p.parseSources(); err != nil {
+			return nil, err
+		}
+		it.Args = append(it.Args, a)
+		if !p.at(tokPunct, ")") {
+			if _, err := p.expect(tokPunct, ","); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if p.accept(tokIdent, "ret") {
+		ty, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		it.Ret = ty.text
+	}
+	if _, err := p.expect(tokPunct, "->"); err != nil {
+		return nil, err
+	}
+	act, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	switch act.text {
+	case "check":
+		it.Action = ActionCheck
+	case "alloc":
+		it.Action = ActionAlloc
+	case "free":
+		it.Action = ActionFree
+	case "none":
+		it.Action = ActionNone
+	default:
+		return nil, p.errf("unknown action %q", act.text)
+	}
+	if it.Sources, err = p.parseSources(); err != nil {
+		return nil, err
+	}
+	_, err = p.expect(tokPunct, ";")
+	return it, err
+}
+
+func (p *parser) parseResource() (Resource, error) {
+	p.next() // "resource"
+	r := Resource{Params: map[string]uint32{}}
+	n, err := p.parseName()
+	if err != nil {
+		return r, err
+	}
+	r.Name = n
+	if _, err := p.expect(tokPunct, "{"); err != nil {
+		return r, err
+	}
+	for !p.accept(tokPunct, "}") {
+		k, err := p.expect(tokIdent, "")
+		if err != nil {
+			return r, err
+		}
+		if _, err := p.expect(tokPunct, "="); err != nil {
+			return r, err
+		}
+		v, err := p.parseNumber()
+		if err != nil {
+			return r, err
+		}
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return r, err
+		}
+		r.Params[k.text] = v
+	}
+	return r, nil
+}
+
+func (p *parser) parseRegion() (Region, error) {
+	start, err := p.parseNumber()
+	if err != nil {
+		return Region{}, err
+	}
+	if _, err := p.expect(tokPunct, ".."); err != nil {
+		return Region{}, err
+	}
+	end, err := p.parseNumber()
+	if err != nil {
+		return Region{}, err
+	}
+	return Region{Start: start, End: end}, nil
+}
+
+func (p *parser) parsePlatform() (*Platform, error) {
+	p.next() // "platform"
+	name, err := p.parseName()
+	if err != nil {
+		return nil, err
+	}
+	pl := &Platform{Name: name}
+	if _, err := p.expect(tokPunct, "{"); err != nil {
+		return nil, err
+	}
+	for !p.accept(tokPunct, "}") {
+		kw, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		switch kw.text {
+		case "arch":
+			a, err := p.expect(tokIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			pl.Arch = a.text
+		case "ram":
+			if pl.RAM, err = p.parseNumber(); err != nil {
+				return nil, err
+			}
+		case "ready":
+			if pl.Ready, err = p.parseNumber(); err != nil {
+				return nil, err
+			}
+		case "heap":
+			r, err := p.parseRegion()
+			if err != nil {
+				return nil, err
+			}
+			pl.Heaps = append(pl.Heaps, r)
+		case "suppress":
+			r, err := p.parseRegion()
+			if err != nil {
+				return nil, err
+			}
+			pl.Suppress = append(pl.Suppress, r)
+		case "note":
+			n, err := p.expect(tokString, "")
+			if err != nil {
+				return nil, err
+			}
+			pl.Notes = append(pl.Notes, n.text)
+		case "alloc":
+			a, err := p.parseAllocFn()
+			if err != nil {
+				return nil, err
+			}
+			pl.Allocs = append(pl.Allocs, a)
+		case "free":
+			f, err := p.parseFreeFn()
+			if err != nil {
+				return nil, err
+			}
+			pl.Frees = append(pl.Frees, f)
+		default:
+			return nil, p.errf("unknown platform field %q", kw.text)
+		}
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+	}
+	return pl, nil
+}
+
+func (p *parser) parseAllocFn() (AllocFn, error) {
+	var a AllocFn
+	n, err := p.parseName()
+	if err != nil {
+		return a, err
+	}
+	a.Name = n
+	for p.at(tokIdent, "") && !p.at(tokIdent, ";") {
+		kw := p.peek().text
+		switch kw {
+		case "entry":
+			p.next()
+			if a.Entry, err = p.parseNumber(); err != nil {
+				return a, err
+			}
+		case "size":
+			p.next()
+			r, err := p.expect(tokIdent, "")
+			if err != nil {
+				return a, err
+			}
+			a.SizeArg = r.text
+		case "ret":
+			p.next()
+			r, err := p.expect(tokIdent, "")
+			if err != nil {
+				return a, err
+			}
+			a.RetArg = r.text
+		case "exits":
+			p.next()
+			if _, err := p.expect(tokPunct, "["); err != nil {
+				return a, err
+			}
+			for !p.accept(tokPunct, "]") {
+				v, err := p.parseNumber()
+				if err != nil {
+					return a, err
+				}
+				a.Exits = append(a.Exits, v)
+				if !p.at(tokPunct, "]") {
+					if _, err := p.expect(tokPunct, ","); err != nil {
+						return a, err
+					}
+				}
+			}
+		default:
+			return a, nil
+		}
+	}
+	return a, nil
+}
+
+func (p *parser) parseFreeFn() (FreeFn, error) {
+	var f FreeFn
+	n, err := p.parseName()
+	if err != nil {
+		return f, err
+	}
+	f.Name = n
+	for p.at(tokIdent, "") {
+		kw := p.peek().text
+		switch kw {
+		case "entry":
+			p.next()
+			if f.Entry, err = p.parseNumber(); err != nil {
+				return f, err
+			}
+		case "ptr":
+			p.next()
+			r, err := p.expect(tokIdent, "")
+			if err != nil {
+				return f, err
+			}
+			f.PtrArg = r.text
+		case "size":
+			p.next()
+			r, err := p.expect(tokIdent, "")
+			if err != nil {
+				return f, err
+			}
+			f.SizeArg = r.text
+		default:
+			return f, nil
+		}
+	}
+	return f, nil
+}
+
+func (p *parser) parseInit() (*Init, error) {
+	p.next() // "init"
+	in := &Init{}
+	if p.accept(tokIdent, "for") {
+		n, err := p.parseName()
+		if err != nil {
+			return nil, err
+		}
+		in.Platform = n
+	}
+	if _, err := p.expect(tokPunct, "{"); err != nil {
+		return nil, err
+	}
+	for !p.accept(tokPunct, "}") {
+		kw, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		var op InitOp
+		switch kw.text {
+		case "shadow_init":
+			op.Kind = InitShadow
+		case "poison", "unpoison", "alloc":
+			switch kw.text {
+			case "poison":
+				op.Kind = InitPoison
+			case "unpoison":
+				op.Kind = InitUnpoison
+			case "alloc":
+				op.Kind = InitAlloc
+			}
+			if op.Addr, err = p.parseNumber(); err != nil {
+				return nil, err
+			}
+			if op.Size, err = p.parseNumber(); err != nil {
+				return nil, err
+			}
+			if p.accept(tokIdent, "code") {
+				c, err := p.expect(tokIdent, "")
+				if err != nil {
+					return nil, err
+				}
+				op.Code = c.text
+			}
+		default:
+			return nil, p.errf("unknown init op %q", kw.text)
+		}
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+		in.Ops = append(in.Ops, op)
+	}
+	return in, nil
+}

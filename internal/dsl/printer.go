@@ -1,0 +1,167 @@
+package dsl
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Print renders the file as canonical DSL text; Parse(Print(f)) is the
+// identity on well-formed files.
+func Print(f *File) string {
+	var b strings.Builder
+	for _, s := range f.Sanitizers {
+		printSanitizer(&b, s)
+	}
+	for _, p := range f.Platforms {
+		printPlatform(&b, p)
+	}
+	for _, in := range f.Inits {
+		printInit(&b, in)
+	}
+	return b.String()
+}
+
+func printSources(b *strings.Builder, src []string) {
+	if len(src) == 0 {
+		return
+	}
+	fmt.Fprintf(b, " [%s]", strings.Join(src, ", "))
+}
+
+func printSanitizer(b *strings.Builder, s *Sanitizer) {
+	fmt.Fprintf(b, "sanitizer %s {\n", quoteName(s.Name))
+	for _, it := range s.Intercepts {
+		b.WriteString("  intercept ")
+		if it.Kind == InterceptFunc {
+			fmt.Fprintf(b, "func %s", it.Func)
+		} else {
+			b.WriteString(it.Kind.String())
+		}
+		b.WriteString("(")
+		for i, a := range it.Args {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(b, "%s: %s", a.Name, a.Type)
+			printSources(b, a.Sources)
+		}
+		b.WriteString(")")
+		if it.Ret != "" {
+			fmt.Fprintf(b, " ret %s", it.Ret)
+		}
+		fmt.Fprintf(b, " -> %s", it.Action)
+		printSources(b, it.Sources)
+		b.WriteString(";\n")
+	}
+	for _, r := range s.Resources {
+		fmt.Fprintf(b, "  resource %s {", r.Name)
+		keys := make([]string, 0, len(r.Params))
+		for k := range r.Params {
+			keys = append(keys, k)
+		}
+		sortStrings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(b, " %s = %d;", k, r.Params[k])
+		}
+		b.WriteString(" }\n")
+	}
+	b.WriteString("}\n")
+}
+
+func printPlatform(b *strings.Builder, p *Platform) {
+	fmt.Fprintf(b, "platform %q {\n", p.Name)
+	fmt.Fprintf(b, "  arch %s;\n", p.Arch)
+	if p.RAM != 0 {
+		fmt.Fprintf(b, "  ram %#x;\n", p.RAM)
+	}
+	if p.Ready != 0 {
+		fmt.Fprintf(b, "  ready %#x;\n", p.Ready)
+	}
+	for _, h := range p.Heaps {
+		fmt.Fprintf(b, "  heap %#x .. %#x;\n", h.Start, h.End)
+	}
+	for _, a := range p.Allocs {
+		fmt.Fprintf(b, "  alloc %q entry %#x", a.Name, a.Entry)
+		if a.SizeArg != "" {
+			fmt.Fprintf(b, " size %s", a.SizeArg)
+		}
+		if a.RetArg != "" {
+			fmt.Fprintf(b, " ret %s", a.RetArg)
+		}
+		if len(a.Exits) > 0 {
+			b.WriteString(" exits [")
+			for i, e := range a.Exits {
+				if i > 0 {
+					b.WriteString(", ")
+				}
+				fmt.Fprintf(b, "%#x", e)
+			}
+			b.WriteString("]")
+		}
+		b.WriteString(";\n")
+	}
+	for _, f := range p.Frees {
+		fmt.Fprintf(b, "  free %q entry %#x", f.Name, f.Entry)
+		if f.PtrArg != "" {
+			fmt.Fprintf(b, " ptr %s", f.PtrArg)
+		}
+		if f.SizeArg != "" {
+			fmt.Fprintf(b, " size %s", f.SizeArg)
+		}
+		b.WriteString(";\n")
+	}
+	for _, r := range p.Suppress {
+		fmt.Fprintf(b, "  suppress %#x .. %#x;\n", r.Start, r.End)
+	}
+	for _, n := range p.Notes {
+		fmt.Fprintf(b, "  note %q;\n", n)
+	}
+	b.WriteString("}\n")
+}
+
+func printInit(b *strings.Builder, in *Init) {
+	b.WriteString("init")
+	if in.Platform != "" {
+		fmt.Fprintf(b, " for %q", in.Platform)
+	}
+	b.WriteString(" {\n")
+	for _, op := range in.Ops {
+		switch op.Kind {
+		case InitShadow:
+			b.WriteString("  shadow_init;\n")
+		default:
+			fmt.Fprintf(b, "  %s %#x %d", op.Kind, op.Addr, op.Size)
+			if op.Code != "" {
+				fmt.Fprintf(b, " code %s", op.Code)
+			}
+			b.WriteString(";\n")
+		}
+	}
+	b.WriteString("}\n")
+}
+
+// quoteName renders a name as a bare identifier when possible, quoting it
+// otherwise (merged specs carry composite names like "kasan+kcsan").
+func quoteName(n string) string {
+	if n == "" {
+		return `""`
+	}
+	for i, r := range n {
+		ok := isIdentPart(r)
+		if i == 0 {
+			ok = isIdentStart(r)
+		}
+		if !ok {
+			return fmt.Sprintf("%q", n)
+		}
+	}
+	return n
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package dsl
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// genSpec builds a pseudo-random but well-formed sanitizer spec.
+func genSpec(r *rand.Rand) *Sanitizer {
+	name := fmt.Sprintf("san%d", r.Intn(1000))
+	s := &Sanitizer{Name: name}
+	kinds := []InterceptKind{InterceptLoad, InterceptStore, InterceptAtomic}
+	used := map[string]bool{}
+	for _, k := range kinds {
+		if r.Intn(2) == 0 {
+			continue
+		}
+		it := &Intercept{Kind: k, Action: Action(r.Intn(3))}
+		for a := 0; a < 1+r.Intn(3); a++ {
+			it.Args = append(it.Args, Arg{
+				Name: fmt.Sprintf("arg%d", a),
+				Type: []string{"ptr", "u32", "u16", "u8"}[r.Intn(4)],
+			})
+		}
+		s.Intercepts = append(s.Intercepts, it)
+	}
+	for i := 0; i < r.Intn(3); i++ {
+		fn := fmt.Sprintf("fn_%d", r.Intn(100))
+		if used["func:"+fn] {
+			continue
+		}
+		used["func:"+fn] = true
+		s.Intercepts = append(s.Intercepts, &Intercept{
+			Kind: InterceptFunc, Func: fn,
+			Args:   []Arg{{Name: "size", Type: "u32"}},
+			Ret:    "ptr",
+			Action: ActionAlloc,
+		})
+	}
+	if len(s.Intercepts) == 0 {
+		s.Intercepts = append(s.Intercepts, &Intercept{
+			Kind: InterceptLoad, Action: ActionCheck,
+			Args: []Arg{{Name: "addr", Type: "ptr"}},
+		})
+	}
+	if r.Intn(2) == 0 {
+		s.Resources = append(s.Resources, Resource{
+			Name:   "shadow",
+			Params: map[string]uint32{"granularity": uint32(1 << r.Intn(5))},
+		})
+	}
+	return s
+}
+
+// Property: any generated spec survives Print -> Parse -> Print unchanged.
+func TestQuickSpecPrintParseFixpoint(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		file := &File{Sanitizers: []*Sanitizer{genSpec(r)}}
+		text := Print(file)
+		parsed, err := Parse(text)
+		if err != nil {
+			t.Logf("parse error: %v\n%s", err, text)
+			return false
+		}
+		return Print(parsed) == text
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: merging a spec with itself is idempotent on the interception
+// point set (same keys, same argument names).
+func TestQuickMergeIdempotent(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := genSpec(r)
+		m := MergeSanitizers("m", []*Sanitizer{s, s})
+		if len(m.Intercepts) != len(s.Intercepts) {
+			return false
+		}
+		for i, it := range m.Intercepts {
+			if it.Key() != s.Intercepts[i].Key() {
+				return false
+			}
+			if len(it.Args) != len(s.Intercepts[i].Args) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: merge is insensitive to input order for the point set.
+func TestQuickMergeOrderInsensitiveKeys(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := genSpec(r), genSpec(r)
+		m1 := MergeSanitizers("m", []*Sanitizer{a, b})
+		m2 := MergeSanitizers("m", []*Sanitizer{b, a})
+		keys := func(s *Sanitizer) map[string]bool {
+			out := map[string]bool{}
+			for _, it := range s.Intercepts {
+				out[it.Key()] = true
+			}
+			return out
+		}
+		k1, k2 := keys(m1), keys(m2)
+		if len(k1) != len(k2) {
+			return false
+		}
+		for k := range k1 {
+			if !k2[k] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

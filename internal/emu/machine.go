@@ -1,0 +1,398 @@
+package emu
+
+import (
+	"fmt"
+
+	"embsan/internal/isa"
+	"embsan/internal/kasm"
+)
+
+// Config sizes a machine.
+type Config struct {
+	RAMSize  uint32 // defaults to 16 MiB
+	MaxHarts int    // defaults to 2
+	Quantum  int    // instructions per scheduling slice; defaults to 64
+	Seed     uint64 // non-zero enables interleaving jitter
+	// NoTBCache disables the translation-block cache (ablation): every
+	// block is re-decoded on entry.
+	NoTBCache bool
+}
+
+// DefaultRAMSize is 16 MiB.
+const DefaultRAMSize = 16 << 20
+
+// Hart is one hardware thread.
+type Hart struct {
+	ID       int
+	Regs     [isa.NumRegs]uint32
+	PC       uint32
+	Scratch  [2]uint32 // per-hart scratch CSRs
+	Active   bool
+	Halted   bool
+	resValid bool
+	resAddr  uint32
+	resumeAt uint64 // suspended until the global instruction counter reaches this
+}
+
+// StopReason reports why Run returned.
+type StopReason uint8
+
+const (
+	StopNone    StopReason = iota
+	StopExit               // guest requested exit
+	StopFault              // guest hardware fault (crash oracle)
+	StopBudget             // instruction budget exhausted
+	StopHalted             // every hart halted
+	StopRequest            // host requested stop (e.g. sanitizer report)
+)
+
+func (s StopReason) String() string {
+	switch s {
+	case StopExit:
+		return "exit"
+	case StopFault:
+		return "fault"
+	case StopBudget:
+		return "budget"
+	case StopHalted:
+		return "halted"
+	case StopRequest:
+		return "request"
+	}
+	return "running"
+}
+
+// MemEvent is passed to memory probes. Probes may set StallInsts to suspend
+// the hart *before* the access executes — the mechanism KCSAN-style delayed
+// watchpoints are built on.
+type MemEvent struct {
+	Hart   int
+	PC     uint32
+	Addr   uint32
+	Size   uint32
+	Write  bool
+	Atomic bool
+
+	StallInsts uint64 // out-parameter
+}
+
+// ProbeSet is the instrumentation the EMBSAN runtime registers. When a field
+// is nil, translated code contains no callback for that event class at all —
+// probe insertion happens inside the translation templates.
+type ProbeSet struct {
+	// Mem fires before every load, store and atomic (EMBSAN-D path).
+	Mem func(*MemEvent)
+	// Sanck fires for every SANCK trap instruction (EMBSAN-C path).
+	Sanck func(*MemEvent)
+}
+
+// HookFn is invoked when execution reaches a hooked PC, before the
+// instruction at that address runs.
+type HookFn func(m *Machine, h *Hart)
+
+// HyperFn handles one hypercall number.
+type HyperFn func(m *Machine, h *Hart)
+
+// Machine is a complete emulated system.
+type Machine struct {
+	cfg   Config
+	arch  isa.Arch
+	image *kasm.Image
+	bus   bus
+
+	harts []Hart
+	cur   int
+	icnt  uint64
+	rng   uint64
+
+	probes    ProbeSet
+	pcHooks   map[uint32]HookFn
+	hypers    map[int32]HyperFn
+	tbs       map[uint32]*tb
+	pageGen   []uint32
+	globalGen uint32
+
+	stop     StopReason
+	exitCode int32
+	fault    *Fault
+
+	// ReadyReached is set once the firmware issues the ready-to-run
+	// hypercall; ReadyHook (if set) fires at that moment.
+	ReadyReached bool
+	ReadyHook    func(m *Machine)
+
+	// CoverageHook fires on every translation-block entry — the OS-agnostic
+	// coverage mechanism the Tardis frontend relies on.
+	CoverageHook func(pc uint32)
+
+	// TraceHook, when set, fires before every retired instruction — the
+	// debugging firehose behind `embsan -trace`. Expensive; leave nil in
+	// measurement runs.
+	TraceHook func(hart int, pc uint32, inst isa.Inst)
+
+	UART    *UART
+	Mailbox *Mailbox
+	TestDev *TestDev
+	SanDev  *SanDev
+
+	pristine  []byte
+	snapHarts []Hart
+	snapReady bool
+	hasSnap   bool
+}
+
+// New creates a machine and loads the firmware image.
+func New(img *kasm.Image, cfg Config) (*Machine, error) {
+	if cfg.RAMSize == 0 {
+		cfg.RAMSize = DefaultRAMSize
+	}
+	if cfg.MaxHarts <= 0 {
+		cfg.MaxHarts = 2
+	}
+	if cfg.Quantum <= 0 {
+		cfg.Quantum = 64
+	}
+	if img.MemTop() > cfg.RAMSize {
+		return nil, fmt.Errorf("emu: image needs %#x bytes of RAM, machine has %#x", img.MemTop(), cfg.RAMSize)
+	}
+	m := &Machine{
+		cfg:     cfg,
+		arch:    img.Arch,
+		image:   img,
+		pcHooks: make(map[uint32]HookFn),
+		hypers:  make(map[int32]HyperFn),
+		tbs:     make(map[uint32]*tb),
+		rng:     cfg.Seed | 1,
+	}
+	m.bus.ram = make([]byte, cfg.RAMSize)
+	m.bus.order = img.Arch.ByteOrder()
+	m.bus.dirty = make([]uint64, (cfg.RAMSize>>pageShift+63)/64)
+	m.pageGen = make([]uint32, cfg.RAMSize>>pageShift)
+
+	m.UART = &UART{}
+	m.Mailbox = &Mailbox{machine: m}
+	m.TestDev = &TestDev{machine: m}
+	m.SanDev = &SanDev{}
+	m.bus.devices = []Device{m.UART, m.Mailbox, m.TestDev, m.SanDev}
+
+	copy(m.bus.ram[img.Base:], img.Text)
+	copy(m.bus.ram[img.DataAddr:], img.Data)
+
+	m.harts = make([]Hart, cfg.MaxHarts)
+	for i := range m.harts {
+		m.harts[i].ID = i
+	}
+	m.harts[0].PC = img.Entry
+	m.harts[0].Active = true
+
+	m.installPlatformHypercalls()
+	return m, nil
+}
+
+// Image returns the loaded firmware image.
+func (m *Machine) Image() *kasm.Image { return m.image }
+
+// Arch returns the guest architecture.
+func (m *Machine) Arch() isa.Arch { return m.arch }
+
+// ICount returns the number of retired guest instructions.
+func (m *Machine) ICount() uint64 { return m.icnt }
+
+// RAMSize returns the machine's RAM size.
+func (m *Machine) RAMSize() uint32 { return m.cfg.RAMSize }
+
+// Stop state accessors.
+func (m *Machine) StopReason() StopReason { return m.stop }
+func (m *Machine) ExitCode() int32        { return m.exitCode }
+func (m *Machine) Fault() *Fault          { return m.fault }
+
+// Exit stops the machine with the given exit code.
+func (m *Machine) Exit(code int32) {
+	m.stop = StopExit
+	m.exitCode = code
+}
+
+// RequestStop stops the machine from a probe or hook.
+func (m *Machine) RequestStop() {
+	if m.stop == StopNone {
+		m.stop = StopRequest
+	}
+}
+
+// ClearStop resumes a machine stopped with StopBudget or StopRequest.
+func (m *Machine) ClearStop() {
+	if m.stop == StopBudget || m.stop == StopRequest {
+		m.stop = StopNone
+	}
+}
+
+// SetProbes installs the instrumentation probe set, retranslating all code.
+func (m *Machine) SetProbes(p ProbeSet) {
+	m.probes = p
+	m.flushTBs()
+}
+
+// HookPC arranges for fn to run whenever any hart reaches pc.
+func (m *Machine) HookPC(pc uint32, fn HookFn) {
+	m.pcHooks[pc] = fn
+	m.flushTBs()
+}
+
+// UnhookPC removes a PC hook.
+func (m *Machine) UnhookPC(pc uint32) {
+	delete(m.pcHooks, pc)
+	m.flushTBs()
+}
+
+// HandleHypercall registers a handler for hypercall number n.
+func (m *Machine) HandleHypercall(n int32, fn HyperFn) { m.hypers[n] = fn }
+
+func (m *Machine) flushTBs() {
+	m.globalGen++
+}
+
+// Hart returns hart i.
+func (m *Machine) Hart(i int) *Hart { return &m.harts[i] }
+
+// NumHarts returns the number of harts.
+func (m *Machine) NumHarts() int { return len(m.harts) }
+
+// CurrentHart returns the hart currently scheduled.
+func (m *Machine) CurrentHart() *Hart { return &m.harts[m.cur] }
+
+// SuspendHart stalls hart h for n instructions of global progress.
+func (m *Machine) SuspendHart(h *Hart, n uint64) { h.resumeAt = m.icnt + n }
+
+func (m *Machine) installPlatformHypercalls() {
+	m.hypers[isa.HcallExit] = func(m *Machine, h *Hart) {
+		m.Exit(int32(h.Regs[isa.RegA0]))
+	}
+	m.hypers[isa.HcallPutc] = func(m *Machine, h *Hart) {
+		m.UART.Write(UARTBase, 1, h.Regs[isa.RegA0])
+	}
+	m.hypers[isa.HcallReady] = func(m *Machine, h *Hart) {
+		if !m.ReadyReached {
+			m.ReadyReached = true
+			if m.ReadyHook != nil {
+				m.ReadyHook(m)
+			}
+		}
+	}
+	m.hypers[isa.HcallSpawn] = func(m *Machine, h *Hart) {
+		id := int(h.Regs[isa.RegA0])
+		if id <= 0 || id >= len(m.harts) {
+			return
+		}
+		t := &m.harts[id]
+		t.PC = h.Regs[isa.RegA1]
+		t.Regs = [isa.NumRegs]uint32{}
+		t.Regs[isa.RegSP] = h.Regs[isa.RegA2]
+		t.Active = true
+		t.Halted = false
+		t.resumeAt = 0
+	}
+}
+
+// ---- host memory access ----
+
+// ReadBytes copies n guest bytes at addr (RAM only).
+func (m *Machine) ReadBytes(addr, n uint32) ([]byte, error) {
+	if !m.bus.inRAM(addr, n) {
+		return nil, fmt.Errorf("emu: ReadBytes out of RAM: %#x+%d", addr, n)
+	}
+	out := make([]byte, n)
+	copy(out, m.bus.ram[addr:])
+	return out, nil
+}
+
+// WriteBytes stores host bytes into guest RAM.
+func (m *Machine) WriteBytes(addr uint32, b []byte) error {
+	if !m.bus.inRAM(addr, uint32(len(b))) {
+		return fmt.Errorf("emu: WriteBytes out of RAM: %#x+%d", addr, len(b))
+	}
+	copy(m.bus.ram[addr:], b)
+	m.bus.markDirty(addr, uint32(len(b)))
+	m.invalidateRange(addr, uint32(len(b)))
+	return nil
+}
+
+// Peek reads up to 4 bytes without fault side effects; ok is false when the
+// address is not plain RAM.
+func (m *Machine) Peek(addr, size uint32) (uint32, bool) {
+	if !m.bus.inRAM(addr, size) {
+		return 0, false
+	}
+	v, _ := m.bus.read(addr, size)
+	return v, true
+}
+
+// ReadWord reads a data word with the guest byte order.
+func (m *Machine) ReadWord(addr uint32) (uint32, error) {
+	v, f := m.bus.read(addr, 4)
+	if f != FaultNone {
+		return 0, fmt.Errorf("emu: ReadWord fault at %#x: %s", addr, f)
+	}
+	return v, nil
+}
+
+// WriteWord writes a data word with the guest byte order.
+func (m *Machine) WriteWord(addr, v uint32) error {
+	if f := m.bus.write(addr, 4, v); f != FaultNone {
+		return fmt.Errorf("emu: WriteWord fault at %#x: %s", addr, f)
+	}
+	return nil
+}
+
+// ---- snapshot / restore ----
+
+// Snapshot captures the current machine state as the restore point. The
+// dirty-page bitmap is reset so Restore only copies pages written since.
+func (m *Machine) Snapshot() {
+	if m.pristine == nil {
+		m.pristine = make([]byte, len(m.bus.ram))
+	}
+	copy(m.pristine, m.bus.ram)
+	m.snapHarts = append(m.snapHarts[:0], m.harts...)
+	m.snapReady = m.ReadyReached
+	for i := range m.bus.dirty {
+		m.bus.dirty[i] = 0
+	}
+	m.hasSnap = true
+}
+
+// Restore rewinds RAM (dirty pages only), harts and devices to the snapshot.
+func (m *Machine) Restore() {
+	if !m.hasSnap {
+		return
+	}
+	for wi, w := range m.bus.dirty {
+		if w == 0 {
+			continue
+		}
+		for b := 0; b < 64; b++ {
+			if w&(1<<b) == 0 {
+				continue
+			}
+			p := uint32(wi*64 + b)
+			off := p << pageShift
+			copy(m.bus.ram[off:off+pageSize], m.pristine[off:off+pageSize])
+		}
+		m.bus.dirty[wi] = 0
+	}
+	copy(m.harts, m.snapHarts)
+	m.ReadyReached = m.snapReady
+	m.stop = StopNone
+	m.fault = nil
+	m.exitCode = 0
+	m.cur = 0
+	for _, d := range m.bus.devices {
+		d.Reset()
+	}
+}
+
+func (m *Machine) nextRand() uint32 {
+	m.rng ^= m.rng << 13
+	m.rng ^= m.rng >> 7
+	m.rng ^= m.rng << 17
+	return uint32(m.rng)
+}

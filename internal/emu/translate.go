@@ -1,0 +1,538 @@
+package emu
+
+import (
+	"math"
+
+	"embsan/internal/isa"
+)
+
+// Translation-block engine. Guest code is decoded once per (pc, generation)
+// into a block of steps; instrumentation callbacks are attached to the steps
+// while translating — the direct analogue of EMBSAN modifying QEMU/TCG's
+// translation templates. Code with no registered probes carries no probe
+// flags and pays nothing at execution time.
+
+const maxTBLen = 64
+
+type stepFlags uint8
+
+const (
+	stepMem stepFlags = 1 << iota
+	stepSanck
+	stepHook
+)
+
+type step struct {
+	inst  isa.Inst
+	pc    uint32
+	flags stepFlags
+}
+
+type tb struct {
+	pc    uint32
+	steps []step
+	gen   uint32 // globalGen at translation time
+	pgen  uint32 // pageGen of the block's page at translation time
+}
+
+func (m *Machine) tbFor(pc uint32) (*tb, FaultKind) {
+	if !m.cfg.NoTBCache {
+		if t := m.tbs[pc]; t != nil && t.gen == m.globalGen && t.pgen == m.pageGen[pc>>pageShift] {
+			return t, FaultNone
+		}
+	}
+	t, f := m.translate(pc)
+	if f != FaultNone {
+		return nil, f
+	}
+	if !m.cfg.NoTBCache {
+		m.tbs[pc] = t
+	}
+	return t, FaultNone
+}
+
+func (m *Machine) translate(pc uint32) (*tb, FaultKind) {
+	if pc&3 != 0 || pc < NullGuardSize || uint64(pc)+4 > uint64(len(m.bus.ram)) {
+		return nil, FaultBadFetch
+	}
+	t := &tb{pc: pc, gen: m.globalGen, pgen: m.pageGen[pc>>pageShift]}
+	pageEnd := (pc &^ (pageSize - 1)) + pageSize
+	for cur := pc; cur < pageEnd && len(t.steps) < maxTBLen; cur += 4 {
+		word := m.arch.Word(m.bus.ram[cur:])
+		inst, err := isa.Decode(word, m.arch)
+		if err != nil {
+			if cur == pc {
+				return nil, FaultIllegalInst
+			}
+			break // let execution fault when (if) it reaches the bad word
+		}
+		var fl stepFlags
+		switch isa.ClassOf(inst.Op) {
+		case isa.ClassLoad, isa.ClassStore, isa.ClassAtomic:
+			if m.probes.Mem != nil {
+				fl |= stepMem
+			}
+		case isa.ClassSanck:
+			if m.probes.Sanck != nil {
+				fl |= stepSanck
+			}
+		}
+		if _, hooked := m.pcHooks[cur]; hooked {
+			fl |= stepHook
+		}
+		t.steps = append(t.steps, step{inst: inst, pc: cur, flags: fl})
+		if isa.Terminates(inst.Op) {
+			break
+		}
+	}
+	if len(t.steps) == 0 {
+		return nil, FaultBadFetch
+	}
+	return t, FaultNone
+}
+
+// invalidateRange bumps the generation of code pages overlapping the range.
+func (m *Machine) invalidateRange(addr, size uint32) {
+	textStart, textEnd := m.image.Base, m.image.TextEnd()
+	if addr >= textEnd || addr+size <= textStart {
+		return
+	}
+	first := addr >> pageShift
+	last := (addr + size - 1) >> pageShift
+	for p := first; p <= last; p++ {
+		m.pageGen[p]++
+	}
+}
+
+type tbExit uint8
+
+const (
+	tbDone tbExit = iota
+	tbYield
+	tbStall
+	tbStop
+	tbHalt
+)
+
+// Run executes until the machine stops or the budget (0 = unlimited) of
+// retired instructions is consumed. It returns the stop reason; a budget
+// stop leaves the machine resumable by calling Run again.
+func (m *Machine) Run(budget uint64) StopReason {
+	if m.stop == StopBudget || m.stop == StopRequest {
+		m.stop = StopNone
+	}
+	target := uint64(math.MaxUint64)
+	if budget > 0 {
+		target = m.icnt + budget
+	}
+	for m.stop == StopNone {
+		h := m.pickHart()
+		if h == nil {
+			// Nothing runnable now: either everything halted, or every
+			// active hart is suspended — fast-forward time to the earliest
+			// resume point.
+			earliest := uint64(math.MaxUint64)
+			for i := range m.harts {
+				hh := &m.harts[i]
+				if hh.Active && !hh.Halted && hh.resumeAt > m.icnt {
+					if hh.resumeAt < earliest {
+						earliest = hh.resumeAt
+					}
+				}
+			}
+			if earliest == math.MaxUint64 {
+				m.stop = StopHalted
+				break
+			}
+			m.icnt = earliest
+			continue
+		}
+		quantum := uint64(m.cfg.Quantum)
+		if m.cfg.Seed != 0 {
+			quantum = quantum/2 + uint64(m.nextRand())%quantum
+		}
+		m.runHart(h, quantum, target)
+		if m.stop == StopNone && m.icnt >= target {
+			m.stop = StopBudget
+		}
+	}
+	return m.stop
+}
+
+func (m *Machine) pickHart() *Hart {
+	n := len(m.harts)
+	for i := 1; i <= n; i++ {
+		idx := (m.cur + i) % n
+		h := &m.harts[idx]
+		if h.Active && !h.Halted && h.resumeAt <= m.icnt {
+			m.cur = idx
+			return h
+		}
+	}
+	return nil
+}
+
+func (m *Machine) runHart(h *Hart, quantum, target uint64) {
+	end := m.icnt + quantum
+	if end > target {
+		end = target
+	}
+	for m.stop == StopNone && m.icnt < end {
+		t, f := m.tbFor(h.PC)
+		if f != FaultNone {
+			m.raiseFault(f, h, h.PC, h.PC)
+			return
+		}
+		if m.CoverageHook != nil {
+			m.CoverageHook(h.PC)
+		}
+		switch m.execTB(h, t, end) {
+		case tbYield, tbStall, tbStop, tbHalt:
+			return
+		}
+	}
+}
+
+func (m *Machine) raiseFault(kind FaultKind, h *Hart, pc, addr uint32) {
+	m.fault = &Fault{Kind: kind, Hart: h.ID, PC: pc, Addr: addr}
+	m.stop = StopFault
+}
+
+func setReg(h *Hart, rd uint8, v uint32) {
+	if rd != 0 {
+		h.Regs[rd] = v
+	}
+}
+
+// execTB runs the steps of t on hart h until the block ends, the
+// per-quantum instruction limit is hit, or something exceptional happens.
+func (m *Machine) execTB(h *Hart, t *tb, end uint64) tbExit {
+	for _, s := range t.steps {
+		if m.icnt >= end {
+			h.PC = s.pc
+			return tbDone
+		}
+		if s.flags&stepHook != 0 {
+			m.pcHooks[s.pc](m, h)
+			if m.stop != StopNone {
+				h.PC = s.pc
+				return tbStop
+			}
+		}
+		if m.TraceHook != nil {
+			m.TraceHook(h.ID, s.pc, s.inst)
+		}
+		in := s.inst
+		r := &h.Regs
+		m.icnt++
+		switch in.Op {
+		// ---- ALU reg-reg ----
+		case isa.OpADD:
+			setReg(h, in.Rd, r[in.Rs1]+r[in.Rs2])
+		case isa.OpSUB:
+			setReg(h, in.Rd, r[in.Rs1]-r[in.Rs2])
+		case isa.OpAND:
+			setReg(h, in.Rd, r[in.Rs1]&r[in.Rs2])
+		case isa.OpOR:
+			setReg(h, in.Rd, r[in.Rs1]|r[in.Rs2])
+		case isa.OpXOR:
+			setReg(h, in.Rd, r[in.Rs1]^r[in.Rs2])
+		case isa.OpSLL:
+			setReg(h, in.Rd, r[in.Rs1]<<(r[in.Rs2]&31))
+		case isa.OpSRL:
+			setReg(h, in.Rd, r[in.Rs1]>>(r[in.Rs2]&31))
+		case isa.OpSRA:
+			setReg(h, in.Rd, uint32(int32(r[in.Rs1])>>(r[in.Rs2]&31)))
+		case isa.OpMUL:
+			setReg(h, in.Rd, r[in.Rs1]*r[in.Rs2])
+		case isa.OpMULHU:
+			setReg(h, in.Rd, uint32((uint64(r[in.Rs1])*uint64(r[in.Rs2]))>>32))
+		case isa.OpDIV:
+			a, b := int32(r[in.Rs1]), int32(r[in.Rs2])
+			if b == 0 {
+				setReg(h, in.Rd, 0xFFFFFFFF)
+			} else if a == math.MinInt32 && b == -1 {
+				setReg(h, in.Rd, uint32(a))
+			} else {
+				setReg(h, in.Rd, uint32(a/b))
+			}
+		case isa.OpDIVU:
+			if r[in.Rs2] == 0 {
+				setReg(h, in.Rd, 0xFFFFFFFF)
+			} else {
+				setReg(h, in.Rd, r[in.Rs1]/r[in.Rs2])
+			}
+		case isa.OpREM:
+			a, b := int32(r[in.Rs1]), int32(r[in.Rs2])
+			if b == 0 {
+				setReg(h, in.Rd, uint32(a))
+			} else if a == math.MinInt32 && b == -1 {
+				setReg(h, in.Rd, 0)
+			} else {
+				setReg(h, in.Rd, uint32(a%b))
+			}
+		case isa.OpREMU:
+			if r[in.Rs2] == 0 {
+				setReg(h, in.Rd, r[in.Rs1])
+			} else {
+				setReg(h, in.Rd, r[in.Rs1]%r[in.Rs2])
+			}
+		case isa.OpSLT:
+			setReg(h, in.Rd, b2u(int32(r[in.Rs1]) < int32(r[in.Rs2])))
+		case isa.OpSLTU:
+			setReg(h, in.Rd, b2u(r[in.Rs1] < r[in.Rs2]))
+
+		// ---- ALU reg-imm ----
+		case isa.OpADDI:
+			setReg(h, in.Rd, r[in.Rs1]+uint32(in.Imm))
+		case isa.OpANDI:
+			setReg(h, in.Rd, r[in.Rs1]&uint32(in.Imm))
+		case isa.OpORI:
+			setReg(h, in.Rd, r[in.Rs1]|uint32(in.Imm))
+		case isa.OpXORI:
+			setReg(h, in.Rd, r[in.Rs1]^uint32(in.Imm))
+		case isa.OpSLLI:
+			setReg(h, in.Rd, r[in.Rs1]<<(uint32(in.Imm)&31))
+		case isa.OpSRLI:
+			setReg(h, in.Rd, r[in.Rs1]>>(uint32(in.Imm)&31))
+		case isa.OpSRAI:
+			setReg(h, in.Rd, uint32(int32(r[in.Rs1])>>(uint32(in.Imm)&31)))
+		case isa.OpSLTI:
+			setReg(h, in.Rd, b2u(int32(r[in.Rs1]) < in.Imm))
+		case isa.OpSLTIU:
+			setReg(h, in.Rd, b2u(r[in.Rs1] < uint32(in.Imm)))
+		case isa.OpLUI:
+			setReg(h, in.Rd, uint32(in.Imm)<<12)
+		case isa.OpAUIPC:
+			setReg(h, in.Rd, s.pc+uint32(in.Imm)<<12)
+
+		// ---- loads ----
+		case isa.OpLB, isa.OpLBU, isa.OpLH, isa.OpLHU, isa.OpLW, isa.OpLRW:
+			addr := r[in.Rs1] + uint32(in.Imm)
+			size := isa.AccessSize(in.Op)
+			if s.flags&stepMem != 0 {
+				if ex := m.fireMem(h, s.pc, addr, size, false, in.Op == isa.OpLRW); ex != tbDone {
+					return ex
+				}
+			}
+			v, f := m.bus.read(addr, size)
+			if f != FaultNone {
+				m.raiseFault(f, h, s.pc, addr)
+				return tbStop
+			}
+			switch in.Op {
+			case isa.OpLB:
+				v = uint32(int32(int8(v)))
+			case isa.OpLH:
+				v = uint32(int32(int16(v)))
+			}
+			if in.Op == isa.OpLRW {
+				h.resValid, h.resAddr = true, addr
+			}
+			setReg(h, in.Rd, v)
+
+		// ---- stores ----
+		case isa.OpSB, isa.OpSH, isa.OpSW, isa.OpSCW:
+			addr := r[in.Rs1] + uint32(in.Imm)
+			if in.Op == isa.OpSCW {
+				addr = r[in.Rs1]
+				if !h.resValid || h.resAddr != addr {
+					h.resValid = false
+					setReg(h, in.Rd, 1)
+					break
+				}
+			}
+			size := isa.AccessSize(in.Op)
+			if s.flags&stepMem != 0 {
+				if ex := m.fireMem(h, s.pc, addr, size, true, in.Op == isa.OpSCW); ex != tbDone {
+					return ex
+				}
+			}
+			if f := m.bus.write(addr, size, r[in.Rs2]); f != FaultNone {
+				m.raiseFault(f, h, s.pc, addr)
+				return tbStop
+			}
+			m.clearReservations(addr, h)
+			m.invalidateRange(addr, size)
+			if in.Op == isa.OpSCW {
+				h.resValid = false
+				setReg(h, in.Rd, 0)
+			}
+
+		// ---- atomics ----
+		case isa.OpAMOADDW, isa.OpAMOSWAPW, isa.OpAMOORW, isa.OpAMOANDW:
+			addr := r[in.Rs1]
+			if s.flags&stepMem != 0 {
+				if ex := m.fireMem(h, s.pc, addr, 4, true, true); ex != tbDone {
+					return ex
+				}
+			}
+			old, f := m.bus.read(addr, 4)
+			if f != FaultNone {
+				m.raiseFault(f, h, s.pc, addr)
+				return tbStop
+			}
+			var nv uint32
+			switch in.Op {
+			case isa.OpAMOADDW:
+				nv = old + r[in.Rs2]
+			case isa.OpAMOSWAPW:
+				nv = r[in.Rs2]
+			case isa.OpAMOORW:
+				nv = old | r[in.Rs2]
+			case isa.OpAMOANDW:
+				nv = old & r[in.Rs2]
+			}
+			if f := m.bus.write(addr, 4, nv); f != FaultNone {
+				m.raiseFault(f, h, s.pc, addr)
+				return tbStop
+			}
+			m.clearReservations(addr, h)
+			setReg(h, in.Rd, old)
+
+		// ---- branches ----
+		case isa.OpBEQ, isa.OpBNE, isa.OpBLT, isa.OpBGE, isa.OpBLTU, isa.OpBGEU:
+			var take bool
+			a, b := r[in.Rs1], r[in.Rs2]
+			switch in.Op {
+			case isa.OpBEQ:
+				take = a == b
+			case isa.OpBNE:
+				take = a != b
+			case isa.OpBLT:
+				take = int32(a) < int32(b)
+			case isa.OpBGE:
+				take = int32(a) >= int32(b)
+			case isa.OpBLTU:
+				take = a < b
+			case isa.OpBGEU:
+				take = a >= b
+			}
+			if take {
+				h.PC = s.pc + uint32(in.Imm)*4
+			} else {
+				h.PC = s.pc + 4
+			}
+			return tbDone
+
+		// ---- jumps ----
+		case isa.OpJAL:
+			setReg(h, in.Rd, s.pc+4)
+			h.PC = s.pc + uint32(in.Imm)*4
+			return tbDone
+		case isa.OpJALR:
+			target := (r[in.Rs1] + uint32(in.Imm)) &^ 1
+			setReg(h, in.Rd, s.pc+4)
+			h.PC = target
+			return tbDone
+
+		// ---- system ----
+		case isa.OpHCALL:
+			if fn, ok := m.hypers[in.Imm]; ok {
+				h.PC = s.pc // give handlers an accurate PC
+				fn(m, h)
+				if m.stop != StopNone {
+					h.PC = s.pc + 4
+					return tbStop
+				}
+			}
+		case isa.OpECALL:
+			m.raiseFault(FaultIllegalInst, h, s.pc, s.pc)
+			return tbStop
+		case isa.OpEBREAK:
+			m.raiseFault(FaultBreakpoint, h, s.pc, s.pc)
+			return tbStop
+		case isa.OpHALT:
+			h.Halted = true
+			h.PC = s.pc
+			return tbHalt
+		case isa.OpYIELD:
+			h.PC = s.pc + 4
+			return tbYield
+		case isa.OpFENCE:
+			// ordering no-op
+		case isa.OpCSRR:
+			var v uint32
+			switch in.Imm {
+			case isa.CSRHartID:
+				v = uint32(h.ID)
+			case isa.CSRCycles:
+				v = uint32(m.icnt)
+			case isa.CSRNHarts:
+				v = uint32(len(m.harts))
+			case isa.CSRRand:
+				v = m.nextRand()
+			case isa.CSRScratch0:
+				v = h.Scratch[0]
+			case isa.CSRScratch1:
+				v = h.Scratch[1]
+			}
+			setReg(h, in.Rd, v)
+		case isa.OpCSRW:
+			switch in.Imm {
+			case isa.CSRScratch0:
+				h.Scratch[0] = r[in.Rs1]
+			case isa.CSRScratch1:
+				h.Scratch[1] = r[in.Rs1]
+			}
+
+		case isa.OpSANCK:
+			if s.flags&stepSanck != 0 {
+				addr := r[in.Rs1] + uint32(in.Imm)
+				size, write, atomic := isa.SanckDecode(in.Rd)
+				ev := MemEvent{Hart: h.ID, PC: s.pc, Addr: addr, Size: size, Write: write, Atomic: atomic}
+				m.probes.Sanck(&ev)
+				if ev.StallInsts > 0 {
+					h.PC = s.pc
+					h.resumeAt = m.icnt + ev.StallInsts
+					return tbStall
+				}
+				if m.stop != StopNone {
+					h.PC = s.pc + 4
+					return tbStop
+				}
+			}
+
+		default:
+			m.raiseFault(FaultIllegalInst, h, s.pc, s.pc)
+			return tbStop
+		}
+	}
+	h.PC = t.steps[len(t.steps)-1].pc + 4
+	return tbDone
+}
+
+// fireMem invokes the memory probe and translates its outcome. It returns
+// tbDone when execution should proceed with the access.
+func (m *Machine) fireMem(h *Hart, pc, addr, size uint32, write, atomic bool) tbExit {
+	ev := MemEvent{Hart: h.ID, PC: pc, Addr: addr, Size: size, Write: write, Atomic: atomic}
+	m.probes.Mem(&ev)
+	if ev.StallInsts > 0 {
+		h.PC = pc
+		h.resumeAt = m.icnt + ev.StallInsts
+		// Undo the retired-instruction count for the access we did not run.
+		m.icnt--
+		return tbStall
+	}
+	if m.stop != StopNone {
+		h.PC = pc
+		return tbStop
+	}
+	return tbDone
+}
+
+func (m *Machine) clearReservations(addr uint32, except *Hart) {
+	for i := range m.harts {
+		hh := &m.harts[i]
+		if hh != except && hh.resValid && hh.resAddr == addr {
+			hh.resValid = false
+		}
+	}
+}
+
+func b2u(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,37 @@
+package exps
+
+import (
+	"fmt"
+	"strings"
+
+	"embsan/internal/guest/firmware"
+)
+
+// FormatTable1 renders the firmware registry as the paper's Table 1.
+func FormatTable1(fws []*firmware.Firmware) string {
+	var b strings.Builder
+	b.WriteString("Table 1: embedded firmware used in EMBSAN's evaluation\n")
+	fmt.Fprintf(&b, "%-24s %-15s %-12s %-10s %-7s %-10s\n",
+		"Firmware", "Base OS", "Architecture", "Inst. Mode", "Source", "Fuzzer")
+	for _, fw := range fws {
+		src := "Open"
+		if !fw.SourceOpen {
+			src = "Closed"
+		}
+		fmt.Fprintf(&b, "%-24s %-15s %-12s %-10s %-7s %-10s\n",
+			fw.Name, fw.BaseOS, archName(fw), fw.InstMode, src, fw.Fuzzer)
+	}
+	return b.String()
+}
+
+func archName(fw *firmware.Firmware) string {
+	switch fw.Arch.String() {
+	case "arm32e":
+		return "ARM"
+	case "mips32e":
+		return "MIPS"
+	case "x86e":
+		return "x86"
+	}
+	return fw.Arch.String()
+}

@@ -1,0 +1,93 @@
+package fuzz
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"embsan/internal/kasm"
+)
+
+// SaveArtifacts persists a campaign's corpus and crashes in the layout
+// fuzzing infrastructure expects:
+//
+//	dir/corpus/NNNN.bin               coverage-increasing inputs
+//	dir/crashes/<signature>/input.bin  the original crashing input
+//	dir/crashes/<signature>/repro.bin  the minimized reproducer
+//	dir/crashes/<signature>/report.txt the formatted sanitizer report
+func (r *Result) SaveArtifacts(dir string, img *kasm.Image) error {
+	corpusDir := filepath.Join(dir, "corpus")
+	if err := os.MkdirAll(corpusDir, 0o755); err != nil {
+		return fmt.Errorf("fuzz: %w", err)
+	}
+	for i, in := range r.Corpus {
+		p := filepath.Join(corpusDir, fmt.Sprintf("%04d.bin", i))
+		if err := os.WriteFile(p, in, 0o644); err != nil {
+			return fmt.Errorf("fuzz: %w", err)
+		}
+	}
+	for _, c := range r.Crashes {
+		cd := filepath.Join(dir, "crashes", sanitizeSig(c.Signature))
+		if err := os.MkdirAll(cd, 0o755); err != nil {
+			return fmt.Errorf("fuzz: %w", err)
+		}
+		if err := os.WriteFile(filepath.Join(cd, "input.bin"), c.Input, 0o644); err != nil {
+			return fmt.Errorf("fuzz: %w", err)
+		}
+		if err := os.WriteFile(filepath.Join(cd, "repro.bin"), c.Minimized, 0o644); err != nil {
+			return fmt.Errorf("fuzz: %w", err)
+		}
+		report := c.Signature + "\n"
+		if c.Report != nil {
+			report = c.Report.Format(img)
+		} else if c.Fault != nil {
+			report = c.Fault.Error() + "\n"
+		}
+		if err := os.WriteFile(filepath.Join(cd, "report.txt"), []byte(report), 0o644); err != nil {
+			return fmt.Errorf("fuzz: %w", err)
+		}
+	}
+	return nil
+}
+
+// LoadCorpus reads a previously saved corpus directory (dir/corpus/*.bin),
+// for resuming campaigns or replaying the merged corpus as a workload.
+func LoadCorpus(dir string) ([][]byte, error) {
+	entries, err := os.ReadDir(filepath.Join(dir, "corpus"))
+	if err != nil {
+		return nil, fmt.Errorf("fuzz: %w", err)
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".bin") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	out := make([][]byte, 0, len(names))
+	for _, n := range names {
+		b, err := os.ReadFile(filepath.Join(dir, "corpus", n))
+		if err != nil {
+			return nil, fmt.Errorf("fuzz: %w", err)
+		}
+		out = append(out, b)
+	}
+	return out, nil
+}
+
+// sanitizeSig turns a crash signature into a filesystem-safe directory name.
+func sanitizeSig(sig string) string {
+	var b strings.Builder
+	for _, r := range sig {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '_', r == '.':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}

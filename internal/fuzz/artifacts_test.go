@@ -1,0 +1,81 @@
+package fuzz
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"embsan/internal/emu"
+	"embsan/internal/san"
+)
+
+func TestSaveAndLoadArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	res := &Result{
+		Corpus: [][]byte{{1, 2, 3}, {4, 5}},
+		Crashes: []*Crash{
+			{
+				Signature: "KASAN:slab-out-of-bounds:lfs_bd_read",
+				Input:     []byte{9, 9, 9},
+				Minimized: []byte{9},
+				Report: &san.Report{
+					Tool: san.ToolKASAN, Bug: san.BugOOB,
+					Addr: 0x1234, Size: 1, Write: true, PC: 0x1000,
+					Location: "lfs_bd_read+0x5c",
+				},
+			},
+			{
+				Signature: "fault:instruction fetch fault:0x0",
+				Input:     []byte{7},
+				Minimized: []byte{7},
+				Fault:     &emu.Fault{Kind: emu.FaultBadFetch, PC: 0},
+			},
+		},
+	}
+	if err := res.SaveArtifacts(dir, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	corpus, err := LoadCorpus(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(corpus) != 2 || string(corpus[0]) != "\x01\x02\x03" {
+		t.Errorf("corpus round trip: %v", corpus)
+	}
+
+	crashDirs, err := os.ReadDir(filepath.Join(dir, "crashes"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(crashDirs) != 2 {
+		t.Fatalf("crash dirs = %d", len(crashDirs))
+	}
+	rep, err := os.ReadFile(filepath.Join(dir, "crashes",
+		"KASAN_slab-out-of-bounds_lfs_bd_read", "report.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(rep), "BUG: KASAN: slab-out-of-bounds") {
+		t.Errorf("report content: %s", rep)
+	}
+	repro, err := os.ReadFile(filepath.Join(dir, "crashes",
+		"KASAN_slab-out-of-bounds_lfs_bd_read", "repro.bin"))
+	if err != nil || len(repro) != 1 || repro[0] != 9 {
+		t.Errorf("repro = %v, %v", repro, err)
+	}
+}
+
+func TestLoadCorpusMissingDir(t *testing.T) {
+	if _, err := LoadCorpus(t.TempDir()); err == nil {
+		t.Error("missing corpus dir accepted")
+	}
+}
+
+func TestSanitizeSig(t *testing.T) {
+	got := sanitizeSig("KASAN:use-after-free:fn+0x12/0x30")
+	if strings.ContainsAny(got, ":/+") {
+		t.Errorf("unsafe characters survive: %q", got)
+	}
+}

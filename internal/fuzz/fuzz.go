@@ -1,0 +1,351 @@
+// Package fuzz is the coverage-guided fuzzing engine EMBSAN assists. It
+// has two frontends matching the paper's tooling: a Syzkaller-style typed
+// syscall-program generator for Embedded Linux firmware, and a
+// Tardis-style byte-input mutator for RTOS firmware, both driven by the
+// OS-agnostic translation-block coverage the emulator exposes.
+package fuzz
+
+import (
+	"fmt"
+	"math/rand"
+
+	"embsan/internal/core"
+	"embsan/internal/emu"
+	"embsan/internal/guest/gabi"
+	"embsan/internal/san"
+)
+
+// Frontend selects the input model.
+type Frontend uint8
+
+const (
+	FrontendSyscall Frontend = iota
+	FrontendBytes
+)
+
+// Config configures a campaign.
+type Config struct {
+	Instance *core.Instance // booted, snapshotted, StopOnReport recommended
+	Frontend Frontend
+	Syscalls int // syscall-frontend: size of the guest syscall table
+	Seeds    [][]byte
+	Seed     int64 // RNG seed (deterministic campaigns)
+
+	MaxExecs   int    // execution budget
+	ExecBudget uint64 // instruction budget per execution (default 2M)
+	MaxRecords int    // syscall frontend: max records per program (default 8)
+	MaxInput   int    // bytes frontend: max input length (default 128)
+}
+
+// Crash is one deduplicated finding.
+type Crash struct {
+	Signature string
+	Report    *san.Report // nil for raw guest faults
+	Fault     *emu.Fault
+	Input     []byte
+	Minimized []byte
+	Execs     int // executions consumed when first found
+}
+
+// Stats summarises a campaign.
+type Stats struct {
+	Execs       int
+	CorpusSize  int
+	CoverBlocks int
+	Insts       uint64
+}
+
+// Result is the campaign outcome.
+type Result struct {
+	Crashes []*Crash
+	Corpus  [][]byte
+	Stats   Stats
+}
+
+// Fuzzer runs one campaign against one instance.
+type Fuzzer struct {
+	cfg    Config
+	rng    *rand.Rand
+	cover  map[uint32]struct{}
+	newCov int
+	corpus [][]byte
+	seen   map[string]bool
+
+	// OnCrash, if set, fires for each new deduplicated crash.
+	OnCrash func(*Crash)
+}
+
+// New creates a fuzzer.
+func New(cfg Config) (*Fuzzer, error) {
+	if cfg.Instance == nil {
+		return nil, fmt.Errorf("fuzz: no instance")
+	}
+	if cfg.Frontend == FrontendSyscall && cfg.Syscalls <= 0 {
+		return nil, fmt.Errorf("fuzz: syscall frontend needs the table size")
+	}
+	if cfg.ExecBudget == 0 {
+		cfg.ExecBudget = 2_000_000
+	}
+	if cfg.MaxRecords == 0 {
+		cfg.MaxRecords = 8
+	}
+	if cfg.MaxInput == 0 {
+		cfg.MaxInput = 128
+	}
+	f := &Fuzzer{
+		cfg:   cfg,
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		cover: make(map[uint32]struct{}),
+		seen:  make(map[string]bool),
+	}
+	cfg.Instance.Machine.CoverageHook = func(pc uint32) {
+		if _, ok := f.cover[pc]; !ok {
+			f.cover[pc] = struct{}{}
+			f.newCov++
+		}
+	}
+	return f, nil
+}
+
+// Run executes the campaign.
+func (f *Fuzzer) Run() *Result {
+	res := &Result{}
+	inst := f.cfg.Instance
+
+	execs := 0
+	exec1 := func(input []byte) core.ExecResult {
+		inst.Restore()
+		f.newCov = 0
+		execs++
+		r := inst.Exec(input, f.cfg.ExecBudget)
+		res.Stats.Insts += r.Insts
+		return r
+	}
+
+	record := func(input []byte, r core.ExecResult) {
+		sig := crashSignature(r)
+		if sig == "" || f.seen[sig] {
+			return
+		}
+		f.seen[sig] = true
+		c := &Crash{
+			Signature: sig,
+			Fault:     r.Fault,
+			Input:     append([]byte(nil), input...),
+			Execs:     execs,
+		}
+		if len(r.Reports) > 0 {
+			c.Report = r.Reports[0]
+		}
+		isRace := c.Report != nil && c.Report.Bug == san.BugRace
+		if !isRace {
+			c.Minimized = f.minimize(input, sig, exec1)
+		} else {
+			c.Minimized = c.Input
+		}
+		res.Crashes = append(res.Crashes, c)
+		if f.OnCrash != nil {
+			f.OnCrash(c)
+		}
+	}
+
+	// Seed the corpus.
+	for _, s := range f.cfg.Seeds {
+		if execs >= f.cfg.MaxExecs {
+			break
+		}
+		r := exec1(s)
+		if r.Crashed() {
+			record(s, r)
+			continue
+		}
+		f.corpus = append(f.corpus, append([]byte(nil), s...))
+	}
+
+	for execs < f.cfg.MaxExecs {
+		input := f.nextInput()
+		r := exec1(input)
+		if r.Crashed() {
+			record(input, r)
+			continue
+		}
+		if f.newCov > 0 && r.Done {
+			f.corpus = append(f.corpus, input)
+		}
+	}
+
+	res.Corpus = f.corpus
+	res.Stats.Execs = execs
+	res.Stats.CorpusSize = len(f.corpus)
+	res.Stats.CoverBlocks = len(f.cover)
+	return res
+}
+
+// nextInput picks generation or mutation.
+func (f *Fuzzer) nextInput() []byte {
+	if f.cfg.Frontend == FrontendSyscall {
+		// Syzkaller-style: mostly generate typed programs, sometimes mutate
+		// a corpus program.
+		if len(f.corpus) > 0 && f.rng.Intn(100) < 40 {
+			return f.mutate(f.pick())
+		}
+		return f.genProg().Encode()
+	}
+	// Tardis-style: mutate the corpus (seeds anchor the format); generate
+	// random bytes occasionally to escape local minima.
+	if len(f.corpus) > 0 && f.rng.Intn(100) < 85 {
+		return f.mutate(f.pick())
+	}
+	return f.genBytes()
+}
+
+func (f *Fuzzer) pick() []byte {
+	return f.corpus[f.rng.Intn(len(f.corpus))]
+}
+
+// genProg generates a fresh typed syscall program.
+func (f *Fuzzer) genProg() gabi.Prog {
+	n := 1 + f.rng.Intn(f.cfg.MaxRecords)
+	p := make(gabi.Prog, n)
+	for i := range p {
+		p[i] = f.genRecord()
+	}
+	return p
+}
+
+var argDictionary = []uint32{0, 1, 2, 4, 8, 16, 64, 127, 128, 255, 256, 4096, 0xFFFFFFFF}
+
+func (f *Fuzzer) genRecord() gabi.Record {
+	r := gabi.Record{
+		NR:    uint32(f.rng.Intn(f.cfg.Syscalls)),
+		NArgs: uint32(1 + f.rng.Intn(gabi.MaxArgs)),
+	}
+	for i := range r.Args {
+		switch f.rng.Intn(10) {
+		case 0, 1:
+			r.Args[i] = argDictionary[f.rng.Intn(len(argDictionary))]
+		case 2:
+			r.Args[i] = f.rng.Uint32()
+		default:
+			r.Args[i] = uint32(f.rng.Intn(256))
+		}
+	}
+	return r
+}
+
+func (f *Fuzzer) genBytes() []byte {
+	n := 4 + f.rng.Intn(f.cfg.MaxInput-4)
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(f.rng.Intn(256))
+	}
+	return b
+}
+
+// mutate applies one to three byte- or record-level mutations.
+func (f *Fuzzer) mutate(in []byte) []byte {
+	out := append([]byte(nil), in...)
+	// Header bytes steer parsers; bias mutation positions toward them.
+	pos := func() int {
+		if f.rng.Intn(2) == 0 && len(out) > 8 {
+			return f.rng.Intn(8)
+		}
+		return f.rng.Intn(len(out))
+	}
+	for n := 1 + f.rng.Intn(3); n > 0 && len(out) > 0; n-- {
+		switch f.rng.Intn(6) {
+		case 0: // flip a bit
+			out[pos()] ^= 1 << f.rng.Intn(8)
+		case 1: // set a random byte
+			out[pos()] = byte(f.rng.Intn(256))
+		case 2: // set a byte from the small-value dictionary
+			out[pos()] = byte(argDictionary[f.rng.Intn(len(argDictionary))])
+		case 3: // duplicate a tail chunk (grow)
+			if len(out) < f.cfg.MaxInput {
+				i := f.rng.Intn(len(out))
+				out = append(out, out[i:]...)
+				if len(out) > f.cfg.MaxInput {
+					out = out[:f.cfg.MaxInput]
+				}
+			}
+		case 4: // truncate
+			if len(out) > 4 {
+				out = out[:4+f.rng.Intn(len(out)-4)]
+			}
+		case 5: // splice with another corpus entry
+			if len(f.corpus) > 0 {
+				other := f.pick()
+				i := f.rng.Intn(len(out))
+				out = append(out[:i:i], other[min(i, len(other)):]...)
+			}
+		}
+	}
+	if f.cfg.Frontend == FrontendSyscall {
+		// Keep whole records.
+		out = out[:len(out)/gabi.RecordSize*gabi.RecordSize]
+		if len(out) == 0 {
+			return f.genProg().Encode()
+		}
+	}
+	return out
+}
+
+// minimize shrinks a crashing input while preserving its signature.
+func (f *Fuzzer) minimize(input []byte, sig string, exec1 func([]byte) core.ExecResult) []byte {
+	cur := append([]byte(nil), input...)
+	crashesSame := func(candidate []byte) bool {
+		r := exec1(candidate)
+		return crashSignature(r) == sig
+	}
+	if f.cfg.Frontend == FrontendSyscall {
+		// Drop records one at a time.
+		for changed := true; changed; {
+			changed = false
+			n := len(cur) / gabi.RecordSize
+			for i := 0; i < n && n > 1; i++ {
+				cand := make([]byte, 0, len(cur)-gabi.RecordSize)
+				cand = append(cand, cur[:i*gabi.RecordSize]...)
+				cand = append(cand, cur[(i+1)*gabi.RecordSize:]...)
+				if crashesSame(cand) {
+					cur = cand
+					n--
+					changed = true
+					i--
+				}
+			}
+		}
+		return cur
+	}
+	// Byte frontend: binary-search the shortest crashing prefix.
+	lo, hi := 1, len(cur)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if crashesSame(cur[:mid]) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	if crashesSame(cur[:hi]) {
+		return append([]byte(nil), cur[:hi]...)
+	}
+	return cur
+}
+
+// crashSignature derives the deduplication key for an execution outcome.
+func crashSignature(r core.ExecResult) string {
+	if len(r.Reports) > 0 {
+		return r.Reports[0].Signature()
+	}
+	if r.Fault != nil {
+		return fmt.Sprintf("fault:%s:%#x", r.Fault.Kind, r.Fault.PC)
+	}
+	return ""
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,183 @@
+package elinux
+
+import (
+	"fmt"
+
+	"embsan/internal/guest/glib"
+	"embsan/internal/kasm"
+	"embsan/internal/san"
+)
+
+// Kind is the mechanical shape of a seeded bug.
+type Kind uint8
+
+const (
+	KindHeapOOBWrite Kind = iota
+	KindHeapOOBRead
+	KindUAFRead
+	KindUAFWrite
+	KindDoubleFree
+	KindGlobalOOBWrite
+	KindGlobalOOBRead
+	KindNullDeref
+	KindRace
+)
+
+// BugDef declares one seeded bug: a guest function named after the paper's
+// report location, guarded by a one-byte trigger condition on its first
+// argument, reachable through its own syscall-table entry.
+type BugDef struct {
+	Fn        string // function name, as reported by the sanitizer
+	Module    string // subsystem path, e.g. "net/netfilter"
+	Kind      Kind
+	Gate      uint32 // triggers when (arg0 & 0xFF) == Gate
+	AllocSize int32  // object size for heap bugs
+	KernelVer string // Table 2 label, "" for the fuzzing targets
+}
+
+// BugType maps the mechanical kind to the report classification the
+// sanitizer should produce.
+func (d BugDef) BugType() san.BugType {
+	switch d.Kind {
+	case KindHeapOOBWrite, KindHeapOOBRead:
+		return san.BugOOB
+	case KindUAFRead, KindUAFWrite:
+		return san.BugUAF
+	case KindDoubleFree:
+		return san.BugDoubleFree
+	case KindGlobalOOBWrite, KindGlobalOOBRead:
+		return san.BugGlobalOOB
+	case KindNullDeref:
+		return san.BugNullDeref
+	case KindRace:
+		return san.BugRace
+	}
+	return san.BugOOB
+}
+
+// NeedsCompileTime reports whether only compile-time-instrumented builds
+// (EMBSAN-C, native KASAN) can catch the bug — the Table 2 capability split.
+func (d BugDef) NeedsCompileTime() bool {
+	return d.Kind == KindGlobalOOBWrite || d.Kind == KindGlobalOOBRead
+}
+
+// NeedsKCSAN reports whether the bug is a data race.
+func (d BugDef) NeedsKCSAN() bool { return d.Kind == KindRace }
+
+const (
+	rZ  = glib.Z
+	rRA = glib.RA
+	rSP = glib.SP
+	rA0 = glib.A0
+	rA1 = glib.A1
+	rA2 = glib.A2
+	rA3 = glib.A3
+	rT0 = glib.T0
+	rT1 = glib.T1
+)
+
+// emitBug generates the guest function for one bug definition.
+func emitBug(b *kasm.Builder, d BugDef) {
+	out := d.Fn + ".out"
+	b.Func(d.Fn)
+	b.Prologue(16)
+	// The trigger gate: a one-byte comparison on the first argument, the
+	// kind of shallow input condition driver parsers are full of.
+	b.ANDI(rT0, rA0, 0xFF)
+	b.Li(rT1, int32(d.Gate))
+	b.BNE(rT0, rT1, out)
+
+	switch d.Kind {
+	case KindHeapOOBWrite:
+		b.Li(rA0, d.AllocSize)
+		b.Call("kmalloc")
+		b.BEQZ(rA0, out)
+		b.SW(rA0, rSP, 0)
+		b.Li(rT1, 0x41)
+		b.SB(rT1, rA0, d.AllocSize) // one past the object
+		b.LW(rA0, rSP, 0)
+		b.Call("kfree")
+
+	case KindHeapOOBRead:
+		b.Li(rA0, d.AllocSize)
+		b.Call("kmalloc")
+		b.BEQZ(rA0, out)
+		b.SW(rA0, rSP, 0)
+		b.LBU(rT1, rA0, d.AllocSize)
+		b.LW(rA0, rSP, 0)
+		b.Call("kfree")
+
+	case KindUAFRead, KindUAFWrite:
+		b.Li(rA0, d.AllocSize)
+		b.Call("kmalloc")
+		b.BEQZ(rA0, out)
+		b.SW(rA0, rSP, 0)
+		b.Call("kfree")
+		b.LW(rA1, rSP, 0)
+		if d.Kind == KindUAFRead {
+			b.LW(rT1, rA1, 0)
+		} else {
+			b.Li(rT1, 0x42)
+			b.SW(rT1, rA1, 0)
+		}
+
+	case KindDoubleFree:
+		b.Li(rA0, d.AllocSize)
+		b.Call("kmalloc")
+		b.BEQZ(rA0, out)
+		b.SW(rA0, rSP, 0)
+		b.Call("kfree")
+		b.LW(rA0, rSP, 0)
+		b.Call("kfree")
+
+	case KindGlobalOOBWrite:
+		b.La(rT0, d.Fn+"_table")
+		b.Li(rT1, 0x43)
+		b.SB(rT1, rT0, globalObjSize) // into the (compile-time) redzone
+
+	case KindGlobalOOBRead:
+		b.La(rT0, d.Fn+"_table")
+		b.LBU(rT1, rT0, globalObjSize)
+
+	case KindNullDeref:
+		b.LW(rT1, rZ, 8)
+
+	case KindRace:
+		// Pound a shared statistic without synchronisation; the background
+		// kthread does the same, so a sampled watchpoint collides.
+		b.La(rT0, "racy_stat")
+		b.Li(rT1, 64)
+		lp := d.Fn + ".race"
+		b.Label(lp)
+		b.LW(rA1, rT0, 0)
+		b.ADDI(rA1, rA1, 1)
+		b.SW(rA1, rT0, 0)
+		b.ADDI(rT1, rT1, -1)
+		b.BNEZ(rT1, lp)
+	}
+
+	b.Label(out)
+	b.Li(rA0, 0)
+	b.Epilogue(16)
+
+	if d.Kind == KindGlobalOOBWrite || d.Kind == KindGlobalOOBRead {
+		b.Global(d.Fn+"_table", globalObjSize)
+	}
+}
+
+// globalObjSize is the payload size of the per-bug global tables.
+const globalObjSize = 24
+
+func checkBugDefs(defs []BugDef) error {
+	seen := map[string]bool{}
+	for _, d := range defs {
+		if seen[d.Fn] {
+			return fmt.Errorf("elinux: duplicate bug function %q", d.Fn)
+		}
+		seen[d.Fn] = true
+		if d.Gate > 0xFF {
+			return fmt.Errorf("elinux: %s: gate %#x out of byte range", d.Fn, d.Gate)
+		}
+	}
+	return nil
+}

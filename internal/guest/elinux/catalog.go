@@ -1,0 +1,83 @@
+package elinux
+
+// The seeded-bug catalogue. Table2Bugs reproduces the 25 syzbot-derived
+// KASAN bugs of the paper's Table 2 (function name, bug type and kernel
+// version label). FuzzBugs reproduces the Embedded-Linux share of the 41
+// previously unknown bugs of Table 4, keyed by the subsystem locations the
+// paper lists.
+
+// Table2Bugs are the known-bug reproduction targets.
+var Table2Bugs = []BugDef{
+	{Fn: "ringbuf_map_alloc", Module: "kernel/bpf", Kind: KindHeapOOBWrite, Gate: 0x11, AllocSize: 44, KernelVer: "5.17-rc2"},
+	{Fn: "ieee80211_scan_rx", Module: "net/mac80211", Kind: KindUAFRead, Gate: 0x12, AllocSize: 56, KernelVer: "5.19"},
+	{Fn: "bpf_prog_test_run_xdp", Module: "kernel/bpf", Kind: KindHeapOOBWrite, Gate: 0x13, AllocSize: 92, KernelVer: "5.17-rc1"},
+	{Fn: "btrfs_scan_one_device", Module: "fs/btrfs", Kind: KindUAFRead, Gate: 0x14, AllocSize: 120, KernelVer: "5.17"},
+	{Fn: "post_one_notification", Module: "kernel/watch_queue", Kind: KindUAFWrite, Gate: 0x15, AllocSize: 40, KernelVer: "5.19-rc1"},
+	{Fn: "post_watch_notification", Module: "kernel/watch_queue", Kind: KindUAFRead, Gate: 0x16, AllocSize: 40, KernelVer: "5.19-rc1"},
+	{Fn: "watch_queue_set_filter", Module: "kernel/watch_queue", Kind: KindHeapOOBWrite, Gate: 0x17, AllocSize: 60, KernelVer: "5.17-rc6"},
+	{Fn: "free_pages", Module: "mm/page_alloc", Kind: KindNullDeref, Gate: 0x18, KernelVer: "5.17-rc8"},
+	{Fn: "vxlan_vnifilter_dump_dev", Module: "drivers/net/vxlan", Kind: KindHeapOOBRead, Gate: 0x19, AllocSize: 76, KernelVer: "5.17"},
+	{Fn: "imageblit", Module: "drivers/video/fbdev", Kind: KindHeapOOBWrite, Gate: 0x1A, AllocSize: 108, KernelVer: "5.19"},
+	{Fn: "bpf_jit_free", Module: "kernel/bpf", Kind: KindHeapOOBRead, Gate: 0x1B, AllocSize: 252, KernelVer: "5.19-rc4"},
+	{Fn: "null_skcipher_crypt", Module: "crypto", Kind: KindUAFRead, Gate: 0x1C, AllocSize: 36, KernelVer: "5.17-rc6"},
+	{Fn: "bio_poll", Module: "block", Kind: KindUAFRead, Gate: 0x1D, AllocSize: 68, KernelVer: "5.18-rc6"},
+	{Fn: "blk_mq_sched_free_rqs", Module: "block", Kind: KindUAFWrite, Gate: 0x1E, AllocSize: 84, KernelVer: "5.18"},
+	{Fn: "do_sync_mmap_readahead", Module: "mm/filemap", Kind: KindUAFRead, Gate: 0x1F, AllocSize: 100, KernelVer: "5.18-rc7"},
+	{Fn: "filp_close", Module: "fs", Kind: KindUAFRead, Gate: 0x21, AllocSize: 52, KernelVer: "5.18"},
+	{Fn: "setup_rw_floppy", Module: "drivers/block/floppy", Kind: KindUAFRead, Gate: 0x22, AllocSize: 28, KernelVer: "5.17-rc4"},
+	{Fn: "driver_register", Module: "drivers/base", Kind: KindUAFRead, Gate: 0x23, AllocSize: 44, KernelVer: "5.18-next"},
+	{Fn: "dev_uevent", Module: "drivers/base", Kind: KindUAFRead, Gate: 0x24, AllocSize: 60, KernelVer: "5.17-rc4"},
+	{Fn: "run_unpack", Module: "fs/ntfs3", Kind: KindHeapOOBRead, Gate: 0x25, AllocSize: 124, KernelVer: "6.0"},
+	{Fn: "ath9k_hif_usb_rx_cb", Module: "drivers/net/wireless/ath", Kind: KindUAFRead, Gate: 0x26, AllocSize: 140, KernelVer: "5.19"},
+	{Fn: "vma_adjust", Module: "mm/mmap", Kind: KindUAFWrite, Gate: 0x27, AllocSize: 88, KernelVer: "5.19-rc1"},
+	{Fn: "nilfs_mdt_destroy", Module: "fs/nilfs2", Kind: KindUAFRead, Gate: 0x28, AllocSize: 72, KernelVer: "6.0-rc7"},
+	// The last two are global out-of-bounds bugs: detectable only with
+	// compile-time redzones (EMBSAN-C, native KASAN) — the Table 2 split.
+	{Fn: "fbcon_get_font", Module: "drivers/video/fbdev/core", Kind: KindGlobalOOBRead, Gate: 0x29, KernelVer: "5.7-rc5"},
+	{Fn: "string", Module: "lib/vsprintf", Kind: KindGlobalOOBRead, Gate: 0x2A, KernelVer: "4.17-rc1"},
+}
+
+// FuzzBugs is the Embedded-Linux share of Table 4: previously unknown bugs
+// planted for the fuzzing campaign, keyed by function name.
+var FuzzBugs = []BugDef{
+	{Fn: "nfs_acl_decode", Module: "fs/nfs_common", Kind: KindHeapOOBWrite, Gate: 0x31, AllocSize: 44},
+	{Fn: "nft_expr_init", Module: "net/netfilter", Kind: KindHeapOOBWrite, Gate: 0x32, AllocSize: 60},
+	{Fn: "cfg80211_scan_done", Module: "net/wireless", Kind: KindHeapOOBRead, Gate: 0x33, AllocSize: 92},
+	{Fn: "mvneta_rx_desc", Module: "drivers/net/ethernet/marvell", Kind: KindHeapOOBWrite, Gate: 0x34, AllocSize: 76},
+	{Fn: "r8169_rx_fill", Module: "drivers/net/ethernet/realtek", Kind: KindHeapOOBWrite, Gate: 0x35, AllocSize: 52},
+	{Fn: "atl1c_clean_tx", Module: "drivers/net/ethernet/atheros", Kind: KindDoubleFree, Gate: 0x36, AllocSize: 36},
+	{Fn: "btusb_recv_bulk", Module: "drivers/bluetooth", Kind: KindHeapOOBWrite, Gate: 0x37, AllocSize: 68},
+	{Fn: "bcm2835_dma_prep", Module: "drivers/dma/bcm2835-dma", Kind: KindHeapOOBWrite, Gate: 0x38, AllocSize: 84},
+	{Fn: "ahc_parse_msg", Module: "drivers/scsi/aic7xxx", Kind: KindHeapOOBRead, Gate: 0x39, AllocSize: 28},
+	{Fn: "btrfs_lookup_csum", Module: "fs/btrfs", Kind: KindUAFRead, Gate: 0x3A, AllocSize: 108},
+	{Fn: "brcmf_fweh_event", Module: "drivers/net/wireless/broadcom", Kind: KindUAFRead, Gate: 0x3B, AllocSize: 56},
+	{Fn: "bcmgenet_rx_refill", Module: "drivers/net/ethernet/broadcom", Kind: KindHeapOOBWrite, Gate: 0x3C, AllocSize: 100},
+	{Fn: "bcmgenet_xmit", Module: "drivers/net/ethernet/broadcom", Kind: KindHeapOOBWrite, Gate: 0x3D, AllocSize: 44},
+	{Fn: "tcf_action_init", Module: "net/sched", Kind: KindHeapOOBWrite, Gate: 0x3E, AllocSize: 52},
+	{Fn: "ath10k_htt_rx_pop", Module: "drivers/net/wireless/ath", Kind: KindUAFRead, Gate: 0x3F, AllocSize: 116},
+	{Fn: "fuse_dev_splice", Module: "fs/fuse", Kind: KindDoubleFree, Gate: 0x41, AllocSize: 40},
+	{Fn: "mtk_tx_map", Module: "drivers/net/ethernet/mediatek", Kind: KindHeapOOBWrite, Gate: 0x42, AllocSize: 68},
+	{Fn: "nfs_readdir_entry", Module: "fs/nfs", Kind: KindHeapOOBRead, Gate: 0x43, AllocSize: 124},
+	{Fn: "skb_clone_frag", Module: "net/core", Kind: KindDoubleFree, Gate: 0x44, AllocSize: 64},
+	{Fn: "mtk_cqdma_issue", Module: "drivers/dma/mediatek", Kind: KindDoubleFree, Gate: 0x45, AllocSize: 32},
+	{Fn: "btrtl_setup", Module: "drivers/net/bluetooth/realtek", Kind: KindUAFRead, Gate: 0x46, AllocSize: 48},
+	{Fn: "nr_insert_socket", Module: "fs/netrom", Kind: KindDoubleFree, Gate: 0x47, AllocSize: 56},
+	{Fn: "iommu_map_sg", Module: "drivers/iommu", Kind: KindHeapOOBWrite, Gate: 0x48, AllocSize: 72},
+	{Fn: "stmmac_rx_buf", Module: "drivers/net/ethernet/stmicro", Kind: KindHeapOOBWrite, Gate: 0x49, AllocSize: 96},
+	{Fn: "iwl_mvm_scan", Module: "drivers/net/wireless/intel/iwlwifi", Kind: KindHeapOOBRead, Gate: 0x4A, AllocSize: 140},
+	{Fn: "b43_dma_rx", Module: "drivers/net/wireless/broadcom/b43", Kind: KindHeapOOBWrite, Gate: 0x4B, AllocSize: 60},
+	{Fn: "btrfs_sync_log", Module: "fs/btrfs", Kind: KindRace, Gate: 0x4C},
+	{Fn: "btrfs_drop_extents", Module: "fs/btrfs", Kind: KindRace, Gate: 0x4D},
+	{Fn: "nfs_idmap_lookup", Module: "fs/nfs", Kind: KindHeapOOBWrite, Gate: 0x4E, AllocSize: 36},
+	{Fn: "route4_change", Module: "net/sched", Kind: KindUAFRead, Gate: 0x4F, AllocSize: 80},
+}
+
+// FuzzBugByFn looks up a fuzz-campaign bug definition.
+func FuzzBugByFn(fn string) (BugDef, bool) {
+	for _, d := range FuzzBugs {
+		if d.Fn == fn {
+			return d, true
+		}
+	}
+	return BugDef{}, false
+}

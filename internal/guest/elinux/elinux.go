@@ -1,0 +1,501 @@
+// Package elinux is the Embedded Linux guest personality: a slab allocator
+// (kmalloc size-class caches over a backing pool), a syscall surface with
+// realistic benign workloads, an optional background kthread, and the
+// seeded-bug subsystems of the paper's evaluation. Firmware images built
+// from it stand in for the OpenWRT and OpenHarmony-rk3566 boards of Table 1.
+package elinux
+
+import (
+	"fmt"
+
+	"embsan/internal/guest/gabi"
+	"embsan/internal/guest/glib"
+	"embsan/internal/isa"
+	"embsan/internal/kasm"
+	"embsan/internal/san"
+)
+
+// Slab layout: six size classes, each owning a 64 KiB region of the pool.
+const (
+	numCaches   = 6
+	cacheRegion = 64 << 10
+	poolSize    = numCaches * cacheRegion
+)
+
+// Board selects the content of one firmware build.
+type Board struct {
+	Name   string
+	Arch   isa.Arch
+	Mode   kasm.SanitizeMode
+	BugFns []string // fuzzing-campaign bugs (FuzzBugs entries) to include
+	Table2 bool     // include the 25-bug syzbot reproduction corpus
+}
+
+// Bug is one seeded bug as present in a built firmware.
+type Bug struct {
+	Def BugDef
+	NR  uint32 // syscall number dispatching to Def.Fn
+}
+
+// Trigger returns a syscall record that fires the bug.
+func (bug Bug) Trigger() gabi.Record {
+	return gabi.Record{NR: bug.NR, NArgs: 1, Args: [gabi.MaxArgs]uint32{bug.Def.Gate}}
+}
+
+// Firmware is a built image plus its testing interface description.
+type Firmware struct {
+	Image    *kasm.Image
+	Syscalls []string // index = syscall number
+	Bugs     []Bug
+}
+
+// BenignSyscalls are always present: the realistic workload surface the
+// overhead measurements replay.
+var BenignSyscalls = []string{
+	"vfs_read", "vfs_write", "proc_status", "netlink_echo",
+	"pipe_rw", "clock_gettime", "crypto_digest", "page_rw",
+}
+
+// Build assembles the firmware for a board.
+func Build(board Board) (*Firmware, error) {
+	var defs []BugDef
+	if board.Table2 {
+		defs = append(defs, Table2Bugs...)
+	}
+	for _, fn := range board.BugFns {
+		d, ok := FuzzBugByFn(fn)
+		if !ok {
+			return nil, fmt.Errorf("elinux: unknown bug %q", fn)
+		}
+		defs = append(defs, d)
+	}
+	if err := checkBugDefs(defs); err != nil {
+		return nil, err
+	}
+	hasRace := false
+	for _, d := range defs {
+		if d.Kind == KindRace {
+			hasRace = true
+		}
+	}
+
+	b := kasm.NewBuilder(kasm.Target{Arch: board.Arch, Sanitize: board.Mode})
+	glib.AddBoot(b, glib.BootConfig{InitFn: "kernel_init", MainFn: "executor_loop"})
+	glib.AddLib(b)
+	emitInit(b, hasRace)
+	emitSlab(b)
+	emitPageAllocator(b)
+	emitBenign(b)
+	if hasRace {
+		emitKthread(b)
+	}
+	for _, d := range defs {
+		emitBug(b, d)
+	}
+
+	syscalls := append([]string{}, BenignSyscalls...)
+	for _, d := range defs {
+		syscalls = append(syscalls, d.Fn)
+	}
+	b.DataWordSyms("syscall_table", syscalls)
+	glib.AddSyscallExecutor(b, "syscall_table", len(syscalls))
+
+	img, err := b.Link(board.Name)
+	if err != nil {
+		return nil, fmt.Errorf("elinux: build %s: %w", board.Name, err)
+	}
+	fw := &Firmware{Image: img, Syscalls: syscalls}
+	for i, d := range defs {
+		fw.Bugs = append(fw.Bugs, Bug{Def: d, NR: uint32(len(BenignSyscalls) + i)})
+	}
+	return fw, nil
+}
+
+// SyscallNR resolves a syscall name to its number in this build.
+func (fw *Firmware) SyscallNR(name string) (uint32, bool) {
+	for i, n := range fw.Syscalls {
+		if n == name {
+			return uint32(i), true
+		}
+	}
+	return 0, false
+}
+
+// BugByFn finds a seeded bug instance by function name.
+func (fw *Firmware) BugByFn(fn string) (Bug, bool) {
+	for _, bug := range fw.Bugs {
+		if bug.Def.Fn == fn {
+			return bug, true
+		}
+	}
+	return Bug{}, false
+}
+
+func emitInit(b *kasm.Builder, hasRace bool) {
+	b.Func("kernel_init")
+	b.Prologue(16)
+	b.Call("kmem_init")
+	b.Call("page_init")
+	if hasRace {
+		b.Li(rA0, 1)
+		b.La(rA1, "kthread_entry")
+		b.La(rA2, "kthread_stack")
+		b.Li(rT0, 8188)
+		b.ADD(rA2, rA2, rT0)
+		b.HCALL(isa.HcallSpawn)
+	}
+	b.Epilogue(16)
+}
+
+// emitSlab emits the kmalloc size-class allocator.
+func emitSlab(b *kasm.Builder) {
+	b.GlobalRaw("slab_pool", poolSize)
+	b.GlobalRaw("kmem_caches", numCaches*16) // {size, cursor, freelist, base}
+	b.DataWords("kmem_sizes", []uint32{32, 64, 128, 256, 512, 1024})
+
+	b.Func("kmem_init")
+	b.Prologue(16)
+	b.NoSan(func() {
+		b.La(rT0, "kmem_caches")
+		b.La(rT1, "kmem_sizes")
+		b.La(rA1, "slab_pool")
+		b.Li(rA2, numCaches)
+		b.Label("kmem_init.loop")
+		b.LW(rA3, rT1, 0)
+		b.SW(rA3, rT0, 0)  // slot size
+		b.SW(rZ, rT0, 4)   // cursor
+		b.SW(rZ, rT0, 8)   // freelist
+		b.SW(rA1, rT0, 12) // region base
+		b.LUI(rA3, cacheRegion>>12)
+		b.ADD(rA1, rA1, rA3)
+		b.ADDI(rT0, rT0, 16)
+		b.ADDI(rT1, rT1, 4)
+		b.ADDI(rA2, rA2, -1)
+		b.BNEZ(rA2, "kmem_init.loop")
+	})
+	// Hand the arena to the sanitizer (compile-time instrumented builds).
+	b.La(rA0, "slab_pool")
+	b.LUI(rA1, poolSize>>12)
+	b.SanPoisonHook(int32(san.CodeHeapUninit))
+	b.Epilogue(16)
+
+	// kmalloc(a0 = size) -> a0 = object or 0.
+	b.Func("kmalloc")
+	b.NoSan(func() {
+		b.MV(rA1, rA0) // keep the requested size for the hook
+		b.La(rT0, "kmem_caches")
+		b.Li(rA2, numCaches)
+		b.Label("kmalloc.find")
+		b.LW(rT1, rT0, 0)
+		b.BGEU(rT1, rA0, "kmalloc.found")
+		b.ADDI(rT0, rT0, 16)
+		b.ADDI(rA2, rA2, -1)
+		b.BNEZ(rA2, "kmalloc.find")
+		b.Li(rA0, 0)
+		b.Ret()
+		b.Label("kmalloc.found")
+		b.LW(rA3, rT0, 8) // freelist head
+		b.BEQZ(rA3, "kmalloc.bump")
+		b.LW(rA2, rA3, 0) // next link lives inside the freed object
+		b.SW(rA2, rT0, 8)
+		b.MV(rA0, rA3)
+		b.J("kmalloc.hook")
+		b.Label("kmalloc.bump")
+		b.LW(rA3, rT0, 4) // cursor
+		b.ADD(rA2, rA3, rT1)
+		b.LUI(rT1, cacheRegion>>12)
+		b.BLTU(rT1, rA2, "kmalloc.fail")
+		b.SW(rA2, rT0, 4)
+		b.LW(rA2, rT0, 12) // base
+		b.ADD(rA0, rA2, rA3)
+		b.Label("kmalloc.hook")
+	})
+	b.SanAllocHook() // a0 = ptr, a1 = requested size
+	b.Ret()
+	b.NoSan(func() {
+		b.Label("kmalloc.fail")
+		b.Li(rA0, 0)
+	})
+	b.Ret()
+	b.MarkAlloc("kmalloc")
+
+	// kfree(a0 = ptr).
+	b.Func("kfree")
+	b.Prologue(16)
+	b.NoSan(func() {
+		b.BEQZ(rA0, "kfree.out")
+		b.La(rT0, "slab_pool")
+		b.SUB(rT1, rA0, rT0)
+		b.SRLI(rT1, rT1, 16)
+		b.SLTIU(rA2, rT1, numCaches)
+		b.BEQZ(rA2, "kfree.out") // not a slab pointer
+		b.SLLI(rT1, rT1, 4)
+		b.La(rA2, "kmem_caches")
+		b.ADD(rT0, rA2, rT1) // t0 = cache (callee-safe across the hook)
+		b.SW(rA0, rSP, 0)
+		b.LW(rA1, rT0, 0) // slot size
+	})
+	b.SanFreeHook() // a0 = ptr, a1 = slot size
+	b.NoSan(func() {
+		b.LW(rA0, rSP, 0)
+		b.LW(rA3, rT0, 8)
+		b.SW(rA3, rA0, 0) // link through the freed object
+		b.SW(rA0, rT0, 8)
+		b.Label("kfree.out")
+	})
+	b.Epilogue(16)
+	b.MarkFree("kfree")
+}
+
+// Page allocator: a free list of 4 KiB pages over the mem_map arena —
+// the second allocator tier real kernels have underneath the slab.
+const (
+	pageSize = 4096
+	numPages = 48
+)
+
+func emitPageAllocator(b *kasm.Builder) {
+	b.GlobalAlign("mem_map", numPages*pageSize, pageSize)
+	b.GlobalRaw("page_free_list", 4)
+
+	// page_init: thread every page onto the free list.
+	b.Func("page_init")
+	b.Prologue(16)
+	b.NoSan(func() {
+		b.La(rT0, "mem_map")
+		b.Li(rT1, numPages)
+		b.Li(rA2, 0) // running head
+		b.Label("page_init.loop")
+		b.SW(rA2, rT0, 0) // page->next = head
+		b.MV(rA2, rT0)
+		b.LUI(rA3, pageSize>>12)
+		b.ADD(rT0, rT0, rA3)
+		b.ADDI(rT1, rT1, -1)
+		b.BNEZ(rT1, "page_init.loop")
+		b.La(rT0, "page_free_list")
+		b.SW(rA2, rT0, 0)
+	})
+	b.La(rA0, "mem_map")
+	b.LUI(rA1, numPages*pageSize>>12)
+	b.SanPoisonHook(int32(san.CodeHeapUninit))
+	b.Epilogue(16)
+
+	// alloc_pages(a0 = bytes) -> a0 = page or 0. Single-page requests only;
+	// the byte argument keeps the allocator-interface shape the Prober
+	// expects (size in, pointer out).
+	b.Func("alloc_pages")
+	b.NoSan(func() {
+		b.MV(rA1, rA0) // requested size for the hook
+		b.La(rT0, "page_free_list")
+		b.LW(rA0, rT0, 0)
+		b.BEQZ(rA0, "alloc_pages.out")
+		b.LW(rA2, rA0, 0) // next
+		b.SW(rA2, rT0, 0)
+		b.Label("alloc_pages.out")
+	})
+	b.SanAllocHook()
+	b.Ret()
+	b.MarkAlloc("alloc_pages")
+
+	// __free_pages(a0 = page).
+	b.Func("__free_pages")
+	b.Prologue(16)
+	b.NoSan(func() {
+		b.BEQZ(rA0, "__free_pages.out")
+		b.SW(rA0, rSP, 0)
+		b.LUI(rA1, pageSize>>12) // page-sized object for the hook
+	})
+	b.SanFreeHook()
+	b.NoSan(func() {
+		b.LW(rA0, rSP, 0)
+		b.La(rT0, "page_free_list")
+		b.LW(rA2, rT0, 0)
+		b.SW(rA2, rA0, 0)
+		b.SW(rA0, rT0, 0)
+		b.Label("__free_pages.out")
+	})
+	b.Epilogue(16)
+	b.MarkFree("__free_pages")
+}
+
+// emitBenign emits the realistic non-buggy syscall surface.
+func emitBenign(b *kasm.Builder) {
+	b.DataBytes("file_cache", benignPattern())
+
+	// vfs_read(a0 = size seed, a1 = fill byte): allocate, memset, read
+	// back, free.
+	b.Func("vfs_read")
+	b.Prologue(16)
+	b.SW(rA1, rSP, 0)
+	b.ANDI(rA0, rA0, 127)
+	b.ADDI(rA0, rA0, 16)
+	b.SW(rA0, rSP, 4)
+	b.Call("kmalloc")
+	b.BEQZ(rA0, "vfs_read.out")
+	b.SW(rA0, rSP, 8)
+	b.LW(rA1, rSP, 0)
+	b.LW(rA2, rSP, 4)
+	b.Call("memset")
+	b.LW(rA0, rSP, 8)
+	b.LW(rT0, rA0, 0)
+	b.LW(rT1, rA0, 8)
+	b.ADD(rT0, rT0, rT1)
+	b.LW(rA0, rSP, 8)
+	b.Call("kfree")
+	b.Label("vfs_read.out")
+	b.Li(rA0, 0)
+	b.Epilogue(16)
+
+	// vfs_write(a0 = size seed): allocate, memcpy from the page cache, free.
+	b.Func("vfs_write")
+	b.Prologue(16)
+	b.ANDI(rA0, rA0, 63)
+	b.ADDI(rA0, rA0, 8)
+	b.SW(rA0, rSP, 4)
+	b.Call("kmalloc")
+	b.BEQZ(rA0, "vfs_write.out")
+	b.SW(rA0, rSP, 8)
+	b.La(rA1, "file_cache")
+	b.LW(rA2, rSP, 4)
+	b.Call("memcpy")
+	b.LW(rA0, rSP, 8)
+	b.Call("kfree")
+	b.Label("vfs_write.out")
+	b.Li(rA0, 0)
+	b.Epilogue(16)
+
+	// proc_status(a0 = iterations seed, a1..a3 mixed in): pure computation.
+	b.Func("proc_status")
+	b.ANDI(rT0, rA0, 63)
+	b.ADDI(rT0, rT0, 8)
+	b.Li(rA0, 0)
+	b.Label("proc_status.loop")
+	b.ADD(rA0, rA0, rA1)
+	b.XOR(rA0, rA0, rA2)
+	b.SLLI(rT1, rA0, 3)
+	b.ADD(rA0, rA0, rT1)
+	b.ADD(rA0, rA0, rA3)
+	b.ADDI(rT0, rT0, -1)
+	b.BNEZ(rT0, "proc_status.loop")
+	b.Ret()
+
+	// pipe_rw(a0 = value, a1 = count seed): push values through a ring
+	// buffer and drain them (pure global-memory traffic, no allocation).
+	b.GlobalRaw("pipe_ring", 256)
+	b.GlobalRaw("pipe_head", 4)
+	b.Func("pipe_rw")
+	b.ANDI(rT0, rA1, 15)
+	b.ADDI(rT0, rT0, 4) // 4..19 pushes
+	b.La(rA2, "pipe_ring")
+	b.La(rA3, "pipe_head")
+	b.Label("pipe_rw.push")
+	b.LW(rT1, rA3, 0)
+	b.ANDI(rT1, rT1, 63)
+	b.SLLI(rA1, rT1, 2)
+	b.ADD(rA1, rA2, rA1)
+	b.SW(rA0, rA1, 0)
+	b.LW(rA0, rA1, 0) // read back (consumer side)
+	b.ADDI(rA0, rA0, 1)
+	b.LW(rT1, rA3, 0)
+	b.ADDI(rT1, rT1, 1)
+	b.SW(rT1, rA3, 0)
+	b.ADDI(rT0, rT0, -1)
+	b.BNEZ(rT0, "pipe_rw.push")
+	b.Ret()
+
+	// clock_gettime: read the cycle counter into a timespec-ish global.
+	b.GlobalRaw("wall_clock", 8)
+	b.Func("clock_gettime")
+	b.CSRR(rT0, isa.CSRCycles)
+	b.La(rT1, "wall_clock")
+	b.SW(rT0, rT1, 0)
+	b.SRLI(rT0, rT0, 10)
+	b.SW(rT0, rT1, 4)
+	b.LW(rA0, rT1, 0)
+	b.Ret()
+
+	// crypto_digest(a0..a3): an ALU-heavy mixing loop (hash-like load).
+	b.Func("crypto_digest")
+	b.ANDI(rT0, rA1, 31)
+	b.ADDI(rT0, rT0, 16)
+	b.Li(rT1, 0x6A09)
+	b.Label("crypto_digest.round")
+	b.XOR(rT1, rT1, rA0)
+	b.SLLI(rA2, rT1, 5)
+	b.SRLI(rA3, rT1, 27)
+	b.OR(rT1, rA2, rA3) // rotl 5
+	b.ADD(rT1, rT1, rA0)
+	b.ADDI(rA0, rA0, 0x11)
+	b.ADDI(rT0, rT0, -1)
+	b.BNEZ(rT0, "crypto_digest.round")
+	b.MV(rA0, rT1)
+	b.Ret()
+
+	// page_rw(a0 = fill): grab a page, memset a chunk of it, sum it back,
+	// release it — the page-allocator tier of the workload.
+	b.Func("page_rw")
+	b.Prologue(16)
+	b.SW(rA0, rSP, 0)
+	b.Li(rA0, 512)
+	b.Call("alloc_pages")
+	b.BEQZ(rA0, "page_rw.out")
+	b.SW(rA0, rSP, 8)
+	b.LW(rA1, rSP, 0)
+	b.Li(rA2, 256)
+	b.Call("memset")
+	b.LW(rT0, rSP, 8)
+	b.LW(rA0, rT0, 0)
+	b.LW(rT1, rT0, 128)
+	b.ADD(rA0, rA0, rT1)
+	b.LW(rA0, rSP, 8)
+	b.Call("__free_pages")
+	b.Label("page_rw.out")
+	b.Li(rA0, 0)
+	b.Epilogue(16)
+
+	// netlink_echo(a0..a3): a small allocate/store/load/free round trip.
+	b.Func("netlink_echo")
+	b.Prologue(32)
+	b.SW(rA0, rSP, 0)
+	b.SW(rA1, rSP, 4)
+	b.SW(rA2, rSP, 8)
+	b.Li(rA0, 48)
+	b.Call("kmalloc")
+	b.BEQZ(rA0, "netlink_echo.out")
+	b.LW(rT0, rSP, 0)
+	b.SW(rT0, rA0, 0)
+	b.LW(rT0, rSP, 4)
+	b.SW(rT0, rA0, 4)
+	b.LW(rT0, rSP, 8)
+	b.SW(rT0, rA0, 8)
+	b.LW(rT1, rA0, 0)
+	b.LW(rT0, rA0, 4)
+	b.ADD(rT1, rT1, rT0)
+	b.Call("kfree")
+	b.Label("netlink_echo.out")
+	b.Li(rA0, 0)
+	b.Epilogue(32)
+}
+
+// emitKthread emits the background kernel thread that shares racy_stat with
+// the race-seeded syscall handlers.
+func emitKthread(b *kasm.Builder) {
+	b.GlobalRaw("racy_stat", 4)
+	b.GlobalRaw("kthread_stack", 8192)
+	b.Func("kthread_entry")
+	b.La(rT0, "racy_stat")
+	b.Label("kthread.loop")
+	b.LW(rT1, rT0, 0)
+	b.ADDI(rT1, rT1, 1)
+	b.SW(rT1, rT0, 0)
+	b.YIELD()
+	b.J("kthread.loop")
+}
+
+func benignPattern() []byte {
+	out := make([]byte, 256)
+	for i := range out {
+		out[i] = byte(i * 7)
+	}
+	return out
+}

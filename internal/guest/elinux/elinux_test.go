@@ -1,0 +1,266 @@
+package elinux
+
+import (
+	"testing"
+
+	"embsan/internal/core"
+	"embsan/internal/emu"
+	"embsan/internal/guest/gabi"
+	"embsan/internal/isa"
+	"embsan/internal/kasm"
+	"embsan/internal/san"
+)
+
+func buildFW(t *testing.T, board Board) *Firmware {
+	t.Helper()
+	fw, err := Build(board)
+	if err != nil {
+		t.Fatalf("build %s: %v", board.Name, err)
+	}
+	return fw
+}
+
+func newInstance(t *testing.T, fw *Firmware, sanitizers []string, stop bool) *core.Instance {
+	t.Helper()
+	inst, err := core.New(core.Config{
+		Image:        fw.Image,
+		Sanitizers:   sanitizers,
+		StopOnReport: stop,
+		Machine:      emu.Config{MaxHarts: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.Boot(50_000_000); err != nil {
+		t.Fatal(err)
+	}
+	inst.Snapshot()
+	return inst
+}
+
+func TestBuildAllModes(t *testing.T) {
+	for _, mode := range []kasm.SanitizeMode{kasm.SanNone, kasm.SanEmbsanC, kasm.SanNativeKASAN, kasm.SanNativeKCSAN} {
+		fw := buildFW(t, Board{
+			Name: "test-" + mode.String(), Arch: isa.ArchARM32E, Mode: mode,
+			BugFns: []string{"nfs_acl_decode", "btrfs_sync_log"},
+		})
+		if len(fw.Bugs) != 2 {
+			t.Errorf("%s: bugs = %d", mode, len(fw.Bugs))
+		}
+		if _, ok := fw.SyscallNR("vfs_read"); !ok {
+			t.Errorf("%s: missing benign syscalls", mode)
+		}
+	}
+}
+
+func TestBenignWorkloadIsClean(t *testing.T) {
+	fw := buildFW(t, Board{Name: "clean", Arch: isa.ArchARM32E, Mode: kasm.SanNone})
+	inst := newInstance(t, fw, []string{"kasan"}, false)
+	var prog gabi.Prog
+	for i := uint32(0); i < 6; i++ {
+		for nr := range BenignSyscalls {
+			prog = append(prog, gabi.Record{
+				NR: uint32(nr), NArgs: 4,
+				Args: [4]uint32{i * 33, i + 1, i + 2, i % 3},
+			})
+		}
+	}
+	res := inst.Exec(prog.Encode(), 50_000_000)
+	if !res.Done {
+		t.Fatalf("executor never finished: stop=%v fault=%v", res.Stop, res.Fault)
+	}
+	if res.DoneCode != uint32(len(prog)) {
+		t.Errorf("executed %d records, want %d", res.DoneCode, len(prog))
+	}
+	if len(res.Reports) != 0 {
+		t.Errorf("benign workload reported: %s", res.Reports[0].Title())
+	}
+}
+
+// runBug executes one bug trigger under the given configuration.
+func runBug(t *testing.T, fw *Firmware, fn string, sanitizers []string) []*san.Report {
+	t.Helper()
+	bug, ok := fw.BugByFn(fn)
+	if !ok {
+		t.Fatalf("bug %s not in firmware", fn)
+	}
+	inst := newInstance(t, fw, sanitizers, false)
+	res := inst.Exec(gabi.Prog{bug.Trigger()}.Encode(), 20_000_000)
+	return res.Reports
+}
+
+func TestHeapBugDetectionDMode(t *testing.T) {
+	fw := buildFW(t, Board{Name: "d-mode", Arch: isa.ArchMIPS32E, Mode: kasm.SanNone, Table2: true})
+	cases := map[string]san.BugType{
+		"ringbuf_map_alloc": san.BugOOB,
+		"ieee80211_scan_rx": san.BugUAF,
+		"free_pages":        san.BugNullDeref,
+	}
+	for fn, want := range cases {
+		reps := runBug(t, fw, fn, []string{"kasan"})
+		if len(reps) == 0 {
+			t.Errorf("%s: not detected under EMBSAN-D", fn)
+			continue
+		}
+		if reps[0].Bug != want {
+			t.Errorf("%s: bug = %v, want %v", fn, reps[0].Bug, want)
+		}
+		if loc := reps[0].Location; len(loc) < len(fn) || loc[:len(fn)] != fn {
+			t.Errorf("%s: location = %q", fn, loc)
+		}
+	}
+	// Global OOB must be missed without compile-time redzones.
+	if reps := runBug(t, fw, "fbcon_get_font", []string{"kasan"}); len(reps) != 0 {
+		t.Errorf("global OOB detected under EMBSAN-D: %s", reps[0].Title())
+	}
+}
+
+func TestGlobalBugDetectionCMode(t *testing.T) {
+	fw := buildFW(t, Board{Name: "c-mode", Arch: isa.ArchARM32E, Mode: kasm.SanEmbsanC, Table2: true})
+	for _, fn := range []string{"fbcon_get_font", "string"} {
+		reps := runBug(t, fw, fn, []string{"kasan"})
+		if len(reps) == 0 {
+			t.Errorf("%s: not detected under EMBSAN-C", fn)
+			continue
+		}
+		if reps[0].Bug != san.BugGlobalOOB {
+			t.Errorf("%s: bug = %v", fn, reps[0].Bug)
+		}
+	}
+	// And the ordinary heap bugs still fire through the SANCK fast path.
+	if reps := runBug(t, fw, "watch_queue_set_filter", []string{"kasan"}); len(reps) == 0 {
+		t.Error("heap OOB missed under EMBSAN-C")
+	}
+}
+
+func TestDoubleFreeDetection(t *testing.T) {
+	fw := buildFW(t, Board{
+		Name: "df", Arch: isa.ArchARM32E, Mode: kasm.SanNone,
+		BugFns: []string{"skb_clone_frag"},
+	})
+	reps := runBug(t, fw, "skb_clone_frag", []string{"kasan"})
+	if len(reps) == 0 || reps[0].Bug != san.BugDoubleFree {
+		t.Fatalf("double free not detected: %v", reps)
+	}
+}
+
+func TestRaceBugDetection(t *testing.T) {
+	fw := buildFW(t, Board{
+		Name: "race", Arch: isa.ArchX86E, Mode: kasm.SanEmbsanC,
+		BugFns: []string{"btrfs_sync_log"},
+	})
+	bug, _ := fw.BugByFn("btrfs_sync_log")
+	inst, err := core.New(core.Config{
+		Image:      fw.Image,
+		Sanitizers: []string{"kasan", "kcsan"},
+		Machine:    emu.Config{MaxHarts: 2, Seed: 11},
+		KCSAN:      san.KCSANConfig{SampleInterval: 13, Delay: 600},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.Boot(50_000_000); err != nil {
+		t.Fatal(err)
+	}
+	inst.Snapshot()
+	// Fire the racy handler repeatedly; the kthread provides the partner.
+	var prog gabi.Prog
+	for i := 0; i < 30; i++ {
+		prog = append(prog, bug.Trigger())
+	}
+	res := inst.Exec(prog.Encode(), 100_000_000)
+	var race *san.Report
+	for _, r := range res.Reports {
+		if r.Bug == san.BugRace {
+			race = r
+		}
+	}
+	if race == nil {
+		t.Fatalf("race not detected (reports: %d, done=%v)", len(res.Reports), res.Done)
+	}
+	if race.Tool != san.ToolKCSAN {
+		t.Errorf("race tool = %v", race.Tool)
+	}
+}
+
+func TestSnapshotIsolationBetweenExecs(t *testing.T) {
+	fw := buildFW(t, Board{Name: "iso", Arch: isa.ArchARM32E, Mode: kasm.SanNone, Table2: true})
+	inst := newInstance(t, fw, []string{"kasan"}, false)
+	bug, _ := fw.BugByFn("ringbuf_map_alloc")
+	for i := 0; i < 3; i++ {
+		if i > 0 {
+			inst.Restore()
+		}
+		res := inst.Exec(gabi.Prog{bug.Trigger()}.Encode(), 20_000_000)
+		if len(res.Reports) != 1 {
+			t.Fatalf("run %d: reports = %d", i, len(res.Reports))
+		}
+	}
+	// After restore, a clean program must produce no reports.
+	inst.Restore()
+	clean := gabi.Prog{{NR: 2, NArgs: 1, Args: [4]uint32{5}}}
+	res := inst.Exec(clean.Encode(), 20_000_000)
+	if len(res.Reports) != 0 {
+		t.Errorf("stale report after restore: %s", res.Reports[0].Title())
+	}
+}
+
+func TestUntriggeredGateIsQuiet(t *testing.T) {
+	fw := buildFW(t, Board{Name: "gate", Arch: isa.ArchARM32E, Mode: kasm.SanNone, Table2: true})
+	inst := newInstance(t, fw, []string{"kasan"}, false)
+	bug, _ := fw.BugByFn("ringbuf_map_alloc")
+	rec := bug.Trigger()
+	rec.Args[0]++ // miss the gate
+	res := inst.Exec(gabi.Prog{rec}.Encode(), 20_000_000)
+	if !res.Done || len(res.Reports) != 0 {
+		t.Errorf("gated bug fired without its trigger: done=%v reports=%d", res.Done, len(res.Reports))
+	}
+}
+
+// TestTable2SignaturesDistinct: every Table 2 bug must produce its own
+// report signature, or deduplication would fold findings together.
+func TestTable2SignaturesDistinct(t *testing.T) {
+	fw := buildFW(t, Board{Name: "sigs", Arch: isa.ArchARM32E, Mode: kasm.SanNone, Table2: true})
+	inst := newInstance(t, fw, []string{"kasan"}, false)
+	sigs := map[string]string{}
+	for _, bug := range fw.Bugs {
+		if bug.Def.NeedsCompileTime() || bug.Def.NeedsKCSAN() {
+			continue
+		}
+		inst.Restore()
+		res := inst.Exec(gabi.Prog{bug.Trigger()}.Encode(), 20_000_000)
+		if len(res.Reports) == 0 {
+			t.Errorf("%s: no report", bug.Def.Fn)
+			continue
+		}
+		sig := res.Reports[0].Signature()
+		if prev, dup := sigs[sig]; dup {
+			t.Errorf("signature collision: %s and %s both give %q", prev, bug.Def.Fn, sig)
+		}
+		sigs[sig] = bug.Def.Fn
+	}
+}
+
+func TestBugCatalogConsistency(t *testing.T) {
+	if len(Table2Bugs) != 25 {
+		t.Errorf("Table2Bugs = %d, want 25", len(Table2Bugs))
+	}
+	if len(FuzzBugs) != 30 {
+		t.Errorf("FuzzBugs = %d, want 30 (Embedded Linux share of Table 4)", len(FuzzBugs))
+	}
+	globals := 0
+	for _, d := range Table2Bugs {
+		if d.NeedsCompileTime() {
+			globals++
+		}
+		if d.KernelVer == "" {
+			t.Errorf("%s: missing kernel version label", d.Fn)
+		}
+	}
+	if globals != 2 {
+		t.Errorf("Table 2 global-OOB bugs = %d, want 2", globals)
+	}
+	if err := checkBugDefs(append(append([]BugDef{}, Table2Bugs...), FuzzBugs...)); err != nil {
+		t.Error(err)
+	}
+}

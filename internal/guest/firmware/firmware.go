@@ -1,0 +1,319 @@
+// Package firmware is the registry of the eleven evaluation firmware
+// images of the paper's Table 1, mapping each to its base OS personality,
+// architecture frontend, instrumentation mode, source availability and
+// fuzzer frontend, and aggregating every seeded bug for the Table 3/4
+// experiments.
+package firmware
+
+import (
+	"fmt"
+
+	"embsan/internal/guest/elinux"
+	"embsan/internal/guest/freertos"
+	"embsan/internal/guest/gabi"
+	"embsan/internal/guest/liteos"
+	"embsan/internal/guest/vxworks"
+	"embsan/internal/isa"
+	"embsan/internal/kasm"
+	"embsan/internal/san"
+)
+
+// Frontend selects the fuzzing interface a firmware exposes.
+type Frontend uint8
+
+const (
+	FrontendSyscall Frontend = iota // Syzkaller-style typed syscall programs
+	FrontendBytes                   // Tardis-style raw byte inputs
+)
+
+func (f Frontend) String() string {
+	if f == FrontendBytes {
+		return "bytes"
+	}
+	return "syscall"
+}
+
+// Bug is one seeded bug, normalised across personalities.
+type Bug struct {
+	Fn              string
+	Location        string // subsystem path as listed in Table 4
+	Type            san.BugType
+	Trigger         []byte // mailbox input that fires it
+	NeedsKCSAN      bool
+	CompileTimeOnly bool
+}
+
+// Firmware is one Table 1 row plus everything needed to test it.
+type Firmware struct {
+	Name       string
+	BaseOS     string
+	Arch       isa.Arch
+	InstMode   string // "EmbSan-C" or "EmbSan-D"
+	SourceOpen bool
+	Fuzzer     string // "Syzkaller" or "Tardis"
+	Frontend   Frontend
+
+	Image    *kasm.Image
+	Syscalls []string // syscall-frontend only
+	Bugs     []Bug
+	Seeds    [][]byte // initial fuzzing corpus
+}
+
+// Names lists the Table 1 firmware in table order.
+var Names = []string{
+	"OpenWRT-armvirt",
+	"OpenWRT-bcm63xx",
+	"OpenWRT-ipq807x",
+	"OpenWRT-mt7629",
+	"OpenWRT-rtl839x",
+	"OpenWRT-x86_64",
+	"OpenHarmony-rk3566",
+	"OpenHarmony-stm32mp1",
+	"OpenHarmony-stm32f407",
+	"InfiniTime",
+	"TP-Link WDR-7660",
+}
+
+// elinuxBoards maps the Embedded-Linux firmware to their board configs.
+var elinuxBoards = map[string]elinux.Board{
+	"OpenWRT-armvirt": {
+		Arch: isa.ArchARM32E, Mode: kasm.SanEmbsanC,
+		BugFns: []string{"nfs_acl_decode", "nft_expr_init", "cfg80211_scan_done",
+			"mvneta_rx_desc", "r8169_rx_fill", "atl1c_clean_tx"},
+	},
+	"OpenWRT-bcm63xx": {
+		Arch: isa.ArchMIPS32E, Mode: kasm.SanNone,
+		BugFns: []string{"btusb_recv_bulk", "bcm2835_dma_prep", "ahc_parse_msg",
+			"btrfs_lookup_csum", "brcmf_fweh_event"},
+	},
+	"OpenWRT-ipq807x": {
+		Arch: isa.ArchARM32E, Mode: kasm.SanEmbsanC,
+		BugFns: []string{"bcmgenet_rx_refill", "bcmgenet_xmit", "tcf_action_init",
+			"ath10k_htt_rx_pop", "fuse_dev_splice"},
+	},
+	"OpenWRT-mt7629": {
+		Arch: isa.ArchARM32E, Mode: kasm.SanEmbsanC,
+		BugFns: []string{"mtk_tx_map", "nfs_readdir_entry", "skb_clone_frag", "mtk_cqdma_issue"},
+	},
+	"OpenWRT-rtl839x": {
+		Arch: isa.ArchMIPS32E, Mode: kasm.SanNone,
+		BugFns: []string{"r8169_rx_fill", "btrtl_setup", "nr_insert_socket"},
+	},
+	"OpenWRT-x86_64": {
+		Arch: isa.ArchX86E, Mode: kasm.SanEmbsanC,
+		BugFns: []string{"iommu_map_sg", "r8169_rx_fill", "stmmac_rx_buf", "iwl_mvm_scan",
+			"b43_dma_rx", "btrfs_sync_log", "btrfs_drop_extents"},
+	},
+	"OpenHarmony-rk3566": {
+		Arch: isa.ArchARM32E, Mode: kasm.SanEmbsanC,
+		BugFns: []string{"nfs_idmap_lookup", "nfs_acl_decode", "route4_change"},
+	},
+}
+
+// Build constructs one registry firmware by name.
+func Build(name string) (*Firmware, error) {
+	switch name {
+	case "OpenWRT-armvirt", "OpenWRT-bcm63xx", "OpenWRT-ipq807x",
+		"OpenWRT-mt7629", "OpenWRT-rtl839x", "OpenWRT-x86_64", "OpenHarmony-rk3566":
+		board := elinuxBoards[name]
+		board.Name = name
+		fw, err := elinux.Build(board)
+		if err != nil {
+			return nil, err
+		}
+		out := &Firmware{
+			Name: name, BaseOS: "Embedded Linux", Arch: board.Arch,
+			InstMode: instMode(board.Mode), SourceOpen: true,
+			Fuzzer:   fuzzerFor(name),
+			Frontend: FrontendSyscall,
+			Image:    fw.Image, Syscalls: fw.Syscalls,
+			Seeds: elinuxSeeds(fw),
+		}
+		for _, bug := range fw.Bugs {
+			out.Bugs = append(out.Bugs, Bug{
+				Fn:              bug.Def.Fn,
+				Location:        bug.Def.Module,
+				Type:            bug.Def.BugType(),
+				Trigger:         gabi.Prog{bug.Trigger()}.Encode(),
+				NeedsKCSAN:      bug.Def.NeedsKCSAN(),
+				CompileTimeOnly: bug.Def.NeedsCompileTime(),
+			})
+		}
+		return out, nil
+
+	case "OpenHarmony-stm32mp1":
+		fw, err := liteos.Build(name, isa.ArchARM32E, kasm.SanNone, liteos.BoardBugs{VFSOpen: true})
+		if err != nil {
+			return nil, err
+		}
+		return liteosFirmware(name, isa.ArchARM32E, fw), nil
+
+	case "OpenHarmony-stm32f407":
+		fw, err := liteos.Build(name, isa.ArchMIPS32E, kasm.SanNone, liteos.BoardBugs{VFSLink: true, FAT: true})
+		if err != nil {
+			return nil, err
+		}
+		return liteosFirmware(name, isa.ArchMIPS32E, fw), nil
+
+	case "InfiniTime":
+		fw, err := freertos.Build(name, isa.ArchARM32E, kasm.SanNone)
+		if err != nil {
+			return nil, err
+		}
+		out := &Firmware{
+			Name: name, BaseOS: "FreeRTOS", Arch: isa.ArchARM32E,
+			InstMode: "EmbSan-D", SourceOpen: true, Fuzzer: "Tardis",
+			Frontend: FrontendBytes, Image: fw.Image, Seeds: fw.Seeds,
+		}
+		for _, bug := range fw.Bugs {
+			out.Bugs = append(out.Bugs, Bug{
+				Fn: bug.Fn, Location: bug.Location, Type: bug.Type, Trigger: bug.Trigger,
+			})
+		}
+		return out, nil
+
+	case "TP-Link WDR-7660":
+		fw, err := vxworks.Build(name, isa.ArchARM32E)
+		if err != nil {
+			return nil, err
+		}
+		out := &Firmware{
+			Name: name, BaseOS: "VxWorks", Arch: isa.ArchARM32E,
+			InstMode: "EmbSan-D", SourceOpen: false, Fuzzer: "Tardis",
+			Frontend: FrontendBytes, Image: fw.Image, Seeds: fw.Seeds,
+		}
+		for _, bug := range fw.Bugs {
+			out.Bugs = append(out.Bugs, Bug{
+				Fn: bug.Fn, Location: bug.Location, Type: bug.Type, Trigger: bug.Trigger,
+			})
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("firmware: unknown firmware %q", name)
+}
+
+// BuildVariant rebuilds a registry firmware with a different sanitize mode
+// — the overhead experiments need bare and natively-sanitized builds of
+// every open-source board. The closed-source TP-Link image only exists
+// uninstrumented.
+func BuildVariant(name string, mode kasm.SanitizeMode) (*Firmware, error) {
+	switch name {
+	case "OpenWRT-armvirt", "OpenWRT-bcm63xx", "OpenWRT-ipq807x",
+		"OpenWRT-mt7629", "OpenWRT-rtl839x", "OpenWRT-x86_64", "OpenHarmony-rk3566":
+		board := elinuxBoards[name]
+		board.Name = name + "+" + mode.String()
+		board.Mode = mode
+		fw, err := elinux.Build(board)
+		if err != nil {
+			return nil, err
+		}
+		return &Firmware{
+			Name: board.Name, BaseOS: "Embedded Linux", Arch: board.Arch,
+			InstMode: instMode(mode), SourceOpen: true, Fuzzer: fuzzerFor(name),
+			Frontend: FrontendSyscall, Image: fw.Image, Syscalls: fw.Syscalls,
+			Seeds: elinuxSeeds(fw),
+		}, nil
+	case "OpenHarmony-stm32mp1":
+		fw, err := liteos.Build(name+"+"+mode.String(), isa.ArchARM32E, mode, liteos.BoardBugs{VFSOpen: true})
+		if err != nil {
+			return nil, err
+		}
+		return liteosFirmware(name+"+"+mode.String(), isa.ArchARM32E, fw), nil
+	case "OpenHarmony-stm32f407":
+		fw, err := liteos.Build(name+"+"+mode.String(), isa.ArchMIPS32E, mode, liteos.BoardBugs{VFSLink: true, FAT: true})
+		if err != nil {
+			return nil, err
+		}
+		return liteosFirmware(name+"+"+mode.String(), isa.ArchMIPS32E, fw), nil
+	case "InfiniTime":
+		fw, err := freertos.Build(name+"+"+mode.String(), isa.ArchARM32E, mode)
+		if err != nil {
+			return nil, err
+		}
+		out := &Firmware{
+			Name: name + "+" + mode.String(), BaseOS: "FreeRTOS", Arch: isa.ArchARM32E,
+			InstMode: instMode(mode), SourceOpen: true, Fuzzer: "Tardis",
+			Frontend: FrontendBytes, Image: fw.Image, Seeds: fw.Seeds,
+		}
+		return out, nil
+	case "TP-Link WDR-7660":
+		if mode != kasm.SanNone {
+			return nil, fmt.Errorf("firmware: %s is closed-source; cannot rebuild with %s", name, mode)
+		}
+		return Build(name)
+	}
+	return nil, fmt.Errorf("firmware: unknown firmware %q", name)
+}
+
+// BuildAll constructs every Table 1 firmware.
+func BuildAll() ([]*Firmware, error) {
+	out := make([]*Firmware, 0, len(Names))
+	for _, n := range Names {
+		fw, err := Build(n)
+		if err != nil {
+			return nil, fmt.Errorf("firmware: %s: %w", n, err)
+		}
+		out = append(out, fw)
+	}
+	return out, nil
+}
+
+// BuildSyzbotCorpus constructs the Table 2 reproduction build: the
+// Embedded Linux kernel carrying the 25 known syzbot bugs, in the given
+// instrumentation mode.
+func BuildSyzbotCorpus(mode kasm.SanitizeMode) (*elinux.Firmware, error) {
+	return elinux.Build(elinux.Board{
+		Name: "elinux-syzbot-" + mode.String(), Arch: isa.ArchX86E,
+		Mode: mode, Table2: true,
+	})
+}
+
+func liteosFirmware(name string, arch isa.Arch, fw *liteos.Firmware) *Firmware {
+	out := &Firmware{
+		Name: name, BaseOS: "LiteOS", Arch: arch,
+		InstMode: "EmbSan-D", SourceOpen: true, Fuzzer: "Tardis",
+		Frontend: FrontendBytes, Image: fw.Image, Seeds: fw.Seeds,
+	}
+	for _, bug := range fw.Bugs {
+		out.Bugs = append(out.Bugs, Bug{
+			Fn: bug.Fn, Location: bug.Location, Type: bug.Type, Trigger: bug.Trigger,
+		})
+	}
+	return out
+}
+
+func instMode(m kasm.SanitizeMode) string {
+	if m == kasm.SanEmbsanC {
+		return "EmbSan-C"
+	}
+	return "EmbSan-D"
+}
+
+func fuzzerFor(name string) string {
+	if name == "OpenHarmony-rk3566" {
+		return "Tardis"
+	}
+	return "Syzkaller"
+}
+
+// elinuxSeeds builds an initial corpus of benign syscall programs.
+func elinuxSeeds(fw *elinux.Firmware) [][]byte {
+	var seeds [][]byte
+	for i := uint32(0); i < uint32(len(elinux.BenignSyscalls)); i++ {
+		p := gabi.Prog{
+			{NR: i, NArgs: 4, Args: [4]uint32{16, 2, 3, 4}},
+			{NR: (i + 1) % uint32(len(elinux.BenignSyscalls)), NArgs: 4, Args: [4]uint32{80, 1, 0, 0}},
+		}
+		seeds = append(seeds, p.Encode())
+	}
+	return seeds
+}
+
+// TotalSeededBugs sums the seeded bug count across a firmware set.
+func TotalSeededBugs(fws []*Firmware) int {
+	n := 0
+	for _, fw := range fws {
+		n += len(fw.Bugs)
+	}
+	return n
+}

@@ -1,0 +1,200 @@
+package firmware
+
+import (
+	"testing"
+
+	"embsan/internal/core"
+	"embsan/internal/emu"
+	"embsan/internal/guest/gabi"
+	"embsan/internal/kasm"
+	"embsan/internal/probe"
+	"embsan/internal/san"
+)
+
+func TestBuildAllTable1(t *testing.T) {
+	fws, err := BuildAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fws) != 11 {
+		t.Fatalf("firmware count = %d, want 11 (Table 1)", len(fws))
+	}
+	if got := TotalSeededBugs(fws); got != 41 {
+		t.Errorf("total seeded bugs = %d, want 41 (Table 3/4)", got)
+	}
+	// Table 1 properties.
+	byName := map[string]*Firmware{}
+	for _, fw := range fws {
+		byName[fw.Name] = fw
+	}
+	checks := []struct {
+		name, os, mode, fuzzer string
+		open                   bool
+	}{
+		{"OpenWRT-armvirt", "Embedded Linux", "EmbSan-C", "Syzkaller", true},
+		{"OpenWRT-bcm63xx", "Embedded Linux", "EmbSan-D", "Syzkaller", true},
+		{"OpenWRT-x86_64", "Embedded Linux", "EmbSan-C", "Syzkaller", true},
+		{"OpenHarmony-rk3566", "Embedded Linux", "EmbSan-C", "Tardis", true},
+		{"OpenHarmony-stm32mp1", "LiteOS", "EmbSan-D", "Tardis", true},
+		{"InfiniTime", "FreeRTOS", "EmbSan-D", "Tardis", true},
+		{"TP-Link WDR-7660", "VxWorks", "EmbSan-D", "Tardis", false},
+	}
+	for _, c := range checks {
+		fw := byName[c.name]
+		if fw == nil {
+			t.Fatalf("missing %s", c.name)
+		}
+		if fw.BaseOS != c.os || fw.InstMode != c.mode || fw.Fuzzer != c.fuzzer || fw.SourceOpen != c.open {
+			t.Errorf("%s: got (%s,%s,%s,open=%v)", c.name, fw.BaseOS, fw.InstMode, fw.Fuzzer, fw.SourceOpen)
+		}
+	}
+	// The closed-source firmware must ship stripped.
+	tp := byName["TP-Link WDR-7660"]
+	if !tp.Image.Stripped || tp.Image.Symbols != nil {
+		t.Error("TP-Link image is not stripped")
+	}
+	// C-mode images must carry compile-time metadata; D-mode must not.
+	if byName["OpenWRT-armvirt"].Image.Meta.Sanitize != kasm.SanEmbsanC {
+		t.Error("armvirt lacks EMBSAN-C instrumentation")
+	}
+	if byName["OpenWRT-bcm63xx"].Image.Meta.Sanitize != kasm.SanNone {
+		t.Error("bcm63xx should be an uninstrumented build")
+	}
+}
+
+// bootInstance prepares a firmware under EMBSAN with the right sanitizers.
+func bootInstance(t *testing.T, fw *Firmware, sanitizers []string) *core.Instance {
+	t.Helper()
+	inst, err := core.New(core.Config{
+		Image:      fw.Image,
+		Sanitizers: sanitizers,
+		Machine:    emu.Config{MaxHarts: 2},
+	})
+	if err != nil {
+		t.Fatalf("%s: %v", fw.Name, err)
+	}
+	if err := inst.Boot(100_000_000); err != nil {
+		t.Fatalf("%s: %v", fw.Name, err)
+	}
+	inst.Snapshot()
+	return inst
+}
+
+// TestEveryTriggerDetects replays every seeded bug's trigger under EMBSAN
+// (the ground-truth check behind Tables 3 and 4). Race bugs need a longer
+// campaign and are exercised separately.
+func TestEveryTriggerDetects(t *testing.T) {
+	fws, err := BuildAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fw := range fws {
+		sans := []string{"kasan"}
+		inst := bootInstance(t, fw, sans)
+		for _, bug := range fw.Bugs {
+			if bug.NeedsKCSAN {
+				continue
+			}
+			inst.Restore()
+			res := inst.Exec(bug.Trigger, 50_000_000)
+			if len(res.Reports) == 0 {
+				t.Errorf("%s: %s (%s) not detected (done=%v stop=%v fault=%v)",
+					fw.Name, bug.Fn, bug.Location, res.Done, res.Stop, res.Fault)
+				continue
+			}
+			got := res.Reports[0]
+			if got.Bug.Short() != bug.Type.Short() {
+				t.Errorf("%s: %s: class %s, want %s", fw.Name, bug.Fn, got.Bug.Short(), bug.Type.Short())
+			}
+		}
+	}
+}
+
+// TestSeedsAreClean verifies that the initial corpus inputs run to
+// completion with no reports on every firmware.
+func TestSeedsAreClean(t *testing.T) {
+	fws, err := BuildAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fw := range fws {
+		inst := bootInstance(t, fw, []string{"kasan"})
+		for i, seed := range fw.Seeds {
+			inst.Restore()
+			res := inst.Exec(seed, 50_000_000)
+			if !res.Done {
+				t.Errorf("%s: seed %d did not complete (stop=%v fault=%v)", fw.Name, i, res.Stop, res.Fault)
+			}
+			if len(res.Reports) != 0 {
+				t.Errorf("%s: seed %d reported: %s", fw.Name, i, res.Reports[0].Title())
+			}
+		}
+	}
+}
+
+// TestClosedFirmwarePipeline checks the full closed-source story: the
+// stripped VxWorks image is probed behaviourally and its parser bugs are
+// still caught, with raw-address reports.
+func TestClosedFirmwarePipeline(t *testing.T) {
+	fw, err := Build("TP-Link WDR-7660")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := probe.Probe(fw.Image, probe.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mode != probe.ModeDClosed {
+		t.Errorf("mode = %v", res.Mode)
+	}
+	if len(res.Platform.Allocs) == 0 {
+		t.Fatalf("closed probe found no allocator; notes: %v", res.Platform.Notes)
+	}
+	if res.Platform.Allocs[0].SizeArg != "a1" {
+		t.Errorf("memPartAlloc size arg inferred as %s, want a1", res.Platform.Allocs[0].SizeArg)
+	}
+
+	inst := bootInstance(t, fw, []string{"kasan"})
+	for _, bug := range fw.Bugs {
+		inst.Restore()
+		r := inst.Exec(bug.Trigger, 50_000_000)
+		if len(r.Reports) == 0 {
+			t.Errorf("closed firmware: %s not detected", bug.Fn)
+			continue
+		}
+		if loc := r.Reports[0].Location; len(loc) < 2 || loc[:2] != "0x" {
+			t.Errorf("closed firmware should report raw addresses, got %q", loc)
+		}
+	}
+}
+
+// TestTable2CapabilitySplit spot-checks the syzbot corpus build in both
+// modes (the exhaustive matrix lives in the experiments package).
+func TestTable2CapabilitySplit(t *testing.T) {
+	for _, mode := range []kasm.SanitizeMode{kasm.SanNone, kasm.SanEmbsanC} {
+		fw, err := BuildSyzbotCorpus(mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inst, err := core.New(core.Config{Image: fw.Image, Sanitizers: []string{"kasan"}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := inst.Boot(100_000_000); err != nil {
+			t.Fatal(err)
+		}
+		inst.Snapshot()
+		bug, _ := fw.BugByFn("string") // global OOB
+		res := inst.Exec(gabi.Prog{bug.Trigger()}.Encode(), 50_000_000)
+		detected := false
+		for _, r := range res.Reports {
+			if r.Bug == san.BugGlobalOOB {
+				detected = true
+			}
+		}
+		wantDetect := mode == kasm.SanEmbsanC
+		if detected != wantDetect {
+			t.Errorf("mode %s: global OOB detected=%v, want %v", mode, detected, wantDetect)
+		}
+	}
+}

@@ -1,0 +1,440 @@
+// Package freertos is the FreeRTOS guest personality modelled on the
+// InfiniTime smartwatch firmware of Table 1: a heap_4-style free-list
+// allocator (pvPortMalloc / vPortFree), a background sensor task on a
+// second hart, and byte-stream services (littlefs block reads, SPI
+// transfers, St7789 LCD drawing) driven through the Tardis-style byte
+// executor. Three bugs from Table 4 are seeded: two OOB accesses and one
+// use-after-free.
+package freertos
+
+import (
+	"fmt"
+
+	"embsan/internal/guest/glib"
+	"embsan/internal/isa"
+	"embsan/internal/kasm"
+	"embsan/internal/san"
+)
+
+const (
+	rZ  = glib.Z
+	rSP = glib.SP
+	rA0 = glib.A0
+	rA1 = glib.A1
+	rA2 = glib.A2
+	rA3 = glib.A3
+	rA4 = glib.A4
+	rT0 = glib.T0
+	rT1 = glib.T1
+)
+
+const heapSize = 128 << 10
+
+// Bug describes one seeded bug with its triggering byte input.
+type Bug struct {
+	Fn       string
+	Location string
+	Type     san.BugType
+	Trigger  []byte
+}
+
+// Firmware is a built InfiniTime-like image.
+type Firmware struct {
+	Image *kasm.Image
+	Bugs  []Bug
+	Seeds [][]byte // benign inputs that exercise every service (fuzzing corpus)
+}
+
+// Service command bytes (first input byte).
+const (
+	cmdLFSRead  = 0
+	cmdSPI      = 1
+	cmdLCD      = 2
+	cmdSensor   = 3
+	cmdRender   = 4
+	cmdDisplay  = 5
+	numCommands = 6
+)
+
+// Trigger sub-command bytes (second input byte) for the seeded bugs.
+const (
+	subLFSBug = 0x61
+	subSPIBug = 0x62
+	subLCDBug = 0x63
+)
+
+// Build assembles the firmware.
+func Build(name string, arch isa.Arch, mode kasm.SanitizeMode) (*Firmware, error) {
+	b := kasm.NewBuilder(kasm.Target{Arch: arch, Sanitize: mode})
+	glib.AddBoot(b, glib.BootConfig{InitFn: "rtos_init", MainFn: "executor_loop"})
+	glib.AddLib(b)
+	emitHeap4(b)
+	emitQueue(b)
+	emitInit(b)
+	emitServices(b)
+	emitSensorTask(b)
+	glib.AddByteExecutor(b, "infinitime_dispatch")
+
+	img, err := b.Link(name)
+	if err != nil {
+		return nil, fmt.Errorf("freertos: build %s: %w", name, err)
+	}
+	return &Firmware{
+		Image: img,
+		Bugs: []Bug{
+			{Fn: "lfs_bd_read", Location: "src/libs/littlefs/", Type: san.BugOOB,
+				Trigger: []byte{cmdLFSRead, subLFSBug, 0, 0, 1, 2, 3, 4}},
+			{Fn: "spi_transfer", Location: "src/drivers/Spi", Type: san.BugOOB,
+				Trigger: []byte{cmdSPI, subSPIBug, 0, 0}},
+			{Fn: "st7789_draw", Location: "src/drivers/St7789", Type: san.BugUAF,
+				Trigger: []byte{cmdLCD, subLCDBug, 0, 0}},
+		},
+		Seeds: [][]byte{
+			{cmdLFSRead, 0, 0, 0, 9, 8, 7, 6, 5, 4, 3, 2},
+			{cmdSPI, 1, 0, 0, 1, 1},
+			{cmdLCD, 2, 0, 0},
+			{cmdSensor, 0},
+			{cmdRender, 0, 16},
+			{cmdDisplay, 0},
+		},
+	}, nil
+}
+
+func emitInit(b *kasm.Builder) {
+	b.GlobalRaw("sensor_stack", 4096)
+	b.Func("rtos_init")
+	b.Prologue(16)
+	b.Call("port_heap_init")
+	// Boot allocations: the display and touch buffers every RTOS firmware
+	// makes (and which the Prober's dry run observes).
+	b.Li(rA0, 96)
+	b.Call("pvPortMalloc")
+	b.Li(rA0, 40)
+	b.Call("pvPortMalloc")
+	// Start the sensor task on hart 1.
+	b.Li(rA0, 1)
+	b.La(rA1, "sensor_task")
+	b.La(rA2, "sensor_stack")
+	b.Li(rT0, 4092)
+	b.ADD(rA2, rA2, rT0)
+	b.HCALL(isa.HcallSpawn)
+	b.Epilogue(16)
+}
+
+// emitHeap4 emits the heap_4-style allocator: a singly linked free list of
+// {next, size} blocks, first-fit with tail splitting.
+func emitHeap4(b *kasm.Builder) {
+	b.GlobalAlign("ucHeap", heapSize, 8)
+	b.GlobalRaw("xHeapFree", 4)
+
+	b.Func("port_heap_init")
+	b.Prologue(16)
+	b.NoSan(func() {
+		b.La(rT0, "ucHeap")
+		b.La(rT1, "xHeapFree")
+		b.SW(rT0, rT1, 0)
+		b.SW(rZ, rT0, 0) // next = nil
+		b.LUI(rA2, heapSize>>12)
+		b.SW(rA2, rT0, 4) // one block spanning the heap
+	})
+	b.La(rA0, "ucHeap")
+	b.LUI(rA1, heapSize>>12)
+	b.SanPoisonHook(int32(san.CodeHeapUninit))
+	b.Epilogue(16)
+
+	// pvPortMalloc(a0 = size) -> a0 = ptr or 0.
+	b.Func("pvPortMalloc")
+	b.NoSan(func() {
+		b.MV(rA1, rA0) // requested size for the hook
+		b.ADDI(rT0, rA0, 15)
+		b.ANDI(rT0, rT0, -8) // total block size incl. 8-byte header
+		b.La(rA2, "xHeapFree")
+		b.LW(rA3, rA2, 0)
+		b.Label("pvPortMalloc.walk")
+		b.BEQZ(rA3, "pvPortMalloc.fail")
+		b.LW(rT1, rA3, 4)
+		b.BGEU(rT1, rT0, "pvPortMalloc.take")
+		b.MV(rA2, rA3) // prev link holder (next field at offset 0)
+		b.LW(rA3, rA3, 0)
+		b.J("pvPortMalloc.walk")
+		b.Label("pvPortMalloc.take")
+		b.SUB(rT1, rT1, rT0) // remainder
+		b.SLTIU(rA4, rT1, 24)
+		b.BNEZ(rA4, "pvPortMalloc.whole")
+		// Split: shrink the free block in place, allocate its tail.
+		b.SW(rT1, rA3, 4)
+		b.ADD(rA4, rA3, rT1)
+		b.SW(rT0, rA4, 4)
+		b.ADDI(rA0, rA4, 8)
+		b.J("pvPortMalloc.hook")
+		b.Label("pvPortMalloc.whole")
+		b.LW(rA4, rA3, 0)
+		b.SW(rA4, rA2, 0) // unlink
+		b.ADDI(rA0, rA3, 8)
+		b.Label("pvPortMalloc.hook")
+	})
+	b.SanAllocHook()
+	b.Ret()
+	b.NoSan(func() {
+		b.Label("pvPortMalloc.fail")
+		b.Li(rA0, 0)
+	})
+	b.Ret()
+	b.MarkAlloc("pvPortMalloc")
+
+	// vPortFree(a0 = ptr).
+	b.Func("vPortFree")
+	b.Prologue(16)
+	b.NoSan(func() {
+		b.BEQZ(rA0, "vPortFree.out")
+		b.SW(rA0, rSP, 0)
+		b.ADDI(rT0, rA0, -8)
+		b.LW(rA1, rT0, 4)
+		b.ADDI(rA1, rA1, -8) // payload size for the hook
+	})
+	b.SanFreeHook()
+	b.NoSan(func() {
+		b.LW(rA0, rSP, 0)
+		b.ADDI(rT0, rA0, -8)
+		b.La(rA2, "xHeapFree")
+		b.LW(rA3, rA2, 0)
+		b.SW(rA3, rT0, 0)
+		b.SW(rT0, rA2, 0)
+		b.Label("vPortFree.out")
+	})
+	b.Epilogue(16)
+	b.MarkFree("vPortFree")
+}
+
+func emitServices(b *kasm.Builder) {
+	// infinitime_dispatch(a0 = buf, a1 = len) -> a0 = status.
+	b.Func("infinitime_dispatch")
+	b.Prologue(16)
+	b.Li(rT0, 2)
+	b.BLTU(rA1, rT0, "dispatch.out")
+	b.LBU(rT0, rA0, 0) // command byte
+	b.Li(rT1, numCommands)
+	b.BGEU(rT0, rT1, "dispatch.out")
+	b.SLLI(rT0, rT0, 2)
+	b.La(rT1, "svc_table")
+	b.ADD(rT1, rT1, rT0)
+	b.NoSan(func() { b.LW(rT1, rT1, 0) })
+	b.JALR(glib.RA, rT1, 0)
+	b.Label("dispatch.out")
+	b.Li(rA0, 0)
+	b.Epilogue(16)
+	b.DataWordSyms("svc_table", []string{
+		"lfs_bd_read", "spi_transfer", "st7789_draw", "hr_sensor_read",
+		"render_frame", "display_update",
+	})
+
+	// lfs_bd_read(a0 = buf, a1 = len): copy a "block" into a cache buffer.
+	// Bug: sub-command 0x61 writes one byte past the 64-byte cache.
+	b.Func("lfs_bd_read")
+	b.Prologue(32)
+	b.SW(rA0, rSP, 0)
+	b.SW(rA1, rSP, 4)
+	b.Li(rA0, 64)
+	b.Call("pvPortMalloc")
+	b.BEQZ(rA0, "lfs.out")
+	b.SW(rA0, rSP, 8)
+	// Copy up to 48 payload bytes from the request.
+	b.LW(rA2, rSP, 4)
+	b.ADDI(rA2, rA2, -4)
+	b.BLT(rA2, rZ, "lfs.nobody")
+	b.Li(rT0, 48)
+	b.BLT(rA2, rT0, "lfs.copy")
+	b.MV(rA2, rT0)
+	b.Label("lfs.copy")
+	b.LW(rA1, rSP, 0)
+	b.ADDI(rA1, rA1, 4)
+	b.Call("memcpy") // a0 = cache (still), a1 = req+4, a2 = n
+	b.Label("lfs.nobody")
+	// The seeded bug.
+	b.LW(rT0, rSP, 0)
+	b.LBU(rT0, rT0, 1) // sub-command
+	b.Li(rT1, subLFSBug)
+	b.BNE(rT0, rT1, "lfs.free")
+	b.LW(rT0, rSP, 8)
+	b.Li(rT1, 0x7E)
+	b.SB(rT1, rT0, 64) // one past the cache block
+	b.Label("lfs.free")
+	b.LW(rA0, rSP, 8)
+	b.Call("vPortFree")
+	b.Label("lfs.out")
+	b.Epilogue(32)
+
+	// spi_transfer(a0 = buf, a1 = len): allocate a DMA descriptor.
+	// Bug: sub-command 0x62 stores one word past the 32-byte descriptor.
+	b.Func("spi_transfer")
+	b.Prologue(32)
+	b.SW(rA0, rSP, 0)
+	b.Li(rA0, 32)
+	b.Call("pvPortMalloc")
+	b.BEQZ(rA0, "spi.out")
+	b.SW(rA0, rSP, 8)
+	b.Li(rT0, 0x51)
+	b.SW(rT0, rA0, 0)
+	b.SW(rT0, rA0, 28)
+	b.LW(rT0, rSP, 0)
+	b.LBU(rT0, rT0, 1)
+	b.Li(rT1, subSPIBug)
+	b.BNE(rT0, rT1, "spi.free")
+	b.LW(rT0, rSP, 8)
+	b.Li(rT1, 0x52)
+	b.SW(rT1, rT0, 32) // one word past the descriptor
+	b.Label("spi.free")
+	b.LW(rA0, rSP, 8)
+	b.Call("vPortFree")
+	b.Label("spi.out")
+	b.Epilogue(32)
+
+	// st7789_draw(a0 = buf, a1 = len): allocate and free a line buffer.
+	// Bug: sub-command 0x63 reads the buffer after the free.
+	b.Func("st7789_draw")
+	b.Prologue(32)
+	b.SW(rA0, rSP, 0)
+	b.Li(rA0, 48)
+	b.Call("pvPortMalloc")
+	b.BEQZ(rA0, "lcd.out")
+	b.SW(rA0, rSP, 8)
+	b.Li(rT0, 0xFF)
+	b.SB(rT0, rA0, 0)
+	b.Call("vPortFree") // a0 is still the buffer
+	b.LW(rT0, rSP, 0)
+	b.LBU(rT0, rT0, 1)
+	b.Li(rT1, subLCDBug)
+	b.BNE(rT0, rT1, "lcd.out")
+	b.LW(rT0, rSP, 8)
+	b.LW(rT1, rT0, 0) // use after free
+	b.Label("lcd.out")
+	b.Epilogue(32)
+
+	// hr_sensor_read: benign — publish a reading atomically.
+	b.GlobalRaw("hr_reading", 4)
+	b.Func("hr_sensor_read")
+	b.La(rT0, "hr_reading")
+	b.CSRR(rT1, isa.CSRRand)
+	b.ANDI(rT1, rT1, 255)
+	b.AMOSWAPW(rZ, rT0, rT1)
+	b.Ret()
+
+	// render_frame(a0 = buf, a1 = len): benign — memset a canvas strip.
+	b.GlobalRaw("canvas", 2048)
+	b.Func("render_frame")
+	b.Prologue(16)
+	b.LBU(rT0, rA0, 2)
+	b.ANDI(rT0, rT0, 127)
+	b.ADDI(rA2, rT0, 64) // strip length
+	b.La(rA0, "canvas")
+	b.Li(rA1, 0x20)
+	b.Call("memset")
+	b.La(rT0, "canvas")
+	b.LW(rT1, rT0, 0)
+	b.Epilogue(16)
+}
+
+// emitQueue emits a FreeRTOS-style fixed-capacity message queue guarded by
+// a spinlock: {lock, head, count, items[16]}. The sensor task produces
+// into it, the display service consumes.
+func emitQueue(b *kasm.Builder) {
+	const qCap = 16
+	b.GlobalRaw("xSensorQueue", 12+qCap*4)
+
+	// xQueueSend(a0 = queue, a1 = item) -> a0 = 1 ok / 0 full.
+	b.Func("xQueueSend")
+	b.Prologue(32)
+	b.SW(rA0, rSP, 0)
+	b.SW(rA1, rSP, 4)
+	b.Call("spin_lock") // a0 = &queue.lock
+	b.LW(rT0, rSP, 0)
+	b.LW(rT1, rT0, 8) // count
+	b.Li(rA2, qCap)
+	b.BGEU(rT1, rA2, "xQueueSend.full")
+	// slot = (head + count) % cap
+	b.LW(rA2, rT0, 4)
+	b.ADD(rA2, rA2, rT1)
+	b.ANDI(rA2, rA2, qCap-1)
+	b.SLLI(rA2, rA2, 2)
+	b.ADD(rA2, rT0, rA2)
+	b.LW(rA3, rSP, 4)
+	b.SW(rA3, rA2, 12)
+	b.ADDI(rT1, rT1, 1)
+	b.SW(rT1, rT0, 8)
+	b.LW(rA0, rSP, 0)
+	b.Call("spin_unlock")
+	b.Li(rA0, 1)
+	b.Epilogue(32)
+	b.Label("xQueueSend.full")
+	b.LW(rA0, rSP, 0)
+	b.Call("spin_unlock")
+	b.Li(rA0, 0)
+	b.Epilogue(32)
+
+	// xQueueReceive(a0 = queue) -> a0 = item, a1 = 1 ok / 0 empty.
+	b.Func("xQueueReceive")
+	b.Prologue(32)
+	b.SW(rA0, rSP, 0)
+	b.Call("spin_lock")
+	b.LW(rT0, rSP, 0)
+	b.LW(rT1, rT0, 8) // count
+	b.BEQZ(rT1, "xQueueReceive.empty")
+	b.LW(rA2, rT0, 4) // head
+	b.SLLI(rA3, rA2, 2)
+	b.ADD(rA3, rT0, rA3)
+	b.LW(rA3, rA3, 12) // item
+	b.SW(rA3, rSP, 4)
+	b.ADDI(rA2, rA2, 1)
+	b.ANDI(rA2, rA2, qCap-1)
+	b.SW(rA2, rT0, 4)
+	b.ADDI(rT1, rT1, -1)
+	b.SW(rT1, rT0, 8)
+	b.LW(rA0, rSP, 0)
+	b.Call("spin_unlock")
+	b.LW(rA0, rSP, 4)
+	b.Li(rA1, 1)
+	b.Epilogue(32)
+	b.Label("xQueueReceive.empty")
+	b.LW(rA0, rSP, 0)
+	b.Call("spin_unlock")
+	b.Li(rA0, 0)
+	b.Li(rA1, 0)
+	b.Epilogue(32)
+
+	// display_update: drain up to 8 queued samples into the frame stat.
+	b.GlobalRaw("frame_stat", 4)
+	b.Func("display_update")
+	b.Prologue(16)
+	b.Li(rT0, 8)
+	b.Label("display.loop")
+	b.SW(rT0, rSP, 0)
+	b.La(rA0, "xSensorQueue")
+	b.Call("xQueueReceive")
+	b.BEQZ(rA1, "display.done")
+	b.La(rT1, "frame_stat")
+	b.LW(rA2, rT1, 0)
+	b.ADD(rA2, rA2, rA0)
+	b.SW(rA2, rT1, 0)
+	b.LW(rT0, rSP, 0)
+	b.ADDI(rT0, rT0, -1)
+	b.BNEZ(rT0, "display.loop")
+	b.Label("display.done")
+	b.Li(rA0, 0)
+	b.Epilogue(16)
+}
+
+// emitSensorTask emits the background FreeRTOS task (hart 1): it publishes
+// samples through an atomic cell and produces into the sensor queue.
+func emitSensorTask(b *kasm.Builder) {
+	b.Func("sensor_task")
+	b.Label("sensor.loop")
+	b.CSRR(rT1, isa.CSRRand)
+	b.ANDI(rT1, rT1, 255)
+	b.La(rT0, "hr_reading")
+	b.AMOSWAPW(rZ, rT0, rT1)
+	b.La(rA0, "xSensorQueue")
+	b.MV(rA1, rT1)
+	b.Call("xQueueSend")
+	b.YIELD()
+	b.J("sensor.loop")
+}

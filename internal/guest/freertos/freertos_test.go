@@ -1,0 +1,117 @@
+package freertos
+
+import (
+	"testing"
+
+	"embsan/internal/core"
+	"embsan/internal/emu"
+	"embsan/internal/isa"
+	"embsan/internal/kasm"
+	"embsan/internal/san"
+)
+
+func boot(t *testing.T, mode kasm.SanitizeMode, sans []string) (*Firmware, *core.Instance) {
+	t.Helper()
+	fw, err := Build("infinitime-test", isa.ArchARM32E, mode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := core.New(core.Config{
+		Image:       fw.Image,
+		Sanitizers:  sans,
+		NoSanitizer: len(sans) == 0,
+		Machine:     emu.Config{MaxHarts: 2, Seed: 5},
+		KCSAN:       san.KCSANConfig{SampleInterval: 20, Delay: 400},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.Boot(100_000_000); err != nil {
+		t.Fatal(err)
+	}
+	inst.Snapshot()
+	return fw, inst
+}
+
+func TestSeedsCleanUnderKASANAndKCSAN(t *testing.T) {
+	// The sensor task and the display service share the queue through a
+	// spinlock; neither KASAN nor KCSAN may flag the benign services.
+	fw, inst := boot(t, kasm.SanNone, []string{"kasan", "kcsan"})
+	for round := 0; round < 3; round++ {
+		for i, seed := range fw.Seeds {
+			res := inst.Exec(seed, 50_000_000)
+			if !res.Done {
+				t.Fatalf("seed %d round %d: stop=%v fault=%v", i, round, res.Stop, res.Fault)
+			}
+			if len(res.Reports) != 0 {
+				t.Fatalf("seed %d round %d: %s", i, round, res.Reports[0].Title())
+			}
+		}
+	}
+}
+
+func TestQueueDeliversSamples(t *testing.T) {
+	fw, inst := boot(t, kasm.SanNone, nil)
+	// Let the sensor task run for a while, then drain via the display
+	// service; the frame stat must have accumulated something.
+	inst.Run(200_000)
+	res := inst.Exec(fw.Seeds[5], 50_000_000) // cmdDisplay
+	if !res.Done {
+		t.Fatalf("display: %v %v", res.Stop, res.Fault)
+	}
+	stat, ok := fw.Image.Lookup("frame_stat")
+	if !ok {
+		t.Fatal("no frame_stat")
+	}
+	v, _ := inst.Machine.ReadWord(stat.Addr)
+	if v == 0 {
+		t.Error("display service drained nothing from the sensor queue")
+	}
+}
+
+func TestTriggersDetectPerMode(t *testing.T) {
+	want := map[string]san.BugType{
+		"lfs_bd_read":  san.BugOOB,
+		"spi_transfer": san.BugOOB,
+		"st7789_draw":  san.BugUAF,
+	}
+	// EMBSAN-D on the stock build, EMBSAN-C on a rebuilt image.
+	for _, mode := range []kasm.SanitizeMode{kasm.SanNone, kasm.SanEmbsanC} {
+		fw, inst := boot(t, mode, []string{"kasan"})
+		for _, bug := range fw.Bugs {
+			inst.Restore()
+			res := inst.Exec(bug.Trigger, 50_000_000)
+			if len(res.Reports) == 0 {
+				t.Errorf("%s/%s: not detected", mode, bug.Fn)
+				continue
+			}
+			if res.Reports[0].Bug != want[bug.Fn] {
+				t.Errorf("%s/%s: %v, want %v", mode, bug.Fn, res.Reports[0].Bug, want[bug.Fn])
+			}
+		}
+	}
+}
+
+func TestNativeKASANBaselineDetects(t *testing.T) {
+	fw, inst := boot(t, kasm.SanNativeKASAN, nil)
+	for _, bug := range fw.Bugs {
+		inst.Restore()
+		inst.Machine.SanDev.Reset()
+		res := inst.Exec(bug.Trigger, 50_000_000)
+		if len(res.Reports) == 0 {
+			t.Errorf("native: %s not detected (done=%v)", bug.Fn, res.Done)
+		}
+	}
+}
+
+func TestHeap4SplitsAndReuses(t *testing.T) {
+	// White-box check of the allocator: repeated alloc/free cycles through
+	// the services must not exhaust the 128 KiB heap (free-list reuse).
+	fw, inst := boot(t, kasm.SanNone, []string{"kasan"})
+	for i := 0; i < 200; i++ {
+		res := inst.Exec(fw.Seeds[0], 50_000_000) // lfs: alloc 64 + free
+		if !res.Done || len(res.Reports) != 0 {
+			t.Fatalf("cycle %d: done=%v reports=%d", i, res.Done, len(res.Reports))
+		}
+	}
+}

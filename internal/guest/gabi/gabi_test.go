@@ -1,0 +1,60 @@
+package gabi
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	p := Prog{
+		{NR: 3, NArgs: 2, Args: [4]uint32{1, 2, 0, 0}},
+		{NR: 0xFFFF, NArgs: 4, Args: [4]uint32{0xDEADBEEF, 0, 1, 0x7FFFFFFF}},
+	}
+	enc := p.Encode()
+	if len(enc) != 2*RecordSize {
+		t.Fatalf("encoded length = %d", len(enc))
+	}
+	dec := Decode(enc)
+	if len(dec) != 2 || dec[0] != p[0] || dec[1] != p[1] {
+		t.Errorf("round trip mismatch: %+v", dec)
+	}
+}
+
+func TestDecodeIgnoresTrailingPartialRecord(t *testing.T) {
+	p := Prog{{NR: 1}}
+	enc := append(p.Encode(), 0xAA, 0xBB)
+	dec := Decode(enc)
+	if len(dec) != 1 {
+		t.Errorf("partial record decoded: %d records", len(dec))
+	}
+}
+
+func TestWireFormatIsLittleEndian(t *testing.T) {
+	enc := Prog{{NR: 0x01020304}}.Encode()
+	if !bytes.Equal(enc[:4], []byte{4, 3, 2, 1}) {
+		t.Errorf("NR bytes = % x", enc[:4])
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(nr, a0, a1, a2, a3 uint32, n uint8) bool {
+		p := make(Prog, int(n%16))
+		for i := range p {
+			p[i] = Record{NR: nr + uint32(i), NArgs: uint32(i % 5), Args: [4]uint32{a0, a1, a2, a3}}
+		}
+		dec := Decode(p.Encode())
+		if len(dec) != len(p) {
+			return false
+		}
+		for i := range p {
+			if dec[i] != p[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,291 @@
+// Package glib is the common guest runtime library shared by all firmware
+// personalities: boot code, string/memory routines, a console, spinlocks,
+// the fuzzing executor scaffolding, and — for natively sanitized builds —
+// complete in-guest KASAN and KCSAN runtimes (the reference baselines the
+// paper compares EMBSAN against).
+package glib
+
+import (
+	"embsan/internal/emu"
+	"embsan/internal/isa"
+	"embsan/internal/kasm"
+)
+
+// Register aliases, exported so the guest personalities read naturally.
+const (
+	Z  = isa.RegZero
+	RA = isa.RegRA
+	SP = isa.RegSP
+	A0 = isa.RegA0
+	A1 = isa.RegA1
+	A2 = isa.RegA2
+	A3 = isa.RegA3
+	A4 = isa.RegA4
+	A5 = isa.RegA5
+	A6 = isa.RegA6
+	A7 = isa.RegA7
+	T0 = isa.RegT0
+	T1 = isa.RegT1
+	K0 = isa.RegK0
+	K1 = isa.RegK1
+	K2 = isa.RegK2
+)
+
+// MMIO base addresses as signed immediates for Li.
+const (
+	UARTLi     = int32(int64(emu.UARTBase) - (1 << 32))
+	MailboxLi  = int32(int64(emu.MailboxBase) - (1 << 32))
+	MailDataLi = int32(int64(emu.MailboxData) - (1 << 32))
+	TestDevLi  = int32(int64(emu.TestDevBase) - (1 << 32))
+	SanDevLi   = int32(int64(emu.SanDevBase) - (1 << 32))
+)
+
+// BootConfig parameterises the common boot path.
+type BootConfig struct {
+	InitFn    string // called before the ready hypercall
+	MainFn    string // called after ready; normally the executor loop
+	StackSize uint32 // boot stack size (default 16 KiB)
+}
+
+// AddBoot emits _start: stack setup, native-sanitizer init, OS init, the
+// ready-to-run hypercall, then the main loop.
+func AddBoot(b *kasm.Builder, cfg BootConfig) {
+	if cfg.StackSize == 0 {
+		cfg.StackSize = 16 << 10
+	}
+	b.GlobalRaw("__boot_stack", cfg.StackSize)
+	b.Func("_start")
+	b.La(SP, "__boot_stack")
+	b.Li(T0, int32(cfg.StackSize-16))
+	b.ADD(SP, SP, T0)
+	switch b.Mode() {
+	case kasm.SanNativeKASAN:
+		b.Call("__kasan_init")
+	case kasm.SanNativeKCSAN:
+		b.Call("__kcsan_init")
+	}
+	if cfg.InitFn != "" {
+		b.Call(cfg.InitFn)
+	}
+	b.Ready()
+	if cfg.MainFn != "" {
+		b.Call(cfg.MainFn)
+	}
+	b.HALT()
+}
+
+// AddLib emits the shared runtime routines. Call once per build, after
+// AddBoot. The native sanitizer runtimes are added automatically when the
+// build mode requires them.
+func AddLib(b *kasm.Builder) {
+	addMem(b)
+	addConsole(b)
+	addLocks(b)
+	switch b.Mode() {
+	case kasm.SanNativeKASAN:
+		addNativeKASAN(b)
+	case kasm.SanNativeKCSAN:
+		addNativeKCSAN(b)
+	}
+}
+
+// addMem emits memcpy/memset/bzero. The bodies are uninstrumented library
+// code guarded by a single range-interceptor hook, exactly like the real
+// __asan_memcpy interceptors — compilers do not instrument the inner loops.
+func addMem(b *kasm.Builder) {
+	// memcpy(a0=dst, a1=src, a2=len) -> a0
+	b.Func("memcpy")
+	b.Prologue(16) // the interceptor hook is a call in native builds
+	b.SanMemcpyHook()
+	b.NoSan(func() {
+		b.MV(T0, A0)      // cursor dst
+		b.MV(T1, A1)      // cursor src
+		b.ADD(A3, A0, A2) // end dst
+		// Word-at-a-time when both pointers share alignment and len >= 4.
+		b.OR(A4, T0, T1)
+		b.ANDI(A4, A4, 3)
+		b.BNEZ(A4, "memcpy.bytes")
+		b.Label("memcpy.words")
+		b.ADDI(A4, T0, 4)
+		b.BLTU(A3, A4, "memcpy.bytes") // fewer than 4 bytes left
+		b.LW(A5, T1, 0)
+		b.SW(A5, T0, 0)
+		b.ADDI(T0, T0, 4)
+		b.ADDI(T1, T1, 4)
+		b.J("memcpy.words")
+		b.Label("memcpy.bytes")
+		b.BGEU(T0, A3, "memcpy.done")
+		b.LBU(A5, T1, 0)
+		b.SB(A5, T0, 0)
+		b.ADDI(T0, T0, 1)
+		b.ADDI(T1, T1, 1)
+		b.J("memcpy.bytes")
+		b.Label("memcpy.done")
+	})
+	b.Epilogue(16)
+
+	// memset(a0=dst, a1=val, a2=len) -> a0
+	b.Func("memset")
+	b.Prologue(16)
+	b.SanMemsetHook()
+	b.NoSan(func() {
+		b.MV(T0, A0)
+		b.ADD(A3, A0, A2)
+		b.Label("memset.loop")
+		b.BGEU(T0, A3, "memset.done")
+		b.SB(A1, T0, 0)
+		b.ADDI(T0, T0, 1)
+		b.J("memset.loop")
+		b.Label("memset.done")
+	})
+	b.Epilogue(16)
+
+	// bzero(a0=dst, a1=len)
+	b.Func("bzero")
+	b.MV(A2, A1)
+	b.Li(A1, 0)
+	b.J("memset")
+}
+
+// addConsole emits puts/put_hex/panic on the UART.
+func addConsole(b *kasm.Builder) {
+	// puts(a0 = NUL-terminated string)
+	b.Func("puts")
+	b.NoSan(func() {
+		b.Li(T0, UARTLi)
+		b.Label("puts.loop")
+		b.LBU(T1, A0, 0)
+		b.BEQZ(T1, "puts.done")
+		b.SB(T1, T0, 0)
+		b.ADDI(A0, A0, 1)
+		b.J("puts.loop")
+		b.Label("puts.done")
+	})
+	b.Ret()
+
+	// put_hex(a0 = word): prints 8 hex digits.
+	b.Func("put_hex")
+	b.NoSan(func() {
+		b.Li(T0, UARTLi)
+		b.Li(A2, 8)
+		b.Label("put_hex.loop")
+		b.SRLI(T1, A0, 28)
+		b.SLTIU(A3, T1, 10)
+		b.BEQZ(A3, "put_hex.alpha")
+		b.ADDI(T1, T1, '0')
+		b.J("put_hex.emit")
+		b.Label("put_hex.alpha")
+		b.ADDI(T1, T1, 'a'-10)
+		b.Label("put_hex.emit")
+		b.SB(T1, T0, 0)
+		b.SLLI(A0, A0, 4)
+		b.ADDI(A2, A2, -1)
+		b.BNEZ(A2, "put_hex.loop")
+	})
+	b.Ret()
+
+	// panic(a0 = message): print and stop the machine.
+	b.Func("panic")
+	b.Call("puts")
+	b.Li(A0, 2)
+	b.HCALL(isa.HcallExit)
+	b.HALT()
+}
+
+// addLocks emits spin_lock/spin_unlock (a0 = lock word address). Both sides
+// use atomics so the concurrency sanitizer treats them as marked accesses.
+func addLocks(b *kasm.Builder) {
+	b.Func("spin_lock")
+	b.Li(T1, 1)
+	b.Label("spin_lock.retry")
+	b.AMOSWAPW(T0, A0, T1)
+	b.BEQZ(T0, "spin_lock.got")
+	b.YIELD()
+	b.J("spin_lock.retry")
+	b.Label("spin_lock.got")
+	b.FENCE()
+	b.Ret()
+
+	b.Func("spin_unlock")
+	b.FENCE()
+	b.AMOSWAPW(Z, A0, Z)
+	b.Ret()
+}
+
+// AddSyscallExecutor emits the guest executor loop used by the syscall
+// fuzzing frontend. It polls the mailbox, decodes fixed-size records
+// (nr, nargs, arg0..arg3 — 24 bytes each, little-endian device order) and
+// dispatches through tableSym, a DataWordSyms table with tableLen entries.
+// The done register receives the number of executed calls.
+func AddSyscallExecutor(b *kasm.Builder, tableSym string, tableLen int) {
+	b.Func("executor_loop")
+	b.Li(A6, MailboxLi)
+	b.Label("exec.poll")
+	b.YIELD()
+	b.LW(T0, A6, 0) // status
+	b.BEQZ(T0, "exec.poll")
+	b.LW(A7, A6, 4) // length in bytes
+	b.Li(A5, MailDataLi)
+	b.Li(A4, 0) // executed count
+	b.Label("exec.next")
+	// Need 24 bytes for a record.
+	b.ADDI(T0, A7, -24)
+	b.BLT(T0, Z, "exec.done")
+	b.ADDI(A7, A7, -24)
+	b.LW(T0, A5, 0) // syscall nr
+	// Bounds-check the syscall number.
+	b.Li(T1, int32(tableLen))
+	b.BGEU(T0, T1, "exec.skip")
+	// Load args.
+	b.LW(A0, A5, 8)
+	b.LW(A1, A5, 12)
+	b.LW(A2, A5, 16)
+	b.LW(A3, A5, 20)
+	// Dispatch: t1 = table[nr].
+	b.SLLI(T0, T0, 2)
+	b.La(T1, tableSym)
+	b.ADD(T1, T1, T0)
+	b.NoSan(func() { b.LW(T1, T1, 0) }) // table read is kernel metadata
+	b.ADDI(A5, A5, 24)
+	// Save loop registers the handler may clobber.
+	b.ADDI(SP, SP, -16)
+	b.SW(A4, SP, 0)
+	b.SW(A5, SP, 4)
+	b.SW(A6, SP, 8)
+	b.SW(A7, SP, 12)
+	b.JALR(RA, T1, 0)
+	b.LW(A4, SP, 0)
+	b.LW(A5, SP, 4)
+	b.LW(A6, SP, 8)
+	b.LW(A7, SP, 12)
+	b.ADDI(SP, SP, 16)
+	b.ADDI(A4, A4, 1)
+	b.J("exec.next")
+	b.Label("exec.skip")
+	b.ADDI(A5, A5, 24)
+	b.J("exec.next")
+	b.Label("exec.done")
+	b.SW(A4, A6, 8) // done register <- executed count
+	b.J("exec.poll")
+}
+
+// AddByteExecutor emits the guest executor loop used by the byte-input
+// (Tardis-style) fuzzing frontend: each mailbox input is handed to
+// handler(a0 = data ptr, a1 = len) as one packet/request.
+func AddByteExecutor(b *kasm.Builder, handler string) {
+	b.Func("executor_loop")
+	b.Li(A6, MailboxLi)
+	b.Label("bexec.poll")
+	b.YIELD()
+	b.LW(T0, A6, 0)
+	b.BEQZ(T0, "bexec.poll")
+	b.LW(A1, A6, 4)
+	b.Li(A0, MailDataLi)
+	b.ADDI(SP, SP, -16)
+	b.SW(A6, SP, 0)
+	b.Call(handler)
+	b.LW(A6, SP, 0)
+	b.ADDI(SP, SP, 16)
+	b.SW(A0, A6, 8) // done <- handler result
+	b.J("bexec.poll")
+}

@@ -1,0 +1,375 @@
+package glib
+
+import (
+	"testing"
+
+	"embsan/internal/emu"
+	"embsan/internal/isa"
+	"embsan/internal/kasm"
+	"embsan/internal/san"
+)
+
+func run(t *testing.T, b *kasm.Builder, name string, budget uint64) *emu.Machine {
+	t.Helper()
+	img, err := b.Link(name)
+	if err != nil {
+		t.Fatalf("link %s: %v", name, err)
+	}
+	m, err := emu.New(img, emu.Config{MaxHarts: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Run(budget)
+	return m
+}
+
+func TestBootAndConsole(t *testing.T) {
+	for _, mode := range []kasm.SanitizeMode{kasm.SanNone, kasm.SanEmbsanC, kasm.SanNativeKASAN, kasm.SanNativeKCSAN} {
+		b := kasm.NewBuilder(kasm.Target{Arch: isa.ArchARM32E, Sanitize: mode})
+		AddBoot(b, BootConfig{InitFn: "noop", MainFn: "hello"})
+		AddLib(b)
+		b.Func("noop")
+		b.Ret()
+		b.Func("hello")
+		b.Prologue(16)
+		b.La(A0, "msg")
+		b.Call("puts")
+		b.Li(A0, 0xBEEF)
+		b.Call("put_hex")
+		b.Epilogue(16)
+		b.Asciz("msg", "hi:")
+		m := run(t, b, "boot-"+mode.String(), 1_000_000)
+		if m.StopReason() != emu.StopHalted {
+			t.Fatalf("%s: stop=%v fault=%v", mode, m.StopReason(), m.Fault())
+		}
+		if got := m.UART.String(); got != "hi:0000beef" {
+			t.Errorf("%s: uart = %q", mode, got)
+		}
+		if !m.ReadyReached {
+			t.Errorf("%s: ready not reached", mode)
+		}
+	}
+}
+
+func TestMemRoutines(t *testing.T) {
+	for _, mode := range []kasm.SanitizeMode{kasm.SanNone, kasm.SanNativeKASAN} {
+		b := kasm.NewBuilder(kasm.Target{Arch: isa.ArchARM32E, Sanitize: mode})
+		AddBoot(b, BootConfig{MainFn: "main"})
+		AddLib(b)
+		b.GlobalRaw("src", 64)
+		b.GlobalRaw("dst", 64)
+		b.Func("main")
+		b.Prologue(16)
+		// memset(src, 0x5A, 33)
+		b.La(A0, "src")
+		b.Li(A1, 0x5A)
+		b.Li(A2, 33)
+		b.Call("memset")
+		// memcpy(dst, src, 33)
+		b.La(A0, "dst")
+		b.La(A1, "src")
+		b.Li(A2, 33)
+		b.Call("memcpy")
+		// verify dst[32] == 0x5A and dst[33] == 0
+		b.La(T0, "dst")
+		b.LBU(A0, T0, 32)
+		b.LBU(T1, T0, 33)
+		b.SLLI(T1, T1, 8)
+		b.OR(A0, A0, T1)
+		b.HCALL(isa.HcallExit)
+		m := run(t, b, "mem-"+mode.String(), 1_000_000)
+		if m.ExitCode() != 0x5A {
+			t.Errorf("%s: exit = %#x, want 0x5a", mode, m.ExitCode())
+		}
+	}
+}
+
+func TestNativeKASANDetectsHeapBugs(t *testing.T) {
+	// A native-KASAN build with a hand-rolled allocation: unpoison 24 bytes
+	// inside a poisoned arena, then read one byte past it.
+	b := kasm.NewBuilder(kasm.Target{Arch: isa.ArchARM32E, Sanitize: kasm.SanNativeKASAN})
+	AddBoot(b, BootConfig{InitFn: "arena_init", MainFn: "main"})
+	AddLib(b)
+	b.GlobalRaw("arena", 4096)
+	b.Func("arena_init")
+	b.Prologue(16)
+	b.La(A0, "arena")
+	b.Li(A1, 4096)
+	b.SanPoisonHook(int32(san.CodeHeapUninit))
+	b.Epilogue(16)
+	b.Func("main")
+	b.Prologue(16)
+	// alloc: unpoison [arena, arena+24)
+	b.La(A0, "arena")
+	b.Li(A1, 24)
+	b.Call("__kasan_alloc")
+	b.La(T0, "arena")
+	b.LBU(A0, T0, 23) // fine
+	b.LBU(A0, T0, 24) // one past: must report
+	b.Li(A0, 0)
+	b.HCALL(isa.HcallExit)
+	img, err := b.Link("native-oob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := emu.New(img, emu.Config{})
+	m.Run(1_000_000)
+	if len(m.SanDev.Reports) != 1 {
+		t.Fatalf("native reports = %d, want 1", len(m.SanDev.Reports))
+	}
+	reps := san.ConvertNative(img, m.SanDev.Reports)
+	if reps[0].Bug != san.BugOOB {
+		t.Errorf("native bug = %v (info=%#x)", reps[0].Bug, m.SanDev.Reports[0].Info)
+	}
+	arena, _ := img.Lookup("arena")
+	if reps[0].Addr != arena.Addr+24 {
+		t.Errorf("native report addr = %#x, want %#x", reps[0].Addr, arena.Addr+24)
+	}
+}
+
+func TestNativeKASANGlobalRedzones(t *testing.T) {
+	b := kasm.NewBuilder(kasm.Target{Arch: isa.ArchARM32E, Sanitize: kasm.SanNativeKASAN})
+	AddBoot(b, BootConfig{MainFn: "main"})
+	AddLib(b)
+	b.Global("gobj", 20) // redzoned + registered in the global table
+	b.Func("main")
+	b.La(T0, "gobj")
+	b.LBU(A0, T0, 19) // fine
+	b.LBU(A0, T0, 20) // partial-granule tail: flagged
+	b.LBU(A0, T0, 24) // right redzone: flagged
+	b.Li(A0, 0)
+	b.HCALL(isa.HcallExit)
+	img, err := b.Link("native-global")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := emu.New(img, emu.Config{})
+	m.Run(1_000_000)
+	if len(m.SanDev.Reports) != 2 {
+		t.Fatalf("native reports = %d, want 2", len(m.SanDev.Reports))
+	}
+	reps := san.ConvertNative(img, m.SanDev.Reports)
+	if reps[1].Bug != san.BugGlobalOOB {
+		t.Errorf("second report = %v, want global OOB", reps[1].Bug)
+	}
+}
+
+func TestNativeKASANStackRedzones(t *testing.T) {
+	b := kasm.NewBuilder(kasm.Target{Arch: isa.ArchARM32E, Sanitize: kasm.SanNativeKASAN})
+	AddBoot(b, BootConfig{MainFn: "main"})
+	AddLib(b)
+	b.Func("main")
+	b.Prologue(16)
+	b.ADDI(SP, SP, -64)
+	b.GuardedBuffer(16, 24, A1)
+	b.Li(T1, 0x33)
+	b.SB(T1, A1, 23) // in bounds
+	b.SB(T1, A1, 24) // one past -> right stack redzone
+	b.UnguardBuffer(16, 24)
+	b.ADDI(SP, SP, 64)
+	// After unguarding, the same bytes must be accessible again.
+	b.ADDI(A1, SP, -48)
+	b.LBU(T1, A1, 0)
+	b.Epilogue(16)
+	img, err := b.Link("native-stack")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := emu.New(img, emu.Config{})
+	if r := m.Run(1_000_000); r != emu.StopHalted {
+		t.Fatalf("stop=%v fault=%v", r, m.Fault())
+	}
+	reps := san.ConvertNative(img, m.SanDev.Reports)
+	if len(reps) != 1 || reps[0].Bug != san.BugStackOOB {
+		t.Fatalf("native stack reports = %+v", reps)
+	}
+}
+
+func TestNativeKCSANDetectsRace(t *testing.T) {
+	b := kasm.NewBuilder(kasm.Target{Arch: isa.ArchARM32E, Sanitize: kasm.SanNativeKCSAN})
+	AddBoot(b, BootConfig{MainFn: "main"})
+	AddLib(b)
+	b.GlobalRaw("shared", 4)
+	b.GlobalRaw("wstack", 4096)
+	b.Func("main")
+	b.Li(A0, 1)
+	b.La(A1, "pound")
+	b.La(A2, "wstack")
+	b.ADDI(A2, A2, 2044)
+	b.HCALL(isa.HcallSpawn)
+	b.Call("pound")
+	b.Li(A0, 0)
+	b.HCALL(isa.HcallExit)
+	b.Func("pound")
+	b.La(T0, "shared")
+	b.Li(T1, 3000)
+	b.Label("pound.l")
+	b.LW(A0, T0, 0)
+	b.ADDI(A0, A0, 1)
+	b.SW(A0, T0, 0)
+	b.ADDI(T1, T1, -1)
+	b.BNEZ(T1, "pound.l")
+	b.Ret()
+	img, err := b.Link("native-race")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := emu.New(img, emu.Config{MaxHarts: 2, Seed: 7})
+	m.Run(20_000_000)
+	if len(m.SanDev.Reports) == 0 {
+		t.Fatal("native KCSAN found no race")
+	}
+	reps := san.ConvertNative(img, m.SanDev.Reports)
+	if reps[0].Bug != san.BugRace {
+		t.Errorf("native bug = %v", reps[0].Bug)
+	}
+}
+
+func TestSyscallExecutor(t *testing.T) {
+	b := kasm.NewBuilder(kasm.Target{Arch: isa.ArchARM32E})
+	AddBoot(b, BootConfig{MainFn: "executor_loop"})
+	AddLib(b)
+	b.GlobalRaw("acc", 4)
+	AddSyscallExecutor(b, "syscall_table", 2)
+	b.Func("sys_add") // acc += a0
+	b.La(T0, "acc")
+	b.LW(T1, T0, 0)
+	b.ADD(T1, T1, A0)
+	b.SW(T1, T0, 0)
+	b.Ret()
+	b.Func("sys_mul") // acc *= a0
+	b.La(T0, "acc")
+	b.LW(T1, T0, 0)
+	b.MUL(T1, T1, A0)
+	b.SW(T1, T0, 0)
+	b.Ret()
+	b.DataWordSyms("syscall_table", []string{"sys_add", "sys_mul"})
+	img, err := b.Link("exec")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := emu.New(img, emu.Config{})
+
+	// Program: add(5); mul(3); add(1); plus one out-of-range nr (skipped).
+	rec := func(nr, a0 uint32) []byte {
+		out := make([]byte, 24)
+		le := func(off int, v uint32) {
+			out[off] = byte(v)
+			out[off+1] = byte(v >> 8)
+			out[off+2] = byte(v >> 16)
+			out[off+3] = byte(v >> 24)
+		}
+		le(0, nr)
+		le(4, 1)
+		le(8, a0)
+		return out
+	}
+	var input []byte
+	input = append(input, rec(0, 5)...)
+	input = append(input, rec(1, 3)...)
+	input = append(input, rec(9, 7)...) // out of range -> skipped
+	input = append(input, rec(0, 1)...)
+	m.Mailbox.Post(input)
+	m.Run(1_000_000)
+	done, code := m.Mailbox.Done()
+	if !done || code != 3 {
+		t.Fatalf("done=%v executed=%d, want 3", done, code)
+	}
+	acc, _ := img.Lookup("acc")
+	v, _ := m.ReadWord(acc.Addr)
+	if v != 16 { // (0+5)*3+1
+		t.Errorf("acc = %d, want 16", v)
+	}
+}
+
+func TestByteExecutor(t *testing.T) {
+	b := kasm.NewBuilder(kasm.Target{Arch: isa.ArchARM32E})
+	AddBoot(b, BootConfig{MainFn: "executor_loop"})
+	AddLib(b)
+	AddByteExecutor(b, "handle")
+	b.Func("handle") // returns sum of bytes
+	b.MV(T0, A0)
+	b.ADD(T1, A0, A1)
+	b.Li(A0, 0)
+	b.Label("h.loop")
+	b.BGEU(T0, T1, "h.done")
+	b.LBU(A2, T0, 0)
+	b.ADD(A0, A0, A2)
+	b.ADDI(T0, T0, 1)
+	b.J("h.loop")
+	b.Label("h.done")
+	b.Ret()
+	img, err := b.Link("bexec")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := emu.New(img, emu.Config{})
+	m.Mailbox.Post([]byte{10, 20, 30})
+	m.Run(1_000_000)
+	done, code := m.Mailbox.Done()
+	if !done || code != 60 {
+		t.Fatalf("done=%v code=%d", done, code)
+	}
+}
+
+func TestSpinLocks(t *testing.T) {
+	// Two harts increment a counter 500 times each under a spinlock; no
+	// updates may be lost.
+	b := kasm.NewBuilder(kasm.Target{Arch: isa.ArchARM32E})
+	AddBoot(b, BootConfig{MainFn: "main"})
+	AddLib(b)
+	b.GlobalRaw("lock", 4)
+	b.GlobalRaw("count", 4)
+	b.GlobalRaw("done1", 4)
+	b.GlobalRaw("wstack", 4096)
+	b.Func("main")
+	b.Prologue(16)
+	b.Li(A0, 1)
+	b.La(A1, "worker")
+	b.La(A2, "wstack")
+	b.ADDI(A2, A2, 2044)
+	b.HCALL(isa.HcallSpawn)
+	b.Call("work")
+	b.La(T0, "done1")
+	b.Label("main.wait")
+	b.YIELD()
+	b.LW(T1, T0, 0)
+	b.BEQZ(T1, "main.wait")
+	b.La(T0, "count")
+	b.LW(A0, T0, 0)
+	b.HCALL(isa.HcallExit)
+	b.Func("worker") // spawned entry: never returns
+	b.Call("work")
+	b.La(T0, "done1")
+	b.Li(T1, 1)
+	b.SW(T1, T0, 0)
+	b.HALT()
+	b.Func("work")
+	b.Prologue(16)
+	b.Li(T0, 500)
+	b.Label("work.loop")
+	b.SW(T0, SP, 0)
+	b.La(A0, "lock")
+	b.Call("spin_lock")
+	b.La(T1, "count")
+	b.LW(A1, T1, 0)
+	b.ADDI(A1, A1, 1)
+	b.SW(A1, T1, 0)
+	b.La(A0, "lock")
+	b.Call("spin_unlock")
+	b.LW(T0, SP, 0)
+	b.ADDI(T0, T0, -1)
+	b.BNEZ(T0, "work.loop")
+	b.Epilogue(16)
+	img, err := b.Link("locks")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := emu.New(img, emu.Config{MaxHarts: 2, Seed: 3})
+	if r := m.Run(50_000_000); r != emu.StopExit {
+		t.Fatalf("stop=%v fault=%v", r, m.Fault())
+	}
+	if m.ExitCode() != 1000 {
+		t.Errorf("count = %d, want 1000 (lost updates)", m.ExitCode())
+	}
+}

@@ -1,0 +1,364 @@
+package glib
+
+import (
+	"fmt"
+
+	"embsan/internal/isa"
+	"embsan/internal/kasm"
+	"embsan/internal/san"
+)
+
+// In-guest sanitizer runtimes. These are the "native KASAN/KCSAN"
+// implementations the evaluation compares EMBSAN against: the compile-time
+// instrumentation pass expands every memory access into a call to
+// __kasan_loadN/__kasan_storeN (or __kcsan_load/__kcsan_store), and these
+// routines maintain shadow state entirely inside the guest, reporting
+// violations through the SanDev device.
+//
+// The per-access entry points follow a special ABI: the address arrives in
+// k0, the link register is k2 and k1 is scratch; architectural state beyond
+// the reserved registers is never touched (the per-hart scratch CSRs hold
+// the spilled link). All bodies are NoSan/AllowReserved: the sanitizer must
+// not sanitize itself.
+
+// Shadow layout: one byte per 8-byte granule covering all of RAM.
+const (
+	nativeRAMTopHi = 0x1000 // %hi(16 MiB): accesses at or above are skipped
+)
+
+// addNativeKASAN emits the complete in-guest KASAN runtime.
+func addNativeKASAN(b *kasm.Builder) {
+	ramSize := uint32(16 << 20)
+	b.GlobalAlign("__kasan_shadow", ramSize/san.Granularity, 4096)
+
+	// Per-access checks for every size/direction combination.
+	for _, e := range []struct {
+		name string
+		size int32
+	}{
+		{kasm.SymKasanLoad1, 1}, {kasm.SymKasanLoad2, 2}, {kasm.SymKasanLoad4, 4},
+		{kasm.SymKasanStore1, 1}, {kasm.SymKasanStore2, 2}, {kasm.SymKasanStore4, 4},
+	} {
+		emitKasanCheck(b, e.name, e.size)
+	}
+
+	// __kasan_poison(a0=addr, a1=size, a2=code): shadow[g] = code for every
+	// granule overlapping [addr, addr+size). Uses only a-registers.
+	b.Func("__kasan_poison")
+	b.NoSan(func() {
+		b.BEQZ(A1, "__kasan_poison.done")
+		b.ADD(A3, A0, A1)
+		b.ADDI(A3, A3, 7)
+		b.SRLI(A3, A3, 3) // end granule index (exclusive)
+		b.SRLI(A4, A0, 3) // start granule index
+		b.La(A5, "__kasan_shadow")
+		b.ADD(A3, A3, A5)
+		b.ADD(A4, A4, A5)
+		b.Label("__kasan_poison.loop")
+		b.BGEU(A4, A3, "__kasan_poison.done")
+		b.SB(A2, A4, 0)
+		b.ADDI(A4, A4, 1)
+		b.J("__kasan_poison.loop")
+		b.Label("__kasan_poison.done")
+	})
+	b.Ret()
+
+	// __kasan_unpoison(a0=addr, a1=size): full granules become 0; a partial
+	// trailing granule records its valid byte count.
+	b.Func("__kasan_unpoison")
+	b.NoSan(func() {
+		b.BEQZ(A1, "__kasan_unpoison.done")
+		b.ADD(A3, A0, A1) // end address
+		b.SRLI(A4, A0, 3)
+		b.La(A5, "__kasan_shadow")
+		b.ADD(A4, A4, A5) // cursor shadow ptr
+		b.SRLI(A6, A3, 3)
+		b.ADD(A6, A6, A5) // full-granule end shadow ptr
+		b.Label("__kasan_unpoison.loop")
+		b.BGEU(A4, A6, "__kasan_unpoison.tail")
+		b.SB(Z, A4, 0)
+		b.ADDI(A4, A4, 1)
+		b.J("__kasan_unpoison.loop")
+		b.Label("__kasan_unpoison.tail")
+		b.ANDI(A3, A3, 7)
+		b.BEQZ(A3, "__kasan_unpoison.done")
+		b.SB(A3, A4, 0)
+		b.Label("__kasan_unpoison.done")
+	})
+	b.Ret()
+
+	// __kasan_alloc(a0=ptr, a1=size): allocator hook.
+	b.Func("__kasan_alloc")
+	b.J("__kasan_unpoison")
+
+	// __kasan_free(a0=ptr, a1=size): allocator hook.
+	b.Func("__kasan_free")
+	b.Li(A2, int32(san.CodeHeapFree))
+	b.J("__kasan_poison")
+
+	// __kasan_range(a0=addr, a1=len): granule-walk a whole region, report
+	// the first violation. Preserves a0/a1; clobbers a2..a6.
+	b.Func("__kasan_range")
+	b.NoSan(func() {
+		b.BEQZ(A1, "__kasan_range.done")
+		// Device memory has no shadow: skip ranges outside RAM.
+		b.LUI(A2, nativeRAMTopHi)
+		b.BGEU(A0, A2, "__kasan_range.done")
+		b.ADD(A4, A0, A1) // end
+		b.MV(A3, A0)      // cursor
+		b.La(A5, "__kasan_shadow")
+		b.Label("__kasan_range.loop")
+		b.BGEU(A3, A4, "__kasan_range.done")
+		b.SRLI(A2, A3, 3)
+		b.ADD(A2, A2, A5)
+		b.LBU(A2, A2, 0)
+		b.BEQZ(A2, "__kasan_range.next")
+		b.SLTIU(A6, A2, 8)
+		b.BEQZ(A6, "__kasan_range.bad")
+		// Partial granule: first invalid byte = granule start + valid count.
+		b.ANDI(A6, A3, -8)
+		b.ADD(A6, A6, A2)
+		b.BGEU(A6, A4, "__kasan_range.next")
+		b.Label("__kasan_range.bad")
+		b.Li(A6, SanDevLi)
+		b.SW(A3, A6, 0) // addr
+		b.SW(A2, A6, 4) // shadow code
+		b.SW(RA, A6, 8) // pc: the interceptor call site
+		b.Li(A2, san.NativeKindKASAN)
+		b.SW(A2, A6, 12)
+		b.SW(A2, A6, 16) // commit
+		b.J("__kasan_range.done")
+		b.Label("__kasan_range.next")
+		b.ANDI(A6, A3, -8)
+		b.ADDI(A3, A6, 8)
+		b.J("__kasan_range.loop")
+		b.Label("__kasan_range.done")
+	})
+	b.Ret()
+
+	// __kasan_memcpy_check(a0=dst, a1=src, a2=len): preserves a0..a2.
+	b.Func("__kasan_memcpy_check")
+	b.NoSan(func() {
+		b.ADDI(SP, SP, -16)
+		b.SW(RA, SP, 12)
+		b.SW(A0, SP, 0)
+		b.SW(A1, SP, 4)
+		b.SW(A2, SP, 8)
+		b.MV(A1, A2)
+		b.Call("__kasan_range") // dst, len
+		b.LW(A0, SP, 4)
+		b.LW(A1, SP, 8)
+		b.Call("__kasan_range") // src, len
+		b.LW(A0, SP, 0)
+		b.LW(A1, SP, 4)
+		b.LW(A2, SP, 8)
+		b.LW(RA, SP, 12)
+		b.ADDI(SP, SP, 16)
+	})
+	b.Ret()
+
+	// __kasan_memset_check(a0=dst, a1=val, a2=len): preserves a0..a2.
+	b.Func("__kasan_memset_check")
+	b.NoSan(func() {
+		b.ADDI(SP, SP, -16)
+		b.SW(RA, SP, 12)
+		b.SW(A0, SP, 0)
+		b.SW(A1, SP, 4)
+		b.SW(A2, SP, 8)
+		b.MV(A1, A2)
+		b.Call("__kasan_range")
+		b.LW(A0, SP, 0)
+		b.LW(A1, SP, 4)
+		b.LW(A2, SP, 8)
+		b.LW(RA, SP, 12)
+		b.ADDI(SP, SP, 16)
+	})
+	b.Ret()
+
+	// __kasan_init: poison the NULL guard page, then walk the compile-time
+	// global table poisoning redzones and unpoisoning the objects.
+	b.Func("__kasan_init")
+	b.NoSan(func() {
+		b.ADDI(SP, SP, -16)
+		b.SW(RA, SP, 12)
+		b.Li(A0, 0)
+		b.Li(A1, 0x1000)
+		b.Li(A2, int32(san.CodeNull))
+		b.Call("__kasan_poison")
+		b.La(T0, "__kasan_global_table")
+		b.LW(T1, T0, 0) // count
+		b.ADDI(T0, T0, 4)
+		b.Label("__kasan_init.loop")
+		b.BEQZ(T1, "__kasan_init.done")
+		// Left redzone: poison(addr - rz, rz, global).
+		b.LW(A0, T0, 0)
+		b.LW(A1, T0, 8)
+		b.SUB(A0, A0, A1)
+		b.Li(A2, int32(san.CodeGlobalRedzone))
+		b.Call("__kasan_poison")
+		// Right redzone: poison(addr + size, rz, global).
+		b.LW(A0, T0, 0)
+		b.LW(A1, T0, 4)
+		b.ADD(A0, A0, A1)
+		b.LW(A1, T0, 8)
+		b.Li(A2, int32(san.CodeGlobalRedzone))
+		b.Call("__kasan_poison")
+		// Object itself stays addressable.
+		b.LW(A0, T0, 0)
+		b.LW(A1, T0, 4)
+		b.Call("__kasan_unpoison")
+		b.ADDI(T0, T0, 12)
+		b.ADDI(T1, T1, -1)
+		b.J("__kasan_init.loop")
+		b.Label("__kasan_init.done")
+		b.LW(RA, SP, 12)
+		b.ADDI(SP, SP, 16)
+	})
+	b.Ret()
+}
+
+// emitKasanCheck writes one per-access check entry point. ABI: k0 = addr,
+// k2 = link, k1 scratch; no other state is touched.
+func emitKasanCheck(b *kasm.Builder, name string, size int32) {
+	ok := name + ".ok"
+	bad := name + ".bad"
+	b.Func(name)
+	b.AllowReserved(func() {
+		b.NoSan(func() {
+			b.CSRW(K2, isa.CSRScratch0)
+			// Skip device memory / out-of-RAM addresses.
+			b.LUI(K1, nativeRAMTopHi)
+			b.BGEU(K0, K1, ok)
+			b.SRLI(K1, K0, 3)
+			b.La(K2, "__kasan_shadow")
+			b.ADD(K1, K1, K2)
+			b.LBU(K1, K1, 0)
+			b.BEQZ(K1, ok)
+			// Slow path: partial-granule validity.
+			b.SLTIU(K2, K1, 8)
+			b.BEQZ(K2, bad)
+			b.ANDI(K2, K0, 7)
+			b.ADDI(K2, K2, size-1)
+			b.BLT(K2, K1, ok)
+			b.Label(bad)
+			b.LUI(K2, int32(0xF0005)) // SanDev base
+			b.SW(K0, K2, 0)           // addr
+			b.SW(K1, K2, 4)           // shadow code
+			b.CSRR(K1, isa.CSRScratch0)
+			b.SW(K1, K2, 8) // pc (the access instruction)
+			b.ADDI(K1, Z, san.NativeKindKASAN)
+			b.SW(K1, K2, 12)
+			b.SW(K1, K2, 16) // commit
+			b.Label(ok)
+			b.CSRR(K2, isa.CSRScratch0)
+			b.JALR(Z, K2, 0)
+		})
+	})
+}
+
+// addNativeKCSAN emits the in-guest KCSAN runtime: per-hart soft
+// watchpoints in guest memory, a scan of all slots on every access, and
+// sampled arming with a spin-delay window.
+func addNativeKCSAN(b *kasm.Builder) {
+	const maxHarts = 4
+	const slotSize = 16 // addr, write, observed, pad
+	b.GlobalAlign("__kcsan_watch", maxHarts*slotSize, 16)
+	b.GlobalRaw("__kcsan_ctr", 4)
+
+	b.Func("__kcsan_init")
+	b.Ret() // the watch table lives in zero-initialised bss
+
+	b.Func(kasm.SymKcsanStore)
+	b.AllowReserved(func() {
+		b.NoSan(func() {
+			b.CSRW(K2, isa.CSRScratch0)
+			b.ADDI(K1, Z, 1)
+			b.CSRW(K1, isa.CSRScratch1) // my access is a write
+			b.J("__kcsan_check")
+		})
+	})
+
+	b.Func(kasm.SymKcsanLoad)
+	b.AllowReserved(func() {
+		b.NoSan(func() {
+			b.CSRW(K2, isa.CSRScratch0)
+			b.CSRW(Z, isa.CSRScratch1)
+			// fall through
+		})
+	})
+
+	b.Func("__kcsan_check")
+	b.AllowReserved(func() {
+		b.NoSan(func() {
+			ret := "__kcsan_check.ret"
+			// Skip device memory.
+			b.LUI(K1, nativeRAMTopHi)
+			b.BGEU(K0, K1, ret)
+			b.La(K2, "__kcsan_watch")
+			// Scan every hart's slot for a conflicting watchpoint.
+			for i := 0; i < maxHarts; i++ {
+				next := fmt.Sprintf("__kcsan_check.n%d", i)
+				race := fmt.Sprintf("__kcsan_check.race%d", i)
+				off := int32(i * slotSize)
+				b.LW(K1, K2, off)
+				b.BNE(K1, K0, next)
+				b.CSRR(K1, isa.CSRHartID)
+				b.XORI(K1, K1, int32(i))
+				b.BEQZ(K1, next) // our own watchpoint: not a conflict
+				// Conflict if either side writes.
+				b.CSRR(K1, isa.CSRScratch1)
+				b.BNEZ(K1, race)
+				b.LW(K1, K2, off+4) // watchpoint's write flag
+				b.BEQZ(K1, next)    // read/read: not a race
+				b.Label(race)
+				b.ADDI(K1, Z, 1)
+				b.SW(K1, K2, off+8) // mark observed
+				// Report through the SanDev.
+				b.LUI(K1, int32(0xF0005))
+				b.SW(K0, K1, 0) // addr
+				b.CSRR(K0, isa.CSRScratch0)
+				b.SW(K0, K1, 8) // pc
+				b.ADDI(K0, Z, san.NativeKindKCSAN)
+				b.SW(K0, K1, 12)
+				b.SW(K0, K1, 16) // commit
+				b.J(ret)
+				b.Label(next)
+			}
+			// Sampling: arm our own slot every 64th access.
+			b.La(K1, "__kcsan_ctr")
+			b.LW(K2, K1, 0)
+			b.ADDI(K2, K2, 1)
+			b.SW(K2, K1, 0)
+			b.ANDI(K2, K2, 63)
+			b.BNEZ(K2, ret)
+			// Arm: slot = watch + hart*16.
+			b.CSRR(K1, isa.CSRHartID)
+			b.SLLI(K1, K1, 4)
+			b.La(K2, "__kcsan_watch")
+			b.ADD(K2, K2, K1)
+			b.SW(K0, K2, 0) // addr
+			b.CSRR(K1, isa.CSRScratch1)
+			b.SW(K1, K2, 4) // write flag
+			b.SW(Z, K2, 8)  // observed = 0
+			// Delay window: spin so other harts get scheduled.
+			b.ADDI(K1, Z, 200)
+			b.Label("__kcsan_check.delay")
+			b.ADDI(K1, K1, -1)
+			b.BNEZ(K1, "__kcsan_check.delay")
+			// Disarm and check whether anyone hit the watchpoint.
+			b.LW(K1, K2, 8)
+			b.SW(Z, K2, 0)
+			b.BEQZ(K1, ret)
+			b.LUI(K1, int32(0xF0005))
+			b.SW(K0, K1, 0)
+			b.CSRR(K0, isa.CSRScratch0)
+			b.SW(K0, K1, 8)
+			b.ADDI(K0, Z, san.NativeKindKCSAN)
+			b.SW(K0, K1, 12)
+			b.SW(K0, K1, 16)
+			b.Label(ret)
+			b.CSRR(K2, isa.CSRScratch0)
+			b.JALR(Z, K2, 0)
+		})
+	})
+}

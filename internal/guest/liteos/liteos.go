@@ -1,0 +1,361 @@
+// Package liteos is the LiteOS guest personality modelled on the
+// OpenHarmony stm32 boards of Table 1: a pool-based allocator with the
+// LOS_MemAlloc(pool, size) ABI (size in the second argument — the shape
+// the Prober's behavioural inference has to recover on closed firmware),
+// sequential block headers with linear-scan best-effort allocation and
+// next-block coalescing on free, plus VFS and FAT services behind the
+// Tardis-style byte executor. Three OOB bugs from Table 4 are seeded.
+package liteos
+
+import (
+	"fmt"
+
+	"embsan/internal/guest/glib"
+	"embsan/internal/isa"
+	"embsan/internal/kasm"
+	"embsan/internal/san"
+)
+
+const (
+	rZ  = glib.Z
+	rSP = glib.SP
+	rA0 = glib.A0
+	rA1 = glib.A1
+	rA2 = glib.A2
+	rA3 = glib.A3
+	rA4 = glib.A4
+	rT0 = glib.T0
+	rT1 = glib.T1
+)
+
+const poolSize = 128 << 10
+
+// Block header: {size (total, incl. 8-byte header), used flag}.
+
+// Bug describes one seeded bug with its triggering byte input.
+type Bug struct {
+	Fn       string
+	Location string
+	Type     san.BugType
+	Trigger  []byte
+}
+
+// Firmware is a built LiteOS image.
+type Firmware struct {
+	Image *kasm.Image
+	Bugs  []Bug
+	Seeds [][]byte
+}
+
+// Service commands.
+const (
+	cmdVFSOpen  = 0
+	cmdVFSLink  = 1
+	cmdFATRead  = 2
+	cmdShell    = 3
+	numCommands = 4
+)
+
+const (
+	subVFSOpenBug = 0x71
+	subVFSLinkBug = 0x72
+	subFATBug     = 0x73
+)
+
+// BoardBugs selects which seeded bugs are present, matching Table 4:
+// stm32mp1 carries only the fs/vfs bug; stm32f407 carries fs/vfs + fs/fat.
+type BoardBugs struct {
+	VFSOpen bool // fs/vfs (stm32mp1)
+	VFSLink bool // fs/vfs (stm32f407)
+	FAT     bool // fs/fat (stm32f407)
+}
+
+// Build assembles the firmware.
+func Build(name string, arch isa.Arch, mode kasm.SanitizeMode, bugs BoardBugs) (*Firmware, error) {
+	b := kasm.NewBuilder(kasm.Target{Arch: arch, Sanitize: mode})
+	glib.AddBoot(b, glib.BootConfig{InitFn: "los_init", MainFn: "executor_loop"})
+	glib.AddLib(b)
+	emitPoolAllocator(b)
+	emitInit(b)
+	emitServices(b, bugs)
+	glib.AddByteExecutor(b, "los_dispatch")
+
+	img, err := b.Link(name)
+	if err != nil {
+		return nil, fmt.Errorf("liteos: build %s: %w", name, err)
+	}
+	fw := &Firmware{
+		Image: img,
+		Seeds: [][]byte{
+			{cmdVFSOpen, 0, 0, 0, '/', 'e', 't', 'c', 0},
+			{cmdVFSLink, 0, 0, 0, 'a', 'b'},
+			{cmdFATRead, 0, 4, 0, 1, 2, 3, 4},
+			{cmdShell, 0, 'l', 's'},
+		},
+	}
+	if bugs.VFSOpen {
+		fw.Bugs = append(fw.Bugs, Bug{Fn: "los_vfs_open", Location: "fs/vfs", Type: san.BugOOB,
+			Trigger: []byte{cmdVFSOpen, subVFSOpenBug, 0, 0, 'x', 0}})
+	}
+	if bugs.VFSLink {
+		fw.Bugs = append(fw.Bugs, Bug{Fn: "los_vfs_link", Location: "fs/vfs", Type: san.BugOOB,
+			Trigger: []byte{cmdVFSLink, subVFSLinkBug, 0, 0}})
+	}
+	if bugs.FAT {
+		fw.Bugs = append(fw.Bugs, Bug{Fn: "fatfs_dirread", Location: "fs/fat", Type: san.BugOOB,
+			Trigger: []byte{cmdFATRead, subFATBug, 0, 0}})
+	}
+	return fw, nil
+}
+
+func emitInit(b *kasm.Builder) {
+	b.Func("los_init")
+	b.Prologue(16)
+	b.Call("los_pool_init")
+	// Boot allocations the dry run observes (size is the second argument).
+	b.La(rA0, "m_aucSysMem0")
+	b.Li(rA1, 72)
+	b.Call("LOS_MemAlloc")
+	b.La(rA0, "m_aucSysMem0")
+	b.Li(rA1, 28)
+	b.Call("LOS_MemAlloc")
+	b.La(rA0, "m_aucSysMem0")
+	b.Li(rA1, 120)
+	b.Call("LOS_MemAlloc")
+	b.Epilogue(16)
+}
+
+// emitPoolAllocator emits the LOS_Mem* pool allocator: blocks are laid out
+// sequentially with {size, used} headers; allocation linearly scans for the
+// first free block large enough and splits it; free clears the used flag
+// and coalesces with a free successor.
+func emitPoolAllocator(b *kasm.Builder) {
+	b.GlobalAlign("m_aucSysMem0", poolSize, 8)
+
+	b.Func("los_pool_init")
+	b.Prologue(16)
+	b.NoSan(func() {
+		b.La(rT0, "m_aucSysMem0")
+		b.LUI(rT1, poolSize>>12)
+		b.SW(rT1, rT0, 0) // one block spanning the pool
+		b.SW(rZ, rT0, 4)  // used = 0
+	})
+	b.La(rA0, "m_aucSysMem0")
+	b.LUI(rA1, poolSize>>12)
+	b.SanPoisonHook(int32(san.CodeHeapUninit))
+	b.Epilogue(16)
+
+	// LOS_MemAlloc(a0 = pool, a1 = size) -> a0 = ptr or 0.
+	b.Func("LOS_MemAlloc")
+	b.NoSan(func() {
+		b.ADDI(rT0, rA1, 15)
+		b.ANDI(rT0, rT0, -8) // total block size incl. header
+		b.MV(rA2, rA0)       // cursor = pool
+		b.La(rA3, "m_aucSysMem0")
+		b.LUI(rA4, poolSize>>12)
+		b.ADD(rA3, rA3, rA4) // pool end
+		b.Label("LOS_MemAlloc.scan")
+		b.BGEU(rA2, rA3, "LOS_MemAlloc.fail")
+		b.LW(rA4, rA2, 4) // used?
+		b.BNEZ(rA4, "LOS_MemAlloc.next")
+		b.LW(rA4, rA2, 0) // block size
+		b.BGEU(rA4, rT0, "LOS_MemAlloc.take")
+		b.Label("LOS_MemAlloc.next")
+		b.LW(rA4, rA2, 0)
+		b.ADD(rA2, rA2, rA4)
+		b.J("LOS_MemAlloc.scan")
+		b.Label("LOS_MemAlloc.take")
+		b.LW(rA4, rA2, 0)
+		b.SUB(rA4, rA4, rT0) // remainder
+		b.SLTIU(rT1, rA4, 24)
+		b.BNEZ(rT1, "LOS_MemAlloc.whole")
+		// Split: current block shrinks to the request, successor is free.
+		b.SW(rT0, rA2, 0)
+		b.ADD(rT1, rA2, rT0)
+		b.SW(rA4, rT1, 0)
+		b.SW(rZ, rT1, 4)
+		b.Label("LOS_MemAlloc.whole")
+		b.Li(rA4, 1)
+		b.SW(rA4, rA2, 4) // used = 1
+		b.ADDI(rA0, rA2, 8)
+	})
+	b.SanAllocHook() // a0 = ptr, a1 = requested size
+	b.Ret()
+	b.NoSan(func() {
+		b.Label("LOS_MemAlloc.fail")
+		b.Li(rA0, 0)
+	})
+	b.Ret()
+	b.MarkAlloc("LOS_MemAlloc")
+
+	// LOS_MemFree(a0 = pool, a1 = ptr).
+	b.Func("LOS_MemFree")
+	b.Prologue(16)
+	b.NoSan(func() {
+		b.BEQZ(rA1, "LOS_MemFree.out")
+		b.SW(rA1, rSP, 0)
+		b.ADDI(rT0, rA1, -8)
+		b.MV(rA0, rA1)    // hook wants ptr in a0
+		b.LW(rA1, rT0, 0) // block size
+		b.ADDI(rA1, rA1, -8)
+	})
+	b.SanFreeHook()
+	b.NoSan(func() {
+		b.LW(rA1, rSP, 0)
+		b.ADDI(rT0, rA1, -8)
+		b.SW(rZ, rT0, 4) // used = 0
+		// Coalesce with a free successor.
+		b.LW(rT1, rT0, 0)
+		b.ADD(rA2, rT0, rT1)
+		b.La(rA3, "m_aucSysMem0")
+		b.LUI(rA4, poolSize>>12)
+		b.ADD(rA3, rA3, rA4)
+		b.BGEU(rA2, rA3, "LOS_MemFree.out")
+		b.LW(rA4, rA2, 4)
+		b.BNEZ(rA4, "LOS_MemFree.out")
+		b.LW(rA4, rA2, 0)
+		b.ADD(rT1, rT1, rA4)
+		b.SW(rT1, rT0, 0)
+		b.Label("LOS_MemFree.out")
+	})
+	b.Epilogue(16)
+	b.MarkFree("LOS_MemFree")
+}
+
+func emitServices(b *kasm.Builder, bugs BoardBugs) {
+	// los_dispatch(a0 = buf, a1 = len) -> a0.
+	b.Func("los_dispatch")
+	b.Prologue(16)
+	b.Li(rT0, 2)
+	b.BLTU(rA1, rT0, "ldisp.out")
+	b.LBU(rT0, rA0, 0)
+	b.Li(rT1, numCommands)
+	b.BGEU(rT0, rT1, "ldisp.out")
+	b.SLLI(rT0, rT0, 2)
+	b.La(rT1, "los_svc_table")
+	b.ADD(rT1, rT1, rT0)
+	b.NoSan(func() { b.LW(rT1, rT1, 0) })
+	b.JALR(glib.RA, rT1, 0)
+	b.Label("ldisp.out")
+	b.Li(rA0, 0)
+	b.Epilogue(16)
+	b.DataWordSyms("los_svc_table", []string{
+		"los_vfs_open", "los_vfs_link", "fatfs_dirread", "los_shell_exec",
+	})
+
+	alloc := func(size int32) {
+		b.La(rA0, "m_aucSysMem0")
+		b.Li(rA1, size)
+		b.Call("LOS_MemAlloc")
+	}
+	free := func() { // ptr already in a1
+		b.La(rA0, "m_aucSysMem0")
+		b.Call("LOS_MemFree")
+	}
+
+	// los_vfs_open(a0 = buf, a1 = len): copy a path into a dentry buffer.
+	// Bug (stm32mp1): sub 0x71 writes past the 40-byte dentry.
+	b.Func("los_vfs_open")
+	b.Prologue(32)
+	b.SW(rA0, rSP, 0)
+	b.SW(rA1, rSP, 4)
+	alloc(40)
+	b.BEQZ(rA0, "vopen.out")
+	b.SW(rA0, rSP, 8)
+	// Copy up to 32 path bytes.
+	b.LW(rA2, rSP, 4)
+	b.ADDI(rA2, rA2, -4)
+	b.BLT(rA2, rZ, "vopen.nocopy")
+	b.Li(rT0, 32)
+	b.BLT(rA2, rT0, "vopen.copy")
+	b.MV(rA2, rT0)
+	b.Label("vopen.copy")
+	b.LW(rA1, rSP, 0)
+	b.ADDI(rA1, rA1, 4)
+	b.Call("memcpy")
+	b.Label("vopen.nocopy")
+	if bugs.VFSOpen {
+		b.LW(rT0, rSP, 0)
+		b.LBU(rT0, rT0, 1)
+		b.Li(rT1, subVFSOpenBug)
+		b.BNE(rT0, rT1, "vopen.free")
+		b.LW(rT0, rSP, 8)
+		b.Li(rT1, 0x2F)
+		b.SB(rT1, rT0, 40) // one past the dentry
+	}
+	b.Label("vopen.free")
+	b.LW(rA1, rSP, 8)
+	free()
+	b.Label("vopen.out")
+	b.Epilogue(32)
+
+	// los_vfs_link(a0 = buf, a1 = len): inode pair bookkeeping.
+	// Bug (stm32f407): sub 0x72 reads past a 24-byte inode record.
+	b.Func("los_vfs_link")
+	b.Prologue(32)
+	b.SW(rA0, rSP, 0)
+	alloc(24)
+	b.BEQZ(rA0, "vlink.out")
+	b.SW(rA0, rSP, 8)
+	b.Li(rT0, 0x11)
+	b.SW(rT0, rA0, 0)
+	b.SW(rT0, rA0, 20)
+	if bugs.VFSLink {
+		b.LW(rT0, rSP, 0)
+		b.LBU(rT0, rT0, 1)
+		b.Li(rT1, subVFSLinkBug)
+		b.BNE(rT0, rT1, "vlink.free")
+		b.LW(rT0, rSP, 8)
+		b.LBU(rT1, rT0, 24) // one past the record
+	}
+	b.Label("vlink.free")
+	b.LW(rA1, rSP, 8)
+	free()
+	b.Label("vlink.out")
+	b.Epilogue(32)
+
+	// fatfs_dirread(a0 = buf, a1 = len): directory entry scan.
+	// Bug (stm32f407): sub 0x73 writes past a 56-byte dirent buffer.
+	b.Func("fatfs_dirread")
+	b.Prologue(32)
+	b.SW(rA0, rSP, 0)
+	alloc(56)
+	b.BEQZ(rA0, "fat.out")
+	b.SW(rA0, rSP, 8)
+	b.SW(rA0, rSP, 12)
+	// Benign: fill the dirent with the request header.
+	b.MV(rT0, rA0)
+	b.LW(rT1, rSP, 0)
+	b.LW(rA2, rT1, 0)
+	b.SW(rA2, rT0, 0)
+	b.SW(rA2, rT0, 48)
+	if bugs.FAT {
+		b.LW(rT0, rSP, 0)
+		b.LBU(rT0, rT0, 1)
+		b.Li(rT1, subFATBug)
+		b.BNE(rT0, rT1, "fat.free")
+		b.LW(rT0, rSP, 8)
+		b.Li(rT1, 0x3A)
+		b.SH(rT1, rT0, 56) // two bytes past the dirent
+	}
+	b.Label("fat.free")
+	b.LW(rA1, rSP, 8)
+	free()
+	b.Label("fat.out")
+	b.Epilogue(32)
+
+	// los_shell_exec: benign computation + console echo.
+	b.Func("los_shell_exec")
+	b.Prologue(16)
+	b.LBU(rT0, rA0, 1)
+	b.ANDI(rT0, rT0, 31)
+	b.ADDI(rT0, rT0, 4)
+	b.Li(rA2, 0)
+	b.Label("shell.loop")
+	b.SLLI(rT1, rA2, 2)
+	b.XOR(rA2, rA2, rT1)
+	b.ADDI(rA2, rA2, 13)
+	b.ADDI(rT0, rT0, -1)
+	b.BNEZ(rT0, "shell.loop")
+	b.Epilogue(16)
+}

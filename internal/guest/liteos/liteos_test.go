@@ -1,0 +1,102 @@
+package liteos
+
+import (
+	"testing"
+
+	"embsan/internal/core"
+	"embsan/internal/emu"
+	"embsan/internal/isa"
+	"embsan/internal/kasm"
+	"embsan/internal/probe"
+	"embsan/internal/san"
+)
+
+func boot(t *testing.T, bugs BoardBugs, sans []string) (*Firmware, *core.Instance) {
+	t.Helper()
+	fw, err := Build("liteos-test", isa.ArchARM32E, kasm.SanNone, bugs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := core.New(core.Config{
+		Image:      fw.Image,
+		Sanitizers: sans,
+		Machine:    emu.Config{MaxHarts: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.Boot(100_000_000); err != nil {
+		t.Fatal(err)
+	}
+	inst.Snapshot()
+	return fw, inst
+}
+
+func TestProberRecognisesPoolABI(t *testing.T) {
+	fw, _ := boot(t, BoardBugs{}, []string{"kasan"})
+	res, err := probe.Probe(fw.Image, probe.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Platform.Allocs) != 1 || res.Platform.Allocs[0].Name != "LOS_MemAlloc" {
+		t.Fatalf("allocs = %+v", res.Platform.Allocs)
+	}
+	if res.Platform.Allocs[0].SizeArg != "a1" {
+		t.Errorf("size arg = %s, want a1 (pool-based ABI)", res.Platform.Allocs[0].SizeArg)
+	}
+	if len(res.Platform.Frees) != 1 || res.Platform.Frees[0].PtrArg != "a1" {
+		t.Errorf("frees = %+v", res.Platform.Frees)
+	}
+	// Boot makes three allocations; the init routine must replay them.
+	var allocs int
+	for _, op := range res.Init.Ops {
+		if op.Kind == 3 { // dsl.InitAlloc
+			allocs++
+		}
+	}
+	if allocs != 3 {
+		t.Errorf("init replays %d allocs, want 3", allocs)
+	}
+}
+
+func TestBoardBugSelection(t *testing.T) {
+	mp1, _ := Build("mp1", isa.ArchARM32E, kasm.SanNone, BoardBugs{VFSOpen: true})
+	if len(mp1.Bugs) != 1 || mp1.Bugs[0].Fn != "los_vfs_open" {
+		t.Errorf("mp1 bugs = %+v", mp1.Bugs)
+	}
+	f407, _ := Build("f407", isa.ArchMIPS32E, kasm.SanNone, BoardBugs{VFSLink: true, FAT: true})
+	if len(f407.Bugs) != 2 {
+		t.Errorf("f407 bugs = %+v", f407.Bugs)
+	}
+}
+
+func TestAllTriggersDetect(t *testing.T) {
+	fw, inst := boot(t, BoardBugs{VFSOpen: true, VFSLink: true, FAT: true}, []string{"kasan"})
+	for _, bug := range fw.Bugs {
+		inst.Restore()
+		res := inst.Exec(bug.Trigger, 50_000_000)
+		if len(res.Reports) == 0 {
+			t.Errorf("%s not detected", bug.Fn)
+			continue
+		}
+		if res.Reports[0].Bug != san.BugOOB {
+			t.Errorf("%s: %v", bug.Fn, res.Reports[0].Bug)
+		}
+	}
+}
+
+func TestCoalescingAllocatorSurvivesChurn(t *testing.T) {
+	// The pool allocator coalesces on free: repeated service rounds must
+	// neither exhaust the pool nor trip the sanitizer.
+	fw, inst := boot(t, BoardBugs{}, []string{"kasan"})
+	for i := 0; i < 300; i++ {
+		seed := fw.Seeds[i%len(fw.Seeds)]
+		res := inst.Exec(seed, 50_000_000)
+		if !res.Done {
+			t.Fatalf("round %d: stop=%v fault=%v", i, res.Stop, res.Fault)
+		}
+		if len(res.Reports) != 0 {
+			t.Fatalf("round %d: %s", i, res.Reports[0].Title())
+		}
+	}
+}

@@ -1,0 +1,344 @@
+// Package vxworks is the VxWorks guest personality modelled on the TP-Link
+// WDR-7660 router of Table 1. It is distributed as closed-source firmware:
+// Build returns a stripped image, so the Prober has to classify the
+// memPartAlloc/memPartFree allocator behaviourally. The services are the
+// two the paper found bugs in — a PPPoE daemon and a DHCP server — both
+// parsing attacker-controlled packets with length fields, plus a benign
+// forwarding path.
+package vxworks
+
+import (
+	"fmt"
+
+	"embsan/internal/guest/glib"
+	"embsan/internal/isa"
+	"embsan/internal/kasm"
+	"embsan/internal/san"
+)
+
+const (
+	rZ  = glib.Z
+	rSP = glib.SP
+	rA0 = glib.A0
+	rA1 = glib.A1
+	rA2 = glib.A2
+	rA3 = glib.A3
+	rA4 = glib.A4
+	rT0 = glib.T0
+	rT1 = glib.T1
+)
+
+const partSize = 96 << 10
+
+// Bug describes one seeded bug with its triggering packet.
+type Bug struct {
+	Fn       string
+	Location string
+	Type     san.BugType
+	Trigger  []byte
+}
+
+// Firmware is a built (and stripped) TP-Link-like image.
+type Firmware struct {
+	Image *kasm.Image // stripped: closed-source distribution
+	// FullImage keeps the symbols for ground-truth verification in tests.
+	FullImage *kasm.Image
+	Bugs      []Bug
+	Seeds     [][]byte
+}
+
+// Packet service selector (first byte).
+const (
+	svcPPPoE = 0x50
+	svcDHCP  = 0x44
+	svcFwd   = 0x46
+)
+
+// Build assembles and strips the firmware. VxWorks firmware cannot be
+// rebuilt with instrumentation, so mode is always SanNone (EMBSAN-D).
+func Build(name string, arch isa.Arch) (*Firmware, error) {
+	b := kasm.NewBuilder(kasm.Target{Arch: arch, Sanitize: kasm.SanNone})
+	glib.AddBoot(b, glib.BootConfig{InitFn: "usrRoot", MainFn: "executor_loop"})
+	glib.AddLib(b)
+	emitMemPart(b)
+	emitInit(b)
+	emitServices(b)
+	glib.AddByteExecutor(b, "net_input")
+
+	full, err := b.Link(name)
+	if err != nil {
+		return nil, fmt.Errorf("vxworks: build %s: %w", name, err)
+	}
+	// A valid PPPoE discovery frame: ver/type 0x11, tag list with a
+	// host-uniq tag of 8 bytes.
+	pppoeSeed := []byte{svcPPPoE, 0x11, 0, 0,
+		0x03, 0x01, 8, 0, 1, 2, 3, 4, 5, 6, 7, 8}
+	// A valid DHCP request: op 1, xid, one 4-byte option 50.
+	dhcpSeed := []byte{svcDHCP, 1, 0xAA, 0xBB, 50, 4, 10, 0, 0, 1, 0xFF}
+
+	// The triggers oversize a length field past the 64-byte (PPPoE) and
+	// 16-byte (DHCP) service buffers.
+	pppoeTrig := []byte{svcPPPoE, 0x11, 0, 0, 0x05, 0x01, 80, 0}
+	pppoeTrig = append(pppoeTrig, make([]byte, 80)...)
+	dhcpTrig := []byte{svcDHCP, 1, 0xAA, 0xBB, 53, 24}
+	dhcpTrig = append(dhcpTrig, make([]byte, 24)...)
+
+	return &Firmware{
+		Image:     full.Strip(),
+		FullImage: full,
+		Bugs: []Bug{
+			{Fn: "pppoed_input", Location: "pppoed", Type: san.BugOOB, Trigger: pppoeTrig},
+			{Fn: "dhcpsd_input", Location: "dhcpsd", Type: san.BugOOB, Trigger: dhcpTrig},
+		},
+		Seeds: [][]byte{pppoeSeed, dhcpSeed, {svcFwd, 9, 9, 9, 1, 2, 3, 4}},
+	}, nil
+}
+
+func emitInit(b *kasm.Builder) {
+	b.Func("usrRoot")
+	b.Prologue(16)
+	b.Call("memPartInit")
+	// Boot allocations (service control blocks): these give the closed-
+	// source Prober the observations its classifier needs.
+	alloc := func(size int32) {
+		b.La(rA0, "memPartPool")
+		b.Li(rA1, size)
+		b.Call("memPartAlloc")
+	}
+	alloc(64)
+	alloc(96)
+	alloc(48)
+	b.SW(rA0, rSP, 0)
+	alloc(32)
+	// Free one of them so the classifier can pair alloc/free.
+	b.LW(rA1, rSP, 0)
+	b.La(rA0, "memPartPool")
+	b.Call("memPartFree")
+	b.Epilogue(16)
+}
+
+// emitMemPart emits the VxWorks-style memory partition allocator: a bump
+// cursor with a singly linked per-size-agnostic free list consulted first.
+func emitMemPart(b *kasm.Builder) {
+	b.GlobalAlign("memPartPool", partSize, 8)
+	b.GlobalRaw("memPartCursor", 4)
+	b.GlobalRaw("memPartFreeList", 4)
+
+	b.Func("memPartInit")
+	b.Prologue(16)
+	b.NoSan(func() {
+		b.La(rT0, "memPartCursor")
+		b.SW(rZ, rT0, 0)
+		b.La(rT0, "memPartFreeList")
+		b.SW(rZ, rT0, 0)
+	})
+	b.La(rA0, "memPartPool")
+	b.LUI(rA1, partSize>>12)
+	b.SanPoisonHook(int32(san.CodeHeapUninit))
+	b.Epilogue(16)
+
+	// memPartAlloc(a0 = part, a1 = size) -> a0 = ptr or 0.
+	// Block header: one word holding the block's total size.
+	b.Func("memPartAlloc")
+	b.NoSan(func() {
+		b.ADDI(rT0, rA1, 15)
+		b.ANDI(rT0, rT0, -8) // total incl. 8-byte header (padded)
+		// First-fit from the free list (exact-or-larger).
+		b.La(rA2, "memPartFreeList")
+		b.LW(rA3, rA2, 0)
+		b.Label("memPartAlloc.walk")
+		b.BEQZ(rA3, "memPartAlloc.bump")
+		b.LW(rT1, rA3, 4) // stored size
+		b.BGEU(rT1, rT0, "memPartAlloc.reuse")
+		b.ADDI(rA2, rA3, 0)
+		b.LW(rA3, rA3, 0)
+		b.J("memPartAlloc.walk")
+		b.Label("memPartAlloc.reuse")
+		b.LW(rA4, rA3, 0)
+		b.SW(rA4, rA2, 0)
+		b.ADDI(rA0, rA3, 8)
+		b.J("memPartAlloc.hook")
+		b.Label("memPartAlloc.bump")
+		b.La(rA2, "memPartCursor")
+		b.LW(rA3, rA2, 0)
+		b.ADD(rA4, rA3, rT0)
+		b.LUI(rT1, partSize>>12)
+		b.BLTU(rT1, rA4, "memPartAlloc.fail")
+		b.SW(rA4, rA2, 0)
+		b.La(rA4, "memPartPool")
+		b.ADD(rA3, rA4, rA3)
+		b.SW(rT0, rA3, 4) // header: total size
+		b.ADDI(rA0, rA3, 8)
+		b.Label("memPartAlloc.hook")
+	})
+	b.SanAllocHook()
+	b.Ret()
+	b.NoSan(func() {
+		b.Label("memPartAlloc.fail")
+		b.Li(rA0, 0)
+	})
+	b.Ret()
+	b.MarkAlloc("memPartAlloc")
+
+	// memPartFree(a0 = part, a1 = ptr).
+	b.Func("memPartFree")
+	b.Prologue(16)
+	b.NoSan(func() {
+		b.BEQZ(rA1, "memPartFree.out")
+		b.SW(rA1, rSP, 0)
+		b.ADDI(rT0, rA1, -8)
+		b.MV(rA0, rA1)
+		b.LW(rA1, rT0, 4)
+		b.ADDI(rA1, rA1, -8)
+	})
+	b.SanFreeHook()
+	b.NoSan(func() {
+		b.LW(rA1, rSP, 0)
+		b.ADDI(rT0, rA1, -8)
+		b.La(rA2, "memPartFreeList")
+		b.LW(rA3, rA2, 0)
+		b.SW(rA3, rT0, 0)
+		b.SW(rT0, rA2, 0)
+		b.Label("memPartFree.out")
+	})
+	b.Epilogue(16)
+	b.MarkFree("memPartFree")
+}
+
+func emitServices(b *kasm.Builder) {
+	// net_input(a0 = frame, a1 = len): service demux on the first byte.
+	b.Func("net_input")
+	b.Prologue(16)
+	b.Li(rT0, 4)
+	b.BLTU(rA1, rT0, "net.out")
+	b.LBU(rT0, rA0, 0)
+	b.Li(rT1, svcPPPoE)
+	b.BEQ(rT0, rT1, "net.pppoe")
+	b.Li(rT1, svcDHCP)
+	b.BEQ(rT0, rT1, "net.dhcp")
+	b.Li(rT1, svcFwd)
+	b.BEQ(rT0, rT1, "net.fwd")
+	b.J("net.out")
+	b.Label("net.pppoe")
+	b.Call("pppoed_input")
+	b.J("net.out")
+	b.Label("net.dhcp")
+	b.Call("dhcpsd_input")
+	b.J("net.out")
+	b.Label("net.fwd")
+	b.Call("ip_forward")
+	b.Label("net.out")
+	b.Li(rA0, 0)
+	b.Epilogue(16)
+
+	// pppoed_input(a0 = frame, a1 = len): walk the PPPoE tag list, copying
+	// each tag payload into a 64-byte session buffer. The tag length field
+	// is trusted — tags longer than the buffer overflow it (the seeded
+	// Table 4 OOB).
+	b.Func("pppoed_input")
+	b.Prologue(32)
+	b.SW(rA0, rSP, 0)
+	b.SW(rA1, rSP, 4)
+	b.LBU(rT0, rA0, 1)
+	b.Li(rT1, 0x11) // PPPoE ver/type
+	b.BNE(rT0, rT1, "pppoe.out")
+	b.La(rA0, "memPartPool")
+	b.Li(rA1, 64)
+	b.Call("memPartAlloc") // session buffer
+	b.BEQZ(rA0, "pppoe.out")
+	b.SW(rA0, rSP, 8)
+	b.Li(rA4, 4) // tag cursor
+	b.Label("pppoe.tags")
+	b.LW(rA3, rSP, 4)
+	b.ADDI(rA2, rA4, 4)
+	b.BLTU(rA3, rA2, "pppoe.done") // need 4 header bytes
+	b.LW(rT0, rSP, 0)
+	b.ADD(rT0, rT0, rA4)
+	b.LBU(rT1, rT0, 0) // tag type hi
+	b.LBU(rA2, rT0, 2) // tag length (one byte in this dialect)
+	b.SW(rA4, rSP, 12)
+	// Copy the tag payload into the session buffer: length unchecked.
+	b.BEQZ(rA2, "pppoe.next")
+	b.LW(rA1, rSP, 0)
+	b.LW(rA4, rSP, 12)
+	b.ADD(rA1, rA1, rA4)
+	b.ADDI(rA1, rA1, 4)
+	b.LW(rA0, rSP, 8)
+	b.SW(rA2, rSP, 16)
+	b.Call("memcpy")
+	b.LW(rA2, rSP, 16)
+	b.Label("pppoe.next")
+	b.LW(rA4, rSP, 12)
+	b.ADD(rA4, rA4, rA2)
+	b.ADDI(rA4, rA4, 4)
+	b.J("pppoe.tags")
+	b.Label("pppoe.done")
+	b.La(rA0, "memPartPool")
+	b.LW(rA1, rSP, 8)
+	b.Call("memPartFree")
+	b.Label("pppoe.out")
+	b.Epilogue(32)
+
+	// dhcpsd_input(a0 = frame, a1 = len): parse DHCP options into a
+	// 16-byte option buffer; option 53's length is trusted (seeded OOB).
+	b.Func("dhcpsd_input")
+	b.Prologue(32)
+	b.SW(rA0, rSP, 0)
+	b.SW(rA1, rSP, 4)
+	b.LBU(rT0, rA0, 1)
+	b.Li(rT1, 1) // BOOTREQUEST
+	b.BNE(rT0, rT1, "dhcp.out")
+	b.La(rA0, "memPartPool")
+	b.Li(rA1, 16)
+	b.Call("memPartAlloc")
+	b.BEQZ(rA0, "dhcp.out")
+	b.SW(rA0, rSP, 8)
+	b.Li(rA4, 4) // option cursor
+	b.Label("dhcp.opts")
+	b.LW(rA3, rSP, 4)
+	b.ADDI(rA2, rA4, 2)
+	b.BLTU(rA3, rA2, "dhcp.done")
+	b.LW(rT0, rSP, 0)
+	b.ADD(rT0, rT0, rA4)
+	b.LBU(rT1, rT0, 0) // option code
+	b.Li(rA2, 0xFF)
+	b.BEQ(rT1, rA2, "dhcp.done")
+	b.LBU(rA2, rT0, 1) // option length — trusted
+	b.SW(rA4, rSP, 12)
+	b.Li(rA3, 53)
+	b.BNE(rT1, rA3, "dhcp.next")
+	// Copy option 53 payload into the 16-byte buffer.
+	b.LW(rA1, rSP, 0)
+	b.ADD(rA1, rA1, rA4)
+	b.ADDI(rA1, rA1, 2)
+	b.LW(rA0, rSP, 8)
+	b.SW(rA2, rSP, 16)
+	b.Call("memcpy")
+	b.LW(rA2, rSP, 16)
+	b.Label("dhcp.next")
+	b.LW(rA4, rSP, 12)
+	b.ADD(rA4, rA4, rA2)
+	b.ADDI(rA4, rA4, 2)
+	b.J("dhcp.opts")
+	b.Label("dhcp.done")
+	b.La(rA0, "memPartPool")
+	b.LW(rA1, rSP, 8)
+	b.Call("memPartFree")
+	b.Label("dhcp.out")
+	b.Epilogue(32)
+
+	// ip_forward: benign — checksum the frame.
+	b.Func("ip_forward")
+	b.Prologue(16)
+	b.MV(rT0, rA0)
+	b.ADD(rT1, rA0, rA1)
+	b.Li(rA0, 0)
+	b.Label("fwd.loop")
+	b.BGEU(rT0, rT1, "fwd.done")
+	b.LBU(rA2, rT0, 0)
+	b.ADD(rA0, rA0, rA2)
+	b.ADDI(rT0, rT0, 1)
+	b.J("fwd.loop")
+	b.Label("fwd.done")
+	b.Epilogue(16)
+}

@@ -1,0 +1,109 @@
+package vxworks
+
+import (
+	"strings"
+	"testing"
+
+	"embsan/internal/core"
+	"embsan/internal/emu"
+	"embsan/internal/isa"
+	"embsan/internal/probe"
+	"embsan/internal/san"
+)
+
+func boot(t *testing.T, img interface{ MemTop() uint32 }) *core.Instance {
+	t.Helper()
+	return nil
+}
+
+func build(t *testing.T) *Firmware {
+	t.Helper()
+	fw, err := Build("vxworks-test", isa.ArchARM32E)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fw
+}
+
+func TestShipsStripped(t *testing.T) {
+	fw := build(t)
+	if !fw.Image.Stripped || fw.Image.Symbols != nil {
+		t.Error("closed firmware must ship stripped")
+	}
+	if fw.FullImage.Stripped {
+		t.Error("ground-truth image lost its symbols")
+	}
+}
+
+func TestClosedProbeClassification(t *testing.T) {
+	fw := build(t)
+	res, err := probe.Probe(fw.Image, probe.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mode != probe.ModeDClosed {
+		t.Fatalf("mode = %v", res.Mode)
+	}
+	if len(res.Platform.Allocs) != 1 {
+		t.Fatalf("allocs = %+v\nnotes: %v", res.Platform.Allocs, res.Platform.Notes)
+	}
+	// Verify against the ground truth the tester never sees.
+	gt, _ := fw.FullImage.Lookup("memPartAlloc")
+	if res.Platform.Allocs[0].Entry != gt.Addr {
+		t.Errorf("classified entry %#x, want %#x", res.Platform.Allocs[0].Entry, gt.Addr)
+	}
+	if res.Platform.Allocs[0].SizeArg != "a1" {
+		t.Errorf("size arg = %s, want a1", res.Platform.Allocs[0].SizeArg)
+	}
+	gtFree, _ := fw.FullImage.Lookup("memPartFree")
+	if len(res.Platform.Frees) != 1 || res.Platform.Frees[0].Entry != gtFree.Addr {
+		t.Errorf("frees = %+v, want entry %#x", res.Platform.Frees, gtFree.Addr)
+	}
+}
+
+func TestParserBugsAndBenignTraffic(t *testing.T) {
+	fw := build(t)
+	inst, err := core.New(core.Config{
+		Image:      fw.Image,
+		Sanitizers: []string{"kasan"},
+		Machine:    emu.Config{MaxHarts: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.Boot(100_000_000); err != nil {
+		t.Fatal(err)
+	}
+	inst.Snapshot()
+
+	// Benign packets: quiet.
+	for i, seed := range fw.Seeds {
+		inst.Restore()
+		res := inst.Exec(seed, 50_000_000)
+		if !res.Done || len(res.Reports) != 0 {
+			t.Fatalf("seed %d: done=%v reports=%d", i, res.Done, len(res.Reports))
+		}
+	}
+	// Malformed packets: both overflows detected, with two distinct
+	// signatures even though both fire inside the shared memcpy.
+	sigs := map[string]bool{}
+	for _, bug := range fw.Bugs {
+		inst.Restore()
+		res := inst.Exec(bug.Trigger, 50_000_000)
+		if len(res.Reports) == 0 {
+			t.Errorf("%s not detected", bug.Fn)
+			continue
+		}
+		r := res.Reports[0]
+		if r.Bug != san.BugOOB {
+			t.Errorf("%s: %v", bug.Fn, r.Bug)
+		}
+		if !strings.HasPrefix(r.Location, "0x") {
+			t.Errorf("%s: location %q should be a raw address", bug.Fn, r.Location)
+		}
+		sigs[r.Signature()] = true
+	}
+	if len(sigs) != 2 {
+		t.Errorf("signatures = %d, want 2 distinct (caller-frame disambiguation)", len(sigs))
+	}
+}

@@ -1,0 +1,207 @@
+package isa
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Arch identifies one of the binary architecture frontends. Every frontend
+// decodes to the same canonical operation set but uses its own opcode byte
+// assignment and byte order, so firmware images are not binary-portable
+// between architectures — the property that forces EMBSAN to carry per-arch
+// decode tables and per-arch trap instruction selection.
+type Arch uint8
+
+const (
+	// ArchARM32E is the little-endian reference frontend.
+	ArchARM32E Arch = iota
+	// ArchMIPS32E is big-endian with a rotated opcode space.
+	ArchMIPS32E
+	// ArchX86E is little-endian with an XOR-scrambled opcode space.
+	ArchX86E
+
+	NumArchs
+)
+
+var archNames = [NumArchs]string{"arm32e", "mips32e", "x86e"}
+
+func (a Arch) String() string {
+	if int(a) < len(archNames) {
+		return archNames[a]
+	}
+	return fmt.Sprintf("arch%d", a)
+}
+
+// ArchByName maps a frontend name to its Arch value.
+func ArchByName(name string) (Arch, bool) {
+	for i, n := range archNames {
+		if n == name {
+			return Arch(i), true
+		}
+	}
+	return 0, false
+}
+
+// ByteOrder returns the byte order the frontend uses for both instruction
+// words and data accesses.
+func (a Arch) ByteOrder() binary.ByteOrder {
+	if a == ArchMIPS32E {
+		return binary.BigEndian
+	}
+	return binary.LittleEndian
+}
+
+// opcode scrambling per frontend. Each table is a bijection over the byte
+// space; decode applies the inverse.
+func (a Arch) scramble(op byte) byte {
+	switch a {
+	case ArchMIPS32E:
+		return op + 0x40 // rotate
+	case ArchX86E:
+		return op ^ 0xA5
+	default:
+		return op
+	}
+}
+
+func (a Arch) unscramble(b byte) byte {
+	switch a {
+	case ArchMIPS32E:
+		return b - 0x40
+	case ArchX86E:
+		return b ^ 0xA5
+	default:
+		return b
+	}
+}
+
+// Instruction word layout (canonical, before opcode scrambling):
+//
+//	[31:24] opcode
+//	[23:20] rd
+//	[19:16] rs1
+//	[15:12] rs2
+//	[11:0]  imm12 (sign-extended)
+//
+// U-format operations (LUI, AUIPC, JAL) reuse [19:0] as a sign-extended
+// imm20, keeping rd in [23:20].
+
+// isUFormat reports whether op carries a 20-bit immediate.
+func isUFormat(op Op) bool {
+	return op == OpLUI || op == OpAUIPC || op == OpJAL
+}
+
+// Encode packs a canonical instruction into a 32-bit word for arch.
+func Encode(inst Inst, arch Arch) (uint32, error) {
+	if inst.Op == OpInvalid || int(inst.Op) >= NumOps {
+		return 0, fmt.Errorf("isa: cannot encode invalid op %d", inst.Op)
+	}
+	if inst.Rd >= NumRegs || inst.Rs1 >= NumRegs || inst.Rs2 >= NumRegs {
+		return 0, fmt.Errorf("isa: register out of range in %s", inst.Op.Name())
+	}
+	w := uint32(arch.scramble(byte(inst.Op))) << 24
+	w |= uint32(inst.Rd&0xF) << 20
+	if isUFormat(inst.Op) {
+		if inst.Imm < -(1<<19) || inst.Imm >= 1<<20 {
+			return 0, fmt.Errorf("isa: imm20 overflow %d in %s", inst.Imm, inst.Op.Name())
+		}
+		w |= uint32(inst.Imm) & 0xFFFFF
+		return w, nil
+	}
+	if inst.Imm < -(1<<11) || inst.Imm >= 1<<11 {
+		return 0, fmt.Errorf("isa: imm12 overflow %d in %s", inst.Imm, inst.Op.Name())
+	}
+	w |= uint32(inst.Rs1&0xF) << 16
+	w |= uint32(inst.Rs2&0xF) << 12
+	w |= uint32(inst.Imm) & 0xFFF
+	return w, nil
+}
+
+// Decode unpacks a 32-bit word fetched from an arch-flavoured image.
+func Decode(word uint32, arch Arch) (Inst, error) {
+	op := Op(arch.unscramble(byte(word >> 24)))
+	if op == OpInvalid || int(op) >= NumOps {
+		return Inst{}, fmt.Errorf("isa: illegal opcode byte %#02x (%s)", byte(word>>24), arch)
+	}
+	inst := Inst{Op: op, Rd: uint8(word>>20) & 0xF}
+	if isUFormat(op) {
+		imm := int32(word & 0xFFFFF)
+		if imm&(1<<19) != 0 {
+			imm |= ^int32(0xFFFFF) // sign-extend 20 bits
+		}
+		inst.Imm = imm
+		return inst, nil
+	}
+	inst.Rs1 = uint8(word>>16) & 0xF
+	inst.Rs2 = uint8(word>>12) & 0xF
+	imm := int32(word & 0xFFF)
+	if imm&(1<<11) != 0 {
+		imm |= ^int32(0xFFF) // sign-extend 12 bits
+	}
+	inst.Imm = imm
+	return inst, nil
+}
+
+// PutWord stores a 32-bit instruction or data word using the frontend's
+// byte order.
+func (a Arch) PutWord(dst []byte, w uint32) {
+	a.ByteOrder().PutUint32(dst, w)
+}
+
+// Word loads a 32-bit word using the frontend's byte order.
+func (a Arch) Word(src []byte) uint32 {
+	return a.ByteOrder().Uint32(src)
+}
+
+// Disasm renders inst as assembler text at pc (pc is used to resolve
+// branch/jump targets into absolute addresses for readability).
+func Disasm(inst Inst, pc uint32) string {
+	n := inst.Op.Name()
+	rd, r1, r2 := RegName(inst.Rd), RegName(inst.Rs1), RegName(inst.Rs2)
+	switch ClassOf(inst.Op) {
+	case ClassLoad:
+		if inst.Op == OpLRW {
+			return fmt.Sprintf("%s %s, (%s)", n, rd, r1)
+		}
+		return fmt.Sprintf("%s %s, %d(%s)", n, rd, inst.Imm, r1)
+	case ClassStore:
+		if inst.Op == OpSCW {
+			return fmt.Sprintf("%s %s, %s, (%s)", n, rd, r2, r1)
+		}
+		return fmt.Sprintf("%s %s, %d(%s)", n, r2, inst.Imm, r1)
+	case ClassAtomic:
+		return fmt.Sprintf("%s %s, %s, (%s)", n, rd, r2, r1)
+	case ClassBranch:
+		return fmt.Sprintf("%s %s, %s, %#x", n, r1, r2, uint32(int64(pc)+int64(inst.Imm)*4))
+	case ClassSanck:
+		size, wr, at := SanckDecode(inst.Rd)
+		dir := "r"
+		if wr {
+			dir = "w"
+		}
+		if at {
+			dir = "a" + dir
+		}
+		return fmt.Sprintf("%s %s%d, %d(%s)", n, dir, size, inst.Imm, r1)
+	}
+	switch inst.Op {
+	case OpLUI, OpAUIPC:
+		return fmt.Sprintf("%s %s, %#x", n, rd, uint32(inst.Imm)&0xFFFFF)
+	case OpJAL:
+		return fmt.Sprintf("%s %s, %#x", n, rd, uint32(int64(pc)+int64(inst.Imm)*4))
+	case OpJALR:
+		return fmt.Sprintf("%s %s, %d(%s)", n, rd, inst.Imm, r1)
+	case OpHCALL, OpECALL:
+		return fmt.Sprintf("%s %d", n, inst.Imm)
+	case OpCSRR:
+		return fmt.Sprintf("%s %s, %d", n, rd, inst.Imm)
+	case OpCSRW:
+		return fmt.Sprintf("%s %s, %d", n, r1, inst.Imm)
+	case OpEBREAK, OpHALT, OpFENCE, OpYIELD:
+		return n
+	case OpADDI, OpANDI, OpORI, OpXORI, OpSLLI, OpSRLI, OpSRAI, OpSLTI, OpSLTIU:
+		return fmt.Sprintf("%s %s, %s, %d", n, rd, r1, inst.Imm)
+	default:
+		return fmt.Sprintf("%s %s, %s, %s", n, rd, r1, r2)
+	}
+}

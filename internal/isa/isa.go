@@ -1,0 +1,340 @@
+// Package isa defines the EVA32 instruction set architecture used by every
+// guest firmware in this repository, together with the three binary
+// architecture frontends (arm32e, mips32e, x86e) that the emulator and the
+// toolchain understand.
+//
+// EVA32 is a 32-bit load/store RISC machine with sixteen general-purpose
+// registers and fixed-width 32-bit instructions. All three architecture
+// frontends decode to the same canonical micro-operation set; they differ in
+// the opcode byte assignment and in byte order, which is exactly the level of
+// diversity EMBSAN's multi-architecture support has to bridge (per-arch
+// decoding plus per-arch trap instruction selection).
+package isa
+
+import "fmt"
+
+// Op is a canonical EVA32 micro-operation.
+type Op uint8
+
+// Canonical operations. The numeric values double as the canonical-frontend
+// opcode byte assignment; the other frontends permute these bytes.
+const (
+	OpInvalid Op = iota
+
+	// Register-register ALU.
+	OpADD
+	OpSUB
+	OpAND
+	OpOR
+	OpXOR
+	OpSLL
+	OpSRL
+	OpSRA
+	OpMUL
+	OpMULHU
+	OpDIV
+	OpDIVU
+	OpREM
+	OpREMU
+	OpSLT
+	OpSLTU
+
+	// Register-immediate ALU.
+	OpADDI
+	OpANDI
+	OpORI
+	OpXORI
+	OpSLLI
+	OpSRLI
+	OpSRAI
+	OpSLTI
+	OpSLTIU
+
+	// Upper-immediate.
+	OpLUI
+	OpAUIPC
+
+	// Loads.
+	OpLB
+	OpLBU
+	OpLH
+	OpLHU
+	OpLW
+
+	// Stores.
+	OpSB
+	OpSH
+	OpSW
+
+	// Branches (target = pc + imm*4).
+	OpBEQ
+	OpBNE
+	OpBLT
+	OpBGE
+	OpBLTU
+	OpBGEU
+
+	// Jumps.
+	OpJAL  // rd = pc+4; pc += imm20*4
+	OpJALR // rd = pc+4; pc = (rs1+imm) &^ 1
+
+	// Atomics (word-sized).
+	OpAMOADDW  // rd = mem[rs1]; mem[rs1] += rs2
+	OpAMOSWAPW // rd = mem[rs1]; mem[rs1] = rs2
+	OpAMOORW   // rd = mem[rs1]; mem[rs1] |= rs2
+	OpAMOANDW  // rd = mem[rs1]; mem[rs1] &= rs2
+	OpLRW      // load-reserved
+	OpSCW      // store-conditional: rd = 0 on success, 1 on failure
+
+	// System.
+	OpECALL  // environment call into the guest kernel (unused trap in bare firmware)
+	OpEBREAK // debugger breakpoint; halts the hart with a fault
+	OpHCALL  // hypercall to the host (the vmcall analogue); imm selects the service
+	OpHALT   // stop this hart
+	OpFENCE  // memory fence; an ordering no-op on this machine
+	OpCSRR   // rd = CSR[imm]
+	OpCSRW   // CSR[imm] = rs1 (scratch CSRs only)
+	OpYIELD  // hint: relinquish the current scheduling quantum
+
+	// Sanitizer check pseudo-instruction, emitted only by EMBSAN-C builds.
+	// The host interprets it directly: check access at rs1+imm, with the
+	// access size and direction packed into rd (see SanckInfo). It never
+	// touches guest architectural state, which is what lets the compile-time
+	// instrumentation avoid spilling live registers.
+	OpSANCK
+
+	opMax
+)
+
+// NumOps is the number of canonical operations (including OpInvalid).
+const NumOps = int(opMax)
+
+// Register numbers and their ABI names.
+const (
+	RegZero = 0  // hardwired zero
+	RegRA   = 1  // return address
+	RegSP   = 2  // stack pointer
+	RegA0   = 3  // argument/return 0
+	RegA1   = 4  // argument 1
+	RegA2   = 5  // argument 2
+	RegA3   = 6  // argument 3
+	RegA4   = 7  // argument 4
+	RegA5   = 8  // argument 5
+	RegA6   = 9  // argument 6
+	RegA7   = 10 // argument 7
+	RegT0   = 11 // temporary 0
+	RegT1   = 12 // temporary 1
+	RegK0   = 13 // sanitizer-reserved scratch 0 (general s0 in unsanitized builds)
+	RegK1   = 14 // sanitizer-reserved scratch 1 (general s1 in unsanitized builds)
+	RegK2   = 15 // sanitizer-reserved link   (general s2 in unsanitized builds)
+
+	NumRegs = 16
+)
+
+var regNames = [NumRegs]string{
+	"zero", "ra", "sp", "a0", "a1", "a2", "a3", "a4",
+	"a5", "a6", "a7", "t0", "t1", "k0", "k1", "k2",
+}
+
+// RegName returns the ABI name of register r.
+func RegName(r uint8) string {
+	if int(r) < NumRegs {
+		return regNames[r]
+	}
+	return fmt.Sprintf("r%d", r)
+}
+
+// RegByName maps an ABI register name to its number.
+func RegByName(name string) (uint8, bool) {
+	for i, n := range regNames {
+		if n == name {
+			return uint8(i), true
+		}
+	}
+	// Accept raw rN spellings too.
+	var n int
+	if _, err := fmt.Sscanf(name, "r%d", &n); err == nil && n >= 0 && n < NumRegs {
+		return uint8(n), true
+	}
+	return 0, false
+}
+
+// Inst is a decoded canonical instruction.
+type Inst struct {
+	Op  Op
+	Rd  uint8
+	Rs1 uint8
+	Rs2 uint8
+	Imm int32 // sign-extended imm12, or imm20 for LUI/AUIPC/JAL
+}
+
+// Class groups operations for instrumentation-probe selection: the EMBSAN
+// runtime registers probes per class and the translation engine inserts
+// callbacks only where a class has a registered probe.
+type Class uint8
+
+const (
+	ClassALU Class = iota
+	ClassLoad
+	ClassStore
+	ClassAtomic
+	ClassBranch
+	ClassJump
+	ClassSystem
+	ClassSanck
+
+	NumClasses
+)
+
+// ClassOf reports the instrumentation class of op.
+func ClassOf(op Op) Class {
+	switch op {
+	case OpLB, OpLBU, OpLH, OpLHU, OpLW, OpLRW:
+		return ClassLoad
+	case OpSB, OpSH, OpSW, OpSCW:
+		return ClassStore
+	case OpAMOADDW, OpAMOSWAPW, OpAMOORW, OpAMOANDW:
+		return ClassAtomic
+	case OpBEQ, OpBNE, OpBLT, OpBGE, OpBLTU, OpBGEU:
+		return ClassBranch
+	case OpJAL, OpJALR:
+		return ClassJump
+	case OpECALL, OpEBREAK, OpHCALL, OpHALT, OpFENCE, OpCSRR, OpCSRW, OpYIELD:
+		return ClassSystem
+	case OpSANCK:
+		return ClassSanck
+	default:
+		return ClassALU
+	}
+}
+
+// AccessSize returns the memory access width in bytes for load/store/atomic
+// operations, and 0 for everything else.
+func AccessSize(op Op) uint32 {
+	switch op {
+	case OpLB, OpLBU, OpSB:
+		return 1
+	case OpLH, OpLHU, OpSH:
+		return 2
+	case OpLW, OpSW, OpLRW, OpSCW, OpAMOADDW, OpAMOSWAPW, OpAMOORW, OpAMOANDW:
+		return 4
+	}
+	return 0
+}
+
+// IsWrite reports whether op writes memory (atomics count as writes).
+func IsWrite(op Op) bool {
+	switch op {
+	case OpSB, OpSH, OpSW, OpSCW, OpAMOADDW, OpAMOSWAPW, OpAMOORW, OpAMOANDW:
+		return true
+	}
+	return false
+}
+
+// Terminates reports whether op ends a translation block.
+func Terminates(op Op) bool {
+	switch op {
+	case OpBEQ, OpBNE, OpBLT, OpBGE, OpBLTU, OpBGEU,
+		OpJAL, OpJALR, OpECALL, OpEBREAK, OpHALT, OpYIELD:
+		return true
+	}
+	return false
+}
+
+// CSR numbers readable through OpCSRR.
+const (
+	CSRHartID   = 0 // current hart index
+	CSRCycles   = 1 // retired-instruction counter (low 32 bits)
+	CSRNHarts   = 2 // number of harts on the machine
+	CSRRand     = 3 // deterministic per-machine pseudo-random stream
+	CSRScratch0 = 8 // per-hart scratch (read/write)
+	CSRScratch1 = 9 // per-hart scratch (read/write)
+)
+
+// Hypercall numbers (the imm field of OpHCALL). Numbers below 64 are
+// reserved for the platform; the sanitizer dummy-library calls that
+// EMBSAN-C links against live at 64 and above.
+const (
+	HcallExit    = 1 // a0 = exit code; stops the whole machine
+	HcallPutc    = 2 // a0 = byte to emit on the host console
+	HcallReady   = 3 // firmware reached its ready-to-run state
+	HcallSpawn   = 4 // start hart a0 at pc a1 with sp a2
+	HcallBugMark = 5 // test hook: a0 = seeded-bug identifier being triggered
+
+	// Dummy sanitizer library (EMBSAN-C linkage). Each entry corresponds to
+	// one interception API distilled from the reference sanitizer sources.
+	HcallSanAlloc    = 64 // a0 = ptr, a1 = size
+	HcallSanFree     = 65 // a0 = ptr
+	HcallSanCacheNew = 66 // a0 = object size, a1 = redzone size
+	HcallSanPoison   = 67 // a0 = addr, a1 = size, a2 = code
+	HcallSanUnpoison = 68 // a0 = addr, a1 = size
+	HcallSanMemcpy   = 69 // a0 = dst, a1 = src, a2 = len (range interceptor)
+	HcallSanMemset   = 70 // a0 = dst, a1 = val, a2 = len
+)
+
+// SanckInfo packs/unpacks the rd field of OpSANCK.
+// Layout: bit0 = write flag, bits1..2 = log2(size), bit3 = atomic flag.
+func SanckInfo(size uint32, write, atomic bool) uint8 {
+	var l uint8
+	switch size {
+	case 1:
+		l = 0
+	case 2:
+		l = 1
+	case 4:
+		l = 2
+	default:
+		panic(fmt.Sprintf("isa: invalid SANCK size %d", size))
+	}
+	v := l << 1
+	if write {
+		v |= 1
+	}
+	if atomic {
+		v |= 8
+	}
+	return v
+}
+
+// SanckDecode is the inverse of SanckInfo.
+func SanckDecode(rd uint8) (size uint32, write, atomic bool) {
+	return 1 << ((rd >> 1) & 3), rd&1 == 1, rd&8 != 0
+}
+
+var opNames = [...]string{
+	OpInvalid: "invalid",
+	OpADD:     "add", OpSUB: "sub", OpAND: "and", OpOR: "or", OpXOR: "xor",
+	OpSLL: "sll", OpSRL: "srl", OpSRA: "sra", OpMUL: "mul", OpMULHU: "mulhu",
+	OpDIV: "div", OpDIVU: "divu", OpREM: "rem", OpREMU: "remu",
+	OpSLT: "slt", OpSLTU: "sltu",
+	OpADDI: "addi", OpANDI: "andi", OpORI: "ori", OpXORI: "xori",
+	OpSLLI: "slli", OpSRLI: "srli", OpSRAI: "srai", OpSLTI: "slti", OpSLTIU: "sltiu",
+	OpLUI: "lui", OpAUIPC: "auipc",
+	OpLB: "lb", OpLBU: "lbu", OpLH: "lh", OpLHU: "lhu", OpLW: "lw",
+	OpSB: "sb", OpSH: "sh", OpSW: "sw",
+	OpBEQ: "beq", OpBNE: "bne", OpBLT: "blt", OpBGE: "bge", OpBLTU: "bltu", OpBGEU: "bgeu",
+	OpJAL: "jal", OpJALR: "jalr",
+	OpAMOADDW: "amoadd.w", OpAMOSWAPW: "amoswap.w", OpAMOORW: "amoor.w", OpAMOANDW: "amoand.w",
+	OpLRW: "lr.w", OpSCW: "sc.w",
+	OpECALL: "ecall", OpEBREAK: "ebreak", OpHCALL: "hcall", OpHALT: "halt",
+	OpFENCE: "fence", OpCSRR: "csrr", OpCSRW: "csrw", OpYIELD: "yield",
+	OpSANCK: "sanck",
+}
+
+// Name returns the assembler mnemonic for op.
+func (op Op) Name() string {
+	if int(op) < len(opNames) && opNames[op] != "" {
+		return opNames[op]
+	}
+	return fmt.Sprintf("op%d", op)
+}
+
+// OpByName maps an assembler mnemonic to its canonical operation.
+func OpByName(name string) (Op, bool) {
+	for i, n := range opNames {
+		if n == name && n != "" {
+			return Op(i), true
+		}
+	}
+	return OpInvalid, false
+}

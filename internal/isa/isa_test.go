@@ -1,0 +1,201 @@
+package isa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	cases := []Inst{
+		{Op: OpADD, Rd: RegA0, Rs1: RegA1, Rs2: RegA2},
+		{Op: OpADDI, Rd: RegT0, Rs1: RegSP, Imm: -16},
+		{Op: OpLUI, Rd: RegA0, Imm: 0xF0000 - (1 << 20)}, // negative imm20 bit pattern
+		{Op: OpLUI, Rd: RegA0, Imm: 0x12345},
+		{Op: OpJAL, Rd: RegRA, Imm: -1024},
+		{Op: OpLW, Rd: RegA0, Rs1: RegSP, Imm: 8},
+		{Op: OpSW, Rs1: RegSP, Rs2: RegA0, Imm: -4},
+		{Op: OpBEQ, Rs1: RegA0, Rs2: RegZero, Imm: 12},
+		{Op: OpHCALL, Imm: HcallSanAlloc},
+		{Op: OpSANCK, Rd: SanckInfo(4, true, false), Rs1: RegA1, Imm: 36},
+		{Op: OpAMOSWAPW, Rd: RegT0, Rs1: RegA0, Rs2: RegT1},
+		{Op: OpCSRR, Rd: RegA0, Imm: CSRHartID},
+		{Op: OpHALT},
+	}
+	for _, arch := range []Arch{ArchARM32E, ArchMIPS32E, ArchX86E} {
+		for _, in := range cases {
+			w, err := Encode(in, arch)
+			if err != nil {
+				t.Fatalf("%s: encode %+v: %v", arch, in, err)
+			}
+			got, err := Decode(w, arch)
+			if err != nil {
+				t.Fatalf("%s: decode %#x: %v", arch, w, err)
+			}
+			if isUFormat(in.Op) {
+				// rs1/rs2 are folded into imm for U-format; only compare the rest.
+				if got.Op != in.Op || got.Rd != in.Rd || got.Imm != in.Imm {
+					t.Errorf("%s: roundtrip %+v -> %+v", arch, in, got)
+				}
+				continue
+			}
+			if got != in {
+				t.Errorf("%s: roundtrip %+v -> %+v", arch, in, got)
+			}
+		}
+	}
+}
+
+func TestEncodeRejectsOverflow(t *testing.T) {
+	if _, err := Encode(Inst{Op: OpADDI, Imm: 4096}, ArchARM32E); err == nil {
+		t.Error("imm12 overflow not rejected")
+	}
+	if _, err := Encode(Inst{Op: OpJAL, Imm: 1 << 20}, ArchARM32E); err == nil {
+		t.Error("imm20 overflow not rejected")
+	}
+	if _, err := Encode(Inst{Op: OpInvalid}, ArchARM32E); err == nil {
+		t.Error("invalid op not rejected")
+	}
+}
+
+func TestArchEncodingsDiffer(t *testing.T) {
+	in := Inst{Op: OpLW, Rd: RegA0, Rs1: RegSP, Imm: 4}
+	wa, _ := Encode(in, ArchARM32E)
+	wm, _ := Encode(in, ArchMIPS32E)
+	wx, _ := Encode(in, ArchX86E)
+	if wa == wm || wa == wx || wm == wx {
+		t.Errorf("frontends must produce distinct encodings: %#x %#x %#x", wa, wm, wx)
+	}
+	// Cross-decoding must yield a different (or invalid) instruction.
+	if got, err := Decode(wa, ArchX86E); err == nil && got == in {
+		t.Error("x86e decoded an arm32e word to the same instruction")
+	}
+}
+
+func TestScrambleIsBijective(t *testing.T) {
+	for _, a := range []Arch{ArchARM32E, ArchMIPS32E, ArchX86E} {
+		seen := map[byte]bool{}
+		for i := 0; i < 256; i++ {
+			s := a.scramble(byte(i))
+			if seen[s] {
+				t.Fatalf("%s: scramble collision at %d", a, i)
+			}
+			seen[s] = true
+			if a.unscramble(s) != byte(i) {
+				t.Fatalf("%s: unscramble(scramble(%d)) != %d", a, i, i)
+			}
+		}
+	}
+}
+
+func TestSanckInfoRoundTrip(t *testing.T) {
+	for _, size := range []uint32{1, 2, 4} {
+		for _, wr := range []bool{false, true} {
+			for _, at := range []bool{false, true} {
+				rd := SanckInfo(size, wr, at)
+				gs, gw, ga := SanckDecode(rd)
+				if gs != size || gw != wr || ga != at {
+					t.Errorf("SanckInfo(%d,%v,%v) -> %d -> (%d,%v,%v)", size, wr, at, rd, gs, gw, ga)
+				}
+			}
+		}
+	}
+}
+
+func TestClassAndAccessMetadata(t *testing.T) {
+	if ClassOf(OpLW) != ClassLoad || ClassOf(OpSW) != ClassStore ||
+		ClassOf(OpAMOADDW) != ClassAtomic || ClassOf(OpJAL) != ClassJump ||
+		ClassOf(OpBEQ) != ClassBranch || ClassOf(OpHCALL) != ClassSystem ||
+		ClassOf(OpSANCK) != ClassSanck || ClassOf(OpADD) != ClassALU {
+		t.Error("ClassOf misclassifies")
+	}
+	if AccessSize(OpLB) != 1 || AccessSize(OpLH) != 2 || AccessSize(OpLW) != 4 ||
+		AccessSize(OpAMOADDW) != 4 || AccessSize(OpADD) != 0 {
+		t.Error("AccessSize wrong")
+	}
+	if IsWrite(OpLW) || !IsWrite(OpSW) || !IsWrite(OpAMOSWAPW) || !IsWrite(OpSCW) {
+		t.Error("IsWrite wrong")
+	}
+	if !Terminates(OpJAL) || !Terminates(OpBEQ) || !Terminates(OpHALT) || Terminates(OpADD) {
+		t.Error("Terminates wrong")
+	}
+}
+
+func TestRegNames(t *testing.T) {
+	for i := uint8(0); i < NumRegs; i++ {
+		name := RegName(i)
+		got, ok := RegByName(name)
+		if !ok || got != i {
+			t.Errorf("RegByName(RegName(%d)) = %d, %v", i, got, ok)
+		}
+	}
+	if r, ok := RegByName("r7"); !ok || r != 7 {
+		t.Error("raw rN spelling not accepted")
+	}
+	if _, ok := RegByName("bogus"); ok {
+		t.Error("bogus register accepted")
+	}
+}
+
+func TestOpNamesRoundTrip(t *testing.T) {
+	for op := Op(1); int(op) < NumOps; op++ {
+		got, ok := OpByName(op.Name())
+		if !ok || got != op {
+			t.Errorf("OpByName(%q) = %v, %v; want %v", op.Name(), got, ok, op)
+		}
+	}
+}
+
+// Property: every 12-bit immediate survives an encode/decode round trip for
+// every frontend, for a representative I-format op.
+func TestQuickImmRoundTrip(t *testing.T) {
+	f := func(raw int16, archSel uint8) bool {
+		imm := int32(raw) % 2048 // [-2047, 2047]
+		arch := Arch(archSel % uint8(NumArchs))
+		in := Inst{Op: OpADDI, Rd: RegA0, Rs1: RegA1, Imm: imm}
+		w, err := Encode(in, arch)
+		if err != nil {
+			return false
+		}
+		out, err := Decode(w, arch)
+		return err == nil && out == in
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: decoding any word either fails or yields an instruction that
+// re-encodes to the same word (decode is a partial inverse of encode).
+func TestQuickDecodeEncodeConsistency(t *testing.T) {
+	f := func(w uint32, archSel uint8) bool {
+		arch := Arch(archSel % uint8(NumArchs))
+		in, err := Decode(w, arch)
+		if err != nil {
+			return true // illegal opcodes are allowed to fail
+		}
+		// Canonicalize: fields ignored on re-encode may differ (e.g. high imm
+		// bits beyond the field width never exist after decode).
+		back, err := Encode(in, arch)
+		return err == nil && back == w
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDisasmSmoke(t *testing.T) {
+	cases := map[string]Inst{
+		"lw a0, 8(sp)":        {Op: OpLW, Rd: RegA0, Rs1: RegSP, Imm: 8},
+		"sw a0, -4(sp)":       {Op: OpSW, Rs1: RegSP, Rs2: RegA0, Imm: -4},
+		"add a0, a1, a2":      {Op: OpADD, Rd: RegA0, Rs1: RegA1, Rs2: RegA2},
+		"addi t0, sp, -16":    {Op: OpADDI, Rd: RegT0, Rs1: RegSP, Imm: -16},
+		"hcall 3":             {Op: OpHCALL, Imm: 3},
+		"halt":                {Op: OpHALT},
+		"beq a0, zero, 0x10c": {Op: OpBEQ, Rs1: RegA0, Rs2: RegZero, Imm: 3},
+	}
+	for want, in := range cases {
+		if got := Disasm(in, 0x100); got != want {
+			t.Errorf("Disasm(%+v) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,424 @@
+package kasm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"embsan/internal/isa"
+)
+
+// Assemble parses EVA32 assembly source into an image via the builder, so
+// text assembly and the structured builder share one code path. The syntax
+// mirrors the disassembler's output plus a few directives:
+//
+//	.func name            start a function
+//	.global name, size    reserve a zero object (redzoned when sanitizing)
+//	.globalraw name, size reserve a raw object (heaps, stacks)
+//	.asciz name, "text"   NUL-terminated string
+//	.word name, v, ...    initialised words
+//	label:                local label
+//	add a0, a1, a2        instructions (see the isa package mnemonics)
+//	lw a0, 8(sp)          loads/stores use off(base)
+//	li/la/mv/call/j/ret   the usual pseudo-instructions
+func Assemble(src string, target Target) (*Image, error) {
+	b := NewBuilder(target)
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := stripComment(raw)
+		if line == "" {
+			continue
+		}
+		if err := asmLine(b, line); err != nil {
+			return nil, fmt.Errorf("kasm: line %d: %w", lineNo+1, err)
+		}
+	}
+	return b.Link("asm")
+}
+
+func stripComment(s string) string {
+	for _, sep := range []string{";", "//", "#"} {
+		if i := strings.Index(s, sep); i >= 0 {
+			s = s[:i]
+		}
+	}
+	return strings.TrimSpace(s)
+}
+
+func asmLine(b *Builder, line string) error {
+	// Directives.
+	if strings.HasPrefix(line, ".") {
+		return asmDirective(b, line)
+	}
+	// Labels.
+	if strings.HasSuffix(line, ":") {
+		b.Label(strings.TrimSuffix(line, ":"))
+		return nil
+	}
+	// Instructions.
+	op, rest, _ := strings.Cut(line, " ")
+	args := splitArgs(rest)
+	return asmInst(b, strings.ToLower(op), args)
+}
+
+func splitArgs(s string) []string {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+func asmDirective(b *Builder, line string) error {
+	dir, rest, _ := strings.Cut(line, " ")
+	args := splitArgs(rest)
+	switch dir {
+	case ".func":
+		if len(args) != 1 {
+			return fmt.Errorf(".func wants a name")
+		}
+		b.Func(args[0])
+	case ".global", ".globalraw":
+		if len(args) != 2 {
+			return fmt.Errorf("%s wants name, size", dir)
+		}
+		size, err := parseImm(args[1])
+		if err != nil {
+			return err
+		}
+		if dir == ".global" {
+			b.Global(args[0], uint32(size))
+		} else {
+			b.GlobalRaw(args[0], uint32(size))
+		}
+	case ".asciz":
+		if len(args) < 2 {
+			return fmt.Errorf(".asciz wants name, \"text\"")
+		}
+		text := strings.Join(args[1:], ",")
+		text = strings.TrimPrefix(strings.TrimSuffix(strings.TrimSpace(text), `"`), `"`)
+		b.Asciz(args[0], text)
+	case ".word":
+		if len(args) < 2 {
+			return fmt.Errorf(".word wants name, values")
+		}
+		var ws []uint32
+		for _, a := range args[1:] {
+			v, err := parseImm(a)
+			if err != nil {
+				return err
+			}
+			ws = append(ws, uint32(v))
+		}
+		b.DataWords(args[0], ws)
+	default:
+		return fmt.Errorf("unknown directive %s", dir)
+	}
+	return nil
+}
+
+func asmInst(b *Builder, op string, args []string) error {
+	reg := func(i int) (uint8, error) {
+		if i >= len(args) {
+			return 0, fmt.Errorf("%s: missing operand %d", op, i)
+		}
+		r, ok := isa.RegByName(args[i])
+		if !ok {
+			return 0, fmt.Errorf("%s: bad register %q", op, args[i])
+		}
+		return r, nil
+	}
+	imm := func(i int) (int32, error) {
+		if i >= len(args) {
+			return 0, fmt.Errorf("%s: missing operand %d", op, i)
+		}
+		return parseImm(args[i])
+	}
+	memOperand := func(i int) (uint8, int32, error) {
+		if i >= len(args) {
+			return 0, 0, fmt.Errorf("%s: missing memory operand", op)
+		}
+		s := args[i]
+		open := strings.IndexByte(s, '(')
+		if open < 0 || !strings.HasSuffix(s, ")") {
+			return 0, 0, fmt.Errorf("%s: want off(base), got %q", op, s)
+		}
+		off := int32(0)
+		if o := strings.TrimSpace(s[:open]); o != "" {
+			v, err := parseImm(o)
+			if err != nil {
+				return 0, 0, err
+			}
+			off = v
+		}
+		base, ok := isa.RegByName(strings.TrimSuffix(s[open+1:], ")"))
+		if !ok {
+			return 0, 0, fmt.Errorf("%s: bad base register in %q", op, s)
+		}
+		return base, off, nil
+	}
+
+	// Pseudo-instructions first.
+	switch op {
+	case "li":
+		rd, err := reg(0)
+		if err != nil {
+			return err
+		}
+		v, err := imm(1)
+		if err != nil {
+			return err
+		}
+		b.Li(rd, v)
+		return nil
+	case "la":
+		rd, err := reg(0)
+		if err != nil {
+			return err
+		}
+		if len(args) < 2 {
+			return fmt.Errorf("la wants a symbol")
+		}
+		b.La(rd, args[1])
+		return nil
+	case "mv":
+		rd, err := reg(0)
+		if err != nil {
+			return err
+		}
+		rs, err := reg(1)
+		if err != nil {
+			return err
+		}
+		b.MV(rd, rs)
+		return nil
+	case "call":
+		if len(args) != 1 {
+			return fmt.Errorf("call wants a label")
+		}
+		b.Call(args[0])
+		return nil
+	case "j":
+		if len(args) != 1 {
+			return fmt.Errorf("j wants a label")
+		}
+		b.J(args[0])
+		return nil
+	case "ret":
+		b.Ret()
+		return nil
+	case "nop":
+		b.ADDI(isa.RegZero, isa.RegZero, 0)
+		return nil
+	}
+
+	code, ok := isa.OpByName(op)
+	if !ok {
+		return fmt.Errorf("unknown mnemonic %q", op)
+	}
+	switch isa.ClassOf(code) {
+	case isa.ClassLoad:
+		rd, err := reg(0)
+		if err != nil {
+			return err
+		}
+		if code == isa.OpLRW {
+			base, _, err := memOperand(1)
+			if err != nil {
+				return err
+			}
+			b.LRW(rd, base)
+			return nil
+		}
+		base, off, err := memOperand(1)
+		if err != nil {
+			return err
+		}
+		b.load(code, rd, base, off)
+		return nil
+	case isa.ClassStore:
+		if code == isa.OpSCW {
+			rd, err := reg(0)
+			if err != nil {
+				return err
+			}
+			src, err := reg(1)
+			if err != nil {
+				return err
+			}
+			base, _, err := memOperand(2)
+			if err != nil {
+				return err
+			}
+			b.SCW(rd, base, src)
+			return nil
+		}
+		src, err := reg(0)
+		if err != nil {
+			return err
+		}
+		base, off, err := memOperand(1)
+		if err != nil {
+			return err
+		}
+		b.store(code, src, base, off)
+		return nil
+	case isa.ClassAtomic:
+		rd, err := reg(0)
+		if err != nil {
+			return err
+		}
+		src, err := reg(1)
+		if err != nil {
+			return err
+		}
+		base, _, err := memOperand(2)
+		if err != nil {
+			return err
+		}
+		b.atomic(code, rd, base, src)
+		return nil
+	case isa.ClassBranch:
+		r1, err := reg(0)
+		if err != nil {
+			return err
+		}
+		r2, err := reg(1)
+		if err != nil {
+			return err
+		}
+		if len(args) < 3 {
+			return fmt.Errorf("%s: missing target", op)
+		}
+		b.branch(code, r1, r2, args[2])
+		return nil
+	case isa.ClassJump:
+		if code == isa.OpJAL {
+			rd, err := reg(0)
+			if err != nil {
+				return err
+			}
+			if len(args) < 2 {
+				return fmt.Errorf("jal wants rd, label")
+			}
+			b.JAL(rd, args[1])
+			return nil
+		}
+		rd, err := reg(0)
+		if err != nil {
+			return err
+		}
+		base, off, err := memOperand(1)
+		if err != nil {
+			return err
+		}
+		b.JALR(rd, base, off)
+		return nil
+	}
+	switch code {
+	case isa.OpLUI, isa.OpAUIPC:
+		rd, err := reg(0)
+		if err != nil {
+			return err
+		}
+		v, err := imm(1)
+		if err != nil {
+			return err
+		}
+		b.emit(isa.Inst{Op: code, Rd: rd, Imm: v})
+		return nil
+	case isa.OpHCALL, isa.OpECALL:
+		n := int32(0)
+		if len(args) > 0 {
+			v, err := imm(0)
+			if err != nil {
+				return err
+			}
+			n = v
+		}
+		b.emit(isa.Inst{Op: code, Imm: n})
+		return nil
+	case isa.OpCSRR:
+		rd, err := reg(0)
+		if err != nil {
+			return err
+		}
+		v, err := imm(1)
+		if err != nil {
+			return err
+		}
+		b.CSRR(rd, v)
+		return nil
+	case isa.OpCSRW:
+		rs, err := reg(0)
+		if err != nil {
+			return err
+		}
+		v, err := imm(1)
+		if err != nil {
+			return err
+		}
+		b.CSRW(rs, v)
+		return nil
+	case isa.OpHALT, isa.OpEBREAK, isa.OpFENCE, isa.OpYIELD:
+		b.emit(isa.Inst{Op: code})
+		return nil
+	}
+	// Remaining ALU forms: reg,reg,reg or reg,reg,imm.
+	rd, err := reg(0)
+	if err != nil {
+		return err
+	}
+	rs1, err := reg(1)
+	if err != nil {
+		return err
+	}
+	if len(args) < 3 {
+		return fmt.Errorf("%s: missing operand", op)
+	}
+	if r2, ok := isa.RegByName(args[2]); ok {
+		b.rrr(code, rd, rs1, r2)
+		return nil
+	}
+	v, err := parseImm(args[2])
+	if err != nil {
+		return err
+	}
+	b.rri(code, rd, rs1, v)
+	return nil
+}
+
+func parseImm(s string) (int32, error) {
+	s = strings.TrimSpace(s)
+	if len(s) == 3 && s[0] == '\'' && s[2] == '\'' {
+		return int32(s[1]), nil
+	}
+	v, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad immediate %q", s)
+	}
+	if v < -(1<<31) || v > (1<<32)-1 {
+		return 0, fmt.Errorf("immediate %q out of range", s)
+	}
+	return int32(uint32(v)), nil
+}
+
+// Disassemble renders an image's text section.
+func Disassemble(img *Image) string {
+	var b strings.Builder
+	for pc := img.Base; pc < img.TextEnd(); pc += 4 {
+		if fn, ok := img.FuncAt(pc); ok && fn.Addr == pc {
+			fmt.Fprintf(&b, "%s:\n", fn.Name)
+		}
+		word := img.Arch.Word(img.Text[pc-img.Base:])
+		in, err := isa.Decode(word, img.Arch)
+		if err != nil {
+			fmt.Fprintf(&b, "  %08x: .word %#08x\n", pc, word)
+			continue
+		}
+		fmt.Fprintf(&b, "  %08x: %s\n", pc, isa.Disasm(in, pc))
+	}
+	return b.String()
+}

@@ -1,0 +1,129 @@
+package kasm
+
+import (
+	"strings"
+	"testing"
+
+	"embsan/internal/isa"
+)
+
+const asmProgram = `
+; A small program exercising the assembler surface.
+.globalraw stack, 1024
+.global table, 16
+.asciz banner, "ok"
+.word consts, 1, 2, 0x30
+
+.func _start
+  la sp, stack
+  li t0, 1000
+  addi sp, sp, 1020
+  li a0, 5
+  li a1, 7
+  call sum2
+  la t0, table
+  sw a0, 0(t0)
+  lw a1, 0(t0)
+  beq a0, a1, good
+  li a0, 1
+  hcall 1
+good:
+  li a0, 0
+  hcall 1
+  halt
+
+.func sum2
+  add a0, a0, a1
+  ret
+`
+
+func TestAssembleAndLink(t *testing.T) {
+	img, err := Assemble(asmProgram, Target{Arch: isa.ArchARM32E})
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	if _, ok := img.Lookup("sum2"); !ok {
+		t.Error("missing sum2 symbol")
+	}
+	if s, ok := img.Lookup("banner"); !ok || s.Size != 3 {
+		t.Errorf("banner = %+v, %v", s, ok)
+	}
+	if s, ok := img.Lookup("consts"); !ok || s.Size != 12 {
+		t.Errorf("consts = %+v, %v", s, ok)
+	}
+	// The same source assembles for every frontend with distinct encodings.
+	img2, err := Assemble(asmProgram, Target{Arch: isa.ArchMIPS32E})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(img.Text[:8]) == string(img2.Text[:8]) {
+		t.Error("frontends produced identical encodings")
+	}
+}
+
+func TestAssembleInstrumented(t *testing.T) {
+	plain, err := Assemble(asmProgram, Target{Arch: isa.ArchARM32E})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := Assemble(asmProgram, Target{Arch: isa.ArchARM32E, Sanitize: SanEmbsanC})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inst.Text) <= len(plain.Text) {
+		t.Error("EMBSAN-C assembly did not grow the text section")
+	}
+	if len(inst.Meta.Globals) != 1 {
+		t.Errorf("redzoned globals = %+v", inst.Meta.Globals)
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []string{
+		"bogus a0, a1",
+		"lw a0, nooffset",
+		"addi a0",
+		".func",
+		".global only_name",
+		"li a0, zzz",
+		"beq a0, a1",
+		"lw q9, 0(sp)",
+	}
+	for _, src := range cases {
+		if _, err := Assemble(".func _start\n"+src, Target{Arch: isa.ArchARM32E}); err == nil {
+			t.Errorf("no error for %q", src)
+		}
+	}
+}
+
+func TestDisassembleRoundTrip(t *testing.T) {
+	img, err := Assemble(asmProgram, Target{Arch: isa.ArchARM32E})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dis := Disassemble(img)
+	for _, want := range []string{"_start:", "sum2:", "add a0, a0, a1", "hcall 1", "halt"} {
+		if !strings.Contains(dis, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, dis)
+		}
+	}
+}
+
+func TestParseImm(t *testing.T) {
+	cases := map[string]int32{
+		"0":    0,
+		"-8":   -8,
+		"0x10": 16,
+		"'A'":  65,
+		"4096": 4096,
+	}
+	for in, want := range cases {
+		got, err := parseImm(in)
+		if err != nil || got != want {
+			t.Errorf("parseImm(%q) = %d, %v; want %d", in, got, err, want)
+		}
+	}
+	if _, err := parseImm("zzz"); err == nil {
+		t.Error("bad immediate accepted")
+	}
+}

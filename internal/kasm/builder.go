@@ -1,0 +1,568 @@
+package kasm
+
+import (
+	"fmt"
+
+	"embsan/internal/isa"
+)
+
+// Target describes the build target.
+type Target struct {
+	Arch     isa.Arch
+	Sanitize SanitizeMode
+	Base     uint32 // text load address; defaults to 0x1000
+}
+
+// DefaultBase is the text load address used when Target.Base is zero. The
+// page below it is never mapped by any firmware, giving every build a NULL
+// guard page.
+const DefaultBase = 0x1000
+
+type fixKind uint8
+
+const (
+	fixNone   fixKind = iota
+	fixBranch         // imm = (target - pc) / 4, imm12
+	fixJAL            // imm = (target - pc) / 4, imm20
+	fixHi             // imm = %hi(sym)
+	fixLo             // imm = %lo(sym)
+)
+
+type centry struct {
+	inst isa.Inst
+	fix  fixKind
+	sym  string
+}
+
+type dataKind uint8
+
+const (
+	dataBSS dataKind = iota
+	dataInit
+)
+
+type dsym struct {
+	name     string
+	kind     dataKind
+	size     uint32
+	align    uint32
+	init     []byte
+	wordSyms map[uint32]string // offset -> symbol whose address to store
+	redzone  bool
+	addr     uint32
+}
+
+type fsym struct {
+	name  string
+	start int // code index
+	end   int
+}
+
+// Builder assembles a firmware image through direct emission calls. It is
+// the structured equivalent of writing assembly source: every method call
+// appends instructions or data, and Link resolves symbols and produces the
+// image. Errors accumulate and are reported by Link, so call sites stay
+// uncluttered.
+type Builder struct {
+	target   Target
+	code     []centry
+	labels   map[string]int // label -> code index
+	funcs    []*fsym
+	data     []*dsym
+	dataIdx  map[string]*dsym
+	nosan    int
+	allowRes int
+	uniq     int
+	errs     []error
+	meta     Metadata
+}
+
+// NewBuilder returns a builder for the given target.
+func NewBuilder(t Target) *Builder {
+	if t.Base == 0 {
+		t.Base = DefaultBase
+	}
+	return &Builder{
+		target:  t,
+		labels:  make(map[string]int),
+		dataIdx: make(map[string]*dsym),
+		meta:    Metadata{Sanitize: t.Sanitize},
+	}
+}
+
+// Target returns the build target.
+func (b *Builder) Target() Target { return b.target }
+
+// Mode returns the sanitize mode of the build.
+func (b *Builder) Mode() SanitizeMode { return b.target.Sanitize }
+
+func (b *Builder) errf(format string, args ...any) {
+	b.errs = append(b.errs, fmt.Errorf(format, args...))
+}
+
+// Unique returns a fresh label name with the given prefix.
+func (b *Builder) Unique(prefix string) string {
+	b.uniq++
+	return fmt.Sprintf(".%s.%d", prefix, b.uniq)
+}
+
+// Func starts a new function symbol at the current position.
+func (b *Builder) Func(name string) {
+	b.closeFunc()
+	if _, dup := b.labels[name]; dup {
+		b.errf("kasm: duplicate symbol %q", name)
+	}
+	b.labels[name] = len(b.code)
+	b.funcs = append(b.funcs, &fsym{name: name, start: len(b.code)})
+}
+
+func (b *Builder) closeFunc() {
+	if n := len(b.funcs); n > 0 && b.funcs[n-1].end == 0 {
+		b.funcs[n-1].end = len(b.code)
+	}
+}
+
+// Label defines a local code label at the current position.
+func (b *Builder) Label(name string) {
+	if _, dup := b.labels[name]; dup {
+		b.errf("kasm: duplicate label %q", name)
+	}
+	b.labels[name] = len(b.code)
+}
+
+// NoSan runs fn with compile-time instrumentation suppressed — used for
+// allocator internals and the sanitizer runtime itself, mirroring the
+// __no_sanitize annotations real kernels carry.
+func (b *Builder) NoSan(fn func()) {
+	b.nosan++
+	fn()
+	b.nosan--
+}
+
+// AllowReserved runs fn with the reserved-register check disabled. Only the
+// guest sanitizer runtime may use it.
+func (b *Builder) AllowReserved(fn func()) {
+	b.allowRes++
+	fn()
+	b.allowRes--
+}
+
+func (b *Builder) checkRegs(inst isa.Inst) {
+	if b.target.Sanitize == SanNone || b.allowRes > 0 {
+		return
+	}
+	use := func(r uint8) {
+		for _, res := range reservedRegs {
+			if r == res {
+				b.errf("kasm: register %s is reserved under %s (inst %s)",
+					isa.RegName(r), b.target.Sanitize, inst.Op.Name())
+			}
+		}
+	}
+	use(inst.Rd)
+	if !isUFormat(inst.Op) {
+		use(inst.Rs1)
+		use(inst.Rs2)
+	}
+}
+
+func (b *Builder) emit(inst isa.Inst) {
+	b.checkRegs(inst)
+	b.code = append(b.code, centry{inst: inst})
+}
+
+func (b *Builder) emitFix(inst isa.Inst, fix fixKind, sym string) {
+	b.checkRegs(inst)
+	b.code = append(b.code, centry{inst: inst, fix: fix, sym: sym})
+}
+
+// emitRaw bypasses the reserved-register check (instrumentation internals).
+func (b *Builder) emitRaw(inst isa.Inst) {
+	b.code = append(b.code, centry{inst: inst})
+}
+
+func (b *Builder) emitRawFix(inst isa.Inst, fix fixKind, sym string) {
+	b.code = append(b.code, centry{inst: inst, fix: fix, sym: sym})
+}
+
+// ---- ALU ----
+
+func (b *Builder) rrr(op isa.Op, rd, rs1, rs2 uint8) {
+	b.emit(isa.Inst{Op: op, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+func (b *Builder) rri(op isa.Op, rd, rs1 uint8, imm int32) {
+	b.emit(isa.Inst{Op: op, Rd: rd, Rs1: rs1, Imm: imm})
+}
+
+func (b *Builder) ADD(rd, rs1, rs2 uint8)   { b.rrr(isa.OpADD, rd, rs1, rs2) }
+func (b *Builder) SUB(rd, rs1, rs2 uint8)   { b.rrr(isa.OpSUB, rd, rs1, rs2) }
+func (b *Builder) AND(rd, rs1, rs2 uint8)   { b.rrr(isa.OpAND, rd, rs1, rs2) }
+func (b *Builder) OR(rd, rs1, rs2 uint8)    { b.rrr(isa.OpOR, rd, rs1, rs2) }
+func (b *Builder) XOR(rd, rs1, rs2 uint8)   { b.rrr(isa.OpXOR, rd, rs1, rs2) }
+func (b *Builder) SLL(rd, rs1, rs2 uint8)   { b.rrr(isa.OpSLL, rd, rs1, rs2) }
+func (b *Builder) SRL(rd, rs1, rs2 uint8)   { b.rrr(isa.OpSRL, rd, rs1, rs2) }
+func (b *Builder) SRA(rd, rs1, rs2 uint8)   { b.rrr(isa.OpSRA, rd, rs1, rs2) }
+func (b *Builder) MUL(rd, rs1, rs2 uint8)   { b.rrr(isa.OpMUL, rd, rs1, rs2) }
+func (b *Builder) MULHU(rd, rs1, rs2 uint8) { b.rrr(isa.OpMULHU, rd, rs1, rs2) }
+func (b *Builder) DIV(rd, rs1, rs2 uint8)   { b.rrr(isa.OpDIV, rd, rs1, rs2) }
+func (b *Builder) DIVU(rd, rs1, rs2 uint8)  { b.rrr(isa.OpDIVU, rd, rs1, rs2) }
+func (b *Builder) REM(rd, rs1, rs2 uint8)   { b.rrr(isa.OpREM, rd, rs1, rs2) }
+func (b *Builder) REMU(rd, rs1, rs2 uint8)  { b.rrr(isa.OpREMU, rd, rs1, rs2) }
+func (b *Builder) SLT(rd, rs1, rs2 uint8)   { b.rrr(isa.OpSLT, rd, rs1, rs2) }
+func (b *Builder) SLTU(rd, rs1, rs2 uint8)  { b.rrr(isa.OpSLTU, rd, rs1, rs2) }
+
+func (b *Builder) ADDI(rd, rs1 uint8, imm int32)  { b.rri(isa.OpADDI, rd, rs1, imm) }
+func (b *Builder) ANDI(rd, rs1 uint8, imm int32)  { b.rri(isa.OpANDI, rd, rs1, imm) }
+func (b *Builder) ORI(rd, rs1 uint8, imm int32)   { b.rri(isa.OpORI, rd, rs1, imm) }
+func (b *Builder) XORI(rd, rs1 uint8, imm int32)  { b.rri(isa.OpXORI, rd, rs1, imm) }
+func (b *Builder) SLLI(rd, rs1 uint8, imm int32)  { b.rri(isa.OpSLLI, rd, rs1, imm) }
+func (b *Builder) SRLI(rd, rs1 uint8, imm int32)  { b.rri(isa.OpSRLI, rd, rs1, imm) }
+func (b *Builder) SRAI(rd, rs1 uint8, imm int32)  { b.rri(isa.OpSRAI, rd, rs1, imm) }
+func (b *Builder) SLTI(rd, rs1 uint8, imm int32)  { b.rri(isa.OpSLTI, rd, rs1, imm) }
+func (b *Builder) SLTIU(rd, rs1 uint8, imm int32) { b.rri(isa.OpSLTIU, rd, rs1, imm) }
+
+func (b *Builder) LUI(rd uint8, imm20 int32) { b.emit(isa.Inst{Op: isa.OpLUI, Rd: rd, Imm: imm20}) }
+
+// MV copies rs into rd.
+func (b *Builder) MV(rd, rs uint8) { b.ADDI(rd, rs, 0) }
+
+// Li loads a 32-bit constant into rd (one or two instructions).
+func (b *Builder) Li(rd uint8, v int32) {
+	hi, lo := splitConst(uint32(v))
+	if hi == 0 {
+		b.ADDI(rd, isa.RegZero, lo)
+		return
+	}
+	b.LUI(rd, hi)
+	if lo != 0 {
+		b.ADDI(rd, rd, lo)
+	}
+}
+
+// La loads the address of sym into rd (resolved at link time).
+func (b *Builder) La(rd uint8, sym string) {
+	b.checkRegs(isa.Inst{Op: isa.OpLUI, Rd: rd})
+	b.emitRawFix(isa.Inst{Op: isa.OpLUI, Rd: rd}, fixHi, sym)
+	b.emitRawFix(isa.Inst{Op: isa.OpADDI, Rd: rd, Rs1: rd}, fixLo, sym)
+}
+
+// splitConst splits v into %hi/%lo parts such that (hi<<12)+signext(lo) == v.
+func splitConst(v uint32) (hi, lo int32) {
+	h := (v + 0x800) >> 12
+	l := int32(v) - int32(h<<12)
+	return int32(h & 0xFFFFF), l
+}
+
+// ---- memory (instrumented) ----
+
+// LB/LBU/LH/LHU/LW load from off(base) into rd.
+func (b *Builder) LB(rd, base uint8, off int32)  { b.load(isa.OpLB, rd, base, off) }
+func (b *Builder) LBU(rd, base uint8, off int32) { b.load(isa.OpLBU, rd, base, off) }
+func (b *Builder) LH(rd, base uint8, off int32)  { b.load(isa.OpLH, rd, base, off) }
+func (b *Builder) LHU(rd, base uint8, off int32) { b.load(isa.OpLHU, rd, base, off) }
+func (b *Builder) LW(rd, base uint8, off int32)  { b.load(isa.OpLW, rd, base, off) }
+
+// SB/SH/SW store src to off(base).
+func (b *Builder) SB(src, base uint8, off int32) { b.store(isa.OpSB, src, base, off) }
+func (b *Builder) SH(src, base uint8, off int32) { b.store(isa.OpSH, src, base, off) }
+func (b *Builder) SW(src, base uint8, off int32) { b.store(isa.OpSW, src, base, off) }
+
+// Atomics: address in addrReg (no offset).
+func (b *Builder) AMOADDW(rd, addrReg, src uint8)  { b.atomic(isa.OpAMOADDW, rd, addrReg, src) }
+func (b *Builder) AMOSWAPW(rd, addrReg, src uint8) { b.atomic(isa.OpAMOSWAPW, rd, addrReg, src) }
+func (b *Builder) AMOORW(rd, addrReg, src uint8)   { b.atomic(isa.OpAMOORW, rd, addrReg, src) }
+func (b *Builder) AMOANDW(rd, addrReg, src uint8)  { b.atomic(isa.OpAMOANDW, rd, addrReg, src) }
+func (b *Builder) LRW(rd, addrReg uint8)           { b.amoLoad(isa.OpLRW, rd, addrReg) }
+func (b *Builder) SCW(rd, addrReg, src uint8)      { b.atomic(isa.OpSCW, rd, addrReg, src) }
+
+// ---- control flow ----
+
+func (b *Builder) branch(op isa.Op, rs1, rs2 uint8, label string) {
+	b.emitFix(isa.Inst{Op: op, Rs1: rs1, Rs2: rs2}, fixBranch, label)
+}
+
+func (b *Builder) BEQ(rs1, rs2 uint8, label string)  { b.branch(isa.OpBEQ, rs1, rs2, label) }
+func (b *Builder) BNE(rs1, rs2 uint8, label string)  { b.branch(isa.OpBNE, rs1, rs2, label) }
+func (b *Builder) BLT(rs1, rs2 uint8, label string)  { b.branch(isa.OpBLT, rs1, rs2, label) }
+func (b *Builder) BGE(rs1, rs2 uint8, label string)  { b.branch(isa.OpBGE, rs1, rs2, label) }
+func (b *Builder) BLTU(rs1, rs2 uint8, label string) { b.branch(isa.OpBLTU, rs1, rs2, label) }
+func (b *Builder) BGEU(rs1, rs2 uint8, label string) { b.branch(isa.OpBGEU, rs1, rs2, label) }
+func (b *Builder) BEQZ(rs1 uint8, label string)      { b.BEQ(rs1, isa.RegZero, label) }
+func (b *Builder) BNEZ(rs1 uint8, label string)      { b.BNE(rs1, isa.RegZero, label) }
+
+// JAL jumps to label, writing the return address to rd.
+func (b *Builder) JAL(rd uint8, label string) {
+	b.emitFix(isa.Inst{Op: isa.OpJAL, Rd: rd}, fixJAL, label)
+}
+
+// J is an unconditional jump.
+func (b *Builder) J(label string) { b.JAL(isa.RegZero, label) }
+
+// Call calls label with the standard link register.
+func (b *Builder) Call(label string) { b.JAL(isa.RegRA, label) }
+
+// JALR is an indirect jump.
+func (b *Builder) JALR(rd, rs1 uint8, imm int32) {
+	b.emit(isa.Inst{Op: isa.OpJALR, Rd: rd, Rs1: rs1, Imm: imm})
+}
+
+// Ret returns via ra.
+func (b *Builder) Ret() { b.JALR(isa.RegZero, isa.RegRA, 0) }
+
+// ---- system ----
+
+func (b *Builder) HCALL(n int32)            { b.emit(isa.Inst{Op: isa.OpHCALL, Imm: n}) }
+func (b *Builder) ECALL()                   { b.emit(isa.Inst{Op: isa.OpECALL}) }
+func (b *Builder) EBREAK()                  { b.emit(isa.Inst{Op: isa.OpEBREAK}) }
+func (b *Builder) HALT()                    { b.emit(isa.Inst{Op: isa.OpHALT}) }
+func (b *Builder) FENCE()                   { b.emit(isa.Inst{Op: isa.OpFENCE}) }
+func (b *Builder) YIELD()                   { b.emit(isa.Inst{Op: isa.OpYIELD}) }
+func (b *Builder) CSRR(rd uint8, csr int32) { b.rri(isa.OpCSRR, rd, isa.RegZero, csr) }
+func (b *Builder) CSRW(rs1 uint8, csr int32) {
+	b.emit(isa.Inst{Op: isa.OpCSRW, Rs1: rs1, Imm: csr})
+}
+
+// Prologue opens a stack frame of the given size and saves ra.
+func (b *Builder) Prologue(frame int32) {
+	b.ADDI(isa.RegSP, isa.RegSP, -frame)
+	b.SW(isa.RegRA, isa.RegSP, frame-4)
+}
+
+// Epilogue restores ra, closes the frame and returns.
+func (b *Builder) Epilogue(frame int32) {
+	b.LW(isa.RegRA, isa.RegSP, frame-4)
+	b.ADDI(isa.RegSP, isa.RegSP, frame)
+	b.Ret()
+}
+
+// ---- sanitizer annotations (guest allocator cooperation) ----
+
+// hookCall calls an in-guest sanitizer runtime entry point from arbitrary
+// code, preserving the caller's return address — hook sites are often in
+// leaf functions that keep ra live.
+func (b *Builder) hookCall(sym string) {
+	b.ADDI(isa.RegSP, isa.RegSP, -8)
+	b.SW(isa.RegRA, isa.RegSP, 4)
+	b.Call(sym)
+	b.LW(isa.RegRA, isa.RegSP, 4)
+	b.ADDI(isa.RegSP, isa.RegSP, 8)
+}
+
+// SanAllocHook records an allocation (convention: a0 = ptr, a1 = size).
+// Under EMBSAN-C it traps into the dummy sanitizer library; under native
+// KASAN it calls the in-guest runtime; otherwise it emits nothing, leaving
+// discovery to the Prober.
+func (b *Builder) SanAllocHook() {
+	switch b.target.Sanitize {
+	case SanEmbsanC:
+		b.HCALL(isa.HcallSanAlloc)
+	case SanNativeKASAN:
+		b.hookCall("__kasan_alloc")
+	}
+}
+
+// SanFreeHook records a deallocation (convention: a0 = ptr, a1 = size).
+func (b *Builder) SanFreeHook() {
+	switch b.target.Sanitize {
+	case SanEmbsanC:
+		b.HCALL(isa.HcallSanFree)
+	case SanNativeKASAN:
+		b.hookCall("__kasan_free")
+	}
+}
+
+// SanPoisonHook marks a region with a poison code (convention: a0 = addr,
+// a1 = size; the code is emitted as an immediate into a2). Guest allocators
+// use it to hand their heap arena to the sanitizer at init time. Under
+// EMBSAN-C it traps into the dummy library; under native KASAN it calls the
+// in-guest runtime; otherwise it emits nothing.
+func (b *Builder) SanPoisonHook(code int32) {
+	switch b.target.Sanitize {
+	case SanEmbsanC:
+		b.Li(isa.RegA2, code)
+		b.HCALL(isa.HcallSanPoison)
+	case SanNativeKASAN:
+		b.Li(isa.RegA2, code)
+		b.hookCall("__kasan_poison")
+	}
+}
+
+// GuardedBuffer materialises the address of a stack buffer that lives at
+// sp+bufOff inside the current frame, and — in redzone-capable builds —
+// poisons 16-byte redzones on both sides of it, the way compile-time
+// instrumentation guards on-stack objects. The caller must reserve
+// [bufOff-16, bufOff+bufSize+16) inside the frame and call UnguardBuffer
+// on every exit path, or stale stack poison will misfire later.
+//
+// The guard sequence spills a0..a2 around the poison calls, mirroring the
+// register pressure real instrumented prologues pay; uninstrumented builds
+// emit a single address computation.
+func (b *Builder) GuardedBuffer(bufOff, bufSize int32, reg uint8) {
+	b.stackGuard(bufOff, bufSize, false)
+	b.ADDI(reg, isa.RegSP, bufOff)
+}
+
+// UnguardBuffer removes the redzones laid down by GuardedBuffer. Call it
+// before closing the frame.
+func (b *Builder) UnguardBuffer(bufOff, bufSize int32) {
+	b.stackGuard(bufOff, bufSize, true)
+}
+
+func (b *Builder) stackGuard(bufOff, bufSize int32, clear bool) {
+	mode := b.target.Sanitize
+	if mode != SanEmbsanC && mode != SanNativeKASAN {
+		return
+	}
+	if bufOff < 16 {
+		b.errf("kasm: GuardedBuffer needs bufOff >= 16 for the left redzone")
+		return
+	}
+	const rz = 16
+	poison := func(off, size int32, code int32) {
+		b.ADDI(isa.RegA0, isa.RegSP, 16+off) // account for the spill area
+		b.Li(isa.RegA1, size)
+		if clear {
+			if mode == SanEmbsanC {
+				b.HCALL(isa.HcallSanUnpoison)
+			} else {
+				b.hookCall(SymKasanUnpoison)
+			}
+			return
+		}
+		b.Li(isa.RegA2, code)
+		if mode == SanEmbsanC {
+			b.HCALL(isa.HcallSanPoison)
+		} else {
+			b.hookCall("__kasan_poison")
+		}
+	}
+	b.ADDI(isa.RegSP, isa.RegSP, -16)
+	b.SW(isa.RegA0, isa.RegSP, 0)
+	b.SW(isa.RegA1, isa.RegSP, 4)
+	b.SW(isa.RegA2, isa.RegSP, 8)
+	if clear {
+		poison(bufOff-rz, rz+bufSize+rz, 0)
+	} else {
+		poison(bufOff-rz, rz, stackRedzoneCode)
+		poison(bufOff+bufSize, rz, stackRedzoneCode)
+	}
+	b.LW(isa.RegA0, isa.RegSP, 0)
+	b.LW(isa.RegA1, isa.RegSP, 4)
+	b.LW(isa.RegA2, isa.RegSP, 8)
+	b.ADDI(isa.RegSP, isa.RegSP, 16)
+}
+
+// stackRedzoneCode mirrors san.CodeStackRedzone without importing san.
+const stackRedzoneCode = 0xF8
+
+// SymKasanUnpoison names the in-guest unpoison entry point.
+const SymKasanUnpoison = "__kasan_unpoison"
+
+// SanMemcpyHook is the range interceptor for memcpy-like routines
+// (convention: a0 = dst, a1 = src, a2 = len), mirroring __asan_memcpy.
+func (b *Builder) SanMemcpyHook() {
+	switch b.target.Sanitize {
+	case SanEmbsanC:
+		b.HCALL(isa.HcallSanMemcpy)
+	case SanNativeKASAN:
+		b.hookCall("__kasan_memcpy_check")
+	}
+}
+
+// SanMemsetHook is the range interceptor for memset-like routines
+// (convention: a0 = dst, a1 = val, a2 = len).
+func (b *Builder) SanMemsetHook() {
+	switch b.target.Sanitize {
+	case SanEmbsanC:
+		b.HCALL(isa.HcallSanMemset)
+	case SanNativeKASAN:
+		b.hookCall("__kasan_memset_check")
+	}
+}
+
+// MarkAlloc annotates fn as an allocator entry point in the build metadata.
+func (b *Builder) MarkAlloc(fn string) { b.meta.AllocFuncs = append(b.meta.AllocFuncs, fn) }
+
+// MarkFree annotates fn as a deallocator entry point.
+func (b *Builder) MarkFree(fn string) { b.meta.FreeFuncs = append(b.meta.FreeFuncs, fn) }
+
+// Ready emits the ready-to-run hypercall that separates the boot phase from
+// the testing phase.
+func (b *Builder) Ready() {
+	b.HCALL(isa.HcallReady)
+	b.meta.ReadyMarked = true
+}
+
+// ---- data ----
+
+func (b *Builder) defData(d *dsym) *dsym {
+	if _, dup := b.dataIdx[d.name]; dup {
+		b.errf("kasm: duplicate data symbol %q", d.name)
+		return d
+	}
+	if d.align == 0 {
+		d.align = 4
+	}
+	b.data = append(b.data, d)
+	b.dataIdx[d.name] = d
+	return d
+}
+
+// Global reserves a zero-initialised object. In redzone-capable builds it is
+// surrounded by redzones (and recorded in the build metadata / the in-guest
+// global table).
+func (b *Builder) Global(name string, size uint32) {
+	rz := b.target.Sanitize == SanEmbsanC || b.target.Sanitize == SanNativeKASAN
+	b.defData(&dsym{name: name, kind: dataBSS, size: size, redzone: rz})
+}
+
+// GlobalRaw reserves a zero-initialised object with no redzones regardless
+// of build mode — for allocator heaps, stacks and shadow regions, which are
+// not objects in the sanitizer sense.
+func (b *Builder) GlobalRaw(name string, size uint32) {
+	b.defData(&dsym{name: name, kind: dataBSS, size: size})
+}
+
+// GlobalAlign is GlobalRaw with an explicit alignment.
+func (b *Builder) GlobalAlign(name string, size, align uint32) {
+	b.defData(&dsym{name: name, kind: dataBSS, size: size, align: align})
+}
+
+// DataBytes defines an initialised byte object.
+func (b *Builder) DataBytes(name string, bs []byte) {
+	b.defData(&dsym{name: name, kind: dataInit, size: uint32(len(bs)), init: bs})
+}
+
+// Asciz defines a NUL-terminated string object.
+func (b *Builder) Asciz(name, s string) {
+	b.DataBytes(name, append([]byte(s), 0))
+}
+
+// DataWords defines an initialised word array.
+func (b *Builder) DataWords(name string, ws []uint32) {
+	bs := make([]byte, 4*len(ws))
+	for i, w := range ws {
+		b.target.Arch.PutWord(bs[4*i:], w)
+	}
+	b.defData(&dsym{name: name, kind: dataInit, size: uint32(len(bs)), init: bs})
+}
+
+// DataWordSyms defines a pointer table: each entry is the link-time address
+// of the named symbol (the mechanism behind guest syscall tables).
+func (b *Builder) DataWordSyms(name string, syms []string) {
+	d := &dsym{
+		name:     name,
+		kind:     dataInit,
+		size:     uint32(4 * len(syms)),
+		init:     make([]byte, 4*len(syms)),
+		wordSyms: make(map[uint32]string, len(syms)),
+	}
+	for i, s := range syms {
+		d.wordSyms[uint32(4*i)] = s
+	}
+	b.defData(d)
+}
+
+func isUFormat(op isa.Op) bool {
+	return op == isa.OpLUI || op == isa.OpAUIPC || op == isa.OpJAL
+}

@@ -1,0 +1,83 @@
+package kasm
+
+import "embsan/internal/isa"
+
+// Compile-time instrumentation. Depending on the build's sanitize mode,
+// every memory access emitted through the builder is prefixed with either a
+// trapping SANCK instruction (EMBSAN-C: one instruction, no architectural
+// side effects, interpreted directly by the host) or an in-guest runtime
+// call (the native KASAN/KCSAN baselines). Code inside NoSan regions —
+// allocator internals and the sanitizer runtime itself — is left alone.
+
+func (b *Builder) load(op isa.Op, rd, base uint8, off int32) {
+	b.instrumentAccess(op, base, off)
+	b.emit(isa.Inst{Op: op, Rd: rd, Rs1: base, Imm: off})
+}
+
+func (b *Builder) store(op isa.Op, src, base uint8, off int32) {
+	b.instrumentAccess(op, base, off)
+	b.emit(isa.Inst{Op: op, Rs1: base, Rs2: src, Imm: off})
+}
+
+func (b *Builder) atomic(op isa.Op, rd, addrReg, src uint8) {
+	b.instrumentAccess(op, addrReg, 0)
+	b.emit(isa.Inst{Op: op, Rd: rd, Rs1: addrReg, Rs2: src})
+}
+
+func (b *Builder) amoLoad(op isa.Op, rd, addrReg uint8) {
+	b.instrumentAccess(op, addrReg, 0)
+	b.emit(isa.Inst{Op: op, Rd: rd, Rs1: addrReg})
+}
+
+func (b *Builder) instrumentAccess(op isa.Op, base uint8, off int32) {
+	if b.nosan > 0 {
+		return
+	}
+	size := isa.AccessSize(op)
+	write := isa.IsWrite(op)
+	atomic := isa.ClassOf(op) == isa.ClassAtomic
+	switch b.target.Sanitize {
+	case SanEmbsanC:
+		// One trapping instruction carrying base register, offset, size and
+		// direction — the host reconstructs the address without any guest
+		// register traffic.
+		b.emitRaw(isa.Inst{
+			Op:  isa.OpSANCK,
+			Rd:  isa.SanckInfo(size, write, atomic),
+			Rs1: base,
+			Imm: off,
+		})
+	case SanNativeKASAN:
+		b.emitRaw(isa.Inst{Op: isa.OpADDI, Rd: isa.RegK0, Rs1: base, Imm: off})
+		b.emitRawFix(isa.Inst{Op: isa.OpJAL, Rd: isa.RegK2}, fixJAL, kasanEntry(size, write))
+	case SanNativeKCSAN:
+		if atomic {
+			// Atomics are marked accesses; KCSAN neither samples them nor
+			// reports marked-vs-marked conflicts, so they carry no callback.
+			return
+		}
+		b.emitRaw(isa.Inst{Op: isa.OpADDI, Rd: isa.RegK0, Rs1: base, Imm: off})
+		entry := SymKcsanLoad
+		if write {
+			entry = SymKcsanStore
+		}
+		b.emitRawFix(isa.Inst{Op: isa.OpJAL, Rd: isa.RegK2}, fixJAL, entry)
+	}
+}
+
+func kasanEntry(size uint32, write bool) string {
+	switch {
+	case write && size == 1:
+		return SymKasanStore1
+	case write && size == 2:
+		return SymKasanStore2
+	case write:
+		return SymKasanStore4
+	case size == 1:
+		return SymKasanLoad1
+	case size == 2:
+		return SymKasanLoad2
+	default:
+		return SymKasanLoad4
+	}
+}

@@ -1,0 +1,287 @@
+package kasm
+
+import (
+	"strings"
+	"testing"
+
+	"embsan/internal/isa"
+)
+
+func buildTrivial(t *testing.T, mode SanitizeMode) *Image {
+	t.Helper()
+	b := NewBuilder(Target{Arch: isa.ArchARM32E, Sanitize: mode})
+	b.GlobalRaw("stack", 4096)
+	b.Global("buf", 64)
+	b.Func("_start")
+	b.La(isa.RegSP, "stack")
+	b.ADDI(isa.RegSP, isa.RegSP, 2047)
+	b.La(isa.RegA0, "buf")
+	b.Li(isa.RegA1, 0x1234)
+	b.SW(isa.RegA1, isa.RegA0, 0)
+	b.LW(isa.RegA2, isa.RegA0, 0)
+	b.HALT()
+	img, err := b.Link("trivial")
+	if err != nil {
+		t.Fatalf("link: %v", err)
+	}
+	return img
+}
+
+func TestLinkBasics(t *testing.T) {
+	img := buildTrivial(t, SanNone)
+	if img.Entry != img.Base {
+		t.Errorf("entry %#x != base %#x", img.Entry, img.Base)
+	}
+	if len(img.Text)%4 != 0 || len(img.Text) == 0 {
+		t.Errorf("bad text size %d", len(img.Text))
+	}
+	s, ok := img.Lookup("buf")
+	if !ok || s.Size != 64 || s.Kind != SymObject {
+		t.Fatalf("buf symbol: %+v ok=%v", s, ok)
+	}
+	if s.Addr%4 != 0 {
+		t.Errorf("buf misaligned: %#x", s.Addr)
+	}
+	f, ok := img.Lookup("_start")
+	if !ok || f.Kind != SymFunc || f.Size == 0 {
+		t.Fatalf("_start symbol: %+v ok=%v", f, ok)
+	}
+}
+
+func TestRedzonesOnlyInCapableModes(t *testing.T) {
+	plain := buildTrivial(t, SanNone)
+	if len(plain.Meta.Globals) != 0 {
+		t.Errorf("SanNone build has redzone metadata: %+v", plain.Meta.Globals)
+	}
+	cimg := buildTrivial(t, SanEmbsanC)
+	if len(cimg.Meta.Globals) != 1 {
+		t.Fatalf("EMBSAN-C build wants 1 redzoned global, got %+v", cimg.Meta.Globals)
+	}
+	g := cimg.Meta.Globals[0]
+	if g.Name != "buf" || g.Size != 64 || g.Redzone != GlobalRedzone {
+		t.Errorf("bad global meta: %+v", g)
+	}
+	// The raw stack must not be redzoned.
+	for _, gm := range cimg.Meta.Globals {
+		if gm.Name == "stack" {
+			t.Error("GlobalRaw object got a redzone")
+		}
+	}
+}
+
+func TestInstrumentationModesEmitDifferentCode(t *testing.T) {
+	plain := buildTrivial(t, SanNone)
+	cimg := buildTrivial(t, SanEmbsanC)
+	if len(cimg.Text) <= len(plain.Text) {
+		t.Errorf("EMBSAN-C text (%d) not larger than plain (%d)", len(cimg.Text), len(plain.Text))
+	}
+	// EMBSAN-C adds exactly one SANCK per memory access (2 accesses here).
+	var sancks int
+	for i := 0; i < len(cimg.Text); i += 4 {
+		w := isa.ArchARM32E.Word(cimg.Text[i:])
+		if in, err := isa.Decode(w, isa.ArchARM32E); err == nil && in.Op == isa.OpSANCK {
+			sancks++
+		}
+	}
+	if sancks != 2 {
+		t.Errorf("EMBSAN-C emitted %d SANCKs, want 2", sancks)
+	}
+}
+
+func TestNativeKASANNeedsRuntimeSymbols(t *testing.T) {
+	b := NewBuilder(Target{Arch: isa.ArchARM32E, Sanitize: SanNativeKASAN})
+	b.Func("_start")
+	b.LW(isa.RegA0, isa.RegSP, 0) // instrumented -> calls __kasan_load4
+	b.HALT()
+	if _, err := b.Link("x"); err == nil || !strings.Contains(err.Error(), SymKasanLoad4) {
+		t.Errorf("expected undefined-symbol error for %s, got %v", SymKasanLoad4, err)
+	}
+}
+
+func TestNativeKASANGlobalTable(t *testing.T) {
+	b := NewBuilder(Target{Arch: isa.ArchARM32E, Sanitize: SanNativeKASAN})
+	b.Global("g1", 16)
+	b.Global("g2", 100)
+	b.Func("_start")
+	b.HALT()
+	img, err := b.Link("x")
+	if err != nil {
+		t.Fatalf("link: %v", err)
+	}
+	tbl, ok := img.Lookup(SymKasanGlobalTable)
+	if !ok {
+		t.Fatal("no global table symbol")
+	}
+	// count word + 2 entries
+	off := tbl.Addr - img.DataAddr
+	if got := img.Arch.Word(img.Data[off:]); got != 2 {
+		t.Fatalf("table count = %d, want 2", got)
+	}
+	a1 := img.Arch.Word(img.Data[off+4:])
+	s1 := img.Arch.Word(img.Data[off+8:])
+	rz := img.Arch.Word(img.Data[off+12:])
+	g1, _ := img.Lookup("g1")
+	if a1 != g1.Addr || s1 != 16 || rz != GlobalRedzone {
+		t.Errorf("table entry = (%#x,%d,%d), want (%#x,16,%d)", a1, s1, rz, g1.Addr, GlobalRedzone)
+	}
+}
+
+func TestReservedRegisterEnforcement(t *testing.T) {
+	b := NewBuilder(Target{Arch: isa.ArchARM32E, Sanitize: SanEmbsanC})
+	b.Func("_start")
+	b.ADDI(isa.RegK0, isa.RegZero, 1) // illegal under sanitized builds
+	b.HALT()
+	if _, err := b.Link("x"); err == nil || !strings.Contains(err.Error(), "reserved") {
+		t.Errorf("reserved register use not rejected: %v", err)
+	}
+
+	// AllowReserved lifts the restriction.
+	b2 := NewBuilder(Target{Arch: isa.ArchARM32E, Sanitize: SanEmbsanC})
+	b2.Func("_start")
+	b2.AllowReserved(func() { b2.ADDI(isa.RegK0, isa.RegZero, 1) })
+	b2.HALT()
+	if _, err := b2.Link("x"); err != nil {
+		t.Errorf("AllowReserved rejected: %v", err)
+	}
+}
+
+func TestDuplicateAndUndefinedSymbols(t *testing.T) {
+	b := NewBuilder(Target{Arch: isa.ArchARM32E})
+	b.Func("_start")
+	b.Func("_start")
+	b.HALT()
+	if _, err := b.Link("x"); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Errorf("duplicate func not rejected: %v", err)
+	}
+
+	b2 := NewBuilder(Target{Arch: isa.ArchARM32E})
+	b2.Func("_start")
+	b2.Call("missing")
+	if _, err := b2.Link("x"); err == nil || !strings.Contains(err.Error(), "undefined") {
+		t.Errorf("undefined symbol not rejected: %v", err)
+	}
+}
+
+func TestDataWordSyms(t *testing.T) {
+	b := NewBuilder(Target{Arch: isa.ArchMIPS32E})
+	b.Func("_start")
+	b.HALT()
+	b.Func("fn_a")
+	b.Ret()
+	b.Func("fn_b")
+	b.Ret()
+	b.DataWordSyms("table", []string{"fn_b", "fn_a"})
+	img, err := b.Link("x")
+	if err != nil {
+		t.Fatalf("link: %v", err)
+	}
+	tbl, _ := img.Lookup("table")
+	fa, _ := img.Lookup("fn_a")
+	fb, _ := img.Lookup("fn_b")
+	off := tbl.Addr - img.DataAddr
+	if got := img.Arch.Word(img.Data[off:]); got != fb.Addr {
+		t.Errorf("table[0] = %#x, want fn_b %#x", got, fb.Addr)
+	}
+	if got := img.Arch.Word(img.Data[off+4:]); got != fa.Addr {
+		t.Errorf("table[1] = %#x, want fn_a %#x", got, fa.Addr)
+	}
+}
+
+func TestGuardedBufferValidation(t *testing.T) {
+	b := NewBuilder(Target{Arch: isa.ArchARM32E, Sanitize: SanEmbsanC})
+	b.Func("_start")
+	b.GuardedBuffer(8, 16, isa.RegA1) // bufOff < 16: no room for the left redzone
+	b.HALT()
+	if _, err := b.Link("x"); err == nil || !strings.Contains(err.Error(), "redzone") {
+		t.Errorf("undersized guard offset not rejected: %v", err)
+	}
+
+	// Uninstrumented builds reduce the guard to an address computation.
+	b2 := NewBuilder(Target{Arch: isa.ArchARM32E})
+	b2.Func("_start")
+	b2.GuardedBuffer(16, 24, isa.RegA1)
+	b2.UnguardBuffer(16, 24)
+	b2.HALT()
+	img, err := b2.Link("plain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(img.Text) != 3*4 { // addi + halt + the closeFunc boundary? just addi, halt
+		// One ADDI for the address plus HALT.
+		if len(img.Text) != 2*4 {
+			t.Errorf("plain guard emitted %d bytes of text", len(img.Text))
+		}
+	}
+}
+
+func TestBranchOutOfRange(t *testing.T) {
+	b := NewBuilder(Target{Arch: isa.ArchARM32E})
+	b.Func("_start")
+	b.BEQ(isa.RegA0, isa.RegA1, "far")
+	// Pad past the ±8 KiB branch range.
+	for i := 0; i < 3000; i++ {
+		b.ADDI(isa.RegZero, isa.RegZero, 0)
+	}
+	b.Label("far")
+	b.HALT()
+	if _, err := b.Link("x"); err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Errorf("out-of-range branch not rejected: %v", err)
+	}
+}
+
+func TestUniqueLabels(t *testing.T) {
+	b := NewBuilder(Target{Arch: isa.ArchARM32E})
+	a, c := b.Unique("x"), b.Unique("x")
+	if a == c {
+		t.Errorf("Unique returned duplicates: %q", a)
+	}
+}
+
+func TestSplitConst(t *testing.T) {
+	for _, v := range []uint32{0, 1, 0x7FF, 0x800, 0xFFF, 0x1000, 0x12345678, 0xFFFFFFFF, 0x80000000, 0xFFFFF800} {
+		hi, lo := splitConst(v)
+		got := uint32(hi<<12) + uint32(lo)
+		if got != v {
+			t.Errorf("splitConst(%#x): hi=%#x lo=%d -> %#x", v, hi, lo, got)
+		}
+		if lo < -2048 || lo > 2047 {
+			t.Errorf("splitConst(%#x): lo %d out of range", v, lo)
+		}
+	}
+}
+
+func TestImageEncodeDecodeAndStrip(t *testing.T) {
+	img := buildTrivial(t, SanEmbsanC)
+	b, err := img.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeImage(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != img.Name || got.Entry != img.Entry || len(got.Symbols) != len(img.Symbols) {
+		t.Error("image round trip mismatch")
+	}
+	s := img.Strip()
+	if !s.Stripped || s.Symbols != nil || len(s.Meta.Globals) != 0 {
+		t.Error("Strip left symbol information behind")
+	}
+	if s.Symbolize(img.Entry) == img.Symbolize(img.Entry) {
+		t.Error("stripped image should symbolize to raw addresses")
+	}
+}
+
+func TestSymbolize(t *testing.T) {
+	img := buildTrivial(t, SanNone)
+	f, _ := img.Lookup("_start")
+	if got := img.Symbolize(f.Addr); got != "_start" {
+		t.Errorf("Symbolize(entry) = %q", got)
+	}
+	if got := img.Symbolize(f.Addr + 8); got != "_start+0x8" {
+		t.Errorf("Symbolize(entry+8) = %q", got)
+	}
+	if fn, ok := img.FuncAt(f.Addr + 4); !ok || fn.Name != "_start" {
+		t.Errorf("FuncAt = %+v, %v", fn, ok)
+	}
+}

@@ -1,0 +1,222 @@
+package kasm
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"embsan/internal/isa"
+)
+
+const (
+	dataAlign  = 64
+	tableEntry = 12 // addr, size, redzone words per sanitized global
+)
+
+// Link resolves all symbols and fixups and produces the firmware image.
+func (b *Builder) Link(name string) (*Image, error) {
+	b.closeFunc()
+	if len(b.errs) > 0 {
+		return nil, errors.Join(b.errs...)
+	}
+
+	textEnd := b.target.Base + uint32(len(b.code))*4
+
+	// ---- layout ----
+	cursor := align(textEnd, dataAlign)
+	dataAddr := cursor
+
+	var initSyms, bssSyms []*dsym
+	for _, d := range b.data {
+		if d.kind == dataInit {
+			initSyms = append(initSyms, d)
+		} else {
+			bssSyms = append(bssSyms, d)
+		}
+	}
+	layout := func(d *dsym) {
+		cursor = align(cursor, d.align)
+		if d.redzone {
+			cursor += GlobalRedzone
+		}
+		d.addr = cursor
+		cursor += d.size
+		if d.redzone {
+			cursor += GlobalRedzone
+		}
+	}
+	for _, d := range initSyms {
+		layout(d)
+	}
+
+	// Reserve the in-guest global-redzone table for native KASAN builds.
+	var table *dsym
+	if b.target.Sanitize == SanNativeKASAN {
+		var nrz int
+		for _, d := range b.data {
+			if d.redzone {
+				nrz++
+			}
+		}
+		table = &dsym{
+			name: SymKasanGlobalTable,
+			kind: dataInit,
+			size: uint32(4 + tableEntry*nrz),
+			init: make([]byte, 4+tableEntry*nrz),
+		}
+		if _, dup := b.dataIdx[table.name]; dup {
+			return nil, fmt.Errorf("kasm: symbol %q is reserved", table.name)
+		}
+		b.dataIdx[table.name] = table
+		layout(table)
+		initSyms = append(initSyms, table)
+	}
+
+	dataEnd := cursor
+	bssAddr := align(cursor, dataAlign)
+	cursor = bssAddr
+	for _, d := range bssSyms {
+		layout(d)
+	}
+	bssEnd := cursor
+
+	// Fill the native global table now that bss addresses are known.
+	var globals []GlobalMeta
+	for _, d := range b.data {
+		if d.redzone {
+			globals = append(globals, GlobalMeta{
+				Name: d.name, Addr: d.addr, Size: d.size, Redzone: GlobalRedzone,
+			})
+		}
+	}
+	if table != nil {
+		b.target.Arch.PutWord(table.init[0:], uint32(len(globals)))
+		for i, g := range globals {
+			off := 4 + i*tableEntry
+			b.target.Arch.PutWord(table.init[off:], g.Addr)
+			b.target.Arch.PutWord(table.init[off+4:], g.Size)
+			b.target.Arch.PutWord(table.init[off+8:], g.Redzone)
+		}
+	}
+
+	// ---- symbol resolution ----
+	resolve := func(sym string) (uint32, bool) {
+		if idx, ok := b.labels[sym]; ok {
+			return b.target.Base + uint32(idx)*4, true
+		}
+		if d, ok := b.dataIdx[sym]; ok {
+			return d.addr, true
+		}
+		return 0, false
+	}
+
+	// ---- fixups and encoding ----
+	text := make([]byte, len(b.code)*4)
+	var errs []error
+	for i, ce := range b.code {
+		inst := ce.inst
+		if ce.fix != fixNone {
+			target, ok := resolve(ce.sym)
+			if !ok {
+				errs = append(errs, fmt.Errorf("kasm: undefined symbol %q", ce.sym))
+				continue
+			}
+			pc := b.target.Base + uint32(i)*4
+			switch ce.fix {
+			case fixBranch, fixJAL:
+				delta := int64(target) - int64(pc)
+				if delta%4 != 0 {
+					errs = append(errs, fmt.Errorf("kasm: misaligned target %q", ce.sym))
+					continue
+				}
+				imm := int32(delta / 4)
+				limit := int32(1 << 11)
+				if ce.fix == fixJAL {
+					limit = 1 << 19
+				}
+				if imm < -limit || imm >= limit {
+					errs = append(errs, fmt.Errorf("kasm: %q out of range from %#x", ce.sym, pc))
+					continue
+				}
+				inst.Imm = imm
+			case fixHi:
+				hi, _ := splitConst(target)
+				inst.Imm = hi
+			case fixLo:
+				_, lo := splitConst(target)
+				inst.Imm = lo
+			}
+		}
+		w, err := isa.Encode(inst, b.target.Arch)
+		if err != nil {
+			errs = append(errs, fmt.Errorf("kasm: at index %d: %w", i, err))
+			continue
+		}
+		b.target.Arch.PutWord(text[i*4:], w)
+	}
+
+	// ---- data image ----
+	data := make([]byte, dataEnd-dataAddr)
+	for _, d := range initSyms {
+		copy(data[d.addr-dataAddr:], d.init)
+		for off, sym := range d.wordSyms {
+			target, ok := resolve(sym)
+			if !ok {
+				errs = append(errs, fmt.Errorf("kasm: undefined symbol %q in %s", sym, d.name))
+				continue
+			}
+			b.target.Arch.PutWord(data[d.addr-dataAddr+off:], target)
+		}
+	}
+
+	if len(errs) > 0 {
+		return nil, errors.Join(errs...)
+	}
+
+	// ---- symbol table ----
+	var syms []Symbol
+	for _, f := range b.funcs {
+		syms = append(syms, Symbol{
+			Name: f.name,
+			Addr: b.target.Base + uint32(f.start)*4,
+			Size: uint32(f.end-f.start) * 4,
+			Kind: SymFunc,
+		})
+	}
+	for _, d := range b.data {
+		syms = append(syms, Symbol{Name: d.name, Addr: d.addr, Size: d.size, Kind: SymObject})
+	}
+	if table != nil {
+		syms = append(syms, Symbol{Name: table.name, Addr: table.addr, Size: table.size, Kind: SymObject})
+	}
+	sort.Slice(syms, func(i, j int) bool { return syms[i].Addr < syms[j].Addr })
+
+	entry, ok := resolve("_start")
+	if !ok {
+		return nil, errors.New("kasm: no _start symbol")
+	}
+
+	meta := b.meta
+	meta.Globals = globals
+
+	return &Image{
+		Name:     name,
+		Arch:     b.target.Arch,
+		Base:     b.target.Base,
+		Entry:    entry,
+		Text:     text,
+		Data:     data,
+		DataAddr: dataAddr,
+		BSSAddr:  bssAddr,
+		BSSSize:  bssEnd - bssAddr,
+		Symbols:  syms,
+		Meta:     meta,
+	}, nil
+}
+
+func align(v, a uint32) uint32 {
+	if a == 0 {
+		return v
+	}
+	return (v + a - 1) &^ (a - 1)
+}

@@ -1,0 +1,246 @@
+package probe
+
+import (
+	"fmt"
+	"sort"
+
+	"embsan/internal/dsl"
+	"embsan/internal/emu"
+	"embsan/internal/isa"
+	"embsan/internal/kasm"
+)
+
+// probeDClosed handles category 3: closed-source binary-only firmware. A
+// static pass enumerates direct-call targets; a dry run traces every called
+// function's arguments and return value; a behavioural classifier then
+// identifies allocator-like and free-like functions; and tester hints fill
+// in whatever the heuristics cannot recover.
+func probeDClosed(img *kasm.Image, opts Options) (*Result, error) {
+	entries := callTargets(img)
+	if len(entries) == 0 {
+		return nil, fmt.Errorf("probe: no call targets discovered in %q", img.Name)
+	}
+
+	// ---- dynamic pass: trace calls ----
+	type obs struct {
+		args [4]uint32
+		ret  uint32
+		seq  int
+	}
+	type frame struct {
+		entry uint32
+		args  [4]uint32
+		ra    uint32
+	}
+	observations := map[uint32][]obs{} // entry -> observations in call order
+	stacks := map[int][]frame{}
+	seq := 0
+	hookedRets := map[uint32]bool{}
+
+	_, ready, err := dryRun(img, opts.DryRunBudget, func(m *emu.Machine) {
+		retHook := func(m *emu.Machine, h *emu.Hart) {
+			st := stacks[h.ID]
+			pc := h.PC
+			for i := len(st) - 1; i >= 0; i-- {
+				if st[i].ra == pc {
+					f := st[i]
+					stacks[h.ID] = append(st[:i], st[i+1:]...)
+					seq++
+					observations[f.entry] = append(observations[f.entry], obs{
+						args: f.args, ret: h.Regs[isa.RegA0], seq: seq,
+					})
+					break
+				}
+			}
+		}
+		for _, e := range entries {
+			entry := e
+			m.HookPC(entry, func(m *emu.Machine, h *emu.Hart) {
+				ra := h.Regs[isa.RegRA]
+				stacks[h.ID] = append(stacks[h.ID], frame{
+					entry: entry,
+					args:  [4]uint32{h.Regs[isa.RegA0], h.Regs[isa.RegA1], h.Regs[isa.RegA2], h.Regs[isa.RegA3]},
+					ra:    ra,
+				})
+				if !hookedRets[ra] {
+					hookedRets[ra] = true
+					m.HookPC(ra, retHook)
+				}
+			})
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	if !ready {
+		return nil, fmt.Errorf("probe: %q never reached its ready point", img.Name)
+	}
+
+	// ---- classification ----
+	plat := basePlatform(img)
+	plat.Notes = append(plat.Notes,
+		"closed-source firmware: interception points classified behaviourally")
+
+	returnedPtrs := map[uint32]uint32{} // ptr -> size (from the classified allocator)
+	var allocEntry uint32
+	var allPtrs []uint32
+
+	type cand struct {
+		entry   uint32
+		sizeArg int
+		score   int
+		n       int
+	}
+	var best cand
+	for entry, oo := range observations {
+		if len(oo) < 2 {
+			continue
+		}
+		sort.Slice(oo, func(i, j int) bool { return oo[i].seq < oo[j].seq })
+		// Returns must look like fresh pointers: nonzero, in RAM, distinct.
+		seen := map[uint32]bool{}
+		ok := true
+		for _, o := range oo {
+			if o.ret < emu.NullGuardSize || o.ret >= emu.DefaultRAMSize || seen[o.ret] {
+				ok = false
+				break
+			}
+			seen[o.ret] = true
+		}
+		if !ok {
+			continue
+		}
+		// Which argument correlates with the spacing of consecutive returns?
+		for argIdx := 0; argIdx < 4; argIdx++ {
+			score := 0
+			for i := 0; i+1 < len(oo); i++ {
+				sz := oo[i].args[argIdx]
+				delta := oo[i+1].ret - oo[i].ret
+				if sz > 0 && sz <= 1<<16 && delta >= sz && delta <= sz+64 {
+					score++
+				}
+			}
+			if score > best.score {
+				best = cand{entry: entry, sizeArg: argIdx, score: score, n: len(oo)}
+			}
+		}
+	}
+	if best.score > 0 && best.score*2 >= best.n-1 {
+		allocEntry = best.entry
+		end := funcEnd(entries, allocEntry, img.TextEnd())
+		sizeReg := isa.RegName(uint8(isa.RegA0 + best.sizeArg))
+		plat.Allocs = append(plat.Allocs, dsl.AllocFn{
+			Name:    fmt.Sprintf("fn_%#x", allocEntry),
+			Entry:   allocEntry,
+			Exits:   findExits(img, allocEntry, end),
+			SizeArg: sizeReg,
+			RetArg:  "a0",
+		})
+		plat.Suppress = append(plat.Suppress, dsl.Region{Start: allocEntry, End: end})
+		for _, o := range observations[allocEntry] {
+			returnedPtrs[o.ret] = o.args[best.sizeArg]
+			allPtrs = append(allPtrs, o.ret)
+		}
+		plat.Notes = append(plat.Notes, fmt.Sprintf(
+			"fn_%#x classified as allocator (size in %s, %d/%d observations consistent)",
+			allocEntry, sizeReg, best.score, best.n-1))
+	}
+
+	// Free-like: a function taking a previously returned pointer.
+	freed := map[uint32]bool{}
+	for entry, oo := range observations {
+		if entry == allocEntry || len(oo) == 0 {
+			continue
+		}
+		for argIdx := 0; argIdx < 4; argIdx++ {
+			hits := 0
+			for _, o := range oo {
+				if _, isPtr := returnedPtrs[o.args[argIdx]]; isPtr {
+					hits++
+				}
+			}
+			if hits == len(oo) && hits > 0 {
+				end := funcEnd(entries, entry, img.TextEnd())
+				plat.Frees = append(plat.Frees, dsl.FreeFn{
+					Name:   fmt.Sprintf("fn_%#x", entry),
+					Entry:  entry,
+					PtrArg: isa.RegName(uint8(isa.RegA0 + argIdx)),
+				})
+				plat.Suppress = append(plat.Suppress, dsl.Region{Start: entry, End: end})
+				for _, o := range oo {
+					freed[o.args[argIdx]] = true
+				}
+				break
+			}
+		}
+	}
+
+	if est, ok := heapFromPointers(allPtrs, emu.DefaultRAMSize); ok {
+		plat.Heaps = append(plat.Heaps, est)
+	}
+
+	// ---- tester hints (manual intervention) ----
+	for _, h := range opts.Hints {
+		switch h.Kind {
+		case "alloc":
+			a := dsl.AllocFn{Name: h.Name, Entry: h.Entry, SizeArg: h.SizeArg, RetArg: h.RetArg}
+			if a.RetArg == "" {
+				a.RetArg = "a0"
+			}
+			if a.SizeArg == "" {
+				a.SizeArg = "a0"
+			}
+			end := funcEnd(entries, h.Entry, img.TextEnd())
+			a.Exits = findExits(img, h.Entry, end)
+			replaced := false
+			for i := range plat.Allocs {
+				if plat.Allocs[i].Entry == h.Entry {
+					plat.Allocs[i] = a
+					replaced = true
+				}
+			}
+			if !replaced {
+				plat.Allocs = append(plat.Allocs, a)
+				plat.Suppress = append(plat.Suppress, dsl.Region{Start: h.Entry, End: end})
+			}
+			plat.Notes = append(plat.Notes, fmt.Sprintf("alloc %q provided by tester hint", h.Name))
+		case "free":
+			f := dsl.FreeFn{Name: h.Name, Entry: h.Entry, PtrArg: h.PtrArg}
+			if f.PtrArg == "" {
+				f.PtrArg = "a0"
+			}
+			plat.Frees = append(plat.Frees, f)
+			end := funcEnd(entries, h.Entry, img.TextEnd())
+			plat.Suppress = append(plat.Suppress, dsl.Region{Start: h.Entry, End: end})
+			plat.Notes = append(plat.Notes, fmt.Sprintf("free %q provided by tester hint", h.Name))
+		case "heap":
+			plat.Heaps = append(plat.Heaps, h.Region)
+			plat.Notes = append(plat.Notes, "heap region provided by tester hint")
+		}
+	}
+
+	if len(plat.Allocs) == 0 {
+		plat.Notes = append(plat.Notes,
+			"no allocator classified; provide an alloc hint to enable heap sanitizing")
+	}
+
+	// ---- initial setup routine ----
+	init := &dsl.Init{Platform: plat.Name, Ops: []dsl.InitOp{{Kind: dsl.InitShadow}}}
+	for _, h := range plat.Heaps {
+		init.Ops = append(init.Ops, dsl.InitOp{
+			Kind: dsl.InitPoison, Addr: h.Start, Size: h.Size(), Code: "heap_uninit",
+		})
+	}
+	if allocEntry != 0 {
+		oo := observations[allocEntry]
+		sort.Slice(oo, func(i, j int) bool { return oo[i].seq < oo[j].seq })
+		for _, o := range oo {
+			if !freed[o.ret] {
+				init.Ops = append(init.Ops, dsl.InitOp{
+					Kind: dsl.InitAlloc, Addr: o.ret, Size: o.args[best.sizeArg],
+				})
+			}
+		}
+	}
+	return &Result{Platform: plat, Init: init}, nil
+}

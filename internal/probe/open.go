@@ -1,0 +1,265 @@
+package probe
+
+import (
+	"fmt"
+	"sort"
+
+	"embsan/internal/dsl"
+	"embsan/internal/emu"
+	"embsan/internal/isa"
+	"embsan/internal/kasm"
+)
+
+// probeC handles category 1: open-source firmware built with compile-time
+// sanitizer instrumentation against the trapping dummy sanitizer library.
+// The build metadata names the annotated allocator functions; the dry run
+// records every dummy-library action issued before the ready point and
+// compiles them into the initial setup routine.
+func probeC(img *kasm.Image, opts Options) (*Result, error) {
+	if img.Meta.Sanitize != kasm.SanEmbsanC {
+		return nil, fmt.Errorf("probe: image %q is not an EMBSAN-C build", img.Name)
+	}
+	plat := basePlatform(img)
+	addAnnotatedFunctions(img, plat)
+	addHeapSymbols(img, plat)
+
+	// Dry run: intercept and record all pre-ready dummy-library actions.
+	type liveAlloc struct{ addr, size uint32 }
+	var order []uint32
+	live := map[uint32]liveAlloc{}
+	var poisons []dsl.InitOp
+
+	_, ready, err := dryRun(img, opts.DryRunBudget, func(m *emu.Machine) {
+		m.HandleHypercall(isa.HcallSanAlloc, func(m *emu.Machine, h *emu.Hart) {
+			a := liveAlloc{h.Regs[isa.RegA0], h.Regs[isa.RegA1]}
+			if _, seen := live[a.addr]; !seen {
+				order = append(order, a.addr)
+			}
+			live[a.addr] = a
+		})
+		m.HandleHypercall(isa.HcallSanFree, func(m *emu.Machine, h *emu.Hart) {
+			delete(live, h.Regs[isa.RegA0])
+		})
+		m.HandleHypercall(isa.HcallSanPoison, func(m *emu.Machine, h *emu.Hart) {
+			poisons = append(poisons, dsl.InitOp{
+				Kind: dsl.InitPoison,
+				Addr: h.Regs[isa.RegA0],
+				Size: h.Regs[isa.RegA1],
+			})
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	if !ready {
+		return nil, fmt.Errorf("probe: %q never reached its ready point", img.Name)
+	}
+
+	init := &dsl.Init{Platform: plat.Name, Ops: []dsl.InitOp{{Kind: dsl.InitShadow}}}
+	init.Ops = append(init.Ops, poisons...)
+	for _, addr := range order {
+		if a, ok := live[addr]; ok {
+			init.Ops = append(init.Ops, dsl.InitOp{Kind: dsl.InitAlloc, Addr: a.addr, Size: a.size})
+		}
+	}
+	return &Result{Platform: plat, Init: init}, nil
+}
+
+// probeDOpen handles category 2: open-source firmware without sanitizer
+// instrumentation. Allocator and heap symbols are found via the per-OS name
+// patterns, then confirmed by a dry run that also records the pre-ready
+// allocation history.
+func probeDOpen(img *kasm.Image, opts Options) (*Result, error) {
+	if len(img.Symbols) == 0 {
+		return nil, fmt.Errorf("probe: image %q has no symbols; use closed-source probing", img.Name)
+	}
+	plat := basePlatform(img)
+	addAnnotatedFunctions(img, plat)
+	addHeapSymbols(img, plat)
+	if len(plat.Allocs) == 0 {
+		plat.Notes = append(plat.Notes,
+			"no allocator matched the known interface patterns; manual intervention required")
+	}
+
+	// Dry run: hook the matched allocators, confirm their behaviour and
+	// record the pre-ready allocation history.
+	type pend struct{ size uint32 }
+	type liveAlloc struct{ addr, size uint32 }
+	pending := map[int][]pend{} // hart -> stack (per alloc fn is overkill here)
+	var order []uint32
+	live := map[uint32]liveAlloc{}
+	var ptrs []uint32
+
+	_, ready, err := dryRun(img, opts.DryRunBudget, func(m *emu.Machine) {
+		for i := range plat.Allocs {
+			a := plat.Allocs[i]
+			sizeReg, _ := isa.RegByName(a.SizeArg)
+			retReg, _ := isa.RegByName(a.RetArg)
+			m.HookPC(a.Entry, func(m *emu.Machine, h *emu.Hart) {
+				pending[h.ID] = append(pending[h.ID], pend{h.Regs[sizeReg]})
+			})
+			for _, exit := range a.Exits {
+				m.HookPC(exit, func(m *emu.Machine, h *emu.Hart) {
+					st := pending[h.ID]
+					if len(st) == 0 {
+						return
+					}
+					p := st[len(st)-1]
+					pending[h.ID] = st[:len(st)-1]
+					ptr := h.Regs[retReg]
+					if ptr == 0 {
+						return
+					}
+					ptrs = append(ptrs, ptr)
+					if _, seen := live[ptr]; !seen {
+						order = append(order, ptr)
+					}
+					live[ptr] = liveAlloc{ptr, p.size}
+				})
+			}
+		}
+		for i := range plat.Frees {
+			f := plat.Frees[i]
+			ptrReg, _ := isa.RegByName(f.PtrArg)
+			m.HookPC(f.Entry, func(m *emu.Machine, h *emu.Hart) {
+				delete(live, h.Regs[ptrReg])
+			})
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	if !ready {
+		return nil, fmt.Errorf("probe: %q never reached its ready point", img.Name)
+	}
+
+	// Confirm the heap bounds against observed behaviour; extend if the
+	// allocator handed out pointers outside the symbol-derived region.
+	if est, ok := heapFromPointers(ptrs, emu.DefaultRAMSize); ok {
+		covered := false
+		for _, h := range plat.Heaps {
+			if h.Contains(est.Start) && h.Contains(est.End-1) {
+				covered = true
+			}
+		}
+		if !covered && len(plat.Heaps) == 0 {
+			plat.Heaps = append(plat.Heaps, est)
+			plat.Notes = append(plat.Notes, "heap bounds estimated from dry-run observations")
+		}
+	}
+
+	init := &dsl.Init{Platform: plat.Name, Ops: []dsl.InitOp{{Kind: dsl.InitShadow}}}
+	for _, h := range plat.Heaps {
+		init.Ops = append(init.Ops, dsl.InitOp{
+			Kind: dsl.InitPoison, Addr: h.Start, Size: h.Size(), Code: "heap_uninit",
+		})
+	}
+	for _, addr := range order {
+		if a, ok := live[addr]; ok {
+			init.Ops = append(init.Ops, dsl.InitOp{Kind: dsl.InitAlloc, Addr: a.addr, Size: a.size})
+		}
+	}
+	return &Result{Platform: plat, Init: init}, nil
+}
+
+// ---- shared symbol-driven construction ----
+
+func basePlatform(img *kasm.Image) *dsl.Platform {
+	return &dsl.Platform{
+		Name: img.Name,
+		Arch: img.Arch.String(),
+		RAM:  emu.DefaultRAMSize,
+	}
+}
+
+// addAnnotatedFunctions fills allocator/free interception points from the
+// symbol table (and, for EMBSAN-C builds, the metadata annotations).
+func addAnnotatedFunctions(img *kasm.Image, plat *dsl.Platform) {
+	annotated := map[string]bool{}
+	for _, n := range img.Meta.AllocFuncs {
+		annotated[n] = true
+	}
+	for _, n := range img.Meta.FreeFuncs {
+		annotated[n] = true
+	}
+	var suppressFns []kasm.Symbol
+	for _, s := range img.Symbols {
+		if s.Kind != kasm.SymFunc {
+			continue
+		}
+		if p, ok := matchAlloc(s.Name); ok || annotated[s.Name] && isAllocName(s.Name) {
+			if !ok {
+				p = allocPattern{name: s.Name, sizeArg: "a0", retArg: "a0"}
+			}
+			plat.Allocs = append(plat.Allocs, dsl.AllocFn{
+				Name:    s.Name,
+				Entry:   s.Addr,
+				Exits:   findExits(img, s.Addr, s.Addr+s.Size),
+				SizeArg: p.sizeArg,
+				RetArg:  p.retArg,
+			})
+			suppressFns = append(suppressFns, s)
+			continue
+		}
+		if p, ok := matchFree(s.Name); ok {
+			plat.Frees = append(plat.Frees, dsl.FreeFn{
+				Name:    s.Name,
+				Entry:   s.Addr,
+				PtrArg:  p.ptrArg,
+				SizeArg: p.sizeArg,
+			})
+			suppressFns = append(suppressFns, s)
+		}
+	}
+	// Suppress allocator internals, including everything they call.
+	plat.Suppress = append(plat.Suppress, suppressClosure(img, suppressFns)...)
+}
+
+func isAllocName(n string) bool {
+	_, ok := matchAlloc(n)
+	return ok
+}
+
+// suppressClosure returns the code ranges of the given functions plus the
+// transitive closure of their direct callees — the allocator's internal
+// helpers must not have their heap-metadata accesses checked.
+func suppressClosure(img *kasm.Image, roots []kasm.Symbol) []dsl.Region {
+	byAddr := map[uint32]kasm.Symbol{}
+	for _, s := range img.Symbols {
+		if s.Kind == kasm.SymFunc {
+			byAddr[s.Addr] = s
+		}
+	}
+	seen := map[uint32]bool{}
+	var out []dsl.Region
+	var walk func(s kasm.Symbol, depth int)
+	walk = func(s kasm.Symbol, depth int) {
+		if seen[s.Addr] || depth > 4 {
+			return
+		}
+		seen[s.Addr] = true
+		out = append(out, dsl.Region{Start: s.Addr, End: s.Addr + s.Size})
+		for pc := s.Addr; pc < s.Addr+s.Size; pc += 4 {
+			in, ok := decodeAt(img, pc)
+			if !ok || in.Op != isa.OpJAL || in.Rd != isa.RegRA {
+				continue
+			}
+			if callee, ok := byAddr[pc+uint32(in.Imm)*4]; ok {
+				walk(callee, depth+1)
+			}
+		}
+	}
+	for _, r := range roots {
+		walk(r, 0)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+func addHeapSymbols(img *kasm.Image, plat *dsl.Platform) {
+	for _, s := range img.Symbols {
+		if s.Kind == kasm.SymObject && matchHeapSymbol(s.Name) && s.Size >= 1024 {
+			plat.Heaps = append(plat.Heaps, dsl.Region{Start: s.Addr, End: s.Addr + s.Size})
+		}
+	}
+}

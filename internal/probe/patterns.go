@@ -1,0 +1,83 @@
+package probe
+
+import "strings"
+
+// Per-OS allocator interface knowledge used for open-source firmware. With
+// source available the signatures are known, so the argument registers come
+// from the table rather than from behavioural inference.
+type allocPattern struct {
+	name    string
+	sizeArg string
+	retArg  string
+}
+
+type freePattern struct {
+	name    string
+	ptrArg  string
+	sizeArg string // "" when the interface carries no size
+}
+
+var allocPatterns = []allocPattern{
+	// Embedded Linux
+	{"kmalloc", "a0", "a0"},
+	{"__kmalloc", "a0", "a0"},
+	{"kmem_cache_alloc", "a1", "a0"},
+	{"alloc_pages", "a0", "a0"},
+	// FreeRTOS
+	{"pvPortMalloc", "a0", "a0"},
+	// LiteOS (pool-based: size is the second argument)
+	{"LOS_MemAlloc", "a1", "a0"},
+	// VxWorks
+	{"memPartAlloc", "a1", "a0"},
+	// generic libc-style
+	{"malloc", "a0", "a0"},
+}
+
+var freePatterns = []freePattern{
+	{"kfree", "a0", ""},
+	{"kmem_cache_free", "a1", ""},
+	{"__free_pages", "a0", ""},
+	{"vPortFree", "a0", ""},
+	{"LOS_MemFree", "a1", ""},
+	{"memPartFree", "a1", ""},
+	{"free", "a0", ""},
+}
+
+// heapSymbolPatterns matches the well-known heap backing-store symbols of
+// the supported embedded operating systems.
+var heapSymbolPatterns = []string{
+	"slab_pool",   // our Embedded Linux personality
+	"mem_map",     // page allocator backing store
+	"ucHeap",      // FreeRTOS heap_4
+	"m_aucSysMem", // LiteOS system memory pool
+	"memPartPool", // VxWorks memory partition
+	"heap",        // generic
+}
+
+func matchAlloc(sym string) (allocPattern, bool) {
+	for _, p := range allocPatterns {
+		if sym == p.name {
+			return p, true
+		}
+	}
+	return allocPattern{}, false
+}
+
+func matchFree(sym string) (freePattern, bool) {
+	for _, p := range freePatterns {
+		if sym == p.name {
+			return p, true
+		}
+	}
+	return freePattern{}, false
+}
+
+func matchHeapSymbol(sym string) bool {
+	ls := strings.ToLower(sym)
+	for _, p := range heapSymbolPatterns {
+		if strings.Contains(ls, strings.ToLower(p)) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,231 @@
+// Package probe implements EMBSAN's Embedded Platform Configuration Prober.
+// It determines the platform details of a target firmware — instruction-set
+// frontend, memory layout, allocator interception points, the ready-to-run
+// point and the pre-ready allocation history — and emits them as a DSL
+// platform specification plus an initial setup routine.
+//
+// Following the paper (§3.2), firmware falls into three categories with
+// distinct strategies:
+//
+//  1. ModeC — open source with compile-time sanitizer instrumentation: the
+//     build metadata names the annotated allocator entry points, and a dry
+//     run records every dummy-library action issued before the ready point.
+//  2. ModeDOpen — open source without sanitizer instrumentation: allocator
+//     and heap symbols are identified from the symbol table via per-OS name
+//     patterns, then confirmed by a dry run.
+//  3. ModeDClosed — closed binary-only firmware: a multi-pass dry run
+//     discovers call targets, traces their arguments and return values, and
+//     classifies allocator-like functions behaviourally; tester hints
+//     supply whatever prior knowledge the heuristics cannot recover.
+package probe
+
+import (
+	"fmt"
+	"sort"
+
+	"embsan/internal/dsl"
+	"embsan/internal/emu"
+	"embsan/internal/isa"
+	"embsan/internal/kasm"
+)
+
+// Mode selects the probing strategy.
+type Mode uint8
+
+const (
+	// ModeAuto picks the strategy from the image's metadata and symbols.
+	ModeAuto Mode = iota
+	ModeC
+	ModeDOpen
+	ModeDClosed
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeC:
+		return "embsan-c"
+	case ModeDOpen:
+		return "embsan-d/open"
+	case ModeDClosed:
+		return "embsan-d/closed"
+	}
+	return "auto"
+}
+
+// Hint is tester-provided prior knowledge for closed-source probing.
+type Hint struct {
+	Kind    string // "alloc", "free" or "heap"
+	Name    string
+	Entry   uint32
+	SizeArg string
+	RetArg  string
+	PtrArg  string
+	Region  dsl.Region
+}
+
+// Options configures a probing run.
+type Options struct {
+	Mode         Mode
+	Hints        []Hint
+	DryRunBudget uint64 // instruction budget for the dry run (default 50M)
+}
+
+// Result is the Prober's output: the platform specification and the initial
+// setup routine, both expressible in the DSL.
+type Result struct {
+	Platform *dsl.Platform
+	Init     *dsl.Init
+	Mode     Mode
+}
+
+// Text renders the result as DSL source.
+func (r *Result) Text() string {
+	return dsl.Print(&dsl.File{
+		Platforms: []*dsl.Platform{r.Platform},
+		Inits:     []*dsl.Init{r.Init},
+	})
+}
+
+// Probe analyses the firmware image.
+func Probe(img *kasm.Image, opts Options) (*Result, error) {
+	if opts.DryRunBudget == 0 {
+		opts.DryRunBudget = 50_000_000
+	}
+	mode := opts.Mode
+	if mode == ModeAuto {
+		switch {
+		case img.Meta.Sanitize == kasm.SanEmbsanC:
+			mode = ModeC
+		case len(img.Symbols) > 0:
+			mode = ModeDOpen
+		default:
+			mode = ModeDClosed
+		}
+	}
+	var (
+		res *Result
+		err error
+	)
+	switch mode {
+	case ModeC:
+		res, err = probeC(img, opts)
+	case ModeDOpen:
+		res, err = probeDOpen(img, opts)
+	case ModeDClosed:
+		res, err = probeDClosed(img, opts)
+	default:
+		return nil, fmt.Errorf("probe: bad mode %v", mode)
+	}
+	if err != nil {
+		return nil, err
+	}
+	res.Mode = mode
+	if err := (&dsl.File{Platforms: []*dsl.Platform{res.Platform}}).Validate(); err != nil {
+		return nil, fmt.Errorf("probe: produced invalid platform: %w", err)
+	}
+	return res, nil
+}
+
+// ---- shared static analysis ----
+
+// decodeAt decodes the instruction at pc, returning ok=false outside text.
+func decodeAt(img *kasm.Image, pc uint32) (isa.Inst, bool) {
+	if pc < img.Base || pc+4 > img.TextEnd() {
+		return isa.Inst{}, false
+	}
+	in, err := isa.Decode(img.Arch.Word(img.Text[pc-img.Base:]), img.Arch)
+	return in, err == nil
+}
+
+// findExits scans [start, end) for return instructions (jalr zero, ra, 0).
+func findExits(img *kasm.Image, start, end uint32) []uint32 {
+	var exits []uint32
+	for pc := start; pc < end; pc += 4 {
+		if in, ok := decodeAt(img, pc); ok &&
+			in.Op == isa.OpJALR && in.Rd == isa.RegZero && in.Rs1 == isa.RegRA && in.Imm == 0 {
+			exits = append(exits, pc)
+		}
+	}
+	return exits
+}
+
+// callTargets statically enumerates JAL-with-link targets — the function
+// entry points reachable through direct calls.
+func callTargets(img *kasm.Image) []uint32 {
+	set := map[uint32]bool{}
+	for pc := img.Base; pc < img.TextEnd(); pc += 4 {
+		in, ok := decodeAt(img, pc)
+		if !ok || in.Op != isa.OpJAL || in.Rd != isa.RegRA {
+			continue
+		}
+		target := pc + uint32(in.Imm)*4
+		if target >= img.Base && target < img.TextEnd() {
+			set[target] = true
+		}
+	}
+	out := make([]uint32, 0, len(set))
+	for t := range set {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// funcEnd estimates where the function starting at entry ends, given the
+// sorted set of discovered entries (closed-source range estimation).
+func funcEnd(entries []uint32, entry, textEnd uint32) uint32 {
+	i := sort.Search(len(entries), func(i int) bool { return entries[i] > entry })
+	if i < len(entries) {
+		return entries[i]
+	}
+	return textEnd
+}
+
+// dryRun executes the firmware until its ready point (or the budget runs
+// out) with the given recorder installed, and reports whether ready was hit.
+func dryRun(img *kasm.Image, budget uint64, setup func(*emu.Machine)) (*emu.Machine, bool, error) {
+	m, err := emu.New(img, emu.Config{})
+	if err != nil {
+		return nil, false, err
+	}
+	stopAtReady := false
+	m.ReadyHook = func(m *emu.Machine) {
+		stopAtReady = true
+		m.RequestStop()
+	}
+	if setup != nil {
+		setup(m)
+	}
+	r := m.Run(budget)
+	if r == emu.StopFault {
+		return m, false, fmt.Errorf("probe: dry run faulted: %v", m.Fault())
+	}
+	return m, stopAtReady || m.ReadyReached, nil
+}
+
+// heapFromPointers derives a heap region estimate from observed allocator
+// return values. The estimate is deliberately tight: over-approximating the
+// heap poisons unrelated data and produces false positives, whereas memory
+// past the estimate is simply un-sanitized until an allocation lands there
+// (OnAlloc unpoisons wherever the allocator actually returns).
+func heapFromPointers(ptrs []uint32, ramSize uint32) (dsl.Region, bool) {
+	if len(ptrs) == 0 {
+		return dsl.Region{}, false
+	}
+	lo, hi := ptrs[0], ptrs[0]
+	for _, p := range ptrs {
+		if p < lo {
+			lo = p
+		}
+		if p > hi {
+			hi = p
+		}
+	}
+	const headroom = 1024
+	lo &^= 15
+	hi = (hi + headroom + 15) &^ 15
+	if hi > ramSize {
+		hi = ramSize
+	}
+	return dsl.Region{Start: lo, End: hi}, true
+}

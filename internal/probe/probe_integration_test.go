@@ -1,0 +1,65 @@
+package probe
+
+import (
+	"testing"
+
+	"embsan/internal/dsl"
+	"embsan/internal/guest/firmware"
+)
+
+// TestProbeAllTable1Firmware probes every registry image in its natural
+// mode and validates the produced DSL: the broad integration pass the
+// pre-testing phase runs for each evaluation target.
+func TestProbeAllTable1Firmware(t *testing.T) {
+	fws, err := firmware.BuildAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fw := range fws {
+		res, err := Probe(fw.Image, Options{})
+		if err != nil {
+			t.Errorf("%s: %v", fw.Name, err)
+			continue
+		}
+		// The mode must match the Table 1 classification.
+		switch {
+		case fw.Image.Meta.Sanitize.String() == "embsan-c":
+			if res.Mode != ModeC {
+				t.Errorf("%s: mode %v, want embsan-c", fw.Name, res.Mode)
+			}
+		case !fw.SourceOpen:
+			if res.Mode != ModeDClosed {
+				t.Errorf("%s: mode %v, want closed", fw.Name, res.Mode)
+			}
+		default:
+			if res.Mode != ModeDOpen {
+				t.Errorf("%s: mode %v, want open", fw.Name, res.Mode)
+			}
+		}
+		// Every firmware must yield at least one allocator and one heap.
+		if len(res.Platform.Allocs) == 0 {
+			t.Errorf("%s: no allocator found; notes: %v", fw.Name, res.Platform.Notes)
+		}
+		if len(res.Platform.Heaps) == 0 {
+			t.Errorf("%s: no heap region found", fw.Name)
+		}
+		// The artefacts must round-trip through DSL text.
+		file, err := dsl.Parse(res.Text())
+		if err != nil {
+			t.Errorf("%s: artefacts do not parse: %v", fw.Name, err)
+			continue
+		}
+		if err := file.Validate(); err != nil {
+			t.Errorf("%s: %v", fw.Name, err)
+		}
+		// Allocator entries must point at function starts inside text.
+		for _, a := range res.Platform.Allocs {
+			if a.Entry < fw.Image.Base || a.Entry >= fw.Image.TextEnd() {
+				t.Errorf("%s: alloc entry %#x outside text", fw.Name, a.Entry)
+			}
+			if len(a.Exits) == 0 {
+				t.Errorf("%s: alloc %s has no exits", fw.Name, a.Name)
+			}
+		}
+	}
+}

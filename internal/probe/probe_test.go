@@ -1,0 +1,331 @@
+package probe
+
+import (
+	"strings"
+	"testing"
+
+	"embsan/internal/dsl"
+	"embsan/internal/emu"
+	"embsan/internal/isa"
+	"embsan/internal/kasm"
+	"embsan/internal/san"
+)
+
+const (
+	rZ  = isa.RegZero
+	rSP = isa.RegSP
+	rA0 = isa.RegA0
+	rA1 = isa.RegA1
+	rT0 = isa.RegT0
+	rT1 = isa.RegT1
+)
+
+// miniOS builds a small firmware with a bump allocator, three boot-time
+// allocations (one freed), a ready point, and a post-ready heap OOB.
+//
+// allocName/freeName/heapName pick the OS personality's symbols; sizeInA1
+// selects a pool-style ABI (LOS_MemAlloc(pool, size)) to exercise argument
+// inference.
+func miniOS(t *testing.T, mode kasm.SanitizeMode, allocName, freeName, heapName string, sizeInA1 bool) *kasm.Image {
+	t.Helper()
+	b := kasm.NewBuilder(kasm.Target{Arch: isa.ArchARM32E, Sanitize: mode})
+	b.GlobalRaw("boot_stack", 4096)
+	b.GlobalRaw(heapName, 8192)
+	b.GlobalRaw("heap_next", 4)
+	b.GlobalRaw("saved", 8)
+
+	sizeReg := uint8(rA0)
+	if sizeInA1 {
+		sizeReg = rA1
+	}
+	doAlloc := func(size int32) {
+		if sizeInA1 {
+			b.Li(rA0, 0x1111) // pool handle (ignored)
+		}
+		b.Li(sizeReg, size)
+		b.Call(allocName)
+	}
+
+	b.Func("_start")
+	b.La(rSP, "boot_stack")
+	b.ADDI(rSP, rSP, 2044)
+	b.NoSan(func() {
+		b.La(rT0, "heap_next")
+		b.La(rT1, heapName)
+		b.SW(rT1, rT0, 0)
+	})
+	// Boot allocations: 24 (kept), 64 (kept), 16 (freed). The first object
+	// occupies a 32-byte slot, leaving 8 poisoned slack bytes — the place a
+	// redzone-less EMBSAN-D build can still catch an off-by-one.
+	doAlloc(24)
+	b.La(rT0, "saved")
+	b.SW(rA0, rT0, 0)
+	doAlloc(64)
+	b.La(rT0, "saved")
+	b.SW(rA0, rT0, 4)
+	doAlloc(16)
+	if sizeInA1 {
+		b.MV(rA1, rA0)
+		b.Li(rA0, 0x1111)
+	}
+	b.Call(freeName)
+	b.Ready()
+	// Post-ready bug: overflow the first boot object by one byte.
+	b.La(rT0, "saved")
+	b.LW(rA0, rT0, 0)
+	b.Li(rT1, 0x41)
+	b.SB(rT1, rA0, 24)
+	b.Li(rA0, 0)
+	b.HCALL(isa.HcallExit)
+
+	// Allocator: 16-byte-aligned bump.
+	b.Func(allocName)
+	b.NoSan(func() {
+		if sizeInA1 {
+			b.MV(rA0, rA1) // size to a0; keep a1 = size for the hook
+		} else {
+			b.MV(rA1, rA0) // a1 = size for the hook
+		}
+		b.La(rT0, "heap_next")
+		b.LW(rT1, rT0, 0)
+		b.ADDI(rA0, rA1, 15)
+		b.SRLI(rA0, rA0, 4)
+		b.SLLI(rA0, rA0, 4)
+		b.ADD(rA0, rA0, rT1)
+		b.SW(rA0, rT0, 0)
+		b.MV(rA0, rT1)
+	})
+	b.SanAllocHook()
+	b.Ret()
+	b.MarkAlloc(allocName)
+
+	b.Func(freeName)
+	b.NoSan(func() {
+		if sizeInA1 {
+			b.MV(rA0, rA1)
+		}
+	})
+	b.SanFreeHook()
+	b.Ret()
+	b.MarkFree(freeName)
+
+	img, err := b.Link("mini-" + allocName)
+	if err != nil {
+		t.Fatalf("link: %v", err)
+	}
+	return img
+}
+
+func TestProbeDOpenLinuxStyle(t *testing.T) {
+	img := miniOS(t, kasm.SanNone, "kmalloc", "kfree", "slab_pool", false)
+	res, err := Probe(img, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mode != ModeDOpen {
+		t.Errorf("mode = %v", res.Mode)
+	}
+	p := res.Platform
+	if len(p.Allocs) != 1 || p.Allocs[0].Name != "kmalloc" || p.Allocs[0].SizeArg != "a0" {
+		t.Fatalf("allocs = %+v", p.Allocs)
+	}
+	km, _ := img.Lookup("kmalloc")
+	if p.Allocs[0].Entry != km.Addr || len(p.Allocs[0].Exits) == 0 {
+		t.Errorf("alloc entry/exits: %+v (want entry %#x)", p.Allocs[0], km.Addr)
+	}
+	if len(p.Frees) != 1 || p.Frees[0].Name != "kfree" {
+		t.Errorf("frees = %+v", p.Frees)
+	}
+	heap, _ := img.Lookup("slab_pool")
+	if len(p.Heaps) != 1 || p.Heaps[0].Start != heap.Addr {
+		t.Errorf("heaps = %+v, want start %#x", p.Heaps, heap.Addr)
+	}
+	if len(p.Suppress) < 2 {
+		t.Errorf("suppress = %+v", p.Suppress)
+	}
+	// Init: shadow + heap poison + the two live boot allocations.
+	var allocs int
+	for _, op := range res.Init.Ops {
+		if op.Kind == dsl.InitAlloc {
+			allocs++
+		}
+	}
+	if allocs != 2 {
+		t.Errorf("init records %d live allocs, want 2 (one was freed)", allocs)
+	}
+	// The result must round-trip through the DSL.
+	if _, err := dsl.Parse(res.Text()); err != nil {
+		t.Errorf("probe output does not parse: %v\n%s", err, res.Text())
+	}
+}
+
+func TestProbeDOpenLiteOSStyle(t *testing.T) {
+	img := miniOS(t, kasm.SanNone, "LOS_MemAlloc", "LOS_MemFree", "m_aucSysMem0", true)
+	res, err := Probe(img, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Platform.Allocs[0].SizeArg != "a1" {
+		t.Errorf("LiteOS size arg = %s, want a1 (pool-based ABI)", res.Platform.Allocs[0].SizeArg)
+	}
+}
+
+func TestProbeCRecordsDummyLibraryActions(t *testing.T) {
+	img := miniOS(t, kasm.SanEmbsanC, "kmalloc", "kfree", "slab_pool", false)
+	res, err := Probe(img, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mode != ModeC {
+		t.Errorf("mode = %v", res.Mode)
+	}
+	var allocs []dsl.InitOp
+	for _, op := range res.Init.Ops {
+		if op.Kind == dsl.InitAlloc {
+			allocs = append(allocs, op)
+		}
+	}
+	if len(allocs) != 2 {
+		t.Fatalf("recorded allocs = %+v, want 2 live", allocs)
+	}
+	if allocs[0].Size != 24 || allocs[1].Size != 64 {
+		t.Errorf("recorded sizes = %d, %d", allocs[0].Size, allocs[1].Size)
+	}
+}
+
+func TestProbeDClosedClassifiesAllocator(t *testing.T) {
+	img := miniOS(t, kasm.SanNone, "kmalloc", "kfree", "slab_pool", false).Strip()
+	res, err := Probe(img, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mode != ModeDClosed {
+		t.Errorf("mode = %v", res.Mode)
+	}
+	p := res.Platform
+	if len(p.Allocs) != 1 {
+		t.Fatalf("allocs = %+v\nnotes: %v", p.Allocs, p.Notes)
+	}
+	// The classifier does not know names, but it must find the right entry.
+	full := miniOS(t, kasm.SanNone, "kmalloc", "kfree", "slab_pool", false)
+	km, _ := full.Lookup("kmalloc")
+	if p.Allocs[0].Entry != km.Addr {
+		t.Errorf("classified entry %#x, want %#x", p.Allocs[0].Entry, km.Addr)
+	}
+	if p.Allocs[0].SizeArg != "a0" {
+		t.Errorf("inferred size arg = %s", p.Allocs[0].SizeArg)
+	}
+	if len(p.Frees) != 1 {
+		t.Errorf("frees = %+v", p.Frees)
+	}
+	if len(p.Heaps) != 1 {
+		t.Fatalf("heaps = %+v", p.Heaps)
+	}
+	heap, _ := full.Lookup("slab_pool")
+	if !p.Heaps[0].Contains(heap.Addr) {
+		t.Errorf("heap estimate %+v misses the real heap at %#x", p.Heaps[0], heap.Addr)
+	}
+}
+
+func TestProbeDClosedPoolABIInference(t *testing.T) {
+	// Pool-style allocator: the size is in a1; behavioural correlation must
+	// figure that out without symbols.
+	img := miniOS(t, kasm.SanNone, "LOS_MemAlloc", "LOS_MemFree", "m_aucSysMem0", true).Strip()
+	res, err := Probe(img, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Platform.Allocs) != 1 || res.Platform.Allocs[0].SizeArg != "a1" {
+		t.Fatalf("inferred allocs = %+v\nnotes: %v", res.Platform.Allocs, res.Platform.Notes)
+	}
+}
+
+func TestProbeDClosedHints(t *testing.T) {
+	img := miniOS(t, kasm.SanNone, "kmalloc", "kfree", "slab_pool", false)
+	km, _ := img.Lookup("kmalloc")
+	stripped := img.Strip()
+	res, err := Probe(stripped, Options{
+		Mode: ModeDClosed,
+		Hints: []Hint{
+			{Kind: "alloc", Name: "vendor_alloc", Entry: km.Addr, SizeArg: "a0", RetArg: "a0"},
+			{Kind: "heap", Region: dsl.Region{Start: 0x8000, End: 0x10000}},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, a := range res.Platform.Allocs {
+		if a.Name == "vendor_alloc" && a.Entry == km.Addr {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("hint-provided alloc missing: %+v", res.Platform.Allocs)
+	}
+	noteText := strings.Join(res.Platform.Notes, " | ")
+	if !strings.Contains(noteText, "tester hint") {
+		t.Errorf("hints not annotated: %s", noteText)
+	}
+}
+
+// TestProbeToSanitizerPipeline is the full EMBSAN-D pre-testing flow: probe
+// an uninstrumented image, feed the resulting DSL to the sanitizer runtime,
+// and verify the post-ready heap OOB is caught with the pre-ready boot
+// allocations intact.
+func TestProbeToSanitizerPipeline(t *testing.T) {
+	for _, closed := range []bool{false, true} {
+		img := miniOS(t, kasm.SanNone, "kmalloc", "kfree", "slab_pool", false)
+		target := img
+		if closed {
+			target = img.Strip()
+		}
+		res, err := Probe(target, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Round-trip the artefacts through DSL text, as the real pipeline does.
+		file, err := dsl.Parse(res.Text())
+		if err != nil {
+			t.Fatalf("closed=%v: %v", closed, err)
+		}
+		spec, err := dsl.Parse(`
+sanitizer kasan {
+  intercept load(addr: ptr, size: u32) -> check;
+  intercept store(addr: ptr, size: u32) -> check;
+  intercept func kmalloc(size: u32) ret ptr -> alloc;
+  intercept func kfree(ptr: ptr) -> free;
+}`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := emu.New(target, emu.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rt, err := san.Attach(m, san.Options{
+			Spec:     spec.Sanitizers[0],
+			Platform: file.Platforms[0],
+			Init:     file.Inits[0],
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r := m.Run(10_000_000); r != emu.StopExit {
+			t.Fatalf("closed=%v: stop=%v fault=%v", closed, r, m.Fault())
+		}
+		reps := rt.Reports()
+		if len(reps) == 0 {
+			t.Fatalf("closed=%v: post-ready OOB not detected", closed)
+		}
+		if reps[0].Bug != san.BugOOB {
+			t.Errorf("closed=%v: bug = %v", closed, reps[0].Bug)
+		}
+		if closed && !strings.HasPrefix(reps[0].Location, "0x") {
+			t.Errorf("closed image must report raw addresses, got %q", reps[0].Location)
+		}
+		if !closed && !strings.HasPrefix(reps[0].Location, "_start") {
+			t.Errorf("open image must symbolize, got %q", reps[0].Location)
+		}
+	}
+}

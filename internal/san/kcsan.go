@@ -1,0 +1,164 @@
+package san
+
+// KCSAN is the host-side concurrency-sanitizer engine. It implements the
+// soft-watchpoint scheme of the kernel's KCSAN: a sampled access arms a
+// watchpoint and stalls its hart; any overlapping access from another hart
+// during the stall window is a data race (unless both are reads). A value
+// change across the window catches races with uninstrumented writers.
+type KCSAN struct {
+	slots    []watchpoint
+	interval uint64 // sample every Nth eligible access
+	delay    uint64 // stall length in global instructions
+	counter  uint64
+	read     func(addr, size uint32) (uint32, bool)
+}
+
+type watchpoint struct {
+	active   bool
+	addr     uint32
+	size     uint32
+	write    bool
+	pc       uint32
+	hart     int
+	origVal  uint32
+	spins    int // remaining re-delivery rounds of the delay window
+	observed bool
+	obsPC    uint32
+	obsHart  int
+	obsWrite bool
+}
+
+// spinChunk is the stall granted per re-delivery round. The owner hart
+// re-executes its access once per chunk, so the delay window costs real
+// execution work — modelling the busy udelay of the reference KCSAN.
+const spinChunk = 50
+
+// KCSANConfig tunes the engine.
+type KCSANConfig struct {
+	Slots          int    // concurrent watchpoints (default 4)
+	SampleInterval uint64 // arm a watchpoint every Nth access (default 61)
+	Delay          uint64 // stall window in instructions (default 1200)
+}
+
+// NewKCSAN creates the engine. read peeks guest memory for value-change
+// detection.
+func NewKCSAN(cfg KCSANConfig, read func(addr, size uint32) (uint32, bool)) *KCSAN {
+	if cfg.Slots <= 0 {
+		cfg.Slots = 4
+	}
+	if cfg.SampleInterval == 0 {
+		cfg.SampleInterval = 61
+	}
+	if cfg.Delay == 0 {
+		cfg.Delay = 1200
+	}
+	return &KCSAN{
+		slots:    make([]watchpoint, cfg.Slots),
+		interval: cfg.SampleInterval,
+		delay:    cfg.Delay,
+		read:     read,
+	}
+}
+
+// OnAccess processes one access. It returns a stall request (in
+// instructions; 0 = none) and a race report (nil = none). The caller must
+// re-deliver the access after a stall, at which point the engine finalises
+// its own watchpoint. Atomic (marked) accesses never arm watchpoints and do
+// not conflict with other marked accesses — the kernel's data-race rule.
+func (k *KCSAN) OnAccess(addr, size uint32, write bool, pc uint32, hart int, atomic bool) (stall uint64, report *Report) {
+	// 1) Our own armed watchpoint at this address? Either keep spinning
+	// through the delay window or finalise.
+	for i := range k.slots {
+		w := &k.slots[i]
+		if w.active && w.hart == hart && w.addr == addr && w.pc == pc {
+			if w.spins > 0 {
+				w.spins--
+				return spinChunk, nil
+			}
+			w.active = false
+			if w.observed {
+				return 0, &Report{
+					Tool: ToolKCSAN, Bug: BugRace, Addr: addr, Size: size,
+					Write: write, PC: pc, Hart: hart,
+					OtherPC: w.obsPC, OtherHart: w.obsHart, OtherWrite: w.obsWrite,
+				}
+			}
+			// Value-change detection: a concurrent uninstrumented writer.
+			if cur, ok := k.read(addr, size); ok && cur != w.origVal && !write {
+				return 0, &Report{
+					Tool: ToolKCSAN, Bug: BugRace, Addr: addr, Size: size,
+					Write: write, PC: pc, Hart: hart,
+					OtherPC: 0, OtherHart: -1, OtherWrite: true,
+				}
+			}
+			return 0, nil
+		}
+	}
+
+	// 2) Does this access collide with another hart's armed watchpoint?
+	for i := range k.slots {
+		w := &k.slots[i]
+		if !w.active || w.hart == hart {
+			continue
+		}
+		if overlap(addr, size, w.addr, w.size) && (w.write || write) {
+			w.observed = true
+			w.obsPC = pc
+			w.obsHart = hart
+			w.obsWrite = write
+			// Report from the observer side immediately; the owner will
+			// also produce a report at finalisation, which dedup folds.
+			return 0, &Report{
+				Tool: ToolKCSAN, Bug: BugRace, Addr: addr, Size: size,
+				Write: write, PC: pc, Hart: hart,
+				OtherPC: w.pc, OtherHart: w.hart, OtherWrite: w.write,
+			}
+		}
+	}
+
+	// 3) Sampling: arm a new watchpoint every Nth access.
+	if atomic {
+		return 0, nil
+	}
+	k.counter++
+	if k.counter%k.interval != 0 {
+		return 0, nil
+	}
+	for i := range k.slots {
+		w := &k.slots[i]
+		if w.active {
+			continue
+		}
+		orig, _ := k.read(addr, size)
+		*w = watchpoint{
+			active: true, addr: addr, size: size, write: write,
+			pc: pc, hart: hart, origVal: orig,
+			spins: int(k.delay / spinChunk),
+		}
+		return spinChunk, nil
+	}
+	return 0, nil
+}
+
+func overlap(a1, s1, a2, s2 uint32) bool {
+	return a1 < a2+s2 && a2 < a1+s1
+}
+
+// Reset clears all watchpoints and the sampling counter.
+func (k *KCSAN) Reset() {
+	for i := range k.slots {
+		k.slots[i] = watchpoint{}
+	}
+	k.counter = 0
+}
+
+// ActiveWatchpoints returns the number of armed watchpoints (test hook).
+func (k *KCSAN) ActiveWatchpoints() int {
+	n := 0
+	for i := range k.slots {
+		if k.slots[i].active {
+			n++
+		}
+	}
+	return n
+}

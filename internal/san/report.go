@@ -1,0 +1,178 @@
+package san
+
+import (
+	"fmt"
+	"strings"
+
+	"embsan/internal/kasm"
+)
+
+// Tool identifies which sanitizer functionality produced a report.
+type Tool uint8
+
+const (
+	ToolKASAN Tool = iota
+	ToolKCSAN
+	ToolUBSAN
+)
+
+func (t Tool) String() string {
+	switch t {
+	case ToolKCSAN:
+		return "KCSAN"
+	case ToolUBSAN:
+		return "UBSAN"
+	}
+	return "KASAN"
+}
+
+// BugType classifies a detected violation, following the taxonomy of the
+// paper's evaluation tables.
+type BugType uint8
+
+const (
+	BugOOB BugType = iota // heap/slab out-of-bounds
+	BugGlobalOOB
+	BugStackOOB
+	BugUAF
+	BugDoubleFree
+	BugInvalidFree
+	BugNullDeref
+	BugWild // access to never-allocated heap memory
+	BugRace
+	BugMisaligned // UBSAN-style alignment violation
+)
+
+func (b BugType) String() string {
+	switch b {
+	case BugOOB:
+		return "slab-out-of-bounds"
+	case BugGlobalOOB:
+		return "global-out-of-bounds"
+	case BugStackOOB:
+		return "stack-out-of-bounds"
+	case BugUAF:
+		return "use-after-free"
+	case BugDoubleFree:
+		return "double-free"
+	case BugInvalidFree:
+		return "invalid-free"
+	case BugNullDeref:
+		return "null-ptr-deref"
+	case BugWild:
+		return "wild-memory-access"
+	case BugRace:
+		return "data-race"
+	case BugMisaligned:
+		return "misaligned-access"
+	}
+	return "unknown"
+}
+
+// Short returns the coarse class used by the evaluation tables.
+func (b BugType) Short() string {
+	switch b {
+	case BugOOB, BugGlobalOOB, BugStackOOB, BugWild:
+		return "OOB Access"
+	case BugUAF:
+		return "UAF"
+	case BugDoubleFree, BugInvalidFree:
+		return "Double Free"
+	case BugRace:
+		return "Race"
+	case BugNullDeref:
+		return "Null Deref"
+	case BugMisaligned:
+		return "Misaligned"
+	}
+	return "Other"
+}
+
+// Report is one sanitizer finding.
+type Report struct {
+	Tool  Tool
+	Bug   BugType
+	Addr  uint32
+	Size  uint32
+	Write bool
+	PC    uint32
+	Hart  int
+
+	// KASAN object context.
+	ChunkAddr uint32
+	ChunkSize uint32
+	AllocPC   uint32
+	FreePC    uint32
+
+	// CallerPC is the return address live at the access — the one-frame
+	// backtrace used to attribute violations inside library routines
+	// (memcpy and friends) to their caller, like KASAN's stack skipping.
+	CallerPC uint32
+
+	// KCSAN second party.
+	OtherPC    uint32
+	OtherHart  int
+	OtherWrite bool
+
+	// Symbolised location (function containing PC), filled by the runtime.
+	Location string
+}
+
+// Signature returns the deduplication key: tool, bug type and the function
+// the violation occurred in — the granularity syzkaller-style dedup uses.
+func (r *Report) Signature() string {
+	loc := r.Location
+	if i := strings.IndexByte(loc, '+'); i > 0 {
+		loc = loc[:i]
+	}
+	return fmt.Sprintf("%s:%s:%s", r.Tool, r.Bug, loc)
+}
+
+// Title is the one-line summary.
+func (r *Report) Title() string {
+	return fmt.Sprintf("BUG: %s: %s in %s", r.Tool, r.Bug, r.Location)
+}
+
+// Format renders the full kernel-log-style report.
+func (r *Report) Format(img *kasm.Image) string {
+	var b strings.Builder
+	line := strings.Repeat("=", 67)
+	b.WriteString(line + "\n")
+	b.WriteString(r.Title() + "\n")
+	dir := "Read"
+	if r.Write {
+		dir = "Write"
+	}
+	if r.Bug == BugRace {
+		fmt.Fprintf(&b, "race at addr %#08x between:\n", r.Addr)
+		fmt.Fprintf(&b, "  %s of size %d by hart %d at %s\n",
+			dir, r.Size, r.Hart, sym(img, r.PC))
+		odir := "read"
+		if r.OtherWrite {
+			odir = "write"
+		}
+		fmt.Fprintf(&b, "  %s by hart %d at %s\n", odir, r.OtherHart, sym(img, r.OtherPC))
+	} else {
+		fmt.Fprintf(&b, "%s of size %d at addr %#08x by hart %d\n", dir, r.Size, r.Addr, r.Hart)
+		fmt.Fprintf(&b, "pc: %s\n", sym(img, r.PC))
+		if r.ChunkAddr != 0 {
+			fmt.Fprintf(&b, "The buggy address belongs to the object at %#08x (size %d)\n",
+				r.ChunkAddr, r.ChunkSize)
+		}
+		if r.AllocPC != 0 {
+			fmt.Fprintf(&b, "Allocated at %s\n", sym(img, r.AllocPC))
+		}
+		if r.FreePC != 0 {
+			fmt.Fprintf(&b, "Freed at %s\n", sym(img, r.FreePC))
+		}
+	}
+	b.WriteString(line + "\n")
+	return b.String()
+}
+
+func sym(img *kasm.Image, pc uint32) string {
+	if img == nil {
+		return fmt.Sprintf("%#08x", pc)
+	}
+	return img.Symbolize(pc)
+}
