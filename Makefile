@@ -1,0 +1,38 @@
+GO ?= go
+FUZZTIME ?= 10s
+
+.PHONY: build vet test test-short race fuzz-smoke bench-parallel ci ci-short
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+# The whole suite under the race detector — the scheduler's
+# one-Machine-per-goroutine invariant is enforced here.
+race:
+	$(GO) test -race ./...
+
+race-short:
+	$(GO) test -race -short ./...
+
+# Short smoke runs of the native fuzz targets (corpora under testdata/).
+fuzz-smoke:
+	$(GO) test ./internal/isa -fuzz FuzzDecode -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/dsl -fuzz FuzzParseRoundTrip -fuzztime $(FUZZTIME)
+
+# The pooled-scheduler throughput series (serial runner vs worker pool).
+bench-parallel:
+	$(GO) test -run xxx -bench BenchmarkParallelCampaigns -benchtime 2x .
+
+ci: vet build race fuzz-smoke
+
+# ci with the long campaign/overhead experiments skipped.
+ci-short: vet build race-short fuzz-smoke

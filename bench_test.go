@@ -5,6 +5,7 @@
 package embsan_test
 
 import (
+	"fmt"
 	"testing"
 
 	"embsan/internal/core"
@@ -71,6 +72,44 @@ func BenchmarkTable3Campaign(b *testing.B) {
 			b.Fatal(err)
 		}
 		_ = c
+	}
+}
+
+// BenchmarkParallelCampaigns compares the fresh-boot serial runner against
+// the pooled scheduler (internal/sched) on a multi-campaign workload: the
+// pool warms each firmware once per worker and rewinds it by
+// snapshot/restore between campaigns, so the per-campaign boot+labelling
+// cost is amortised away. The pooled/4-workers series should sustain at
+// least twice the serial runner's campaign throughput.
+func BenchmarkParallelCampaigns(b *testing.B) {
+	fw, err := firmware.Build("OpenWRT-x86_64")
+	if err != nil {
+		b.Fatal(err)
+	}
+	const repeats, execs = 32, 15
+	campaigns := func(b *testing.B, elapsed float64) {
+		b.ReportMetric(float64(b.N*repeats)/elapsed, "campaigns/s")
+	}
+	b.Run("serial-fresh", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for r := 0; r < repeats; r++ {
+				if _, err := exps.RunCampaign(fw, exps.CampaignOptions{Execs: execs, Seed: 7}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		campaigns(b, b.Elapsed().Seconds())
+	})
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("pooled-%d-workers", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				opts := exps.CampaignOptions{Execs: execs, Seed: 7, Workers: workers, Repeats: repeats}
+				if _, err := exps.RunCampaignSet([]*firmware.Firmware{fw}, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+			campaigns(b, b.Elapsed().Seconds())
+		})
 	}
 }
 

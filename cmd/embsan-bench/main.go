@@ -8,7 +8,10 @@
 //	embsan-bench -table 3         # fuzzing campaign classification (Table 3)
 //	embsan-bench -table 4         # full found-bug list (Table 4)
 //	embsan-bench -figure 2        # runtime overhead (Figure 2)
-//	embsan-bench -all
+//	embsan-bench -all [-workers 4]
+//
+// The table 3/4 campaigns run on the deterministic parallel executor
+// (internal/sched); -workers sizes its pool without changing any output.
 package main
 
 import (
@@ -18,22 +21,25 @@ import (
 
 	"embsan/internal/exps"
 	"embsan/internal/guest/firmware"
+	"embsan/internal/sched"
 )
 
 func main() {
 	var (
-		table  = flag.Int("table", 0, "regenerate table N (1-4)")
-		figure = flag.Int("figure", 0, "regenerate figure N (2)")
-		all    = flag.Bool("all", false, "regenerate everything")
-		execs  = flag.Int("execs", 30000, "campaign budget for tables 3/4")
-		progs  = flag.Int("programs", 16, "workload size for figure 2")
-		seed   = flag.Int64("seed", 7, "RNG seed")
+		table   = flag.Int("table", 0, "regenerate table N (1-4)")
+		figure  = flag.Int("figure", 0, "regenerate figure N (2)")
+		all     = flag.Bool("all", false, "regenerate everything")
+		execs   = flag.Int("execs", 30000, "campaign budget for tables 3/4")
+		progs   = flag.Int("programs", 16, "workload size for figure 2")
+		seed    = flag.Int64("seed", 7, "RNG seed")
+		workers = flag.Int("workers", 0, "campaign worker pool size (0 = GOMAXPROCS, 1 = serial)")
 	)
 	flag.Parse()
 
 	run := func(n int) bool { return *all || *table == n }
 
 	var campaigns []*exps.Campaign
+	var workerStats []sched.WorkerStats
 	needCampaigns := run(3) || *table == 4 || *all
 
 	if run(1) {
@@ -51,15 +57,16 @@ func main() {
 		fmt.Println(exps.FormatTable2(rows))
 	}
 	if needCampaigns {
-		cs, err := exps.RunAllCampaigns(exps.CampaignOptions{Execs: *execs, Seed: *seed})
+		cr, err := exps.RunCampaignSet(nil, exps.CampaignOptions{Execs: *execs, Seed: *seed, Workers: *workers})
 		if err != nil {
 			fatal(err)
 		}
-		campaigns = cs
+		campaigns = cr.Campaigns
+		workerStats = cr.Workers
 	}
 	if run(3) {
 		fmt.Println(exps.FormatTable3(campaigns))
-		fmt.Println(exps.FormatCampaignStats(campaigns))
+		fmt.Println(exps.FormatCampaignStats(campaigns, workerStats...))
 	}
 	if run(4) || (*all && campaigns != nil) {
 		fmt.Println(exps.FormatTable4(campaigns))

@@ -3,10 +3,14 @@
 // attach the sanitizer runtime, then drive the Syzkaller- or Tardis-style
 // frontend until the execution budget is exhausted.
 //
+// Campaigns run on the deterministic parallel executor (internal/sched):
+// -workers sizes the machine pool (default GOMAXPROCS; 1 keeps the serial
+// path) and merged results are bit-identical for every worker count.
+//
 // Usage:
 //
 //	embsan-fuzz -firmware OpenWRT-bcm63xx [-execs 30000] [-seed 7]
-//	embsan-fuzz -all
+//	embsan-fuzz -all [-workers 4] [-repeats 2]
 package main
 
 import (
@@ -19,6 +23,7 @@ import (
 	"embsan"
 	"embsan/internal/exps"
 	"embsan/internal/guest/firmware"
+	"embsan/internal/sched"
 )
 
 func sanitizeName(n string) string {
@@ -33,33 +38,38 @@ func sanitizeName(n string) string {
 
 func main() {
 	var (
-		fwName = flag.String("firmware", "", "bundled firmware name")
-		all    = flag.Bool("all", false, "fuzz every Table 1 firmware")
-		execs  = flag.Int("execs", 30000, "execution budget per firmware")
-		seed   = flag.Int64("seed", 7, "campaign RNG seed")
-		outDir = flag.String("out", "", "save corpus and crash artifacts under this directory")
+		fwName  = flag.String("firmware", "", "bundled firmware name")
+		all     = flag.Bool("all", false, "fuzz every Table 1 firmware")
+		execs   = flag.Int("execs", 30000, "execution budget per campaign")
+		seed    = flag.Int64("seed", 7, "base campaign seed (campaign i uses splitmix64(seed, i))")
+		workers = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS, 1 = serial)")
+		repeats = flag.Int("repeats", 1, "independent campaigns per firmware")
+		outDir  = flag.String("out", "", "save corpus and crash artifacts under this directory")
 	)
 	flag.Parse()
 
-	opts := exps.CampaignOptions{Execs: *execs, Seed: *seed}
+	opts := exps.CampaignOptions{Execs: *execs, Seed: *seed, Workers: *workers, Repeats: *repeats}
 	var campaigns []*exps.Campaign
+	var workerStats []sched.WorkerStats
 	switch {
 	case *all:
-		cs, err := exps.RunAllCampaigns(opts)
+		run, err := exps.RunCampaignSet(nil, opts)
 		if err != nil {
 			fatal(err)
 		}
-		campaigns = cs
+		campaigns = run.Campaigns
+		workerStats = run.Workers
 	case *fwName != "":
 		fw, err := embsan.BuildFirmware(*fwName)
 		if err != nil {
 			fatal(err)
 		}
-		c, err := exps.RunCampaign(fw, opts)
+		run, err := exps.RunCampaignSet([]*firmware.Firmware{fw}, opts)
 		if err != nil {
 			fatal(err)
 		}
-		campaigns = []*exps.Campaign{c}
+		campaigns = run.Campaigns
+		workerStats = run.Workers
 	default:
 		fatal(fmt.Errorf("need -firmware or -all"))
 	}
@@ -74,7 +84,7 @@ func main() {
 		}
 	}
 
-	fmt.Print(exps.FormatCampaignStats(campaigns))
+	fmt.Print(exps.FormatCampaignStats(campaigns, workerStats...))
 	fmt.Println()
 	for _, c := range campaigns {
 		for _, f := range c.Found {

@@ -1,0 +1,31 @@
+package dsl
+
+import "testing"
+
+// FuzzParseRoundTrip throws arbitrary source at the spec parser. Parse must
+// never panic, and whatever it accepts must reach the printer fixpoint:
+// printing the parsed file yields canonical source that re-parses and
+// re-prints byte-identically.
+func FuzzParseRoundTrip(f *testing.F) {
+	f.Add(sampleSrc)
+	f.Add(`sanitizer s { intercept load(addr: ptr) -> check; }`)
+	f.Add(`platform "p" { arch mips32e; ram 0x10000; }`)
+	f.Add(`init for "p" { shadow_init; poison 0x100 16 code heap; }`)
+	f.Add(`// only a comment`)
+	f.Add(`sanitizer s {`)
+	f.Add("platform \"\x00\xff\" { ram 1; }")
+	f.Fuzz(func(t *testing.T, src string) {
+		parsed, err := Parse(src)
+		if err != nil {
+			return
+		}
+		printed := Print(parsed)
+		again, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("printed form does not re-parse: %v\ninput: %q\nprinted: %q", err, src, printed)
+		}
+		if p2 := Print(again); p2 != printed {
+			t.Fatalf("print is not a fixpoint:\nfirst:  %q\nsecond: %q", printed, p2)
+		}
+	})
+}

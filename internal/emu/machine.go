@@ -125,6 +125,11 @@ type Machine struct {
 	// coverage mechanism the Tardis frontend relies on.
 	CoverageHook func(pc uint32)
 
+	// CmpHook fires on every failed equality branch (BEQ/BNE with unequal
+	// operands), exposing both operand values — the comparison feedback
+	// Redqueen-style mutators harvest magic constants from.
+	CmpHook func(a, b uint32)
+
 	// TraceHook, when set, fires before every retired instruction — the
 	// debugging firehose behind `embsan -trace`. Expensive; leave nil in
 	// measurement runs.
@@ -138,7 +143,19 @@ type Machine struct {
 	pristine  []byte
 	snapHarts []Hart
 	snapReady bool
+	snapICnt  uint64
 	hasSnap   bool
+
+	counters Counters
+}
+
+// Counters is per-machine runtime accounting: translation-block cache
+// behaviour and snapshot restores. The campaign scheduler reads these to
+// attribute work to its pool workers.
+type Counters struct {
+	TBHits   uint64 // translation blocks served from the cache
+	TBMisses uint64 // translation blocks decoded fresh
+	Restores uint64 // snapshot restores performed
 }
 
 // New creates a machine and loads the firmware image.
@@ -200,6 +217,18 @@ func (m *Machine) ICount() uint64 { return m.icnt }
 
 // RAMSize returns the machine's RAM size.
 func (m *Machine) RAMSize() uint32 { return m.cfg.RAMSize }
+
+// Counters returns the accumulated runtime accounting.
+func (m *Machine) Counters() Counters { return m.counters }
+
+// Reseed re-seeds the interleaving-jitter RNG. A pooled machine is reused
+// across campaigns via Restore + Reseed: after both, its observable
+// behaviour is a pure function of the snapshot and the new seed, regardless
+// of what ran on it before. Seed 0 disables jitter, as in Config.
+func (m *Machine) Reseed(seed uint64) {
+	m.cfg.Seed = seed
+	m.rng = seed | 1
+}
 
 // Stop state accessors.
 func (m *Machine) StopReason() StopReason { return m.stop }
@@ -354,6 +383,7 @@ func (m *Machine) Snapshot() {
 	copy(m.pristine, m.bus.ram)
 	m.snapHarts = append(m.snapHarts[:0], m.harts...)
 	m.snapReady = m.ReadyReached
+	m.snapICnt = m.icnt
 	for i := range m.bus.dirty {
 		m.bus.dirty[i] = 0
 	}
@@ -381,6 +411,11 @@ func (m *Machine) Restore() {
 	}
 	copy(m.harts, m.snapHarts)
 	m.ReadyReached = m.snapReady
+	// Rewinding the global instruction counter keeps icnt-derived state
+	// (CSRCycles reads, suspend deadlines) identical on every restore, so a
+	// pooled machine behaves the same however many campaigns preceded it.
+	m.icnt = m.snapICnt
+	m.counters.Restores++
 	m.stop = StopNone
 	m.fault = nil
 	m.exitCode = 0

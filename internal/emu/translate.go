@@ -38,9 +38,11 @@ type tb struct {
 func (m *Machine) tbFor(pc uint32) (*tb, FaultKind) {
 	if !m.cfg.NoTBCache {
 		if t := m.tbs[pc]; t != nil && t.gen == m.globalGen && t.pgen == m.pageGen[pc>>pageShift] {
+			m.counters.TBHits++
 			return t, FaultNone
 		}
 	}
+	m.counters.TBMisses++
 	t, f := m.translate(pc)
 	if f != FaultNone {
 		return nil, f
@@ -394,6 +396,9 @@ func (m *Machine) execTB(h *Hart, t *tb, end uint64) tbExit {
 		case isa.OpBEQ, isa.OpBNE, isa.OpBLT, isa.OpBGE, isa.OpBLTU, isa.OpBGEU:
 			var take bool
 			a, b := r[in.Rs1], r[in.Rs2]
+			if m.CmpHook != nil && a != b && (in.Op == isa.OpBEQ || in.Op == isa.OpBNE) {
+				m.CmpHook(a, b)
+			}
 			switch in.Op {
 			case isa.OpBEQ:
 				take = a == b

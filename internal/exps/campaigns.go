@@ -10,13 +10,21 @@ import (
 	"embsan/internal/fuzz"
 	"embsan/internal/guest/firmware"
 	"embsan/internal/san"
+	"embsan/internal/sched"
 )
 
 // CampaignOptions tunes the Table 3/4 fuzzing campaigns. The paper ran
 // 7-day campaigns; the reproduction bounds each firmware by executions.
 type CampaignOptions struct {
-	Execs int   // per-firmware execution budget (default 30000)
-	Seed  int64 // deterministic campaigns
+	Execs int   // per-campaign execution budget (default 30000)
+	Seed  int64 // base seed; campaign i runs with sched.Split(Seed, i)
+	// Workers sizes the scheduler's pool (0 = GOMAXPROCS, 1 = serial).
+	// Merged results are identical for every value.
+	Workers int
+	// Repeats runs each firmware that many times (default 1) with
+	// independent derived seeds — the multi-campaign workloads of the
+	// throughput experiments.
+	Repeats int
 }
 
 // FoundBug is one campaign finding attributed to a seeded bug.
@@ -40,14 +48,20 @@ type Campaign struct {
 	Raw      *fuzz.Result // full fuzzer output (for artifact persistence)
 }
 
-// RunCampaign fuzzes one firmware with EMBSAN attached, exactly like the
-// paper's evaluation: Syzkaller-style programs for Embedded Linux,
-// Tardis-style byte inputs for the RTOS firmware, KCSAN enabled where the
-// firmware can race.
-func RunCampaign(fw *firmware.Firmware, opts CampaignOptions) (*Campaign, error) {
-	if opts.Execs == 0 {
-		opts.Execs = 30000
-	}
+// warmed is one worker-held firmware deployment: booted once, ground-truth
+// labelled, snapshotted. Campaigns rewind it with Restore + Reseed instead
+// of re-constructing and re-booting the machine — the snapshot-pooling that
+// makes the parallel executor fast. A warmed value is private to one
+// scheduler worker (sched's one-Machine-per-goroutine invariant).
+type warmed struct {
+	inst     *core.Instance
+	sigToBug map[string]*firmware.Bug
+}
+
+// warmUp boots fw and labels its seeded bugs. The machine seed depends only
+// on the base seed, so every worker warming the same firmware reaches the
+// bit-identical snapshot.
+func warmUp(fw *firmware.Firmware, baseSeed int64) (*warmed, error) {
 	sans := []string{"kasan"}
 	for _, b := range fw.Bugs {
 		if b.NeedsKCSAN {
@@ -59,7 +73,7 @@ func RunCampaign(fw *firmware.Firmware, opts CampaignOptions) (*Campaign, error)
 		Image:        fw.Image,
 		Sanitizers:   sans,
 		StopOnReport: true,
-		Machine:      emu.Config{MaxHarts: 2, Seed: uint64(opts.Seed) + 1},
+		Machine:      emu.Config{MaxHarts: 2, Seed: uint64(baseSeed) + 1},
 		KCSAN:        san.KCSANConfig{SampleInterval: 13, Delay: 600},
 	})
 	if err != nil {
@@ -74,7 +88,7 @@ func RunCampaign(fw *firmware.Firmware, opts CampaignOptions) (*Campaign, error)
 	// crash signature it produces — this is how campaign findings are
 	// attributed even on stripped firmware, where reports carry raw
 	// addresses instead of function names.
-	sigToBug := map[string]*firmware.Bug{}
+	w := &warmed{inst: inst, sigToBug: map[string]*firmware.Bug{}}
 	for i := range fw.Bugs {
 		b := &fw.Bugs[i]
 		if b.NeedsKCSAN {
@@ -83,16 +97,26 @@ func RunCampaign(fw *firmware.Firmware, opts CampaignOptions) (*Campaign, error)
 		inst.Restore()
 		res := inst.Exec(b.Trigger, 100_000_000)
 		if len(res.Reports) > 0 {
-			sigToBug[res.Reports[0].Signature()] = b
+			w.sigToBug[res.Reports[0].Signature()] = b
 		}
 	}
+	return w, nil
+}
+
+// runOne executes one campaign with the given derived seed on the warmed
+// deployment. The Restore+Reseed pair makes the outcome a pure function of
+// (firmware, base seed, campaign seed, execs) — independent of whatever
+// ran on the pooled machine before.
+func (w *warmed) runOne(fw *firmware.Firmware, seed int64, execs int) (*Campaign, error) {
+	inst := w.inst
 	inst.Restore()
+	inst.Machine.Reseed(uint64(seed))
 
 	fcfg := fuzz.Config{
 		Instance: inst,
 		Seeds:    fw.Seeds,
-		Seed:     opts.Seed,
-		MaxExecs: opts.Execs,
+		Seed:     seed,
+		MaxExecs: execs,
 	}
 	if fw.Frontend == firmware.FrontendSyscall {
 		fcfg.Frontend = fuzz.FrontendSyscall
@@ -101,7 +125,7 @@ func RunCampaign(fw *firmware.Firmware, opts CampaignOptions) (*Campaign, error)
 		fcfg.Frontend = fuzz.FrontendBytes
 		// Byte inputs are cheap to execute and the parsers gate on multiple
 		// header bytes; give the mutation-driven frontend a larger budget.
-		fcfg.MaxExecs = opts.Execs * 2
+		fcfg.MaxExecs = execs * 2
 	}
 	f, err := fuzz.New(fcfg)
 	if err != nil {
@@ -115,17 +139,17 @@ func RunCampaign(fw *firmware.Firmware, opts CampaignOptions) (*Campaign, error)
 		if crash.Report == nil {
 			continue
 		}
-		seed := sigToBug[crash.Signature]
-		if seed == nil {
-			seed = seededBug(fw, locationFn(crash.Report.Location))
+		seeded := w.sigToBug[crash.Signature]
+		if seeded == nil {
+			seeded = seededBug(fw, locationFn(crash.Report.Location))
 		}
-		if seed == nil || foundFns[seed.Fn] {
+		if seeded == nil || foundFns[seeded.Fn] {
 			continue
 		}
-		foundFns[seed.Fn] = true
+		foundFns[seeded.Fn] = true
 		c.Found = append(c.Found, FoundBug{
 			Firmware: fw.Name, BaseOS: fw.BaseOS, Arch: fw.Arch.String(),
-			Location: seed.Location, Fn: seed.Fn,
+			Location: seeded.Location, Fn: seeded.Fn,
 			Class: crash.Report.Bug.Short(), Execs: crash.Execs,
 		})
 	}
@@ -138,21 +162,84 @@ func RunCampaign(fw *firmware.Firmware, opts CampaignOptions) (*Campaign, error)
 	return c, nil
 }
 
-// RunAllCampaigns fuzzes every Table 1 firmware.
-func RunAllCampaigns(opts CampaignOptions) ([]*Campaign, error) {
-	fws, err := firmware.BuildAll()
+// RunCampaign fuzzes one firmware with EMBSAN attached, exactly like the
+// paper's evaluation: Syzkaller-style programs for Embedded Linux,
+// Tardis-style byte inputs for the RTOS firmware, KCSAN enabled where the
+// firmware can race. It is the serial single-campaign path; the result
+// equals campaign index 0 of a set run.
+func RunCampaign(fw *firmware.Firmware, opts CampaignOptions) (*Campaign, error) {
+	if opts.Execs == 0 {
+		opts.Execs = 30000
+	}
+	w, err := warmUp(fw, opts.Seed)
 	if err != nil {
 		return nil, err
 	}
-	var out []*Campaign
-	for _, fw := range fws {
-		c, err := RunCampaign(fw, opts)
+	return w.runOne(fw, sched.Split(opts.Seed, 0), opts.Execs)
+}
+
+// CampaignRun is the merged outcome of a scheduled campaign set.
+type CampaignRun struct {
+	Campaigns []*Campaign // in campaign-index order
+	Workers   []sched.WorkerStats
+}
+
+// RunCampaignSet fuzzes every firmware in fws (nil = all Table 1 firmware)
+// opts.Repeats times each on the parallel executor. Campaign index i covers
+// firmware i/Repeats with seed sched.Split(opts.Seed, i); the merged result
+// is bit-identical for every worker count.
+func RunCampaignSet(fws []*firmware.Firmware, opts CampaignOptions) (*CampaignRun, error) {
+	if opts.Execs == 0 {
+		opts.Execs = 30000
+	}
+	if opts.Repeats <= 0 {
+		opts.Repeats = 1
+	}
+	if fws == nil {
+		var err error
+		fws, err = firmware.BuildAll()
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, c)
 	}
-	return out, nil
+	n := len(fws) * opts.Repeats
+	out := make([]*Campaign, n)
+	ws, err := sched.Run(sched.Options{Workers: opts.Workers}, n, func(w *sched.Worker, i int) error {
+		fw := fws[i/opts.Repeats]
+		wm, err := sched.Pooled(w, fw.Name, func() (*warmed, error) {
+			return warmUp(fw, opts.Seed)
+		})
+		if err != nil {
+			return err
+		}
+		before := wm.inst.Machine.Counters()
+		c, err := wm.runOne(fw, sched.Split(opts.Seed, i), opts.Execs)
+		if err != nil {
+			return err
+		}
+		out[i] = c
+		after := wm.inst.Machine.Counters()
+		ctr := w.Counters()
+		ctr.Jobs++
+		ctr.Execs += uint64(c.Stats.Execs)
+		ctr.Resets += after.Restores - before.Restores
+		ctr.TBHits += after.TBHits - before.TBHits
+		ctr.Reports += uint64(len(c.Raw.Crashes))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &CampaignRun{Campaigns: out, Workers: ws}, nil
+}
+
+// RunAllCampaigns fuzzes every Table 1 firmware on the parallel executor.
+func RunAllCampaigns(opts CampaignOptions) ([]*Campaign, error) {
+	run, err := RunCampaignSet(nil, opts)
+	if err != nil {
+		return nil, err
+	}
+	return run.Campaigns, nil
 }
 
 func locationFn(loc string) string {
@@ -213,13 +300,24 @@ func FormatTable4(cs []*Campaign) string {
 	return b.String()
 }
 
-// FormatCampaignStats summarises fuzzing effort.
-func FormatCampaignStats(cs []*Campaign) string {
+// FormatCampaignStats summarises fuzzing effort, and — when the campaigns
+// ran on the parallel executor — the per-worker pool accounting.
+func FormatCampaignStats(cs []*Campaign, workers ...sched.WorkerStats) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%-24s %8s %8s %8s %8s %7s\n", "Firmware", "execs", "corpus", "blocks", "found", "missed")
 	for _, c := range cs {
 		fmt.Fprintf(&b, "%-24s %8d %8d %8d %8d %7d\n", c.Firmware.Name,
 			c.Stats.Execs, c.Stats.CorpusSize, c.Stats.CoverBlocks, len(c.Found), len(c.Missed))
+	}
+	if len(workers) > 0 {
+		fmt.Fprintf(&b, "\nWorker pool (%d workers):\n", len(workers))
+		fmt.Fprintf(&b, "%-8s %9s %10s %9s %12s %8s\n", "worker", "jobs", "execs", "resets", "tb-hits", "reports")
+		for _, w := range workers {
+			fmt.Fprintf(&b, "%-8d %9d %10d %9d %12d %8d\n",
+				w.Worker, w.Jobs, w.Execs, w.Resets, w.TBHits, w.Reports)
+		}
+		t := sched.MergeStats(workers)
+		fmt.Fprintf(&b, "%-8s %9d %10d %9d %12d %8d\n", "total", t.Jobs, t.Execs, t.Resets, t.TBHits, t.Reports)
 	}
 	return b.String()
 }

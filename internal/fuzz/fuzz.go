@@ -71,6 +71,13 @@ type Fuzzer struct {
 	corpus [][]byte
 	seen   map[string]bool
 
+	// Comparison-operand dictionary (byte frontend): byte-sized operands of
+	// failed equality branches, in discovery order so dictionary picks stay
+	// deterministic. This is how magic command bytes guarded by `if (b ==
+	// MAGIC)` parsers are found without brute-forcing 1/256 odds.
+	dict     []byte
+	dictSeen [256]bool
+
 	// OnCrash, if set, fires for each new deduplicated crash.
 	OnCrash func(*Crash)
 }
@@ -98,19 +105,35 @@ func New(cfg Config) (*Fuzzer, error) {
 		cover: make(map[uint32]struct{}),
 		seen:  make(map[string]bool),
 	}
-	cfg.Instance.Machine.CoverageHook = func(pc uint32) {
+	return f, nil
+}
+
+// Run executes the campaign. The coverage hook is installed only for the
+// duration of the run, so a pooled machine handed from campaign to
+// campaign never feeds coverage into a stale fuzzer.
+func (f *Fuzzer) Run() *Result {
+	res := &Result{}
+	inst := f.cfg.Instance
+
+	prevHook := inst.Machine.CoverageHook
+	inst.Machine.CoverageHook = func(pc uint32) {
 		if _, ok := f.cover[pc]; !ok {
 			f.cover[pc] = struct{}{}
 			f.newCov++
 		}
 	}
-	return f, nil
-}
+	defer func() { inst.Machine.CoverageHook = prevHook }()
 
-// Run executes the campaign.
-func (f *Fuzzer) Run() *Result {
-	res := &Result{}
-	inst := f.cfg.Instance
+	if f.cfg.Frontend == FrontendBytes {
+		// Redqueen-style comparison feedback: operands of failed equality
+		// checks seed the mutation dictionary.
+		prevCmp := inst.Machine.CmpHook
+		inst.Machine.CmpHook = func(a, b uint32) {
+			f.harvest(a)
+			f.harvest(b)
+		}
+		defer func() { inst.Machine.CmpHook = prevCmp }()
+	}
 
 	execs := 0
 	exec1 := func(input []byte) core.ExecResult {
@@ -179,6 +202,14 @@ func (f *Fuzzer) Run() *Result {
 	res.Stats.CorpusSize = len(f.corpus)
 	res.Stats.CoverBlocks = len(f.cover)
 	return res
+}
+
+// harvest records a byte-sized comparison operand into the dictionary.
+func (f *Fuzzer) harvest(v uint32) {
+	if v <= 0xFF && !f.dictSeen[v] {
+		f.dictSeen[v] = true
+		f.dict = append(f.dict, byte(v))
+	}
 }
 
 // nextInput picks generation or mutation.
@@ -252,8 +283,14 @@ func (f *Fuzzer) mutate(in []byte) []byte {
 		}
 		return f.rng.Intn(len(out))
 	}
+	// The byte frontend also plants harvested comparison operands; the
+	// syscall frontend keeps the original six cases (and rng stream).
+	cases := 6
+	if f.cfg.Frontend == FrontendBytes {
+		cases = 7
+	}
 	for n := 1 + f.rng.Intn(3); n > 0 && len(out) > 0; n-- {
-		switch f.rng.Intn(6) {
+		switch f.rng.Intn(cases) {
 		case 0: // flip a bit
 			out[pos()] ^= 1 << f.rng.Intn(8)
 		case 1: // set a random byte
@@ -277,6 +314,10 @@ func (f *Fuzzer) mutate(in []byte) []byte {
 				other := f.pick()
 				i := f.rng.Intn(len(out))
 				out = append(out[:i:i], other[min(i, len(other)):]...)
+			}
+		case 6: // plant a harvested comparison operand
+			if len(f.dict) > 0 {
+				out[pos()] = f.dict[f.rng.Intn(len(f.dict))]
 			}
 		}
 	}

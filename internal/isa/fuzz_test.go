@@ -1,0 +1,33 @@
+package isa
+
+import "testing"
+
+// FuzzDecode feeds arbitrary instruction words to every architecture
+// frontend. Decode must never panic, and any word it accepts must survive
+// the Encode round-trip bit-exactly (the decoder is a bijection on the
+// accepted subset) and disassemble without panicking.
+func FuzzDecode(f *testing.F) {
+	for _, w := range []uint32{
+		0x00000000, 0xFFFFFFFF, 0x01234567, 0xA5000000,
+		0x40000000, 0x7FF00FFF, 0x80000800,
+	} {
+		for a := Arch(0); a < NumArchs; a++ {
+			f.Add(w, uint8(a))
+		}
+	}
+	f.Fuzz(func(t *testing.T, word uint32, archSel uint8) {
+		arch := Arch(archSel % uint8(NumArchs))
+		inst, err := Decode(word, arch)
+		if err != nil {
+			return
+		}
+		_ = Disasm(inst, 0x1000)
+		back, err := Encode(inst, arch)
+		if err != nil {
+			t.Fatalf("%s: decoded %#08x to %+v but cannot re-encode: %v", arch, word, inst, err)
+		}
+		if back != word {
+			t.Fatalf("%s: round trip %#08x -> %+v -> %#08x", arch, word, inst, back)
+		}
+	})
+}

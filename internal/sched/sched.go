@@ -1,0 +1,184 @@
+// Package sched is EMBSAN's deterministic parallel campaign executor. It
+// runs independent, index-addressed jobs (fuzzing campaigns, replay sweeps,
+// overhead probes) across a pool of workers, where each worker owns warmed
+// emulated machines that are reset between jobs via snapshot/restore
+// instead of full re-construction.
+//
+// Determinism contract: a job must be a pure function of its index — seeds
+// are derived per index with Split, and pooled machines are fully rewound
+// (Machine.Restore + Machine.Reseed, Runtime.Restore) before reuse — so
+// merged results are bit-identical regardless of worker count or which
+// worker happens to claim which job.
+//
+// Race invariant: one Machine per goroutine, merge by index. Each worker
+// exclusively owns its pooled machines and its counters; a job writes its
+// result only at its own index; the caller reads merged results in index
+// order only after Run returns. The only cross-goroutine traffic is the
+// atomic job cursor and the per-index result/error slots, each touched by
+// exactly one job.
+package sched
+
+import (
+	"container/list"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Options tunes the executor.
+type Options struct {
+	// Workers is the pool size. <= 0 means GOMAXPROCS; 1 runs every job
+	// inline on the calling goroutine (the serial path).
+	Workers int
+	// PoolCap bounds how many warmed values each worker keeps (default 4).
+	// Eviction is least-recently-used and only affects warm-up cost, never
+	// results.
+	PoolCap int
+}
+
+const defaultPoolCap = 4
+
+// Counters is per-worker accounting, filled in by jobs via
+// Worker.Counters and surfaced by the campaign stat formatters.
+type Counters struct {
+	Jobs    int    // jobs completed
+	Execs   uint64 // fuzzer executions driven
+	Resets  uint64 // snapshot restores (machine resets)
+	TBHits  uint64 // translation-block cache hits
+	Reports uint64 // sanitizer/fault findings recorded
+}
+
+// WorkerStats is one worker's final accounting.
+type WorkerStats struct {
+	Worker int
+	Counters
+}
+
+// Worker is the per-goroutine context handed to every job it runs.
+type Worker struct {
+	id       int
+	counters Counters
+	poolCap  int
+	pool     map[string]*list.Element
+	order    *list.List // front = most recently used
+}
+
+type poolEntry struct {
+	key   string
+	value any
+}
+
+func newWorker(id, poolCap int) *Worker {
+	if poolCap <= 0 {
+		poolCap = defaultPoolCap
+	}
+	return &Worker{id: id, poolCap: poolCap, pool: make(map[string]*list.Element), order: list.New()}
+}
+
+// ID returns the worker's pool index (0-based).
+func (w *Worker) ID() int { return w.id }
+
+// Counters exposes the worker's accounting for jobs to add to.
+func (w *Worker) Counters() *Counters { return &w.counters }
+
+// Pooled returns the worker-local value for key, constructing it with
+// build on first use. Values are private to one worker — this is what
+// upholds the one-Machine-per-goroutine invariant — and the least
+// recently used value is dropped once the worker holds more than PoolCap.
+func Pooled[T any](w *Worker, key string, build func() (T, error)) (T, error) {
+	if el, ok := w.pool[key]; ok {
+		w.order.MoveToFront(el)
+		return el.Value.(*poolEntry).value.(T), nil
+	}
+	v, err := build()
+	if err != nil {
+		var zero T
+		return zero, err
+	}
+	w.pool[key] = w.order.PushFront(&poolEntry{key: key, value: v})
+	for w.order.Len() > w.poolCap {
+		oldest := w.order.Back()
+		w.order.Remove(oldest)
+		delete(w.pool, oldest.Value.(*poolEntry).key)
+	}
+	return v, nil
+}
+
+// Run executes jobs 0..n-1 across the worker pool and returns per-worker
+// stats. fn must uphold the determinism contract above. When any job
+// fails, workers stop claiming new jobs, in-flight jobs finish, and the
+// error of the lowest failing index is returned (deterministic across
+// schedules).
+func Run(opts Options, n int, fn func(w *Worker, index int) error) ([]WorkerStats, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("sched: negative job count %d", n)
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if n == 0 {
+		return nil, nil
+	}
+
+	errs := make([]error, n)
+	if workers <= 1 {
+		// Serial path: same pooling and seed derivation, no goroutines.
+		w := newWorker(0, opts.PoolCap)
+		for i := 0; i < n; i++ {
+			if err := fn(w, i); err != nil {
+				return []WorkerStats{{Worker: 0, Counters: w.counters}}, err
+			}
+		}
+		return []WorkerStats{{Worker: 0, Counters: w.counters}}, nil
+	}
+
+	var (
+		cursor  atomic.Int64
+		aborted atomic.Bool
+		wg      sync.WaitGroup
+	)
+	stats := make([]WorkerStats, workers)
+	for wi := 0; wi < workers; wi++ {
+		wg.Add(1)
+		go func(wi int) {
+			defer wg.Done()
+			w := newWorker(wi, opts.PoolCap)
+			for !aborted.Load() {
+				i := int(cursor.Add(1)) - 1
+				if i >= n {
+					break
+				}
+				if err := fn(w, i); err != nil {
+					errs[i] = err
+					aborted.Store(true)
+				}
+			}
+			stats[wi] = WorkerStats{Worker: wi, Counters: w.counters}
+		}(wi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return stats, err
+		}
+	}
+	return stats, nil
+}
+
+// MergeStats sums per-worker counters into one total.
+func MergeStats(ws []WorkerStats) Counters {
+	var total Counters
+	for _, w := range ws {
+		total.Jobs += w.Jobs
+		total.Execs += w.Execs
+		total.Resets += w.Resets
+		total.TBHits += w.TBHits
+		total.Reports += w.Reports
+	}
+	return total
+}

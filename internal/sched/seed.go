@@ -1,0 +1,13 @@
+package sched
+
+// Split derives the seed for campaign index i from a base seed using the
+// splitmix64 finalizer. Campaigns seeded this way are statistically
+// independent of each other yet bit-reproducible from (base, index) alone,
+// which is what lets the executor hand campaign i to any worker in any
+// order and still merge identical results.
+func Split(base int64, index int) int64 {
+	z := uint64(base) + (uint64(index)+1)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
+}
