@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build vet test test-short race fuzz-smoke bench-parallel ci ci-short
+.PHONY: build vet test test-short race lint fuzz-smoke bench-parallel ci ci-short
 
 build:
 	$(GO) build ./...
@@ -23,16 +23,26 @@ race:
 race-short:
 	$(GO) test -race -short ./...
 
+# Source formatting plus the static instrumentation-completeness audit:
+# every registry firmware (rebuilt as EMBSAN-C where possible) must lint
+# clean, and the linter must prove it catches a deliberately broken build.
+lint:
+	@fmt=$$(gofmt -l .); if [ -n "$$fmt" ]; then \
+		echo "gofmt needed:"; echo "$$fmt"; exit 1; fi
+	$(GO) run ./cmd/embsan lint -all
+	$(GO) run ./cmd/embsan lint -selftest
+
 # Short smoke runs of the native fuzz targets (corpora under testdata/).
 fuzz-smoke:
 	$(GO) test ./internal/isa -fuzz FuzzDecode -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/dsl -fuzz FuzzParseRoundTrip -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/static -fuzz FuzzRecoverCFG -fuzztime $(FUZZTIME)
 
 # The pooled-scheduler throughput series (serial runner vs worker pool).
 bench-parallel:
 	$(GO) test -run xxx -bench BenchmarkParallelCampaigns -benchtime 2x .
 
-ci: vet build race fuzz-smoke
+ci: vet build lint race fuzz-smoke
 
 # ci with the long campaign/overhead experiments skipped.
-ci-short: vet build race-short fuzz-smoke
+ci-short: vet build lint race-short fuzz-smoke

@@ -1,0 +1,139 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"embsan/internal/guest/firmware"
+	"embsan/internal/isa"
+	"embsan/internal/kasm"
+	"embsan/internal/static"
+)
+
+// lintMain implements `embsan lint`: a static audit of a built image. It
+// exits non-zero if any image produces a diagnostic, printing each one in
+// symbol-addressed form so a toolchain regression can be located without
+// booting the firmware.
+func lintMain(args []string) {
+	fs := flag.NewFlagSet("lint", flag.ExitOnError)
+	var (
+		fwName    = fs.String("firmware", "", "bundled Table 1 firmware name")
+		imagePath = fs.String("image", "", "path to an encoded firmware image")
+		all       = fs.Bool("all", false, "lint every registry firmware (EMBSAN-C where the board supports it)")
+		selftest  = fs.Bool("selftest", false, "verify the linter catches a deliberately broken build")
+	)
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: embsan lint -firmware NAME | -image FILE | -all | -selftest")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+
+	switch {
+	case *selftest:
+		lintSelftest()
+	case *all:
+		lintAll()
+	case *fwName != "":
+		fw, err := firmware.Build(*fwName)
+		if err != nil {
+			fatal(err)
+		}
+		exitCode(lintImage(fw.Image))
+	case *imagePath != "":
+		raw, err := os.ReadFile(*imagePath)
+		if err != nil {
+			fatal(err)
+		}
+		img, err := kasm.DecodeImage(raw)
+		if err != nil {
+			fatal(err)
+		}
+		exitCode(lintImage(img))
+	default:
+		fs.Usage()
+		os.Exit(2)
+	}
+}
+
+func exitCode(bad int) {
+	if bad > 0 {
+		os.Exit(1)
+	}
+}
+
+// lintImage audits one image and prints its diagnostics; returns the count.
+func lintImage(img *kasm.Image) int {
+	diags, err := static.Lint(img)
+	if err != nil {
+		fatal(err)
+	}
+	for _, d := range diags {
+		fmt.Printf("%s: %s\n", img.Name, d)
+	}
+	if len(diags) == 0 {
+		fmt.Printf("%s: clean (%s, %s)\n", img.Name, img.Arch, img.Meta.Sanitize)
+	}
+	return len(diags)
+}
+
+// lintAll audits every registry firmware, rebuilt as EMBSAN-C when the
+// board is open-source; the closed TP-Link image is linted as shipped.
+func lintAll() {
+	bad := 0
+	for _, name := range firmware.Names {
+		fw, err := firmware.BuildVariant(name, kasm.SanEmbsanC)
+		if err != nil {
+			// Closed-source boards only exist uninstrumented.
+			fw, err = firmware.Build(name)
+			if err != nil {
+				fatal(err)
+			}
+		}
+		bad += lintImage(fw.Image)
+	}
+	exitCode(bad)
+}
+
+// lintSelftest proves the audit has teeth: a clean EMBSAN-C build must lint
+// clean, and the same image with one hypercall probe dropped and one global
+// redzone zeroed must fail with addressed diagnostics.
+func lintSelftest() {
+	fw, err := firmware.BuildVariant("OpenWRT-armvirt", kasm.SanEmbsanC)
+	if err != nil {
+		fatal(err)
+	}
+	img := fw.Image
+	if n := lintImage(img); n != 0 {
+		fatal(fmt.Errorf("selftest: clean build produced %d diagnostics", n))
+	}
+
+	broken := *img
+	broken.Name = img.Name + "+broken"
+	broken.Text = append([]byte(nil), img.Text...)
+	dropped := false
+	for pc := broken.Base; pc < broken.TextEnd(); pc += 4 {
+		in, err := isa.Decode(broken.Arch.Word(broken.Text[pc-broken.Base:]), broken.Arch)
+		if err != nil || in.Op != isa.OpSANCK {
+			continue
+		}
+		w, err := isa.Encode(isa.Inst{Op: isa.OpFENCE}, broken.Arch)
+		if err != nil {
+			fatal(err)
+		}
+		broken.Arch.PutWord(broken.Text[pc-broken.Base:], w)
+		dropped = true
+		break
+	}
+	if !dropped {
+		fatal(fmt.Errorf("selftest: EMBSAN-C image contains no hypercall probe"))
+	}
+	broken.Meta.Globals = append([]kasm.GlobalMeta(nil), img.Meta.Globals...)
+	if len(broken.Meta.Globals) > 0 {
+		broken.Meta.Globals[0].Redzone = 0
+	}
+	if n := lintImage(&broken); n == 0 {
+		fatal(fmt.Errorf("selftest: broken build linted clean"))
+	}
+	fmt.Println("selftest: broken build failed as expected")
+}

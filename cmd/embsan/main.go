@@ -6,6 +6,7 @@
 //
 //	embsan -firmware OpenWRT-x86_64 [-sanitizers kasan,kcsan] [-trigger N]
 //	embsan -image fw.img [-probe-text]
+//	embsan lint -firmware NAME | -image FILE | -all | -selftest
 package main
 
 import (
@@ -23,6 +24,10 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "lint" {
+		lintMain(os.Args[2:])
+		return
+	}
 	var (
 		fwName     = flag.String("firmware", "", "bundled Table 1 firmware name (see -list)")
 		imagePath  = flag.String("image", "", "path to an encoded firmware image")

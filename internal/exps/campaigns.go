@@ -11,6 +11,7 @@ import (
 	"embsan/internal/guest/firmware"
 	"embsan/internal/san"
 	"embsan/internal/sched"
+	"embsan/internal/static"
 )
 
 // CampaignOptions tunes the Table 3/4 fuzzing campaigns. The paper ran
@@ -56,6 +57,8 @@ type Campaign struct {
 type warmed struct {
 	inst     *core.Instance
 	sigToBug map[string]*firmware.Bug
+	reach    static.ReachReport // static coverage upper bound, computed once
+	leaders  []uint32           // reachable block-leader PCs (the bound's members)
 }
 
 // warmUp boots fw and labels its seeded bugs. The machine seed depends only
@@ -89,6 +92,12 @@ func warmUp(fw *firmware.Firmware, baseSeed int64) (*warmed, error) {
 	// attributed even on stripped firmware, where reports carry raw
 	// addresses instead of function names.
 	w := &warmed{inst: inst, sigToBug: map[string]*firmware.Bug{}}
+	// The static reachability report bounds what any campaign on this
+	// firmware can cover; computed once here so every runOne shares it.
+	if an, err := static.Analyze(fw.Image); err == nil {
+		w.reach = an.Reach()
+		w.leaders = an.ReachableLeaders()
+	}
 	for i := range fw.Bugs {
 		b := &fw.Bugs[i]
 		if b.NeedsKCSAN {
@@ -113,10 +122,11 @@ func (w *warmed) runOne(fw *firmware.Firmware, seed int64, execs int) (*Campaign
 	inst.Machine.Reseed(uint64(seed))
 
 	fcfg := fuzz.Config{
-		Instance: inst,
-		Seeds:    fw.Seeds,
-		Seed:     seed,
-		MaxExecs: execs,
+		Instance:         inst,
+		Seeds:            fw.Seeds,
+		Seed:             seed,
+		MaxExecs:         execs,
+		ReachableLeaders: w.leaders,
 	}
 	if fw.Frontend == firmware.FrontendSyscall {
 		fcfg.Frontend = fuzz.FrontendSyscall
@@ -304,10 +314,14 @@ func FormatTable4(cs []*Campaign) string {
 // ran on the parallel executor — the per-worker pool accounting.
 func FormatCampaignStats(cs []*Campaign, workers ...sched.WorkerStats) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-24s %8s %8s %8s %8s %7s\n", "Firmware", "execs", "corpus", "blocks", "found", "missed")
+	fmt.Fprintf(&b, "%-24s %8s %8s %8s %7s %8s %7s\n", "Firmware", "execs", "corpus", "blocks", "cover", "found", "missed")
 	for _, c := range cs {
-		fmt.Fprintf(&b, "%-24s %8d %8d %8d %8d %7d\n", c.Firmware.Name,
-			c.Stats.Execs, c.Stats.CorpusSize, c.Stats.CoverBlocks, len(c.Found), len(c.Missed))
+		cover := "-"
+		if frac, ok := c.Stats.Coverage(); ok {
+			cover = fmt.Sprintf("%.1f%%", frac*100)
+		}
+		fmt.Fprintf(&b, "%-24s %8d %8d %8d %7s %8d %7d\n", c.Firmware.Name,
+			c.Stats.Execs, c.Stats.CorpusSize, c.Stats.CoverBlocks, cover, len(c.Found), len(c.Missed))
 	}
 	if len(workers) > 0 {
 		fmt.Fprintf(&b, "\nWorker pool (%d workers):\n", len(workers))

@@ -35,6 +35,12 @@ type Config struct {
 	ExecBudget uint64 // instruction budget per execution (default 2M)
 	MaxRecords int    // syscall frontend: max records per program (default 8)
 	MaxInput   int    // bytes frontend: max input length (default 128)
+
+	// ReachableLeaders lists the statically reachable basic-block leader
+	// PCs (static.Analysis.ReachableLeaders). When set, the campaign counts
+	// how many of them execute and Stats.Coverage reports that count as a
+	// fraction of the static upper bound. Nil means unknown.
+	ReachableLeaders []uint32
 }
 
 // Crash is one deduplicated finding.
@@ -53,6 +59,28 @@ type Stats struct {
 	CorpusSize  int
 	CoverBlocks int
 	Insts       uint64
+
+	// CoverLeaders counts the Config.ReachableLeaders that executed;
+	// ReachableBlocks echoes the bound's size. Raw CoverBlocks is not
+	// comparable to the static bound — dynamic TB entry points outnumber
+	// static leaders when quantum slicing restarts blocks mid-stream — so
+	// the coverage fraction counts leaders only.
+	CoverLeaders    int
+	ReachableBlocks int
+}
+
+// Coverage returns covered static block leaders as a fraction of the
+// statically reachable upper bound, clamped to [0, 1]; ok is false when
+// the bound is unknown.
+func (s Stats) Coverage() (frac float64, ok bool) {
+	if s.ReachableBlocks <= 0 {
+		return 0, false
+	}
+	f := float64(s.CoverLeaders) / float64(s.ReachableBlocks)
+	if f > 1 {
+		f = 1
+	}
+	return f, true
 }
 
 // Result is the campaign outcome.
@@ -64,12 +92,14 @@ type Result struct {
 
 // Fuzzer runs one campaign against one instance.
 type Fuzzer struct {
-	cfg    Config
-	rng    *rand.Rand
-	cover  map[uint32]struct{}
-	newCov int
-	corpus [][]byte
-	seen   map[string]bool
+	cfg        Config
+	rng        *rand.Rand
+	cover      map[uint32]struct{}
+	newCov     int
+	leaders    map[uint32]struct{} // static leader set from cfg.ReachableLeaders
+	covLeaders int
+	corpus     [][]byte
+	seen       map[string]bool
 
 	// Comparison-operand dictionary (byte frontend): byte-sized operands of
 	// failed equality branches, in discovery order so dictionary picks stay
@@ -105,6 +135,12 @@ func New(cfg Config) (*Fuzzer, error) {
 		cover: make(map[uint32]struct{}),
 		seen:  make(map[string]bool),
 	}
+	if len(cfg.ReachableLeaders) > 0 {
+		f.leaders = make(map[uint32]struct{}, len(cfg.ReachableLeaders))
+		for _, pc := range cfg.ReachableLeaders {
+			f.leaders[pc] = struct{}{}
+		}
+	}
 	return f, nil
 }
 
@@ -120,6 +156,9 @@ func (f *Fuzzer) Run() *Result {
 		if _, ok := f.cover[pc]; !ok {
 			f.cover[pc] = struct{}{}
 			f.newCov++
+			if _, ok := f.leaders[pc]; ok {
+				f.covLeaders++
+			}
 		}
 	}
 	defer func() { inst.Machine.CoverageHook = prevHook }()
@@ -201,6 +240,8 @@ func (f *Fuzzer) Run() *Result {
 	res.Stats.Execs = execs
 	res.Stats.CorpusSize = len(f.corpus)
 	res.Stats.CoverBlocks = len(f.cover)
+	res.Stats.CoverLeaders = f.covLeaders
+	res.Stats.ReachableBlocks = len(f.cfg.ReachableLeaders)
 	return res
 }
 

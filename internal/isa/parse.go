@@ -1,0 +1,265 @@
+package isa
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseDisasm is the inverse of Disasm: it parses one line of disassembly
+// back into a canonical instruction. pc must be the address the line was
+// disassembled at, since Disasm renders branch and jump targets as absolute
+// addresses. Fields that Disasm does not print (e.g. rd of a plain store)
+// parse back as zero, matching how the toolchain encodes them.
+func ParseDisasm(s string, pc uint32) (Inst, error) {
+	fields := strings.Fields(strings.ReplaceAll(s, ",", " "))
+	if len(fields) == 0 {
+		return Inst{}, fmt.Errorf("isa: empty disassembly line")
+	}
+	op, ok := OpByName(fields[0])
+	if !ok {
+		return Inst{}, fmt.Errorf("isa: unknown mnemonic %q", fields[0])
+	}
+	in := Inst{Op: op}
+	args := fields[1:]
+
+	argErr := func() (Inst, error) {
+		return Inst{}, fmt.Errorf("isa: malformed %s operands %q", op.Name(), strings.Join(args, " "))
+	}
+	need := func(n int) bool { return len(args) == n }
+	reg := func(tok string) (uint8, bool) { return RegByName(tok) }
+	num := func(tok string) (int64, bool) {
+		v, err := strconv.ParseInt(tok, 0, 64)
+		if err != nil {
+			u, uerr := strconv.ParseUint(tok, 0, 32)
+			if uerr != nil {
+				return 0, false
+			}
+			return int64(u), true
+		}
+		return v, true
+	}
+	// mem parses "off(reg)" or "(reg)".
+	mem := func(tok string) (uint8, int32, bool) {
+		open := strings.IndexByte(tok, '(')
+		if open < 0 || !strings.HasSuffix(tok, ")") {
+			return 0, 0, false
+		}
+		r, ok := reg(tok[open+1 : len(tok)-1])
+		if !ok {
+			return 0, 0, false
+		}
+		var off int64
+		if open > 0 {
+			off, ok = num(tok[:open])
+			if !ok {
+				return 0, 0, false
+			}
+		}
+		return r, int32(off), true
+	}
+	// target converts an absolute address back to a word-relative immediate.
+	target := func(tok string) (int32, bool) {
+		v, ok := num(tok)
+		if !ok {
+			return 0, false
+		}
+		return int32(uint32(v)-pc) / 4, true
+	}
+
+	switch ClassOf(op) {
+	case ClassLoad:
+		if op == OpLRW {
+			if !need(2) {
+				return argErr()
+			}
+			rd, ok1 := reg(args[0])
+			rs1, _, ok2 := mem(args[1])
+			if !ok1 || !ok2 {
+				return argErr()
+			}
+			in.Rd, in.Rs1 = rd, rs1
+			return in, nil
+		}
+		if !need(2) {
+			return argErr()
+		}
+		rd, ok1 := reg(args[0])
+		rs1, off, ok2 := mem(args[1])
+		if !ok1 || !ok2 {
+			return argErr()
+		}
+		in.Rd, in.Rs1, in.Imm = rd, rs1, off
+		return in, nil
+	case ClassStore:
+		if op == OpSCW {
+			if !need(3) {
+				return argErr()
+			}
+			rd, ok1 := reg(args[0])
+			rs2, ok2 := reg(args[1])
+			rs1, _, ok3 := mem(args[2])
+			if !ok1 || !ok2 || !ok3 {
+				return argErr()
+			}
+			in.Rd, in.Rs1, in.Rs2 = rd, rs1, rs2
+			return in, nil
+		}
+		if !need(2) {
+			return argErr()
+		}
+		rs2, ok1 := reg(args[0])
+		rs1, off, ok2 := mem(args[1])
+		if !ok1 || !ok2 {
+			return argErr()
+		}
+		in.Rs1, in.Rs2, in.Imm = rs1, rs2, off
+		return in, nil
+	case ClassAtomic:
+		if !need(3) {
+			return argErr()
+		}
+		rd, ok1 := reg(args[0])
+		rs2, ok2 := reg(args[1])
+		rs1, _, ok3 := mem(args[2])
+		if !ok1 || !ok2 || !ok3 {
+			return argErr()
+		}
+		in.Rd, in.Rs1, in.Rs2 = rd, rs1, rs2
+		return in, nil
+	case ClassBranch:
+		if !need(3) {
+			return argErr()
+		}
+		rs1, ok1 := reg(args[0])
+		rs2, ok2 := reg(args[1])
+		imm, ok3 := target(args[2])
+		if !ok1 || !ok2 || !ok3 {
+			return argErr()
+		}
+		in.Rs1, in.Rs2, in.Imm = rs1, rs2, imm
+		return in, nil
+	case ClassSanck:
+		// "sanck w4, off(rs1)" / "r1" / "ar4" — direction, size, base.
+		if !need(2) {
+			return argErr()
+		}
+		dir := args[0]
+		atomic := strings.HasPrefix(dir, "a") && len(dir) > 2
+		if atomic {
+			dir = dir[1:]
+		}
+		if len(dir) < 2 || (dir[0] != 'r' && dir[0] != 'w') {
+			return argErr()
+		}
+		size, ok1 := num(dir[1:])
+		rs1, off, ok2 := mem(args[1])
+		if !ok1 || !ok2 || (size != 1 && size != 2 && size != 4) {
+			return argErr()
+		}
+		in.Rd = SanckInfo(uint32(size), dir[0] == 'w', atomic)
+		in.Rs1, in.Imm = rs1, off
+		return in, nil
+	}
+
+	switch op {
+	case OpLUI, OpAUIPC:
+		if !need(2) {
+			return argErr()
+		}
+		rd, ok1 := reg(args[0])
+		v, ok2 := num(args[1])
+		if !ok1 || !ok2 {
+			return argErr()
+		}
+		imm := int32(v) & 0xFFFFF
+		if imm&(1<<19) != 0 {
+			imm |= ^int32(0xFFFFF)
+		}
+		in.Rd, in.Imm = rd, imm
+		return in, nil
+	case OpJAL:
+		if !need(2) {
+			return argErr()
+		}
+		rd, ok1 := reg(args[0])
+		imm, ok2 := target(args[1])
+		if !ok1 || !ok2 {
+			return argErr()
+		}
+		in.Rd, in.Imm = rd, imm
+		return in, nil
+	case OpJALR:
+		if !need(2) {
+			return argErr()
+		}
+		rd, ok1 := reg(args[0])
+		rs1, off, ok2 := mem(args[1])
+		if !ok1 || !ok2 {
+			return argErr()
+		}
+		in.Rd, in.Rs1, in.Imm = rd, rs1, off
+		return in, nil
+	case OpHCALL, OpECALL:
+		if !need(1) {
+			return argErr()
+		}
+		v, ok := num(args[0])
+		if !ok {
+			return argErr()
+		}
+		in.Imm = int32(v)
+		return in, nil
+	case OpCSRR:
+		if !need(2) {
+			return argErr()
+		}
+		rd, ok1 := reg(args[0])
+		v, ok2 := num(args[1])
+		if !ok1 || !ok2 {
+			return argErr()
+		}
+		in.Rd, in.Imm = rd, int32(v)
+		return in, nil
+	case OpCSRW:
+		if !need(2) {
+			return argErr()
+		}
+		rs1, ok1 := reg(args[0])
+		v, ok2 := num(args[1])
+		if !ok1 || !ok2 {
+			return argErr()
+		}
+		in.Rs1, in.Imm = rs1, int32(v)
+		return in, nil
+	case OpEBREAK, OpHALT, OpFENCE, OpYIELD:
+		if !need(0) {
+			return argErr()
+		}
+		return in, nil
+	case OpADDI, OpANDI, OpORI, OpXORI, OpSLLI, OpSRLI, OpSRAI, OpSLTI, OpSLTIU:
+		if !need(3) {
+			return argErr()
+		}
+		rd, ok1 := reg(args[0])
+		rs1, ok2 := reg(args[1])
+		v, ok3 := num(args[2])
+		if !ok1 || !ok2 || !ok3 {
+			return argErr()
+		}
+		in.Rd, in.Rs1, in.Imm = rd, rs1, int32(v)
+		return in, nil
+	default: // register-register ALU
+		if !need(3) {
+			return argErr()
+		}
+		rd, ok1 := reg(args[0])
+		rs1, ok2 := reg(args[1])
+		rs2, ok3 := reg(args[2])
+		if !ok1 || !ok2 || !ok3 {
+			return argErr()
+		}
+		in.Rd, in.Rs1, in.Rs2 = rd, rs1, rs2
+		return in, nil
+	}
+}

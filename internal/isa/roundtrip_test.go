@@ -1,0 +1,129 @@
+package isa_test
+
+import (
+	"testing"
+
+	"embsan/internal/guest/firmware"
+	"embsan/internal/isa"
+)
+
+// synthProgram returns one representative instruction per canonical
+// operation (plus extra operand variants), with only the fields Disasm
+// prints populated — the encoding ignores the rest.
+func synthProgram(t *testing.T) []isa.Inst {
+	t.Helper()
+	var prog []isa.Inst
+	for op := isa.Op(1); int(op) < isa.NumOps; op++ {
+		switch isa.ClassOf(op) {
+		case isa.ClassLoad:
+			if op == isa.OpLRW {
+				prog = append(prog, isa.Inst{Op: op, Rd: 5, Rs1: 6})
+			} else {
+				prog = append(prog, isa.Inst{Op: op, Rd: 5, Rs1: 6, Imm: -8})
+			}
+		case isa.ClassStore:
+			if op == isa.OpSCW {
+				prog = append(prog, isa.Inst{Op: op, Rd: 5, Rs1: 6, Rs2: 7})
+			} else {
+				prog = append(prog, isa.Inst{Op: op, Rs1: 6, Rs2: 7, Imm: 12})
+			}
+		case isa.ClassAtomic:
+			prog = append(prog, isa.Inst{Op: op, Rd: 5, Rs1: 6, Rs2: 7})
+		case isa.ClassBranch:
+			prog = append(prog, isa.Inst{Op: op, Rs1: 5, Rs2: 6, Imm: -3})
+		case isa.ClassSanck:
+			prog = append(prog,
+				isa.Inst{Op: op, Rd: isa.SanckInfo(4, true, false), Rs1: 6, Imm: 16},
+				isa.Inst{Op: op, Rd: isa.SanckInfo(1, false, false), Rs1: 2, Imm: -4},
+				isa.Inst{Op: op, Rd: isa.SanckInfo(4, false, true), Rs1: 3})
+		default:
+			switch op {
+			case isa.OpJAL:
+				prog = append(prog,
+					isa.Inst{Op: op, Rd: isa.RegRA, Imm: 100},
+					isa.Inst{Op: op, Rd: isa.RegZero, Imm: -20})
+			case isa.OpJALR:
+				prog = append(prog, isa.Inst{Op: op, Rd: isa.RegZero, Rs1: isa.RegRA})
+			case isa.OpLUI, isa.OpAUIPC:
+				prog = append(prog,
+					isa.Inst{Op: op, Rd: 4, Imm: 0x12345},
+					isa.Inst{Op: op, Rd: 4, Imm: -1})
+			case isa.OpHCALL, isa.OpECALL:
+				prog = append(prog, isa.Inst{Op: op, Imm: 64})
+			case isa.OpCSRR:
+				prog = append(prog, isa.Inst{Op: op, Rd: 5, Imm: 1})
+			case isa.OpCSRW:
+				prog = append(prog, isa.Inst{Op: op, Rs1: 5, Imm: 8})
+			case isa.OpEBREAK, isa.OpHALT, isa.OpFENCE, isa.OpYIELD:
+				prog = append(prog, isa.Inst{Op: op})
+			case isa.OpADDI, isa.OpANDI, isa.OpORI, isa.OpXORI,
+				isa.OpSLLI, isa.OpSRLI, isa.OpSRAI, isa.OpSLTI, isa.OpSLTIU:
+				prog = append(prog, isa.Inst{Op: op, Rd: 4, Rs1: 5, Imm: -42})
+			default:
+				prog = append(prog, isa.Inst{Op: op, Rd: 4, Rs1: 5, Rs2: 6})
+			}
+		}
+	}
+	return prog
+}
+
+// roundTripText asserts decode → Disasm → ParseDisasm → Encode reproduces
+// every word of text byte-identically.
+func roundTripText(t *testing.T, arch isa.Arch, base uint32, text []byte) {
+	t.Helper()
+	for off := 0; off+4 <= len(text); off += 4 {
+		pc := base + uint32(off)
+		word := arch.Word(text[off:])
+		in, err := isa.Decode(word, arch)
+		if err != nil {
+			t.Fatalf("pc %#x: decode %#08x: %v", pc, word, err)
+		}
+		line := isa.Disasm(in, pc)
+		parsed, err := isa.ParseDisasm(line, pc)
+		if err != nil {
+			t.Fatalf("pc %#x: parse %q: %v", pc, line, err)
+		}
+		back, err := isa.Encode(parsed, arch)
+		if err != nil {
+			t.Fatalf("pc %#x: re-encode %q: %v", pc, line, err)
+		}
+		if back != word {
+			t.Fatalf("pc %#x (%s): round trip %#08x -> %q -> %#08x", pc, arch, word, line, back)
+		}
+	}
+}
+
+// TestDisasmRoundTripAllOps covers every canonical operation in every
+// frontend: assemble, decode, disassemble, reparse, reassemble —
+// byte-identical.
+func TestDisasmRoundTripAllOps(t *testing.T) {
+	prog := synthProgram(t)
+	for arch := isa.Arch(0); arch < isa.NumArchs; arch++ {
+		const base = 0x1000
+		text := make([]byte, 4*len(prog))
+		for i, in := range prog {
+			w, err := isa.Encode(in, arch)
+			if err != nil {
+				t.Fatalf("%s: encode %s: %v", arch, in.Op.Name(), err)
+			}
+			arch.PutWord(text[4*i:], w)
+		}
+		roundTripText(t, arch, base, text)
+	}
+}
+
+// TestDisasmRoundTripFirmware round-trips the full text section of one
+// built firmware per frontend.
+func TestDisasmRoundTripFirmware(t *testing.T) {
+	for _, name := range []string{
+		"OpenWRT-armvirt", // arm32e
+		"OpenWRT-bcm63xx", // mips32e
+		"OpenWRT-x86_64",  // x86e
+	} {
+		fw, err := firmware.Build(name)
+		if err != nil {
+			t.Fatalf("build %s: %v", name, err)
+		}
+		roundTripText(t, fw.Image.Arch, fw.Image.Base, fw.Image.Text)
+	}
+}

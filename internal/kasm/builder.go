@@ -64,17 +64,23 @@ type fsym struct {
 // image. Errors accumulate and are reported by Link, so call sites stay
 // uncluttered.
 type Builder struct {
-	target   Target
-	code     []centry
-	labels   map[string]int // label -> code index
-	funcs    []*fsym
-	data     []*dsym
-	dataIdx  map[string]*dsym
-	nosan    int
-	allowRes int
-	uniq     int
-	errs     []error
-	meta     Metadata
+	target      Target
+	code        []centry
+	labels      map[string]int // label -> code index
+	funcs       []*fsym
+	data        []*dsym
+	dataIdx     map[string]*dsym
+	nosan       int
+	nosanRanges []codeRange // code-index ranges built under NoSan
+	allowRes    int
+	uniq        int
+	errs        []error
+	meta        Metadata
+}
+
+// codeRange is a half-open range of code indices, [start, end).
+type codeRange struct {
+	start, end int
 }
 
 // NewBuilder returns a builder for the given target.
@@ -134,9 +140,15 @@ func (b *Builder) Label(name string) {
 // allocator internals and the sanitizer runtime itself, mirroring the
 // __no_sanitize annotations real kernels carry.
 func (b *Builder) NoSan(fn func()) {
+	if b.nosan == 0 {
+		b.nosanRanges = append(b.nosanRanges, codeRange{start: len(b.code)})
+	}
 	b.nosan++
 	fn()
 	b.nosan--
+	if b.nosan == 0 {
+		b.nosanRanges[len(b.nosanRanges)-1].end = len(b.code)
+	}
 }
 
 // AllowReserved runs fn with the reserved-register check disabled. Only the

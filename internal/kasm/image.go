@@ -103,6 +103,15 @@ type GlobalMeta struct {
 	Redzone uint32
 }
 
+// AddrRange is a half-open address range [Start, End).
+type AddrRange struct {
+	Start uint32
+	End   uint32
+}
+
+// Contains reports whether addr falls inside the range.
+func (r AddrRange) Contains(addr uint32) bool { return addr >= r.Start && addr < r.End }
+
 // Metadata is the build side-channel an EMBSAN-C build ships next to the
 // image. EMBSAN-D firmware has none of this (that is the point).
 type Metadata struct {
@@ -111,6 +120,22 @@ type Metadata struct {
 	AllocFuncs  []string     // annotated allocator entry points
 	FreeFuncs   []string
 	ReadyMarked bool // the build contains a ready-to-run hypercall
+
+	// NoSanRegions are the text ranges built under Builder.NoSan, i.e. with
+	// compile-time instrumentation deliberately suppressed (allocator
+	// internals, the sanitizer runtime itself). The static lint consults
+	// them: memory accesses inside these ranges legitimately carry no SANCK.
+	NoSanRegions []AddrRange
+}
+
+// InNoSan reports whether addr lies in a recorded NoSan region.
+func (m *Metadata) InNoSan(addr uint32) bool {
+	for _, r := range m.NoSanRegions {
+		if r.Contains(addr) {
+			return true
+		}
+	}
+	return false
 }
 
 // Image is a linked firmware image.

@@ -198,6 +198,14 @@ func (b *Builder) Link(name string) (*Image, error) {
 
 	meta := b.meta
 	meta.Globals = globals
+	for _, r := range b.nosanRanges {
+		if r.end > r.start {
+			meta.NoSanRegions = append(meta.NoSanRegions, AddrRange{
+				Start: b.target.Base + uint32(r.start)*4,
+				End:   b.target.Base + uint32(r.end)*4,
+			})
+		}
+	}
 
 	return &Image{
 		Name:     name,

@@ -8,78 +8,88 @@ import (
 	"embsan/internal/emu"
 	"embsan/internal/isa"
 	"embsan/internal/kasm"
+	"embsan/internal/static"
 )
 
-// probeDClosed handles category 3: closed-source binary-only firmware. A
-// static pass enumerates direct-call targets; a dry run traces every called
+// probeDClosed handles category 3: closed-source binary-only firmware. Call
+// targets are enumerated statically; a dry run traces every called
 // function's arguments and return value; a behavioural classifier then
 // identifies allocator-like and free-like functions; and tester hints fill
 // in whatever the heuristics cannot recover.
+//
+// Two dry-run schedules exist:
+//
+//   - The baseline (Options.NoStaticRank) is the paper's multi-pass
+//     refinement: a discovery pass finds which call targets actually run
+//     before ready, a trace pass records their arguments and returns, and a
+//     confirmation pass re-runs with hooks on the classified allocator's
+//     entry and exits to validate the classification dynamically. Three
+//     boots of the firmware.
+//   - The default schedule consumes the static analyzer instead: the ranked
+//     allocator candidates replace the discovery pass (hooks go on ranked
+//     entries directly), and the candidate's static dataflow summary
+//     replaces the confirmation pass when it corroborates the behavioural
+//     verdict. One boot, with a second only if the static summary and the
+//     dynamic classification disagree.
+//
+// Both schedules observe the same calls — hooks on never-executed entries
+// record nothing — and share one deterministic classifier, so they produce
+// identical Results; only Result.DryRunPasses differs.
 func probeDClosed(img *kasm.Image, opts Options) (*Result, error) {
 	entries := callTargets(img)
 	if len(entries) == 0 {
 		return nil, fmt.Errorf("probe: no call targets discovered in %q", img.Name)
 	}
 
-	// ---- dynamic pass: trace calls ----
-	type obs struct {
-		args [4]uint32
-		ret  uint32
-		seq  int
-	}
-	type frame struct {
-		entry uint32
-		args  [4]uint32
-		ra    uint32
-	}
-	observations := map[uint32][]obs{} // entry -> observations in call order
-	stacks := map[int][]frame{}
-	seq := 0
-	hookedRets := map[uint32]bool{}
-
-	_, ready, err := dryRun(img, opts.DryRunBudget, func(m *emu.Machine) {
-		retHook := func(m *emu.Machine, h *emu.Hart) {
-			st := stacks[h.ID]
-			pc := h.PC
-			for i := len(st) - 1; i >= 0; i-- {
-				if st[i].ra == pc {
-					f := st[i]
-					stacks[h.ID] = append(st[:i], st[i+1:]...)
-					seq++
-					observations[f.entry] = append(observations[f.entry], obs{
-						args: f.args, ret: h.Regs[isa.RegA0], seq: seq,
-					})
-					break
-				}
-			}
+	passes := 0
+	var an *static.Analysis
+	var hookSet []uint32
+	if opts.NoStaticRank {
+		// ---- pass 1 (baseline): discovery — which targets run before ready?
+		live, err := discoverLive(img, opts, entries)
+		if err != nil {
+			return nil, err
+		}
+		passes++
+		hookSet = live
+	} else {
+		// Static ranking replaces the discovery pass: hook the ranked
+		// candidates directly (every direct-call target has fan-in and is
+		// ranked; unexecuted ones simply record nothing).
+		var err error
+		an, err = static.Analyze(img)
+		if err != nil {
+			return nil, err
+		}
+		ranked := map[uint32]bool{}
+		for _, c := range an.RankAllocCandidates() {
+			ranked[c.Entry] = true
 		}
 		for _, e := range entries {
-			entry := e
-			m.HookPC(entry, func(m *emu.Machine, h *emu.Hart) {
-				ra := h.Regs[isa.RegRA]
-				stacks[h.ID] = append(stacks[h.ID], frame{
-					entry: entry,
-					args:  [4]uint32{h.Regs[isa.RegA0], h.Regs[isa.RegA1], h.Regs[isa.RegA2], h.Regs[isa.RegA3]},
-					ra:    ra,
-				})
-				if !hookedRets[ra] {
-					hookedRets[ra] = true
-					m.HookPC(ra, retHook)
-				}
-			})
+			if ranked[e] {
+				hookSet = append(hookSet, e)
+			}
 		}
-	})
+	}
+
+	// ---- trace pass: record every hooked call's arguments and return ----
+	observations, err := traceCalls(img, opts, hookSet)
 	if err != nil {
 		return nil, err
 	}
-	if !ready {
-		return nil, fmt.Errorf("probe: %q never reached its ready point", img.Name)
-	}
+	passes++
 
-	// ---- classification ----
+	// ---- classification (deterministic: sorted entries, ties to the
+	// lowest entry address and lowest argument index) ----
 	plat := basePlatform(img)
 	plat.Notes = append(plat.Notes,
 		"closed-source firmware: interception points classified behaviourally")
+
+	obsEntries := make([]uint32, 0, len(observations))
+	for entry := range observations {
+		obsEntries = append(obsEntries, entry)
+	}
+	sort.Slice(obsEntries, func(i, j int) bool { return obsEntries[i] < obsEntries[j] })
 
 	returnedPtrs := map[uint32]uint32{} // ptr -> size (from the classified allocator)
 	var allocEntry uint32
@@ -92,11 +102,11 @@ func probeDClosed(img *kasm.Image, opts Options) (*Result, error) {
 		n       int
 	}
 	var best cand
-	for entry, oo := range observations {
+	for _, entry := range obsEntries {
+		oo := observations[entry]
 		if len(oo) < 2 {
 			continue
 		}
-		sort.Slice(oo, func(i, j int) bool { return oo[i].seq < oo[j].seq })
 		// Returns must look like fresh pointers: nonzero, in RAM, distinct.
 		seen := map[uint32]bool{}
 		ok := true
@@ -128,27 +138,50 @@ func probeDClosed(img *kasm.Image, opts Options) (*Result, error) {
 	if best.score > 0 && best.score*2 >= best.n-1 {
 		allocEntry = best.entry
 		end := funcEnd(entries, allocEntry, img.TextEnd())
-		sizeReg := isa.RegName(uint8(isa.RegA0 + best.sizeArg))
-		plat.Allocs = append(plat.Allocs, dsl.AllocFn{
-			Name:    fmt.Sprintf("fn_%#x", allocEntry),
-			Entry:   allocEntry,
-			Exits:   findExits(img, allocEntry, end),
-			SizeArg: sizeReg,
-			RetArg:  "a0",
-		})
-		plat.Suppress = append(plat.Suppress, dsl.Region{Start: allocEntry, End: end})
-		for _, o := range observations[allocEntry] {
-			returnedPtrs[o.ret] = o.args[best.sizeArg]
-			allPtrs = append(allPtrs, o.ret)
+		exits := findExits(img, allocEntry, end)
+
+		// Validate the classification: the baseline re-runs the firmware with
+		// hooks on the allocator's entry and exits; the static path accepts
+		// the static dataflow summary as corroboration when it agrees, and
+		// only falls back to the dynamic pass when it does not.
+		confirmed := false
+		if !opts.NoStaticRank && staticCorroborates(an, allocEntry) {
+			confirmed = true
 		}
-		plat.Notes = append(plat.Notes, fmt.Sprintf(
-			"fn_%#x classified as allocator (size in %s, %d/%d observations consistent)",
-			allocEntry, sizeReg, best.score, best.n-1))
+		if !confirmed {
+			ok, err := confirmAlloc(img, opts, allocEntry, exits, observations[allocEntry])
+			if err != nil {
+				return nil, err
+			}
+			passes++
+			confirmed = ok
+		}
+		if confirmed {
+			sizeReg := isa.RegName(uint8(isa.RegA0 + best.sizeArg))
+			plat.Allocs = append(plat.Allocs, dsl.AllocFn{
+				Name:    fmt.Sprintf("fn_%#x", allocEntry),
+				Entry:   allocEntry,
+				Exits:   exits,
+				SizeArg: sizeReg,
+				RetArg:  "a0",
+			})
+			plat.Suppress = append(plat.Suppress, dsl.Region{Start: allocEntry, End: end})
+			for _, o := range observations[allocEntry] {
+				returnedPtrs[o.ret] = o.args[best.sizeArg]
+				allPtrs = append(allPtrs, o.ret)
+			}
+			plat.Notes = append(plat.Notes, fmt.Sprintf(
+				"fn_%#x classified as allocator (size in %s, %d/%d observations consistent)",
+				allocEntry, sizeReg, best.score, best.n-1))
+		} else {
+			allocEntry = 0
+		}
 	}
 
 	// Free-like: a function taking a previously returned pointer.
 	freed := map[uint32]bool{}
-	for entry, oo := range observations {
+	for _, entry := range obsEntries {
+		oo := observations[entry]
 		if entry == allocEntry || len(oo) == 0 {
 			continue
 		}
@@ -232,9 +265,7 @@ func probeDClosed(img *kasm.Image, opts Options) (*Result, error) {
 		})
 	}
 	if allocEntry != 0 {
-		oo := observations[allocEntry]
-		sort.Slice(oo, func(i, j int) bool { return oo[i].seq < oo[j].seq })
-		for _, o := range oo {
+		for _, o := range observations[allocEntry] {
 			if !freed[o.ret] {
 				init.Ops = append(init.Ops, dsl.InitOp{
 					Kind: dsl.InitAlloc, Addr: o.ret, Size: o.args[best.sizeArg],
@@ -242,5 +273,147 @@ func probeDClosed(img *kasm.Image, opts Options) (*Result, error) {
 			}
 		}
 	}
-	return &Result{Platform: plat, Init: init}, nil
+	return &Result{Platform: plat, Init: init, DryRunPasses: passes}, nil
+}
+
+// obs is one traced invocation of a hooked entry.
+type obs struct {
+	args [4]uint32
+	ret  uint32
+	seq  int
+}
+
+// discoverLive is the baseline's first dry-run pass: cheap counting hooks on
+// every static call target, returning the subset that executes before ready.
+func discoverLive(img *kasm.Image, opts Options, entries []uint32) ([]uint32, error) {
+	counts := map[uint32]int{}
+	_, ready, err := dryRun(img, opts.DryRunBudget, func(m *emu.Machine) {
+		for _, e := range entries {
+			entry := e
+			m.HookPC(entry, func(m *emu.Machine, h *emu.Hart) {
+				counts[entry]++
+			})
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	if !ready {
+		return nil, fmt.Errorf("probe: %q never reached its ready point", img.Name)
+	}
+	var live []uint32
+	for _, e := range entries {
+		if counts[e] > 0 {
+			live = append(live, e)
+		}
+	}
+	return live, nil
+}
+
+// traceCalls dry-runs the firmware with entry hooks on hookSet, pairing
+// each invocation with its return via a lazily installed return-site hook,
+// and records arguments and return value per entry. Entries that never
+// execute contribute nothing, so schedules hooking supersets of the live
+// set observe identical call histories.
+func traceCalls(img *kasm.Image, opts Options, hookSet []uint32) (map[uint32][]obs, error) {
+	type frame struct {
+		entry uint32
+		args  [4]uint32
+		ra    uint32
+	}
+	observations := map[uint32][]obs{}
+	stacks := map[int][]frame{}
+	seq := 0
+	hookedRets := map[uint32]bool{}
+
+	_, ready, err := dryRun(img, opts.DryRunBudget, func(m *emu.Machine) {
+		retHook := func(m *emu.Machine, h *emu.Hart) {
+			st := stacks[h.ID]
+			pc := h.PC
+			for i := len(st) - 1; i >= 0; i-- {
+				if st[i].ra == pc {
+					f := st[i]
+					stacks[h.ID] = append(st[:i], st[i+1:]...)
+					seq++
+					observations[f.entry] = append(observations[f.entry], obs{
+						args: f.args, ret: h.Regs[isa.RegA0], seq: seq,
+					})
+					break
+				}
+			}
+		}
+		for _, e := range hookSet {
+			entry := e
+			m.HookPC(entry, func(m *emu.Machine, h *emu.Hart) {
+				ra := h.Regs[isa.RegRA]
+				stacks[h.ID] = append(stacks[h.ID], frame{
+					entry: entry,
+					args:  [4]uint32{h.Regs[isa.RegA0], h.Regs[isa.RegA1], h.Regs[isa.RegA2], h.Regs[isa.RegA3]},
+					ra:    ra,
+				})
+				if !hookedRets[ra] {
+					hookedRets[ra] = true
+					m.HookPC(ra, retHook)
+				}
+			})
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	if !ready {
+		return nil, fmt.Errorf("probe: %q never reached its ready point", img.Name)
+	}
+	for _, oo := range observations {
+		sort.Slice(oo, func(i, j int) bool { return oo[i].seq < oo[j].seq })
+	}
+	return observations, nil
+}
+
+// staticCorroborates reports whether the static dataflow summary agrees
+// that entry is allocator-shaped (pointer-returning with a size-like
+// argument), which lets the static schedule skip the dynamic confirmation
+// pass.
+func staticCorroborates(an *static.Analysis, entry uint32) bool {
+	f, ok := an.FuncAt(entry)
+	if !ok {
+		return false
+	}
+	if len(f.Exits) == 0 {
+		return false
+	}
+	return an.Summarize(f).AllocShaped()
+}
+
+// confirmAlloc is the baseline's third dry-run pass: re-run with hooks on
+// the classified allocator's entry and exits and check that every traced
+// return value is seen leaving through a recovered exit.
+func confirmAlloc(img *kasm.Image, opts Options, entry uint32, exits []uint32, traced []obs) (bool, error) {
+	hits := 0
+	rets := map[uint32]bool{}
+	_, ready, err := dryRun(img, opts.DryRunBudget, func(m *emu.Machine) {
+		m.HookPC(entry, func(m *emu.Machine, h *emu.Hart) {
+			hits++
+		})
+		for _, x := range exits {
+			m.HookPC(x, func(m *emu.Machine, h *emu.Hart) {
+				rets[h.Regs[isa.RegA0]] = true
+			})
+		}
+	})
+	if err != nil {
+		return false, err
+	}
+	if !ready {
+		return false, fmt.Errorf("probe: %q never reached its ready point", img.Name)
+	}
+	if hits < len(traced) {
+		return false, nil
+	}
+	for _, o := range traced {
+		if !rets[o.ret] {
+			return false, nil
+		}
+	}
+	return true, nil
 }

@@ -8,6 +8,7 @@ import (
 	"embsan/internal/emu"
 	"embsan/internal/isa"
 	"embsan/internal/kasm"
+	"embsan/internal/static"
 )
 
 // probeC handles category 1: open-source firmware built with compile-time
@@ -62,7 +63,7 @@ func probeC(img *kasm.Image, opts Options) (*Result, error) {
 			init.Ops = append(init.Ops, dsl.InitOp{Kind: dsl.InitAlloc, Addr: a.addr, Size: a.size})
 		}
 	}
-	return &Result{Platform: plat, Init: init}, nil
+	return &Result{Platform: plat, Init: init, DryRunPasses: 1}, nil
 }
 
 // probeDOpen handles category 2: open-source firmware without sanitizer
@@ -159,7 +160,7 @@ func probeDOpen(img *kasm.Image, opts Options) (*Result, error) {
 			init.Ops = append(init.Ops, dsl.InitOp{Kind: dsl.InitAlloc, Addr: a.addr, Size: a.size})
 		}
 	}
-	return &Result{Platform: plat, Init: init}, nil
+	return &Result{Platform: plat, Init: init, DryRunPasses: 1}, nil
 }
 
 // ---- shared symbol-driven construction ----
@@ -187,26 +188,26 @@ func addAnnotatedFunctions(img *kasm.Image, plat *dsl.Platform) {
 		if s.Kind != kasm.SymFunc {
 			continue
 		}
-		if p, ok := matchAlloc(s.Name); ok || annotated[s.Name] && isAllocName(s.Name) {
+		if p, ok := static.MatchAllocName(s.Name); ok || annotated[s.Name] && isAllocName(s.Name) {
 			if !ok {
-				p = allocPattern{name: s.Name, sizeArg: "a0", retArg: "a0"}
+				p = static.AllocSig{Name: s.Name, SizeArg: "a0", RetArg: "a0"}
 			}
 			plat.Allocs = append(plat.Allocs, dsl.AllocFn{
 				Name:    s.Name,
 				Entry:   s.Addr,
 				Exits:   findExits(img, s.Addr, s.Addr+s.Size),
-				SizeArg: p.sizeArg,
-				RetArg:  p.retArg,
+				SizeArg: p.SizeArg,
+				RetArg:  p.RetArg,
 			})
 			suppressFns = append(suppressFns, s)
 			continue
 		}
-		if p, ok := matchFree(s.Name); ok {
+		if p, ok := static.MatchFreeName(s.Name); ok {
 			plat.Frees = append(plat.Frees, dsl.FreeFn{
 				Name:    s.Name,
 				Entry:   s.Addr,
-				PtrArg:  p.ptrArg,
-				SizeArg: p.sizeArg,
+				PtrArg:  p.PtrArg,
+				SizeArg: p.SizeArg,
 			})
 			suppressFns = append(suppressFns, s)
 		}
@@ -216,7 +217,7 @@ func addAnnotatedFunctions(img *kasm.Image, plat *dsl.Platform) {
 }
 
 func isAllocName(n string) bool {
-	_, ok := matchAlloc(n)
+	_, ok := static.MatchAllocName(n)
 	return ok
 }
 
@@ -258,7 +259,7 @@ func suppressClosure(img *kasm.Image, roots []kasm.Symbol) []dsl.Region {
 
 func addHeapSymbols(img *kasm.Image, plat *dsl.Platform) {
 	for _, s := range img.Symbols {
-		if s.Kind == kasm.SymObject && matchHeapSymbol(s.Name) && s.Size >= 1024 {
+		if s.Kind == kasm.SymObject && static.MatchHeapSymbol(s.Name) && s.Size >= 1024 {
 			plat.Heaps = append(plat.Heaps, dsl.Region{Start: s.Addr, End: s.Addr + s.Size})
 		}
 	}

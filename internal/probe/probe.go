@@ -68,6 +68,12 @@ type Options struct {
 	Mode         Mode
 	Hints        []Hint
 	DryRunBudget uint64 // instruction budget for the dry run (default 50M)
+
+	// NoStaticRank disables the static allocator-candidate ranking in
+	// closed-source probing, falling back to the baseline multi-pass dry-run
+	// schedule (discovery, trace, confirmation). Both schedules produce
+	// identical Results; the baseline just boots the firmware more often.
+	NoStaticRank bool
 }
 
 // Result is the Prober's output: the platform specification and the initial
@@ -76,6 +82,10 @@ type Result struct {
 	Platform *dsl.Platform
 	Init     *dsl.Init
 	Mode     Mode
+
+	// DryRunPasses counts how many times the firmware was booted during
+	// probing (closed-source mode only; the open modes always boot once).
+	DryRunPasses int
 }
 
 // Text renders the result as DSL source.

@@ -1,0 +1,127 @@
+package probe
+
+import (
+	"testing"
+
+	"embsan/internal/guest/vxworks"
+	"embsan/internal/isa"
+)
+
+// TestProbeDClosedVxworksMatchesOpenTwin is the stripped-firmware acceptance
+// check: closed-mode probing of the shipped (stripped) TP-Link image, driven
+// by statically ranked allocator candidates, must classify the same
+// allocator and free set that symbol-based open probing recovers from the
+// unstripped twin of the same build.
+func TestProbeDClosedVxworksMatchesOpenTwin(t *testing.T) {
+	fw, err := vxworks.Build("TP-Link WDR-7660", isa.ArchARM32E)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	closed, err := Probe(fw.Image, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if closed.Mode != ModeDClosed {
+		t.Fatalf("stripped image probed as %v, want closed", closed.Mode)
+	}
+	open, err := Probe(fw.FullImage, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if open.Mode != ModeDOpen {
+		t.Fatalf("unstripped twin probed as %v, want open", open.Mode)
+	}
+
+	entrySet := func(allocEntries []uint32) map[uint32]bool {
+		m := map[uint32]bool{}
+		for _, e := range allocEntries {
+			m[e] = true
+		}
+		return m
+	}
+	var closedAllocs, openAllocs, closedFrees, openFrees []uint32
+	for _, a := range closed.Platform.Allocs {
+		closedAllocs = append(closedAllocs, a.Entry)
+	}
+	for _, a := range open.Platform.Allocs {
+		openAllocs = append(openAllocs, a.Entry)
+	}
+	for _, f := range closed.Platform.Frees {
+		closedFrees = append(closedFrees, f.Entry)
+	}
+	for _, f := range open.Platform.Frees {
+		openFrees = append(openFrees, f.Entry)
+	}
+	if len(closedAllocs) == 0 {
+		t.Fatalf("closed probing found no allocator; notes: %v", closed.Platform.Notes)
+	}
+	ca, oa := entrySet(closedAllocs), entrySet(openAllocs)
+	if len(ca) != len(oa) {
+		t.Fatalf("allocator sets differ: closed %#x vs open %#x", closedAllocs, openAllocs)
+	}
+	for e := range ca {
+		if !oa[e] {
+			t.Fatalf("closed-classified allocator %#x not in open set %#x", e, openAllocs)
+		}
+	}
+	cf, of := entrySet(closedFrees), entrySet(openFrees)
+	if len(cf) != len(of) {
+		t.Fatalf("free sets differ: closed %#x vs open %#x", closedFrees, openFrees)
+	}
+	for e := range cf {
+		if !of[e] {
+			t.Fatalf("closed-classified free %#x not in open set %#x", e, openFrees)
+		}
+	}
+
+	// Ground truth: the classified allocator is memPartAlloc with the
+	// VxWorks pool ABI (size in a1), inferred without symbols.
+	gt, ok := fw.FullImage.Lookup("memPartAlloc")
+	if !ok {
+		t.Fatal("memPartAlloc missing from unstripped twin")
+	}
+	if closed.Platform.Allocs[0].Entry != gt.Addr {
+		t.Fatalf("classified allocator %#x, want memPartAlloc at %#x",
+			closed.Platform.Allocs[0].Entry, gt.Addr)
+	}
+	if closed.Platform.Allocs[0].SizeArg != "a1" {
+		t.Fatalf("inferred size arg %s, want a1", closed.Platform.Allocs[0].SizeArg)
+	}
+}
+
+// TestProbeDClosedStaticRankFewerPasses asserts the point of consuming the
+// static analyzer: the default schedule boots the stripped firmware strictly
+// fewer times than the baseline multi-pass refinement while producing an
+// identical probing Result.
+func TestProbeDClosedStaticRankFewerPasses(t *testing.T) {
+	fw, err := vxworks.Build("TP-Link WDR-7660", isa.ArchARM32E)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ranked, err := Probe(fw.Image, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline, err := Probe(fw.Image, Options{NoStaticRank: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if baseline.DryRunPasses != 3 {
+		t.Fatalf("baseline schedule used %d dry-run passes, want 3", baseline.DryRunPasses)
+	}
+	if ranked.DryRunPasses != 1 {
+		t.Fatalf("static schedule used %d dry-run passes, want 1 (summary corroborated)",
+			ranked.DryRunPasses)
+	}
+	if ranked.DryRunPasses >= baseline.DryRunPasses {
+		t.Fatalf("static schedule not cheaper: %d vs %d passes",
+			ranked.DryRunPasses, baseline.DryRunPasses)
+	}
+	if got, want := ranked.Text(), baseline.Text(); got != want {
+		t.Fatalf("schedules disagree on the probing result:\n--- static rank ---\n%s\n--- baseline ---\n%s",
+			got, want)
+	}
+}

@@ -1,0 +1,48 @@
+package static_test
+
+import (
+	"testing"
+
+	"embsan/internal/guest/firmware"
+	"embsan/internal/isa"
+	"embsan/internal/kasm"
+	"embsan/internal/static"
+)
+
+// FuzzRecoverCFG feeds arbitrary bytes to the analyzer as image text/data:
+// recovery, ranking, reachability and lint must never panic, whatever the
+// input decodes to. The seed corpus is the three real firmware (one per
+// frontend).
+func FuzzRecoverCFG(f *testing.F) {
+	for _, name := range []string{
+		"OpenWRT-armvirt", // arm32e
+		"OpenWRT-bcm63xx", // mips32e
+		"OpenWRT-x86_64",  // x86e
+	} {
+		fw, err := firmware.Build(name)
+		if err != nil {
+			f.Fatalf("build %s: %v", name, err)
+		}
+		f.Add(uint8(fw.Image.Arch), fw.Image.Entry, fw.Image.Text, fw.Image.Data)
+	}
+	f.Fuzz(func(t *testing.T, archB uint8, entry uint32, text, data []byte) {
+		img := &kasm.Image{
+			Name:     "fuzz",
+			Arch:     isa.Arch(archB % uint8(isa.NumArchs)),
+			Base:     kasm.DefaultBase,
+			Entry:    entry,
+			Text:     text,
+			Data:     data,
+			DataAddr: kasm.DefaultBase + uint32(len(text)) + 64,
+		}
+		a, err := static.Analyze(img)
+		if err != nil {
+			return
+		}
+		a.Reach()
+		a.RankAllocCandidates()
+		if _, err := static.Lint(img); err != nil {
+			t.Fatalf("lint errored on analyzable image: %v", err)
+		}
+	})
+}

@@ -1,0 +1,143 @@
+package static_test
+
+import (
+	"strings"
+	"testing"
+
+	"embsan/internal/isa"
+	"embsan/internal/kasm"
+	"embsan/internal/static"
+)
+
+func lintClean(t *testing.T, img *kasm.Image) {
+	t.Helper()
+	diags, err := static.Lint(img)
+	if err != nil {
+		t.Fatalf("lint %s: %v", img.Name, err)
+	}
+	for _, d := range diags {
+		t.Errorf("unexpected diagnostic: %s", d)
+	}
+}
+
+func wantRule(t *testing.T, img *kasm.Image, rule string) static.Diag {
+	t.Helper()
+	diags, err := static.Lint(img)
+	if err != nil {
+		t.Fatalf("lint %s: %v", img.Name, err)
+	}
+	for _, d := range diags {
+		if d.Rule == rule {
+			if d.Sym == "" {
+				t.Fatalf("diagnostic %s has no symbolised address", d)
+			}
+			return d
+		}
+	}
+	t.Fatalf("no %s diagnostic; got %d diagnostics: %v", rule, len(diags), diags)
+	return static.Diag{}
+}
+
+func TestLintCleanEmbsanC(t *testing.T) {
+	for arch := isa.Arch(0); arch < isa.NumArchs; arch++ {
+		lintClean(t, buildMini(t, arch, kasm.SanEmbsanC))
+	}
+}
+
+func TestLintCleanUninstrumented(t *testing.T) {
+	lintClean(t, buildMini(t, isa.ArchARM32E, kasm.SanNone))
+	lintClean(t, buildMini(t, isa.ArchARM32E, kasm.SanNone).Strip())
+}
+
+// TestLintMissingProbe knocks out one hypercall probe and expects an
+// addressed sanck-coverage diagnostic naming the unprotected access.
+func TestLintMissingProbe(t *testing.T) {
+	img := buildMini(t, isa.ArchARM32E, kasm.SanEmbsanC)
+	tampered := replaceFirstSanck(t, img)
+	d := wantRule(t, tampered, static.RuleSanckCoverage)
+	if !strings.Contains(d.Msg, "no hypercall probe") {
+		t.Fatalf("unexpected message: %s", d)
+	}
+	// The diagnostic must be symbol-addressed, not a raw hex fallback.
+	if strings.HasPrefix(d.Sym, "0x") {
+		t.Fatalf("diagnostic not symbol-addressed: %s", d)
+	}
+}
+
+// TestLintOrphanProbe rewrites an access into an ALU op, leaving its probe
+// guarding nothing.
+func TestLintOrphanProbe(t *testing.T) {
+	img := buildMini(t, isa.ArchARM32E, kasm.SanEmbsanC)
+	out := *img
+	out.Text = append([]byte(nil), img.Text...)
+	for pc := out.Base; pc < out.TextEnd(); pc += 4 {
+		in, err := isa.Decode(out.Arch.Word(out.Text[pc-out.Base:]), out.Arch)
+		if err != nil || in.Op != isa.OpSANCK {
+			continue
+		}
+		w, err := isa.Encode(isa.Inst{Op: isa.OpADD, Rd: 4, Rs1: 4, Rs2: 4}, out.Arch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out.Arch.PutWord(out.Text[pc+4-out.Base:], w)
+		break
+	}
+	wantRule(t, &out, static.RuleSanckOrphan)
+}
+
+// TestLintBrokenRedzone removes a global's redzone from the metadata and
+// expects a global-redzone diagnostic.
+func TestLintBrokenRedzone(t *testing.T) {
+	img := buildMini(t, isa.ArchARM32E, kasm.SanEmbsanC)
+	out := *img
+	out.Meta.Globals = append([]kasm.GlobalMeta(nil), img.Meta.Globals...)
+	if len(out.Meta.Globals) == 0 {
+		t.Fatalf("no redzoned globals in metadata")
+	}
+	out.Meta.Globals[0].Redzone = 0
+	d := wantRule(t, &out, static.RuleGlobalRedzone)
+	if !strings.Contains(d.Msg, out.Meta.Globals[0].Name) {
+		t.Fatalf("diagnostic does not name the global: %s", d)
+	}
+}
+
+// TestLintBrokenXref points an annotated allocator at a nonexistent symbol.
+func TestLintBrokenXref(t *testing.T) {
+	img := buildMini(t, isa.ArchARM32E, kasm.SanEmbsanC)
+	out := *img
+	out.Meta.AllocFuncs = append([]string{"no_such_fn"}, img.Meta.AllocFuncs...)
+	wantRule(t, &out, static.RuleXref)
+}
+
+// TestLintUndecodableText corrupts one instruction word beyond the opcode
+// space.
+func TestLintUndecodableText(t *testing.T) {
+	img := buildMini(t, isa.ArchARM32E, kasm.SanNone)
+	out := *img
+	out.Text = append([]byte(nil), img.Text...)
+	// Opcode byte 0 decodes to OpInvalid in the arm32e frontend.
+	out.Arch.PutWord(out.Text[len(out.Text)-4:], 0x00000000)
+	wantRule(t, &out, static.RuleTextDecode)
+}
+
+// replaceFirstSanck swaps the first SANCK instruction for a FENCE, the
+// model of a toolchain regression that drops a probe.
+func replaceFirstSanck(t *testing.T, img *kasm.Image) *kasm.Image {
+	t.Helper()
+	out := *img
+	out.Text = append([]byte(nil), img.Text...)
+	for pc := out.Base; pc < out.TextEnd(); pc += 4 {
+		in, err := isa.Decode(out.Arch.Word(out.Text[pc-out.Base:]), out.Arch)
+		if err != nil || in.Op != isa.OpSANCK {
+			continue
+		}
+		w, err := isa.Encode(isa.Inst{Op: isa.OpFENCE}, out.Arch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out.Arch.PutWord(out.Text[pc-out.Base:], w)
+		return &out
+	}
+	t.Fatalf("image %s contains no SANCK to remove", img.Name)
+	return nil
+}

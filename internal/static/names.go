@@ -1,0 +1,98 @@
+package static
+
+import "strings"
+
+// Shared allocator-interface name knowledge. This is the single table of
+// per-OS allocator/free/heap symbol heuristics; the open-source Prober mode,
+// the closed-source Prober mode and the static allocator-candidate ranker
+// all consult it (previously the probe package kept its own copies).
+
+// AllocSig is one known allocator interface: the symbol name plus which
+// argument register carries the size and which register carries the
+// returned pointer.
+type AllocSig struct {
+	Name    string
+	SizeArg string
+	RetArg  string
+}
+
+// FreeSig is one known deallocator interface. SizeArg is empty when the
+// interface carries no size.
+type FreeSig struct {
+	Name    string
+	PtrArg  string
+	SizeArg string
+}
+
+// AllocSigs lists the allocator entry points of the supported embedded
+// operating systems. With source (or symbols) available the signatures are
+// known, so argument registers come from this table rather than from
+// behavioural inference.
+var AllocSigs = []AllocSig{
+	// Embedded Linux
+	{"kmalloc", "a0", "a0"},
+	{"__kmalloc", "a0", "a0"},
+	{"kmem_cache_alloc", "a1", "a0"},
+	{"alloc_pages", "a0", "a0"},
+	// FreeRTOS
+	{"pvPortMalloc", "a0", "a0"},
+	// LiteOS (pool-based: size is the second argument)
+	{"LOS_MemAlloc", "a1", "a0"},
+	// VxWorks
+	{"memPartAlloc", "a1", "a0"},
+	// generic libc-style
+	{"malloc", "a0", "a0"},
+}
+
+// FreeSigs lists the matching deallocator entry points.
+var FreeSigs = []FreeSig{
+	{"kfree", "a0", ""},
+	{"kmem_cache_free", "a1", ""},
+	{"__free_pages", "a0", ""},
+	{"vPortFree", "a0", ""},
+	{"LOS_MemFree", "a1", ""},
+	{"memPartFree", "a1", ""},
+	{"free", "a0", ""},
+}
+
+// HeapSymbolPatterns matches the well-known heap backing-store symbols of
+// the supported embedded operating systems (substring, case-insensitive).
+var HeapSymbolPatterns = []string{
+	"slab_pool",   // our Embedded Linux personality
+	"mem_map",     // page allocator backing store
+	"ucHeap",      // FreeRTOS heap_4
+	"m_aucSysMem", // LiteOS system memory pool
+	"memPartPool", // VxWorks memory partition
+	"heap",        // generic
+}
+
+// MatchAllocName reports whether sym names a known allocator interface.
+func MatchAllocName(sym string) (AllocSig, bool) {
+	for _, p := range AllocSigs {
+		if sym == p.Name {
+			return p, true
+		}
+	}
+	return AllocSig{}, false
+}
+
+// MatchFreeName reports whether sym names a known deallocator interface.
+func MatchFreeName(sym string) (FreeSig, bool) {
+	for _, p := range FreeSigs {
+		if sym == p.Name {
+			return p, true
+		}
+	}
+	return FreeSig{}, false
+}
+
+// MatchHeapSymbol reports whether sym looks like a heap backing store.
+func MatchHeapSymbol(sym string) bool {
+	ls := strings.ToLower(sym)
+	for _, p := range HeapSymbolPatterns {
+		if strings.Contains(ls, strings.ToLower(p)) {
+			return true
+		}
+	}
+	return false
+}

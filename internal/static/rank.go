@@ -1,0 +1,79 @@
+package static
+
+import "sort"
+
+// Candidate is one statically ranked allocator candidate.
+type Candidate struct {
+	Entry     uint32
+	Name      string // recovered name ("fn_%#x" when stripped)
+	Score     int
+	FanIn     int
+	Reachable bool
+	Shaped    bool    // alloc-shaped dataflow summary
+	Summary   Summary // the light dataflow summary it was scored from
+}
+
+// Scoring weights. Symbol-name evidence dominates (when symbols survive,
+// the shared name table is authoritative); behavioural shape comes next,
+// then popularity and reachability.
+const (
+	scoreNameMatch = 16
+	scorePtrReturn = 4
+	scoreSizeArg   = 2
+	scoreReachable = 4
+	fanInCap       = 8
+)
+
+// RankAllocCandidates scores every recovered function as a potential
+// allocator entry point and returns candidates in descending score order
+// (ties broken by ascending entry address, so the ranking is deterministic
+// for a given image). Functions whose summary shows no pointer return and
+// no fan-in score zero and are omitted.
+func (a *Analysis) RankAllocCandidates() []Candidate {
+	var out []Candidate
+	for _, f := range a.Funcs {
+		sum := a.Summarize(f)
+		c := Candidate{
+			Entry:     f.Entry,
+			Name:      f.Name,
+			FanIn:     f.FanIn,
+			Reachable: a.FuncReachable(f.Entry),
+			Shaped:    sum.AllocShaped(),
+			Summary:   sum,
+		}
+		if _, ok := MatchAllocName(f.Name); ok {
+			c.Score += scoreNameMatch
+		}
+		if sum.PointerReturn {
+			c.Score += scorePtrReturn
+		}
+		for _, s := range sum.SizeLike {
+			if s {
+				c.Score += scoreSizeArg
+			}
+		}
+		if c.Reachable {
+			c.Score += scoreReachable
+		}
+		if f.FanIn > fanInCap {
+			c.Score += fanInCap
+		} else {
+			c.Score += f.FanIn
+		}
+		// A function that neither returns a pointer nor is ever called is
+		// not worth a dry-run slot.
+		if !sum.PointerReturn && f.FanIn == 0 {
+			continue
+		}
+		if c.Score > 0 {
+			out = append(out, c)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Entry < out[j].Entry
+	})
+	return out
+}

@@ -1,0 +1,69 @@
+package static
+
+import "embsan/internal/kasm"
+
+// ReachReport summarises static reachability: how much of the image's code
+// can possibly execute starting from the entry point (plus every
+// address-table target, since dispatchers and hart spawns jump through
+// those). Fuzzing campaigns use ReachableBlocks as the coverage
+// denominator, with ReachableLeaders supplying the matching numerator set.
+//
+// The block counts are *leader* counts: the dynamic translation engine can
+// restart a translation block mid-stream (quantum expiry, PC hooks), so
+// raw dynamic TB-entry PCs are a superset of static leaders and are not
+// comparable to this bound. Coverage fractions must count executed
+// *leaders* (see fuzz.Stats.CoverLeaders) against ReachableBlocks.
+type ReachReport struct {
+	TotalFuncs      int
+	ReachableFuncs  int
+	TotalBlocks     int
+	ReachableBlocks int
+	TotalInsts      int
+	ReachableInsts  int
+}
+
+// Reach computes the reachability report for the analysed image.
+func (a *Analysis) Reach() ReachReport {
+	var r ReachReport
+	for _, f := range a.Funcs {
+		r.TotalFuncs++
+		if a.FuncReachable(f.Entry) {
+			r.ReachableFuncs++
+		}
+		for _, b := range f.Blocks {
+			r.TotalBlocks++
+			n := int(b.End-b.Start) / 4
+			r.TotalInsts += n
+			if a.reach[b.Start] {
+				r.ReachableBlocks++
+				r.ReachableInsts += n
+			}
+		}
+	}
+	return r
+}
+
+// ReachableLeaders returns the statically reachable basic-block leader
+// PCs in ascending address order — the denominator set campaign drivers
+// hand to the fuzzer's coverage accounting (fuzz.Config.ReachableLeaders).
+func (a *Analysis) ReachableLeaders() []uint32 {
+	var out []uint32
+	for _, f := range a.Funcs {
+		for _, b := range f.Blocks {
+			if a.reach[b.Start] {
+				out = append(out, b.Start)
+			}
+		}
+	}
+	return out
+}
+
+// Reachability is the one-call convenience used by campaign drivers: it
+// analyses img and returns the reachability report.
+func Reachability(img *kasm.Image) (ReachReport, error) {
+	a, err := Analyze(img)
+	if err != nil {
+		return ReachReport{}, err
+	}
+	return a.Reach(), nil
+}

@@ -1,0 +1,601 @@
+// Package static is EMBSAN's offline binary analyzer. It decodes a built
+// firmware image (any of the three EVA frontends) into micro-ops and
+// recovers function boundaries, basic blocks, a control-flow graph, a call
+// graph and a light per-function dataflow summary — without executing a
+// single guest instruction.
+//
+// Three consumers sit on top of it:
+//
+//   - the closed-source Prober seeds its behavioural allocator classifier
+//     with statically ranked candidates (rank.go), collapsing its dry-run
+//     schedule to a single trace pass;
+//   - `embsan lint` audits EMBSAN-C builds for instrumentation completeness
+//     (lint.go);
+//   - the fuzzing campaign statistics report coverage as a fraction of the
+//     statically reachable translation-block upper bound (reach.go).
+package static
+
+import (
+	"fmt"
+	"sort"
+
+	"embsan/internal/isa"
+	"embsan/internal/kasm"
+)
+
+// Block is one basic block: a maximal straight-line instruction range.
+type Block struct {
+	Start uint32   // address of the first instruction
+	End   uint32   // first address past the block
+	Succs []uint32 // statically known successor block addresses
+}
+
+// Summary is the light per-function dataflow summary. It is a linear
+// (flow-insensitive) approximation: registers are tracked in instruction
+// order, which is exactly enough to recognise allocator-shaped code.
+type Summary struct {
+	WritesRet     bool    // the function writes a0 somewhere
+	PointerReturn bool    // some return path leaves a memory-derived value in a0
+	SizeLike      [4]bool // aN participates in pointer arithmetic or heap-bound compares
+	Loads         int
+	Stores        int
+	Atomics       int
+	Calls         int
+}
+
+// AllocShaped reports whether the summary matches an allocator signature:
+// the function returns a pointer-like value and consumes a size-like
+// argument.
+func (s Summary) AllocShaped() bool {
+	if !s.PointerReturn {
+		return false
+	}
+	for _, b := range s.SizeLike {
+		if b {
+			return true
+		}
+	}
+	return false
+}
+
+// Func is one recovered function.
+type Func struct {
+	Entry   uint32
+	End     uint32 // boundary estimate: next entry or end of text
+	Name    string // symbol name when available, else "fn_%#x"
+	Blocks  []Block
+	Exits   []uint32 // return sites (jalr zero, ra, 0)
+	Callees []uint32 // entries of directly called functions (deduplicated, sorted)
+	FanIn   int      // distinct direct callsites + address-table references
+}
+
+// Analysis is the full static recovery over one image.
+type Analysis struct {
+	Image *kasm.Image
+
+	Funcs []*Func // sorted by Entry
+
+	funcIdx  map[uint32]*Func
+	insts    []isa.Inst // indexed by (pc-Base)/4; Op==OpInvalid when undecodable
+	valid    []bool
+	entries  []uint32        // sorted function entries
+	indirect []uint32        // address-table / address-materialisation targets in text
+	reach    map[uint32]bool // reachable block leaders
+}
+
+// Analyze recovers the static structure of img. It never executes guest
+// code and never panics on malformed input: undecodable words become opaque
+// block terminators, and out-of-range control transfers are dropped.
+func Analyze(img *kasm.Image) (*Analysis, error) {
+	if img == nil {
+		return nil, fmt.Errorf("static: nil image")
+	}
+	if img.Base%4 != 0 {
+		return nil, fmt.Errorf("static: text base %#x is not word-aligned", img.Base)
+	}
+	if uint64(img.Base)+uint64(len(img.Text)) > uint64(^uint32(0)) {
+		return nil, fmt.Errorf("static: text extends past the 32-bit address space")
+	}
+	a := &Analysis{
+		Image:   img,
+		funcIdx: map[uint32]*Func{},
+		reach:   map[uint32]bool{},
+	}
+	a.decode()
+	a.findEntries()
+	a.recoverFuncs()
+	a.computeReachability()
+	return a, nil
+}
+
+// ---- decoding ----
+
+func (a *Analysis) decode() {
+	img := a.Image
+	n := len(img.Text) / 4
+	a.insts = make([]isa.Inst, n)
+	a.valid = make([]bool, n)
+	for i := 0; i < n; i++ {
+		in, err := isa.Decode(img.Arch.Word(img.Text[i*4:]), img.Arch)
+		if err == nil {
+			a.insts[i] = in
+			a.valid[i] = true
+		}
+	}
+}
+
+// InstAt returns the decoded instruction at pc; ok is false outside text or
+// on an undecodable word.
+func (a *Analysis) InstAt(pc uint32) (isa.Inst, bool) {
+	img := a.Image
+	if pc < img.Base || pc%4 != 0 {
+		return isa.Inst{}, false
+	}
+	i := (pc - img.Base) / 4
+	if int(i) >= len(a.insts) || !a.valid[i] {
+		return isa.Inst{}, false
+	}
+	return a.insts[i], true
+}
+
+func (a *Analysis) inText(pc uint32) bool {
+	return pc >= a.Image.Base && pc < a.Image.TextEnd() && pc%4 == 0
+}
+
+// ---- function entry discovery ----
+
+func (a *Analysis) findEntries() {
+	img := a.Image
+	set := map[uint32]bool{}
+	if a.inText(img.Entry) {
+		set[img.Entry] = true
+	}
+	for _, s := range img.Symbols {
+		if s.Kind == kasm.SymFunc && a.inText(s.Addr) {
+			set[s.Addr] = true
+		}
+	}
+	// Direct calls: jal with the link register.
+	for i, in := range a.insts {
+		if !a.valid[i] || in.Op != isa.OpJAL || in.Rd != isa.RegRA {
+			continue
+		}
+		pc := img.Base + uint32(i)*4
+		if t := pc + uint32(in.Imm)*4; a.inText(t) {
+			set[t] = true
+		}
+	}
+	// Indirect targets: (1) data-section words that point into text — the
+	// address tables behind syscall dispatch and hart spawning; (2) lui+addi
+	// address materialisations (the La idiom) whose value lands in text.
+	indir := map[uint32]bool{}
+	for off := 0; off+4 <= len(img.Data); off += 4 {
+		if v := img.Arch.Word(img.Data[off:]); a.inText(v) {
+			indir[v] = true
+		}
+	}
+	for i := 0; i+1 < len(a.insts); i++ {
+		if !a.valid[i] || !a.valid[i+1] {
+			continue
+		}
+		lui, add := a.insts[i], a.insts[i+1]
+		if lui.Op != isa.OpLUI || add.Op != isa.OpADDI || add.Rd != lui.Rd || add.Rs1 != lui.Rd {
+			continue
+		}
+		if v := uint32(lui.Imm)<<12 + uint32(add.Imm); a.inText(v) {
+			indir[v] = true
+		}
+	}
+	for t := range indir {
+		a.indirect = append(a.indirect, t)
+		set[t] = true
+	}
+	sort.Slice(a.indirect, func(i, j int) bool { return a.indirect[i] < a.indirect[j] })
+
+	a.entries = make([]uint32, 0, len(set))
+	for e := range set {
+		a.entries = append(a.entries, e)
+	}
+	sort.Slice(a.entries, func(i, j int) bool { return a.entries[i] < a.entries[j] })
+}
+
+// Entries returns the sorted recovered function entry addresses.
+func (a *Analysis) Entries() []uint32 { return a.entries }
+
+// IndirectTargets returns text addresses referenced from data words or
+// lui+addi address materialisations — potential indirect-call targets.
+func (a *Analysis) IndirectTargets() []uint32 { return a.indirect }
+
+// FuncAt returns the recovered function starting exactly at entry.
+func (a *Analysis) FuncAt(entry uint32) (*Func, bool) {
+	f, ok := a.funcIdx[entry]
+	return f, ok
+}
+
+// FuncContaining returns the recovered function whose range covers pc.
+func (a *Analysis) FuncContaining(pc uint32) (*Func, bool) {
+	i := sort.Search(len(a.Funcs), func(i int) bool { return a.Funcs[i].Entry > pc })
+	if i == 0 {
+		return nil, false
+	}
+	f := a.Funcs[i-1]
+	if pc >= f.Entry && pc < f.End {
+		return f, true
+	}
+	return nil, false
+}
+
+// ---- function recovery ----
+
+func (a *Analysis) recoverFuncs() {
+	img := a.Image
+	fanIn := map[uint32]int{}
+	for i := range a.entries {
+		entry := a.entries[i]
+		end := img.TextEnd()
+		if i+1 < len(a.entries) {
+			end = a.entries[i+1]
+		}
+		f := &Func{Entry: entry, End: end, Name: fmt.Sprintf("fn_%#x", entry)}
+		if s, ok := img.FuncAt(entry); ok && s.Addr == entry {
+			f.Name = s.Name
+		}
+		a.buildBlocks(f)
+		a.Funcs = append(a.Funcs, f)
+		a.funcIdx[entry] = f
+	}
+	// Fan-in: direct callsites plus one per address-table reference.
+	for i, in := range a.insts {
+		if !a.valid[i] || in.Op != isa.OpJAL || in.Rd != isa.RegRA {
+			continue
+		}
+		pc := img.Base + uint32(i)*4
+		if t := pc + uint32(in.Imm)*4; a.inText(t) {
+			fanIn[t]++
+		}
+	}
+	for _, t := range a.indirect {
+		fanIn[t]++
+	}
+	for _, f := range a.Funcs {
+		f.FanIn = fanIn[f.Entry]
+	}
+}
+
+// buildBlocks splits [f.Entry, f.End) into basic blocks, collecting CFG
+// edges, direct callees and return sites.
+func (a *Analysis) buildBlocks(f *Func) {
+	leaders := map[uint32]bool{f.Entry: true}
+	inRange := func(pc uint32) bool { return pc >= f.Entry && pc < f.End && pc%4 == 0 }
+	for pc := f.Entry; pc < f.End; pc += 4 {
+		in, ok := a.InstAt(pc)
+		if !ok {
+			// Opaque word: the next instruction (if any) starts a new block.
+			if inRange(pc + 4) {
+				leaders[pc+4] = true
+			}
+			continue
+		}
+		switch isa.ClassOf(in.Op) {
+		case isa.ClassBranch:
+			if t := pc + uint32(in.Imm)*4; inRange(t) {
+				leaders[t] = true
+			}
+			if inRange(pc + 4) {
+				leaders[pc+4] = true
+			}
+		case isa.ClassJump:
+			if in.Op == isa.OpJAL && in.Rd != isa.RegRA {
+				if t := pc + uint32(in.Imm)*4; inRange(t) {
+					leaders[t] = true
+				}
+			}
+			if inRange(pc + 4) {
+				leaders[pc+4] = true
+			}
+		default:
+			if isa.Terminates(in.Op) && inRange(pc+4) {
+				leaders[pc+4] = true
+			}
+		}
+	}
+	starts := make([]uint32, 0, len(leaders))
+	for l := range leaders {
+		starts = append(starts, l)
+	}
+	sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
+
+	callees := map[uint32]bool{}
+	for bi, start := range starts {
+		blockEnd := f.End
+		if bi+1 < len(starts) {
+			blockEnd = starts[bi+1]
+		}
+		b := Block{Start: start}
+		pc := start
+		for ; pc < blockEnd; pc += 4 {
+			in, ok := a.InstAt(pc)
+			if !ok {
+				// Treat the opaque word as an implicit terminator.
+				pc += 4
+				break
+			}
+			if in.Op == isa.OpJALR && in.Rd == isa.RegZero && in.Rs1 == isa.RegRA && in.Imm == 0 {
+				f.Exits = append(f.Exits, pc)
+			}
+			if !isa.Terminates(in.Op) {
+				continue
+			}
+			// Successors of the terminator.
+			switch {
+			case isa.ClassOf(in.Op) == isa.ClassBranch:
+				if t := pc + uint32(in.Imm)*4; a.inText(t) {
+					b.Succs = append(b.Succs, t)
+				}
+				b.Succs = append(b.Succs, pc+4)
+			case in.Op == isa.OpJAL:
+				t := pc + uint32(in.Imm)*4
+				if in.Rd == isa.RegRA {
+					if a.inText(t) {
+						callees[t] = true
+					}
+					b.Succs = append(b.Succs, pc+4) // the call returns here
+				} else if a.inText(t) {
+					b.Succs = append(b.Succs, t)
+				}
+			case in.Op == isa.OpJALR:
+				// Indirect: a call falls through on return; a return or an
+				// indirect jump has no static successor.
+				if in.Rd == isa.RegRA {
+					b.Succs = append(b.Succs, pc+4)
+				}
+			case in.Op == isa.OpYIELD:
+				b.Succs = append(b.Succs, pc+4)
+			case in.Op == isa.OpECALL, in.Op == isa.OpEBREAK, in.Op == isa.OpHALT:
+				// faults / stops: no successors
+			}
+			pc += 4
+			break
+		}
+		if pc >= blockEnd && len(b.Succs) == 0 {
+			// Fell off the end of the block without a terminator: the next
+			// block (or the next function) is the fall-through successor.
+			last, lok := a.InstAt(blockEnd - 4)
+			if pc == blockEnd && (!lok || !isa.Terminates(last.Op)) && a.inText(blockEnd) {
+				b.Succs = append(b.Succs, blockEnd)
+			}
+		}
+		b.End = pc
+		if b.End > blockEnd {
+			b.End = blockEnd
+		}
+		if b.End > b.Start {
+			f.Blocks = append(f.Blocks, b)
+		}
+	}
+	for c := range callees {
+		f.Callees = append(f.Callees, c)
+	}
+	sort.Slice(f.Callees, func(i, j int) bool { return f.Callees[i] < f.Callees[j] })
+}
+
+// ---- reachability ----
+
+// computeReachability walks the interprocedural CFG from the image entry
+// point plus every indirect target (address-table entries can be invoked by
+// dispatchers and hart spawns), marking block leaders.
+func (a *Analysis) computeReachability() {
+	var work []uint32
+	push := func(pc uint32) {
+		if b, ok := a.blockAt(pc); ok && !a.reach[b.Start] {
+			a.reach[b.Start] = true
+			work = append(work, b.Start)
+		}
+	}
+	if a.inText(a.Image.Entry) {
+		push(a.Image.Entry)
+	}
+	for _, t := range a.indirect {
+		push(t)
+	}
+	for len(work) > 0 {
+		pc := work[len(work)-1]
+		work = work[:len(work)-1]
+		b, ok := a.blockAt(pc)
+		if !ok {
+			continue
+		}
+		for _, s := range b.Succs {
+			push(s)
+		}
+		// Calls made inside this block transfer to their callees.
+		for p := b.Start; p < b.End; p += 4 {
+			if in, ok := a.InstAt(p); ok && in.Op == isa.OpJAL && in.Rd == isa.RegRA {
+				if t := p + uint32(in.Imm)*4; a.inText(t) {
+					push(t)
+				}
+			}
+		}
+	}
+}
+
+// blockAt returns the block whose range covers pc.
+func (a *Analysis) blockAt(pc uint32) (Block, bool) {
+	f, ok := a.FuncContaining(pc)
+	if !ok {
+		return Block{}, false
+	}
+	i := sort.Search(len(f.Blocks), func(i int) bool { return f.Blocks[i].Start > pc })
+	if i == 0 {
+		return Block{}, false
+	}
+	b := f.Blocks[i-1]
+	if pc >= b.Start && pc < b.End {
+		return b, true
+	}
+	return Block{}, false
+}
+
+// BlockReachable reports whether the block starting at (or covering) pc is
+// statically reachable from the entry point or an indirect target.
+func (a *Analysis) BlockReachable(pc uint32) bool {
+	b, ok := a.blockAt(pc)
+	return ok && a.reach[b.Start]
+}
+
+// FuncReachable reports whether the function at entry is statically
+// reachable.
+func (a *Analysis) FuncReachable(entry uint32) bool {
+	f, ok := a.funcIdx[entry]
+	if !ok {
+		return false
+	}
+	for _, b := range f.Blocks {
+		if a.reach[b.Start] {
+			return true
+		}
+	}
+	return false
+}
+
+// ---- dataflow summary ----
+
+// value-tracking lattice for the linear summary scan.
+type vstate uint8
+
+const (
+	vUnknown vstate = 0
+	vConst   vstate = 1 << iota // built from constants only
+	vGlobal                     // contains a lui/auipc upper part (address-like)
+	vMem                        // derived from a memory load
+	vArg0    vstate = 1 << 4    // tainted by a0 on entry (vArg0 << k for ak)
+)
+
+func argBit(reg uint8) vstate {
+	if reg >= isa.RegA0 && reg < isa.RegA0+4 {
+		return vArg0 << (reg - isa.RegA0)
+	}
+	return 0
+}
+
+func (v vstate) anyArg() bool { return v&(vArg0|vArg0<<1|vArg0<<2|vArg0<<3) != 0 }
+
+// Summarize computes the dataflow summary of f: a single linear pass over
+// the function body tracking, per register, whether its value is constant,
+// address-like (built with lui), memory-derived, or tainted by one of the
+// first four argument registers.
+func (a *Analysis) Summarize(f *Func) Summary {
+	var sum Summary
+	var regs [isa.NumRegs]vstate
+	for k := uint8(0); k < 4; k++ {
+		regs[isa.RegA0+k] = vArg0 << k
+	}
+	regs[isa.RegZero] = vConst
+
+	markSize := func(v vstate) {
+		for k := 0; k < 4; k++ {
+			if v&(vArg0<<k) != 0 {
+				sum.SizeLike[k] = true
+			}
+		}
+	}
+	set := func(rd uint8, v vstate) {
+		if rd != isa.RegZero && int(rd) < isa.NumRegs {
+			regs[rd] = v
+		}
+	}
+
+	for pc := f.Entry; pc < f.End; pc += 4 {
+		in, ok := a.InstAt(pc)
+		if !ok {
+			continue
+		}
+		switch isa.ClassOf(in.Op) {
+		case isa.ClassLoad:
+			sum.Loads++
+			set(in.Rd, vMem)
+		case isa.ClassStore:
+			sum.Stores++
+			if in.Op == isa.OpSCW {
+				set(in.Rd, vConst)
+			}
+		case isa.ClassAtomic:
+			sum.Atomics++
+			set(in.Rd, vMem)
+		case isa.ClassBranch:
+			// A bounds check comparing an argument against an address-like or
+			// loaded value is how allocators test "does the request fit".
+			l, r := regs[in.Rs1], regs[in.Rs2]
+			if l.anyArg() && r&(vMem|vGlobal) != 0 {
+				markSize(l)
+			}
+			if r.anyArg() && l&(vMem|vGlobal) != 0 {
+				markSize(r)
+			}
+		case isa.ClassJump:
+			if in.Op == isa.OpJAL && in.Rd == isa.RegRA {
+				sum.Calls++
+				// Standard ABI: the callee clobbers a0 with its return value.
+				set(isa.RegA0, vMem)
+			}
+			if in.Rd != isa.RegZero {
+				set(in.Rd, vConst)
+			}
+		case isa.ClassSystem, isa.ClassSanck:
+			if in.Op == isa.OpCSRR {
+				set(in.Rd, vConst)
+			}
+		default: // ALU
+			switch in.Op {
+			case isa.OpLUI, isa.OpAUIPC:
+				set(in.Rd, vGlobal)
+			case isa.OpADD, isa.OpSUB:
+				l, r := regs[in.Rs1], regs[in.Rs2]
+				// Pointer arithmetic: argument added to an address-like or
+				// memory-derived base.
+				if l.anyArg() && r&(vMem|vGlobal) != 0 {
+					markSize(l)
+				}
+				if r.anyArg() && l&(vMem|vGlobal) != 0 {
+					markSize(r)
+				}
+				set(in.Rd, l|r)
+			case isa.OpADDI, isa.OpANDI, isa.OpORI, isa.OpXORI,
+				isa.OpSLLI, isa.OpSRLI, isa.OpSRAI:
+				set(in.Rd, regs[in.Rs1])
+			case isa.OpSLT, isa.OpSLTU:
+				set(in.Rd, vConst)
+			case isa.OpSLTI, isa.OpSLTIU:
+				set(in.Rd, vConst)
+			default:
+				l, r := regs[in.Rs1], regs[in.Rs2]
+				set(in.Rd, l|r)
+			}
+		}
+		if in.Rd == isa.RegA0 && writesRd(in) {
+			sum.WritesRet = true
+		}
+		// At each return site, classify what the linear scan says a0 holds.
+		if in.Op == isa.OpJALR && in.Rd == isa.RegZero && in.Rs1 == isa.RegRA && in.Imm == 0 {
+			if regs[isa.RegA0]&(vMem|vGlobal) != 0 {
+				sum.PointerReturn = true
+			}
+		}
+	}
+	return sum
+}
+
+// writesRd reports whether inst architecturally writes its Rd field.
+func writesRd(in isa.Inst) bool {
+	switch isa.ClassOf(in.Op) {
+	case isa.ClassStore:
+		return in.Op == isa.OpSCW
+	case isa.ClassBranch:
+		return false
+	case isa.ClassSystem:
+		return in.Op == isa.OpCSRR
+	case isa.ClassSanck:
+		return false
+	}
+	return true
+}

@@ -1,0 +1,224 @@
+package static_test
+
+import (
+	"testing"
+
+	"embsan/internal/isa"
+	"embsan/internal/kasm"
+	"embsan/internal/static"
+)
+
+// buildMini builds a small firmware with a bump allocator, an instrumented
+// counter function, and a dead function — enough structure to exercise
+// function recovery, the dataflow summary, ranking, reachability and lint.
+func buildMini(t *testing.T, arch isa.Arch, mode kasm.SanitizeMode) *kasm.Image {
+	t.Helper()
+	b := kasm.NewBuilder(kasm.Target{Arch: arch, Sanitize: mode})
+
+	b.Func("_start")
+	b.Li(isa.RegSP, 0x8000)
+	b.Call("kinit")
+	b.Li(isa.RegA1, 24)
+	b.Call("alloc")
+	b.Li(isa.RegA1, 64)
+	b.Call("alloc")
+	b.Call("touch")
+	b.Ready()
+	b.HALT()
+
+	b.Func("kinit")
+	b.La(isa.RegT0, "heap_next")
+	b.La(isa.RegT1, "heap")
+	b.SW(isa.RegT1, isa.RegT0, 0)
+	b.Ret()
+
+	// Bump allocator: size in a1, pointer out in a0, 16-byte granules.
+	b.Func("alloc")
+	b.NoSan(func() {
+		b.La(isa.RegT0, "heap_next")
+		b.LW(isa.RegA0, isa.RegT0, 0)
+		b.ADDI(isa.RegT1, isa.RegA1, 15)
+		b.SRLI(isa.RegT1, isa.RegT1, 4)
+		b.SLLI(isa.RegT1, isa.RegT1, 4)
+		b.ADD(isa.RegT1, isa.RegA0, isa.RegT1)
+		b.SW(isa.RegT1, isa.RegT0, 0)
+	})
+	b.Ret()
+
+	b.Func("touch")
+	b.La(isa.RegT0, "counter")
+	b.LW(isa.RegT1, isa.RegT0, 0)
+	b.ADDI(isa.RegT1, isa.RegT1, 1)
+	b.SW(isa.RegT1, isa.RegT0, 0)
+	b.Ret()
+
+	b.Func("dead")
+	b.Li(isa.RegA0, 0)
+	b.Ret()
+
+	b.Global("counter", 4)
+	b.GlobalRaw("heap_next", 4)
+	b.GlobalRaw("heap", 4096)
+
+	img, err := b.Link("static-mini")
+	if err != nil {
+		t.Fatalf("link: %v", err)
+	}
+	return img
+}
+
+func TestAnalyzeRecoversFunctions(t *testing.T) {
+	img := buildMini(t, isa.ArchARM32E, kasm.SanNone)
+	a, err := static.Analyze(img)
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	for _, name := range []string{"_start", "kinit", "alloc", "touch", "dead"} {
+		sym, ok := img.Lookup(name)
+		if !ok {
+			t.Fatalf("symbol %s missing", name)
+		}
+		f, ok := a.FuncAt(sym.Addr)
+		if !ok {
+			t.Fatalf("function %s not recovered at %#x", name, sym.Addr)
+		}
+		if f.Name != name {
+			t.Fatalf("function at %#x named %q, want %q", sym.Addr, f.Name, name)
+		}
+		if len(f.Blocks) == 0 {
+			t.Fatalf("function %s has no blocks", name)
+		}
+		if name != "_start" && len(f.Exits) == 0 {
+			t.Fatalf("function %s has no recovered exits", name)
+		}
+	}
+
+	start, _ := img.Lookup("_start")
+	f, _ := a.FuncAt(start.Addr)
+	kinit, _ := img.Lookup("kinit")
+	alloc, _ := img.Lookup("alloc")
+	wantCallees := map[uint32]bool{}
+	for _, c := range f.Callees {
+		wantCallees[c] = true
+	}
+	if !wantCallees[kinit.Addr] || !wantCallees[alloc.Addr] {
+		t.Fatalf("_start callees %#x missing kinit/alloc", f.Callees)
+	}
+
+	af, _ := a.FuncAt(alloc.Addr)
+	if af.FanIn != 2 {
+		t.Fatalf("alloc fan-in = %d, want 2", af.FanIn)
+	}
+}
+
+func TestSummaryAllocShaped(t *testing.T) {
+	img := buildMini(t, isa.ArchARM32E, kasm.SanNone)
+	a, err := static.Analyze(img)
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	alloc, _ := img.Lookup("alloc")
+	f, _ := a.FuncAt(alloc.Addr)
+	sum := a.Summarize(f)
+	if !sum.PointerReturn {
+		t.Fatalf("alloc summary has no pointer return: %+v", sum)
+	}
+	if !sum.SizeLike[1] {
+		t.Fatalf("alloc summary does not mark a1 size-like: %+v", sum)
+	}
+	if !sum.AllocShaped() {
+		t.Fatalf("alloc summary not alloc-shaped: %+v", sum)
+	}
+
+	kinit, _ := img.Lookup("kinit")
+	kf, _ := a.FuncAt(kinit.Addr)
+	if a.Summarize(kf).AllocShaped() {
+		t.Fatalf("kinit wrongly classified alloc-shaped")
+	}
+}
+
+func TestRankAllocCandidatesStripped(t *testing.T) {
+	img := buildMini(t, isa.ArchARM32E, kasm.SanNone)
+	alloc, _ := img.Lookup("alloc")
+	stripped := img.Strip()
+
+	a, err := static.Analyze(stripped)
+	if err != nil {
+		t.Fatalf("analyze stripped: %v", err)
+	}
+	cands := a.RankAllocCandidates()
+	if len(cands) == 0 {
+		t.Fatalf("no candidates ranked")
+	}
+	if cands[0].Entry != alloc.Addr {
+		t.Fatalf("top candidate %#x (%s, score %d), want alloc at %#x",
+			cands[0].Entry, cands[0].Name, cands[0].Score, alloc.Addr)
+	}
+	if !cands[0].Shaped {
+		t.Fatalf("top candidate not alloc-shaped")
+	}
+
+	// Determinism: a second analysis ranks identically.
+	a2, _ := static.Analyze(stripped)
+	cands2 := a2.RankAllocCandidates()
+	if len(cands) != len(cands2) {
+		t.Fatalf("candidate count changed between runs: %d vs %d", len(cands), len(cands2))
+	}
+	for i := range cands {
+		if cands[i] != cands2[i] {
+			t.Fatalf("candidate %d differs between runs: %+v vs %+v", i, cands[i], cands2[i])
+		}
+	}
+}
+
+func TestReachabilityReport(t *testing.T) {
+	img := buildMini(t, isa.ArchARM32E, kasm.SanNone)
+	a, err := static.Analyze(img)
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	dead, _ := img.Lookup("dead")
+	if a.FuncReachable(dead.Addr) {
+		t.Fatalf("dead function marked reachable")
+	}
+	for _, name := range []string{"_start", "kinit", "alloc", "touch"} {
+		s, _ := img.Lookup(name)
+		if !a.FuncReachable(s.Addr) {
+			t.Fatalf("%s not reachable", name)
+		}
+	}
+	r := a.Reach()
+	if r.TotalFuncs != 5 || r.ReachableFuncs != 4 {
+		t.Fatalf("reach report funcs %d/%d, want 4/5", r.ReachableFuncs, r.TotalFuncs)
+	}
+	if r.ReachableBlocks == 0 || r.ReachableBlocks >= r.TotalBlocks {
+		t.Fatalf("reach report blocks %d/%d not a proper subset", r.ReachableBlocks, r.TotalBlocks)
+	}
+	if r.ReachableInsts == 0 || r.ReachableInsts > r.TotalInsts {
+		t.Fatalf("reach report insts %d/%d inconsistent", r.ReachableInsts, r.TotalInsts)
+	}
+}
+
+// TestAnalyzeAllFrontends re-runs recovery on the other two frontends: the
+// analyzer must decode mips32e (big-endian, rotated opcodes) and x86e
+// (XOR-scrambled opcodes) identically.
+func TestAnalyzeAllFrontends(t *testing.T) {
+	var blocks [3]int
+	for arch := isa.Arch(0); arch < isa.NumArchs; arch++ {
+		img := buildMini(t, arch, kasm.SanNone)
+		a, err := static.Analyze(img)
+		if err != nil {
+			t.Fatalf("%s: analyze: %v", arch, err)
+		}
+		r := a.Reach()
+		blocks[arch] = r.TotalBlocks
+		alloc, _ := img.Lookup("alloc")
+		f, ok := a.FuncAt(alloc.Addr)
+		if !ok || !a.Summarize(f).AllocShaped() {
+			t.Fatalf("%s: alloc not recovered as alloc-shaped", arch)
+		}
+	}
+	if blocks[0] != blocks[1] || blocks[1] != blocks[2] {
+		t.Fatalf("block counts differ across frontends: %v", blocks)
+	}
+}
