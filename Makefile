@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build vet test test-short race lint fuzz-smoke bench-parallel ci ci-short
+.PHONY: build vet test test-short race lint elide-audit fuzz-smoke bench-parallel ci ci-short
 
 build:
 	$(GO) build ./...
@@ -32,17 +32,27 @@ lint:
 	$(GO) run ./cmd/embsan lint -all
 	$(GO) run ./cmd/embsan lint -selftest
 
+# The link-time elision audit: every registry firmware is elided and every
+# recorded elision's safety proof re-derived, and the auditor must prove it
+# catches a deliberately bogus elision.
+elide-audit:
+	$(GO) run ./cmd/embsan lint -elide -all
+	$(GO) run ./cmd/embsan lint -elide -selftest
+
 # Short smoke runs of the native fuzz targets (corpora under testdata/).
+# Minimization is capped at one exec: the default 60s budget would eat the
+# whole smoke run shrinking the first coverage-expanding input.
 fuzz-smoke:
 	$(GO) test ./internal/isa -fuzz FuzzDecode -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/dsl -fuzz FuzzParseRoundTrip -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/static -fuzz FuzzRecoverCFG -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/static/absint -fuzz FuzzAbsint -fuzztime $(FUZZTIME) -fuzzminimizetime 1x
 
 # The pooled-scheduler throughput series (serial runner vs worker pool).
 bench-parallel:
 	$(GO) test -run xxx -bench BenchmarkParallelCampaigns -benchtime 2x .
 
-ci: vet build lint race fuzz-smoke
+ci: vet build lint elide-audit race fuzz-smoke
 
 # ci with the long campaign/overhead experiments skipped.
-ci-short: vet build lint race-short fuzz-smoke
+ci-short: vet build lint elide-audit race-short fuzz-smoke

@@ -8,6 +8,7 @@
 //	embsan-bench -table 3         # fuzzing campaign classification (Table 3)
 //	embsan-bench -table 4         # full found-bug list (Table 4)
 //	embsan-bench -figure 2        # runtime overhead (Figure 2)
+//	embsan-bench -elision         # dispatch savings from static safety proofs
 //	embsan-bench -all [-workers 4]
 //
 // The table 3/4 campaigns run on the deterministic parallel executor
@@ -33,6 +34,7 @@ func main() {
 		progs   = flag.Int("programs", 16, "workload size for figure 2")
 		seed    = flag.Int64("seed", 7, "RNG seed")
 		workers = flag.Int("workers", 0, "campaign worker pool size (0 = GOMAXPROCS, 1 = serial)")
+		elision = flag.Bool("elision", false, "measure sanitizer dispatches elided by static safety proofs")
 	)
 	flag.Parse()
 
@@ -78,7 +80,14 @@ func main() {
 		}
 		fmt.Println(exps.FormatFigure2(rows))
 	}
-	if !*all && *table == 0 && *figure == 0 {
+	if *elision || *all {
+		stats, err := exps.RunElisionStats(nil, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(exps.FormatElisionTable(stats))
+	}
+	if !*all && *table == 0 && *figure == 0 && !*elision {
 		flag.Usage()
 	}
 }

@@ -44,11 +44,12 @@ func main() {
 		seed    = flag.Int64("seed", 7, "base campaign seed (campaign i uses splitmix64(seed, i))")
 		workers = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS, 1 = serial)")
 		repeats = flag.Int("repeats", 1, "independent campaigns per firmware")
+		elide   = flag.Bool("elide", false, "drop provably-safe sanitizer checks (static safety proofs); findings are unchanged")
 		outDir  = flag.String("out", "", "save corpus and crash artifacts under this directory")
 	)
 	flag.Parse()
 
-	opts := exps.CampaignOptions{Execs: *execs, Seed: *seed, Workers: *workers, Repeats: *repeats}
+	opts := exps.CampaignOptions{Execs: *execs, Seed: *seed, Workers: *workers, Repeats: *repeats, Elide: *elide}
 	var campaigns []*exps.Campaign
 	var workerStats []sched.WorkerStats
 	switch {

@@ -14,6 +14,8 @@ import (
 	"embsan/internal/kasm"
 	"embsan/internal/probe"
 	"embsan/internal/san"
+	"embsan/internal/static"
+	"embsan/internal/static/absint"
 )
 
 // Config describes one EMBSAN deployment on one firmware image.
@@ -40,6 +42,14 @@ type Config struct {
 	// NoSanitizer runs the firmware bare (baseline measurement) or relies
 	// on a natively-sanitized build's in-guest runtime.
 	NoSanitizer bool
+	// Elide applies the static safety proofs (internal/static/absint) to
+	// the deployment: EMBSAN-C images have provably-safe SANCK traps
+	// replaced by pads at link time, EMBSAN-D machines skip Mem-probe
+	// dispatch for proven access sites. When the sanitizer set includes
+	// engines sensitive to the dispatch stream itself (kcsan's sampling,
+	// ubsan's alignment checks), only device-memory proofs — which the
+	// runtime ignores before any engine runs — are applied.
+	Elide bool
 }
 
 // Instance is a prepared EMBSAN deployment: an emulated machine with the
@@ -58,11 +68,29 @@ func New(cfg Config) (*Instance, error) {
 	if cfg.Image == nil {
 		return nil, fmt.Errorf("core: no firmware image")
 	}
-	m, err := emu.New(cfg.Image, cfg.Machine)
+	img := cfg.Image
+	restricted := false
+	for _, s := range cfg.Sanitizers {
+		if s == "kcsan" || s == "ubsan" {
+			restricted = true
+		}
+	}
+	if cfg.Elide && !cfg.NoSanitizer && img.Meta.Sanitize == kasm.SanEmbsanC && !img.Stripped {
+		// EMBSAN-C: rewrite provably-safe SANCK traps into pads before the
+		// machine loads the text. Proof failures degrade to no elision.
+		if an, err := static.Analyze(img); err == nil {
+			if els := absint.Analyze(an, absint.Options{}).Elisions(restricted); len(els) > 0 {
+				if elided, err := img.ElideSancks(els); err == nil {
+					img = elided
+				}
+			}
+		}
+	}
+	m, err := emu.New(img, cfg.Machine)
 	if err != nil {
 		return nil, err
 	}
-	inst := &Instance{Machine: m, img: cfg.Image}
+	inst := &Instance{Machine: m, img: img}
 	if cfg.NoSanitizer {
 		return inst, nil
 	}
@@ -139,7 +167,50 @@ func New(cfg Config) (*Instance, error) {
 		return nil, err
 	}
 	inst.Runtime = rt
+
+	if cfg.Elide && img.Meta.Sanitize == kasm.SanNone && !opts.Hypercalls {
+		// EMBSAN-D: the binary carries no instrumentation metadata, so the
+		// prover's taint set — regions the runtime poisons dynamically —
+		// comes from the probed platform description instead: the heap
+		// regions plus every poisoned or allocated init range (padded for
+		// the runtime's redzones). Proven access sites then skip the
+		// delegate dispatch in the translated blocks entirely.
+		taint := elideTaint(opts)
+		if an, err := static.Analyze(img); err == nil {
+			res := absint.Analyze(an, absint.Options{Taint: taint})
+			if pcs := res.SafeAccessPCs(restricted); len(pcs) > 0 {
+				m.SetSafeAccessPCs(pcs)
+			}
+		}
+	}
 	return inst, nil
+}
+
+// elideTaint collects the address ranges an EMBSAN-D runtime may poison at
+// run time, which the static prover must treat as never provably safe.
+func elideTaint(opts san.Options) []kasm.AddrRange {
+	var taint []kasm.AddrRange
+	for _, h := range opts.Platform.Heaps {
+		taint = append(taint, kasm.AddrRange{Start: h.Start, End: h.End})
+	}
+	if opts.Init != nil {
+		// Allocations get runtime redzones on both sides; pad the taint so
+		// redzone-adjacent globals are not proven against stale layout.
+		const slack = 64
+		for _, op := range opts.Init.Ops {
+			switch op.Kind {
+			case dsl.InitPoison, dsl.InitAlloc:
+				start := op.Addr
+				if start >= slack {
+					start -= slack
+				} else {
+					start = 0
+				}
+				taint = append(taint, kasm.AddrRange{Start: start, End: op.Addr + op.Size + slack})
+			}
+		}
+	}
+	return taint
 }
 
 // Boot runs the firmware until its ready-to-run point.

@@ -87,6 +87,9 @@ func (l *lexer) emit(k tokKind, text string) {
 	l.toks = append(l.toks, token{kind: k, text: text, line: l.line})
 }
 
+// lexString reads a double-quoted string with Go escape syntax — the
+// exact inverse of the printer's %q, so any printed spec re-lexes to the
+// original value (non-ASCII bytes round-trip through \x escapes).
 func (l *lexer) lexString() error {
 	start := l.pos + 1
 	i := start
@@ -94,12 +97,24 @@ func (l *lexer) lexString() error {
 		if l.src[i] == '\n' {
 			return fmt.Errorf("dsl: line %d: unterminated string", l.line)
 		}
+		if l.src[i] == '\\' && i+1 < len(l.src) && l.src[i+1] != '\n' {
+			i++ // the escaped character cannot close the string
+		}
 		i++
 	}
 	if i >= len(l.src) {
 		return fmt.Errorf("dsl: line %d: unterminated string", l.line)
 	}
-	l.emit(tokString, l.src[start:i])
+	raw := l.src[start:i]
+	text := raw
+	if strings.ContainsRune(raw, '\\') {
+		un, err := strconv.Unquote(`"` + raw + `"`)
+		if err != nil {
+			return fmt.Errorf("dsl: line %d: bad string escape in %q", l.line, raw)
+		}
+		text = un
+	}
+	l.emit(tokString, text)
 	l.pos = i + 1
 	return nil
 }

@@ -112,6 +112,13 @@ type Machine struct {
 	pageGen   []uint32
 	globalGen uint32
 
+	// safeMem marks access PCs the static prover showed can never touch
+	// invalid or poisoned memory; translation skips the Mem probe for them
+	// (EMBSAN-D TB specialization). elided marks FENCE pads left where the
+	// link-time pass dropped a SANCK, so avoided traps can be counted.
+	safeMem map[uint32]bool
+	elided  map[uint32]bool
+
 	stop     StopReason
 	exitCode int32
 	fault    *Fault
@@ -156,6 +163,17 @@ type Counters struct {
 	TBHits   uint64 // translation blocks served from the cache
 	TBMisses uint64 // translation blocks decoded fresh
 	Restores uint64 // snapshot restores performed
+
+	// Sanitizer dispatch accounting, split by instrumentation mode. The
+	// *Elided counters tally dispatches that static safety proofs removed:
+	// executed FENCE pads standing where a SANCK was dropped at link time
+	// (EMBSAN-C), and proven accesses whose Mem probe the translator
+	// skipped (EMBSAN-D). Elided counts only accumulate while the matching
+	// probe is registered, so trap+elided is comparable across runs.
+	SanckTraps  uint64 // SANCK instructions dispatched to the Sanck probe
+	SanckElided uint64 // elision pads executed in lieu of a SANCK trap
+	MemProbes   uint64 // accesses dispatched to the Mem probe
+	MemElided   uint64 // proven accesses that skipped the Mem probe
 }
 
 // New creates a machine and loads the firmware image.
@@ -202,8 +220,31 @@ func New(img *kasm.Image, cfg Config) (*Machine, error) {
 	m.harts[0].PC = img.Entry
 	m.harts[0].Active = true
 
+	if len(img.Meta.Elisions) > 0 {
+		m.elided = make(map[uint32]bool, len(img.Meta.Elisions))
+		for _, e := range img.Meta.Elisions {
+			m.elided[e.Site] = true
+		}
+	}
+
 	m.installPlatformHypercalls()
 	return m, nil
+}
+
+// SetSafeAccessPCs installs the set of access PCs the static prover showed
+// are always in-bounds: translation blocks skip Mem-probe dispatch for
+// them (the EMBSAN-D specialization). Passing an empty set reverts to full
+// interception. All code is retranslated.
+func (m *Machine) SetSafeAccessPCs(pcs []uint32) {
+	if len(pcs) == 0 {
+		m.safeMem = nil
+	} else {
+		m.safeMem = make(map[uint32]bool, len(pcs))
+		for _, pc := range pcs {
+			m.safeMem[pc] = true
+		}
+	}
+	m.flushTBs()
 }
 
 // Image returns the loaded firmware image.

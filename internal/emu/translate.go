@@ -20,6 +20,8 @@ const (
 	stepMem stepFlags = 1 << iota
 	stepSanck
 	stepHook
+	stepMemSafe // access proven safe: Mem probe skipped, counted as elided
+	stepElided  // FENCE pad left by link-time SANCK elision
 )
 
 type step struct {
@@ -72,11 +74,19 @@ func (m *Machine) translate(pc uint32) (*tb, FaultKind) {
 		switch isa.ClassOf(inst.Op) {
 		case isa.ClassLoad, isa.ClassStore, isa.ClassAtomic:
 			if m.probes.Mem != nil {
-				fl |= stepMem
+				if m.safeMem != nil && m.safeMem[cur] {
+					fl |= stepMemSafe
+				} else {
+					fl |= stepMem
+				}
 			}
 		case isa.ClassSanck:
 			if m.probes.Sanck != nil {
 				fl |= stepSanck
+			}
+		default:
+			if inst.Op == isa.OpFENCE && m.probes.Sanck != nil && m.elided != nil && m.elided[cur] {
+				fl |= stepElided
 			}
 		}
 		if _, hooked := m.pcHooks[cur]; hooked {
@@ -316,6 +326,8 @@ func (m *Machine) execTB(h *Hart, t *tb, end uint64) tbExit {
 				if ex := m.fireMem(h, s.pc, addr, size, false, in.Op == isa.OpLRW); ex != tbDone {
 					return ex
 				}
+			} else if s.flags&stepMemSafe != 0 {
+				m.counters.MemElided++
 			}
 			v, f := m.bus.read(addr, size)
 			if f != FaultNone {
@@ -349,6 +361,8 @@ func (m *Machine) execTB(h *Hart, t *tb, end uint64) tbExit {
 				if ex := m.fireMem(h, s.pc, addr, size, true, in.Op == isa.OpSCW); ex != tbDone {
 					return ex
 				}
+			} else if s.flags&stepMemSafe != 0 {
+				m.counters.MemElided++
 			}
 			if f := m.bus.write(addr, size, r[in.Rs2]); f != FaultNone {
 				m.raiseFault(f, h, s.pc, addr)
@@ -368,6 +382,8 @@ func (m *Machine) execTB(h *Hart, t *tb, end uint64) tbExit {
 				if ex := m.fireMem(h, s.pc, addr, 4, true, true); ex != tbDone {
 					return ex
 				}
+			} else if s.flags&stepMemSafe != 0 {
+				m.counters.MemElided++
 			}
 			old, f := m.bus.read(addr, 4)
 			if f != FaultNone {
@@ -455,7 +471,10 @@ func (m *Machine) execTB(h *Hart, t *tb, end uint64) tbExit {
 			h.PC = s.pc + 4
 			return tbYield
 		case isa.OpFENCE:
-			// ordering no-op
+			// ordering no-op; an elision pad counts the trap it replaced
+			if s.flags&stepElided != 0 {
+				m.counters.SanckElided++
+			}
 		case isa.OpCSRR:
 			var v uint32
 			switch in.Imm {
@@ -483,6 +502,7 @@ func (m *Machine) execTB(h *Hart, t *tb, end uint64) tbExit {
 
 		case isa.OpSANCK:
 			if s.flags&stepSanck != 0 {
+				m.counters.SanckTraps++
 				addr := r[in.Rs1] + uint32(in.Imm)
 				size, write, atomic := isa.SanckDecode(in.Rd)
 				ev := MemEvent{Hart: h.ID, PC: s.pc, Addr: addr, Size: size, Write: write, Atomic: atomic}
@@ -510,6 +530,7 @@ func (m *Machine) execTB(h *Hart, t *tb, end uint64) tbExit {
 // fireMem invokes the memory probe and translates its outcome. It returns
 // tbDone when execution should proceed with the access.
 func (m *Machine) fireMem(h *Hart, pc, addr, size uint32, write, atomic bool) tbExit {
+	m.counters.MemProbes++
 	ev := MemEvent{Hart: h.ID, PC: pc, Addr: addr, Size: size, Write: write, Atomic: atomic}
 	m.probes.Mem(&ev)
 	if ev.StallInsts > 0 {

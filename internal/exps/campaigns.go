@@ -12,6 +12,7 @@ import (
 	"embsan/internal/san"
 	"embsan/internal/sched"
 	"embsan/internal/static"
+	"embsan/internal/static/absint"
 )
 
 // CampaignOptions tunes the Table 3/4 fuzzing campaigns. The paper ran
@@ -26,6 +27,12 @@ type CampaignOptions struct {
 	// independent derived seeds — the multi-campaign workloads of the
 	// throughput experiments.
 	Repeats int
+	// Elide applies the static safety proofs to the deployment
+	// (core.Config.Elide): provably-safe SANCK traps are dropped from
+	// EMBSAN-C images and proven access sites skip delegate dispatch on
+	// EMBSAN-D machines. Bug findings are unchanged; only the trap/probe
+	// counters move.
+	Elide bool
 }
 
 // FoundBug is one campaign finding attributed to a seeded bug.
@@ -59,12 +66,13 @@ type warmed struct {
 	sigToBug map[string]*firmware.Bug
 	reach    static.ReachReport // static coverage upper bound, computed once
 	leaders  []uint32           // reachable block-leader PCs (the bound's members)
+	proof    absint.Stats       // static safety-proof tally, computed once
 }
 
 // warmUp boots fw and labels its seeded bugs. The machine seed depends only
 // on the base seed, so every worker warming the same firmware reaches the
 // bit-identical snapshot.
-func warmUp(fw *firmware.Firmware, baseSeed int64) (*warmed, error) {
+func warmUp(fw *firmware.Firmware, baseSeed int64, elide bool) (*warmed, error) {
 	sans := []string{"kasan"}
 	for _, b := range fw.Bugs {
 		if b.NeedsKCSAN {
@@ -78,6 +86,7 @@ func warmUp(fw *firmware.Firmware, baseSeed int64) (*warmed, error) {
 		StopOnReport: true,
 		Machine:      emu.Config{MaxHarts: 2, Seed: uint64(baseSeed) + 1},
 		KCSAN:        san.KCSANConfig{SampleInterval: 13, Delay: 600},
+		Elide:        elide,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("exps: %s: %w", fw.Name, err)
@@ -97,6 +106,9 @@ func warmUp(fw *firmware.Firmware, baseSeed int64) (*warmed, error) {
 	if an, err := static.Analyze(fw.Image); err == nil {
 		w.reach = an.Reach()
 		w.leaders = an.ReachableLeaders()
+		// The safety-proof tally feeds the stats table's `prove` column. It
+		// is a property of the image alone, so it is computed here once.
+		w.proof = absint.Analyze(an, absint.Options{}).Stats
 	}
 	for i := range fw.Bugs {
 		b := &fw.Bugs[i]
@@ -122,11 +134,13 @@ func (w *warmed) runOne(fw *firmware.Firmware, seed int64, execs int) (*Campaign
 	inst.Machine.Reseed(uint64(seed))
 
 	fcfg := fuzz.Config{
-		Instance:         inst,
-		Seeds:            fw.Seeds,
-		Seed:             seed,
-		MaxExecs:         execs,
-		ReachableLeaders: w.leaders,
+		Instance:          inst,
+		Seeds:             fw.Seeds,
+		Seed:              seed,
+		MaxExecs:          execs,
+		ReachableLeaders:  w.leaders,
+		ProvenAccesses:    w.proof.ReachableProven,
+		ReachableAccesses: w.proof.ReachableAccesses,
 	}
 	if fw.Frontend == firmware.FrontendSyscall {
 		fcfg.Frontend = fuzz.FrontendSyscall
@@ -181,7 +195,7 @@ func RunCampaign(fw *firmware.Firmware, opts CampaignOptions) (*Campaign, error)
 	if opts.Execs == 0 {
 		opts.Execs = 30000
 	}
-	w, err := warmUp(fw, opts.Seed)
+	w, err := warmUp(fw, opts.Seed, opts.Elide)
 	if err != nil {
 		return nil, err
 	}
@@ -216,8 +230,14 @@ func RunCampaignSet(fws []*firmware.Firmware, opts CampaignOptions) (*CampaignRu
 	out := make([]*Campaign, n)
 	ws, err := sched.Run(sched.Options{Workers: opts.Workers}, n, func(w *sched.Worker, i int) error {
 		fw := fws[i/opts.Repeats]
-		wm, err := sched.Pooled(w, fw.Name, func() (*warmed, error) {
-			return warmUp(fw, opts.Seed)
+		// Elided and non-elided deployments of the same firmware must not
+		// share a pooled machine: their texts and probe sets differ.
+		key := fw.Name
+		if opts.Elide {
+			key += "+elide"
+		}
+		wm, err := sched.Pooled(w, key, func() (*warmed, error) {
+			return warmUp(fw, opts.Seed, opts.Elide)
 		})
 		if err != nil {
 			return err
@@ -314,14 +334,18 @@ func FormatTable4(cs []*Campaign) string {
 // ran on the parallel executor — the per-worker pool accounting.
 func FormatCampaignStats(cs []*Campaign, workers ...sched.WorkerStats) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-24s %8s %8s %8s %7s %8s %7s\n", "Firmware", "execs", "corpus", "blocks", "cover", "found", "missed")
+	fmt.Fprintf(&b, "%-24s %8s %8s %8s %7s %7s %8s %7s\n", "Firmware", "execs", "corpus", "blocks", "cover", "prove", "found", "missed")
 	for _, c := range cs {
 		cover := "-"
 		if frac, ok := c.Stats.Coverage(); ok {
 			cover = fmt.Sprintf("%.1f%%", frac*100)
 		}
-		fmt.Fprintf(&b, "%-24s %8d %8d %8d %7s %8d %7d\n", c.Firmware.Name,
-			c.Stats.Execs, c.Stats.CorpusSize, c.Stats.CoverBlocks, cover, len(c.Found), len(c.Missed))
+		prove := "-"
+		if frac, ok := c.Stats.ProofDensity(); ok {
+			prove = fmt.Sprintf("%.1f%%", frac*100)
+		}
+		fmt.Fprintf(&b, "%-24s %8d %8d %8d %7s %7s %8d %7d\n", c.Firmware.Name,
+			c.Stats.Execs, c.Stats.CorpusSize, c.Stats.CoverBlocks, cover, prove, len(c.Found), len(c.Missed))
 	}
 	if len(workers) > 0 {
 		fmt.Fprintf(&b, "\nWorker pool (%d workers):\n", len(workers))

@@ -1,0 +1,102 @@
+package exps
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestElisionSmoke measures the dispatch saving on one EMBSAN-C firmware:
+// the proofs must elide a non-trivial share of the dynamic SANCK traps
+// without changing a single report, and the conservation identity
+// (plain traps == elided traps + elided pads) is checked inside
+// RunElisionStats itself.
+func TestElisionSmoke(t *testing.T) {
+	fws := buildSubset(t, "OpenWRT-armvirt")
+	stats, err := RunElisionStats(fws, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != 1 {
+		t.Fatalf("got %d stats, want 1", len(stats))
+	}
+	s := stats[0]
+	if s.Mode != "embsan-c" {
+		t.Errorf("armvirt measured in mode %q, want embsan-c", s.Mode)
+	}
+	if s.Dispatch == 0 {
+		t.Fatalf("plain run dispatched no SANCK traps")
+	}
+	if s.Elided == 0 {
+		t.Errorf("proofs elided no dynamic traps (of %d)", s.Dispatch)
+	}
+	if f := s.Frac(); f <= 0 || f > 1 {
+		t.Errorf("elided fraction %f out of range", f)
+	}
+	out := FormatElisionTable(stats)
+	for _, want := range []string{"Firmware", "dispatches", "elided", "OpenWRT-armvirt"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("elision table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestElisionRegistryRate measures the full registry: every firmware obeys
+// the conservation identities and report identity (checked inside
+// RunElisionStats), and on at least one firmware the proofs remove >= 15%
+// of the dynamic sanitizer dispatches — the headline saving the static
+// pass is for.
+func TestElisionRegistryRate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("registry-wide elision runs are long; run without -short")
+	}
+	stats, err := RunElisionStats(nil, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != 11 {
+		t.Fatalf("got %d stats, want 11", len(stats))
+	}
+	best := 0.0
+	for _, s := range stats {
+		if s.Dispatch == 0 {
+			t.Errorf("%s: plain run dispatched nothing", s.Firmware)
+		}
+		if f := s.Frac(); f > best {
+			best = f
+		}
+	}
+	if best < 0.15 {
+		t.Errorf("best elided fraction %.1f%% < 15%%:\n%s", best*100, FormatElisionTable(stats))
+	}
+}
+
+// TestElideCampaignTablesIdentical is the end-to-end oracle for the whole
+// elision pipeline: the full Table 3/4 campaigns, run plain and elided,
+// must produce byte-identical bug tables — the proofs may only remove
+// dispatch work, never a finding, an execution count or a coverage block.
+func TestElideCampaignTablesIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full campaigns are long; run without -short")
+	}
+	plain, err := RunAllCampaigns(CampaignOptions{Execs: 30000, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	elided, err := RunAllCampaigns(CampaignOptions{Execs: 30000, Seed: 7, Elide: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, c := range elided {
+		total += len(c.Found)
+	}
+	if total != 41 {
+		t.Errorf("elided campaigns found %d bugs, want 41\n%s", total, FormatCampaignStats(elided))
+	}
+	if p, e := FormatTable3(plain), FormatTable3(elided); p != e {
+		t.Errorf("Table 3 diverged under elision:\n--- plain ---\n%s\n--- elided ---\n%s", p, e)
+	}
+	if p, e := FormatTable4(plain), FormatTable4(elided); p != e {
+		t.Errorf("Table 4 diverged under elision:\n--- plain ---\n%s\n--- elided ---\n%s", p, e)
+	}
+}

@@ -41,6 +41,14 @@ type Config struct {
 	// how many of them execute and Stats.Coverage reports that count as a
 	// fraction of the static upper bound. Nil means unknown.
 	ReachableLeaders []uint32
+
+	// ProvenAccesses / ReachableAccesses carry the static safety prover's
+	// result (absint): how many statically reachable memory accesses were
+	// proven safe, out of how many. Both zero means unknown. The campaign
+	// only echoes them into Stats — they are computed once per image, not
+	// per execution.
+	ProvenAccesses    int
+	ReachableAccesses int
 }
 
 // Crash is one deduplicated finding.
@@ -67,6 +75,11 @@ type Stats struct {
 	// the coverage fraction counts leaders only.
 	CoverLeaders    int
 	ReachableBlocks int
+
+	// ProvenAccesses / ReachableAccesses echo Config: statically proven-safe
+	// memory accesses out of the statically reachable accesses.
+	ProvenAccesses    int
+	ReachableAccesses int
 }
 
 // Coverage returns covered static block leaders as a fraction of the
@@ -77,6 +90,20 @@ func (s Stats) Coverage() (frac float64, ok bool) {
 		return 0, false
 	}
 	f := float64(s.CoverLeaders) / float64(s.ReachableBlocks)
+	if f > 1 {
+		f = 1
+	}
+	return f, true
+}
+
+// ProofDensity returns statically proven-safe accesses as a fraction of the
+// statically reachable accesses, clamped to [0, 1]; ok is false when the
+// prover did not run on this image.
+func (s Stats) ProofDensity() (frac float64, ok bool) {
+	if s.ReachableAccesses <= 0 {
+		return 0, false
+	}
+	f := float64(s.ProvenAccesses) / float64(s.ReachableAccesses)
 	if f > 1 {
 		f = 1
 	}
@@ -242,6 +269,8 @@ func (f *Fuzzer) Run() *Result {
 	res.Stats.CoverBlocks = len(f.cover)
 	res.Stats.CoverLeaders = f.covLeaders
 	res.Stats.ReachableBlocks = len(f.cfg.ReachableLeaders)
+	res.Stats.ProvenAccesses = f.cfg.ProvenAccesses
+	res.Stats.ReachableAccesses = f.cfg.ReachableAccesses
 	return res
 }
 

@@ -1,0 +1,133 @@
+package kasm
+
+import (
+	"fmt"
+	"sort"
+
+	"embsan/internal/isa"
+)
+
+// Link-time SANCK elision. The static safety prover (internal/static/absint)
+// classifies instrumented accesses whose entire accessed range is provably
+// inside a known object (or device memory) on every execution; the pass below
+// mechanically drops the SANCK trap in front of each such access, replacing
+// it with the FENCE no-op pad so the text layout — and therefore every code
+// address and instruction count — is unchanged. Each dropped probe is
+// recorded in the link metadata so `embsan lint -elide` can re-derive the
+// proof and audit the elision after the fact.
+
+// ElideKind names the proof a SANCK elision rests on.
+type ElideKind uint8
+
+const (
+	// ElideGlobal: the accessed range is inside a known global object's
+	// payload, away from its redzones.
+	ElideGlobal ElideKind = iota + 1
+	// ElideStack: the access stays inside the enclosing function's own
+	// stack frame (between the current and the entry stack pointer).
+	ElideStack
+	// ElideMMIO: the access targets device memory, which the sanitizer
+	// runtime never checks.
+	ElideMMIO
+)
+
+func (k ElideKind) String() string {
+	switch k {
+	case ElideGlobal:
+		return "global"
+	case ElideStack:
+		return "stack"
+	case ElideMMIO:
+		return "mmio"
+	}
+	return fmt.Sprintf("elide%d", k)
+}
+
+// Elision records one dropped compile-time probe: where the SANCK stood,
+// which access it guarded, and the proof that justified removing it.
+type Elision struct {
+	Site   uint32 // pc of the dropped SANCK (now a FENCE pad)
+	Access uint32 // pc of the guarded access (Site+4)
+	Kind   ElideKind
+	Object string // containing object for ElideGlobal proofs
+}
+
+// ElisionAt returns the recorded elision whose pad sits at site.
+func (m *Metadata) ElisionAt(site uint32) (Elision, bool) {
+	i := sort.Search(len(m.Elisions), func(i int) bool { return m.Elisions[i].Site >= site })
+	if i < len(m.Elisions) && m.Elisions[i].Site == site {
+		return m.Elisions[i], true
+	}
+	return Elision{}, false
+}
+
+// ElideSancks returns a copy of the image with the SANCK at each elision
+// site replaced by a FENCE pad and the elisions recorded in the metadata.
+// Every site is validated first: it must hold a SANCK whose size, direction
+// and addressing match the access it guards — the same pairing the lint
+// audit enforces — so a stale proof set cannot silently corrupt the text.
+func (img *Image) ElideSancks(els []Elision) (*Image, error) {
+	if img.Meta.Sanitize != SanEmbsanC {
+		return nil, fmt.Errorf("kasm: elide: %s is a %s build, not embsan-c", img.Name, img.Meta.Sanitize)
+	}
+	if img.Stripped {
+		return nil, fmt.Errorf("kasm: elide: %s is stripped", img.Name)
+	}
+	out := *img
+	out.Text = append([]byte(nil), img.Text...)
+	out.Meta.Elisions = append([]Elision(nil), els...)
+	sort.Slice(out.Meta.Elisions, func(i, j int) bool {
+		return out.Meta.Elisions[i].Site < out.Meta.Elisions[j].Site
+	})
+	pad, err := isa.Encode(isa.Inst{Op: isa.OpFENCE}, img.Arch)
+	if err != nil {
+		return nil, fmt.Errorf("kasm: elide: %w", err)
+	}
+	for i, e := range out.Meta.Elisions {
+		if i > 0 && out.Meta.Elisions[i-1].Site == e.Site {
+			return nil, fmt.Errorf("kasm: elide: duplicate site %#x", e.Site)
+		}
+		if e.Access != e.Site+4 {
+			return nil, fmt.Errorf("kasm: elide: site %#x does not guard access %#x", e.Site, e.Access)
+		}
+		probe, err := img.decodeAt(e.Site)
+		if err != nil || probe.Op != isa.OpSANCK {
+			return nil, fmt.Errorf("kasm: elide: no SANCK at %#x", e.Site)
+		}
+		acc, err := img.decodeAt(e.Access)
+		if err != nil {
+			return nil, fmt.Errorf("kasm: elide: undecodable access at %#x", e.Access)
+		}
+		size, write, atomic, aok := accessShape(acc.Op)
+		if !aok {
+			return nil, fmt.Errorf("kasm: elide: %#x guards a non-access", e.Site)
+		}
+		off := acc.Imm
+		if isa.ClassOf(acc.Op) == isa.ClassAtomic || acc.Op == isa.OpLRW || acc.Op == isa.OpSCW {
+			off = 0
+		}
+		if probe.Rd != isa.SanckInfo(size, write, atomic) || probe.Rs1 != acc.Rs1 || probe.Imm != off {
+			return nil, fmt.Errorf("kasm: elide: probe at %#x does not match its access", e.Site)
+		}
+		img.Arch.PutWord(out.Text[e.Site-out.Base:], pad)
+	}
+	return &out, nil
+}
+
+func (img *Image) decodeAt(pc uint32) (isa.Inst, error) {
+	if pc < img.Base || pc%4 != 0 || int(pc-img.Base)+4 > len(img.Text) {
+		return isa.Inst{}, fmt.Errorf("kasm: %#x outside text", pc)
+	}
+	return isa.Decode(img.Arch.Word(img.Text[pc-img.Base:]), img.Arch)
+}
+
+// accessShape returns the SANCK-relevant shape of a memory access opcode.
+func accessShape(op isa.Op) (size uint32, write, atomic, ok bool) {
+	switch isa.ClassOf(op) {
+	case isa.ClassLoad, isa.ClassStore:
+		return isa.AccessSize(op), isa.IsWrite(op), false, true
+	case isa.ClassAtomic:
+		return isa.AccessSize(op), isa.IsWrite(op), true, true
+	}
+	return 0, false, false, false
+}

@@ -126,6 +126,11 @@ type Metadata struct {
 	// internals, the sanitizer runtime itself). The static lint consults
 	// them: memory accesses inside these ranges legitimately carry no SANCK.
 	NoSanRegions []AddrRange
+
+	// Elisions records every SANCK dropped by the link-time static-proof
+	// pass (Image.ElideSancks), sorted by Site. `embsan lint -elide`
+	// re-derives the proofs and audits this list.
+	Elisions []Elision
 }
 
 // InNoSan reports whether addr lies in a recorded NoSan region.

@@ -1,0 +1,205 @@
+package absint_test
+
+import (
+	"sort"
+	"testing"
+
+	"embsan/internal/isa"
+	"embsan/internal/kasm"
+	"embsan/internal/static"
+	"embsan/internal/static/absint"
+)
+
+// TestElideRoundTrip: proofs → link-time elision → the elided image still
+// lints clean (the pad sites are recorded) and the full audit re-derives
+// every proof.
+func TestElideRoundTrip(t *testing.T) {
+	img := buildProofMini(t, kasm.SanEmbsanC)
+	an, err := static.Analyze(img)
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	res := absint.Analyze(an, absint.Options{})
+	els := res.Elisions(false)
+	if len(els) == 0 {
+		t.Fatalf("no elisions derived from %d proven accesses", res.Stats.Proven)
+	}
+	elided, err := img.ElideSancks(els)
+	if err != nil {
+		t.Fatalf("elide: %v", err)
+	}
+	if len(elided.Meta.Elisions) != len(els) {
+		t.Fatalf("metadata records %d elisions, want %d", len(elided.Meta.Elisions), len(els))
+	}
+	// Every pad really replaced a SANCK, 1-for-1: text lengths are equal and
+	// exactly len(els) words differ.
+	if len(elided.Text) != len(img.Text) {
+		t.Fatalf("elision changed text size: %d vs %d", len(elided.Text), len(img.Text))
+	}
+	diff := 0
+	for pc := img.Base; pc < img.TextEnd(); pc += 4 {
+		if img.Arch.Word(img.Text[pc-img.Base:]) != elided.Arch.Word(elided.Text[pc-elided.Base:]) {
+			diff++
+		}
+	}
+	if diff != len(els) {
+		t.Fatalf("%d words changed, want %d", diff, len(els))
+	}
+
+	diags, err := static.Lint(elided)
+	if err != nil {
+		t.Fatalf("lint: %v", err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("elided image lints dirty: %v", diags)
+	}
+	adiags, err := absint.Audit(elided, nil)
+	if err != nil {
+		t.Fatalf("audit: %v", err)
+	}
+	if len(adiags) != 0 {
+		t.Fatalf("elided image audits dirty: %v", adiags)
+	}
+
+	// The original (un-elided) image must also audit clean — no recorded
+	// elisions means nothing to verify beyond base lint.
+	odiags, err := absint.Audit(img, nil)
+	if err != nil {
+		t.Fatalf("audit original: %v", err)
+	}
+	if len(odiags) != 0 {
+		t.Fatalf("original image audits dirty: %v", odiags)
+	}
+}
+
+// TestElisionsMMIOOnly: the restricted mode (KCSAN/UBSAN deployments) keeps
+// only device-window elisions.
+func TestElisionsMMIOOnly(t *testing.T) {
+	img := buildProofMini(t, kasm.SanEmbsanC)
+	an, err := static.Analyze(img)
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	res := absint.Analyze(an, absint.Options{})
+	all := res.Elisions(false)
+	mmio := res.Elisions(true)
+	if len(mmio) == 0 || len(mmio) >= len(all) {
+		t.Fatalf("mmio-only elisions %d not a proper non-empty subset of %d", len(mmio), len(all))
+	}
+	for _, e := range mmio {
+		if e.Kind != kasm.ElideMMIO {
+			t.Fatalf("restricted elision at %#x has kind %s", e.Site, e.Kind)
+		}
+	}
+	pcs := res.SafeAccessPCs(false)
+	if len(pcs) != res.Stats.Proven {
+		t.Fatalf("safe-access set %d does not match %d proven", len(pcs), res.Stats.Proven)
+	}
+	if !sort.SliceIsSorted(pcs, func(i, j int) bool { return pcs[i] < pcs[j] }) {
+		t.Fatalf("safe-access set not sorted")
+	}
+}
+
+// TestAuditCatchesBogusElision: dropping a probe the prover could NOT
+// discharge — recorded as if proven — must fail the audit.
+func TestAuditCatchesBogusElision(t *testing.T) {
+	img := buildProofMini(t, kasm.SanEmbsanC)
+	an, err := static.Analyze(img)
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	res := absint.Analyze(an, absint.Options{})
+
+	var bogus kasm.Elision
+	for _, a := range res.Accesses {
+		if a.Kind != absint.ProofNone {
+			continue
+		}
+		prev, ok := an.InstAt(a.PC - 4)
+		if !ok || prev.Op != isa.OpSANCK {
+			continue
+		}
+		bogus = kasm.Elision{Site: a.PC - 4, Access: a.PC, Kind: kasm.ElideGlobal, Object: "counter"}
+		break
+	}
+	if bogus.Site == 0 {
+		t.Fatalf("no unproven probe available")
+	}
+
+	broken := *img
+	broken.Text = append([]byte(nil), img.Text...)
+	pad, err := isa.Encode(isa.Inst{Op: isa.OpFENCE}, broken.Arch)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	broken.Arch.PutWord(broken.Text[bogus.Site-broken.Base:], pad)
+	broken.Meta.Elisions = []kasm.Elision{bogus}
+
+	diags, err := absint.Audit(&broken, nil)
+	if err != nil {
+		t.Fatalf("audit: %v", err)
+	}
+	found := false
+	for _, d := range diags {
+		if d.Rule == absint.RuleElideProof && d.Addr == bogus.Site {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("bogus elision at %#x not reported: %v", bogus.Site, diags)
+	}
+
+	// A recorded elision whose site still holds the SANCK must also fail.
+	stale := *img
+	stale.Meta.Elisions = []kasm.Elision{{
+		Site: bogus.Site, Access: bogus.Access, Kind: kasm.ElideGlobal, Object: "counter",
+	}}
+	diags, err = absint.Audit(&stale, nil)
+	if err != nil {
+		t.Fatalf("audit stale: %v", err)
+	}
+	found = false
+	for _, d := range diags {
+		if d.Rule == absint.RuleElideProof {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("stale elision record not reported: %v", diags)
+	}
+}
+
+// TestElideSancksValidation: the link-time pass refuses mismatched input.
+func TestElideSancksValidation(t *testing.T) {
+	img := buildProofMini(t, kasm.SanEmbsanC)
+	an, err := static.Analyze(img)
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	res := absint.Analyze(an, absint.Options{})
+	els := res.Elisions(false)
+	if len(els) == 0 {
+		t.Fatalf("no elisions")
+	}
+
+	if _, err := img.ElideSancks([]kasm.Elision{els[0], els[0]}); err == nil {
+		t.Fatalf("duplicate site accepted")
+	}
+	wrong := els[0]
+	wrong.Access = wrong.Site + 8
+	if _, err := img.ElideSancks([]kasm.Elision{wrong}); err == nil {
+		t.Fatalf("mismatched access pc accepted")
+	}
+	notProbe := els[0]
+	notProbe.Site, notProbe.Access = els[0].Access, els[0].Access+4
+	if _, err := img.ElideSancks([]kasm.Elision{notProbe}); err == nil {
+		t.Fatalf("non-SANCK site accepted")
+	}
+	plain := buildProofMini(t, kasm.SanNone)
+	if _, err := plain.ElideSancks(nil); err == nil {
+		t.Fatalf("non-embsan-c image accepted")
+	}
+	if _, err := img.Strip().ElideSancks(nil); err == nil {
+		t.Fatalf("stripped image accepted")
+	}
+}

@@ -1,0 +1,200 @@
+package absint_test
+
+import (
+	"testing"
+
+	"embsan/internal/emu"
+	"embsan/internal/guest/firmware"
+	"embsan/internal/isa"
+	"embsan/internal/kasm"
+	"embsan/internal/static"
+	"embsan/internal/static/absint"
+)
+
+// FuzzAbsint feeds arbitrary bytes to the safety prover as image text/data.
+// Two properties are checked:
+//
+//  1. the analysis never panics, whatever the input decodes to;
+//  2. soundness against the concrete machine — the image is single-stepped
+//     and every executed access the prover marked safe is checked against
+//     what actually happened: device proofs must access the device window,
+//     global proofs must stay inside the named object's payload, and stack
+//     proofs must stay inside the frame's [sp, entry-sp) as tracked by a
+//     shadow call stack. The checks stop at the first violation of the
+//     toolchain assumptions the proofs are conditional on (an indirect jump
+//     to an unrecovered target, a store into text).
+//
+// The seed corpus is the three real firmware (one per frontend).
+func FuzzAbsint(f *testing.F) {
+	for _, name := range []string{
+		"OpenWRT-armvirt", // arm32e
+		"OpenWRT-bcm63xx", // mips32e
+		"OpenWRT-x86_64",  // x86e
+	} {
+		fw, err := firmware.Build(name)
+		if err != nil {
+			f.Fatalf("build %s: %v", name, err)
+		}
+		f.Add(uint8(fw.Image.Arch), fw.Image.Entry, fw.Image.Text, fw.Image.Data)
+	}
+	f.Fuzz(func(t *testing.T, archB uint8, entry uint32, text, data []byte) {
+		img := &kasm.Image{
+			Name:     "fuzz",
+			Arch:     isa.Arch(archB % uint8(isa.NumArchs)),
+			Base:     kasm.DefaultBase,
+			Entry:    entry,
+			Text:     text,
+			Data:     data,
+			DataAddr: kasm.DefaultBase + uint32(len(text)) + 64,
+		}
+		an, err := static.Analyze(img)
+		if err != nil {
+			return
+		}
+		// MaxIters bounds the fixpoint on pathological mutated images (one
+		// huge function → quadratic sweeps); unconverged functions get no
+		// proofs, which property 2 then has nothing to check.
+		res := absint.Analyze(an, absint.Options{MaxIters: 50}) // property 1: no panic
+		if len(res.Accesses) == 0 {
+			return
+		}
+		checkConcrete(t, img, an, res)
+	})
+}
+
+// frame is one shadow-call-stack entry: where the call should return, what
+// sp was at the callee's entry, and which function the frame belongs to.
+type frame struct {
+	ret     uint32
+	entrySP uint32
+	fn      uint32
+}
+
+// checkConcrete single-steps the image and asserts every executed proven
+// access against the concrete machine state.
+func checkConcrete(t *testing.T, img *kasm.Image, an *static.Analysis, res *absint.Result) {
+	m, err := emu.New(img, emu.Config{MaxHarts: 1})
+	if err != nil {
+		return
+	}
+	h := m.Hart(0)
+	startFn, ok := an.FuncAt(h.PC)
+	if !ok {
+		// The proofs assume functions are entered at their entries; a start
+		// pc inside a block suffix runs with register state no analyzed
+		// path produces, so nothing is claimed about it.
+		return
+	}
+	shadow := []frame{{ret: 0, entrySP: h.Regs[isa.RegSP], fn: startFn.Entry}}
+	textEnd := img.TextEnd()
+
+	const maxSteps = 2000
+	for step := 0; step < maxSteps; step++ {
+		pc := h.PC
+		if pc < img.Base || pc >= textEnd || pc%4 != 0 {
+			return // leaving text: nothing the prover claimed applies
+		}
+		in, ok := an.InstAt(pc)
+		if !ok {
+			return
+		}
+		if cf, ok := an.FuncContaining(pc); !ok || cf.Entry != shadow[len(shadow)-1].fn {
+			// Execution crossed into another function without a modeled
+			// call or return (a fall-through off a function end, a direct
+			// jump across a boundary): the frame bookkeeping the proofs
+			// are phrased in no longer applies.
+			return
+		}
+
+		if isa.IsWrite(in.Op) {
+			// Self-modifying code voids every proof; stop checking.
+			addr := h.Regs[in.Rs1]
+			if isa.ClassOf(in.Op) == isa.ClassStore && in.Op != isa.OpSCW {
+				addr += uint32(in.Imm)
+			}
+			if addr < textEnd && addr+isa.AccessSize(in.Op) > img.Base {
+				return
+			}
+		}
+
+		if a, ok := res.At(pc); ok && a.Kind != absint.ProofNone {
+			base := h.Regs[in.Rs1]
+			addr := base
+			switch isa.ClassOf(in.Op) {
+			case isa.ClassLoad, isa.ClassStore:
+				if in.Op != isa.OpLRW && in.Op != isa.OpSCW {
+					addr = base + uint32(in.Imm)
+				}
+			}
+			lo, hi := uint64(addr), uint64(addr)+uint64(a.Size)
+			switch a.Kind {
+			case absint.ProofMMIO:
+				if lo < uint64(emu.MMIOBase) {
+					t.Fatalf("pc %#x: mmio proof but concrete access at %#x", pc, addr)
+				}
+			case absint.ProofGlobal:
+				sym, ok := img.Lookup(a.Object)
+				if !ok {
+					t.Fatalf("pc %#x: global proof names unknown object %q", pc, a.Object)
+				}
+				if lo < uint64(sym.Addr) || hi > uint64(sym.Addr)+uint64(sym.Size) {
+					t.Fatalf("pc %#x: global proof (%s [%#x,+%d)) but concrete access [%#x,%#x)",
+						pc, a.Object, sym.Addr, sym.Size, lo, hi)
+				}
+			case absint.ProofStack:
+				// Compare as signed deltas from the function-entry sp — the
+				// prover's own coordinate system — so frames near address 0
+				// wrap correctly.
+				entry := shadow[len(shadow)-1].entrySP
+				dsp := int64(int32(h.Regs[isa.RegSP] - entry))
+				dlo := int64(int32(addr - entry))
+				if dlo < dsp || dlo+int64(a.Size) > 0 {
+					t.Fatalf("pc %#x: stack proof but access delta [%d,%d) outside frame [sp=%d, 0)",
+						pc, dlo, dlo+int64(a.Size), dsp)
+				}
+			}
+		}
+
+		// Maintain the shadow call stack; on any violation of the control
+		// assumptions the proofs are conditional on, stop checking.
+		switch {
+		case in.Op == isa.OpJAL && in.Rd == isa.RegRA:
+			target := pc + uint32(in.Imm)*4
+			tf, ok := an.FuncAt(target)
+			if !ok {
+				return
+			}
+			shadow = append(shadow, frame{ret: pc + 4, entrySP: h.Regs[isa.RegSP], fn: tf.Entry})
+		case in.Op == isa.OpJALR && in.Rd == isa.RegRA:
+			target := h.Regs[in.Rs1] + uint32(in.Imm)
+			tf, ok := an.FuncAt(target)
+			if !ok {
+				return // wild indirect call
+			}
+			shadow = append(shadow, frame{ret: pc + 4, entrySP: h.Regs[isa.RegSP], fn: tf.Entry})
+		case in.Op == isa.OpJALR:
+			target := h.Regs[in.Rs1] + uint32(in.Imm)
+			if len(shadow) > 1 && target == shadow[len(shadow)-1].ret {
+				// Matched return. The proofs assume callees preserve sp
+				// (the analyzer's call transfer keeps it); a callee that
+				// returns with a shifted sp breaks that contract, and
+				// nothing downstream is claimed.
+				if h.Regs[isa.RegSP] != shadow[len(shadow)-1].entrySP {
+					return
+				}
+				shadow = shadow[:len(shadow)-1]
+			} else if tf, ok := an.FuncAt(target); !ok {
+				return // wild jump (corrupted ra, table jump to non-entry)
+			} else {
+				// Tail call: the frame is reused.
+				shadow[len(shadow)-1].entrySP = h.Regs[isa.RegSP]
+				shadow[len(shadow)-1].fn = tf.Entry
+			}
+		}
+
+		before := m.ICount()
+		if r := m.Run(1); r != emu.StopBudget || m.ICount() == before {
+			return // halted, faulted, or made no progress
+		}
+	}
+}

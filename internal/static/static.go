@@ -549,7 +549,18 @@ func (a *Analysis) Summarize(f *Func) Summary {
 			switch in.Op {
 			case isa.OpLUI, isa.OpAUIPC:
 				set(in.Rd, vGlobal)
-			case isa.OpADD, isa.OpSUB:
+			case isa.OpADD, isa.OpSUB, isa.OpOR, isa.OpXOR:
+				// Plain register moves (add/sub/or/xor against the zero
+				// register) copy the value state exactly, so arguments moved
+				// to a temporary before use keep their argness.
+				if in.Rs2 == isa.RegZero {
+					set(in.Rd, regs[in.Rs1])
+					break
+				}
+				if in.Rs1 == isa.RegZero && in.Op != isa.OpSUB {
+					set(in.Rd, regs[in.Rs2])
+					break
+				}
 				l, r := regs[in.Rs1], regs[in.Rs2]
 				// Pointer arithmetic: argument added to an address-like or
 				// memory-derived base.
@@ -564,6 +575,15 @@ func (a *Analysis) Summarize(f *Func) Summary {
 				isa.OpSLLI, isa.OpSRLI, isa.OpSRAI:
 				set(in.Rd, regs[in.Rs1])
 			case isa.OpSLT, isa.OpSLTU:
+				// Explicit bound compares are the branchless form of the
+				// heap-fit test; they consume size arguments the same way.
+				l, r := regs[in.Rs1], regs[in.Rs2]
+				if l.anyArg() && r&(vMem|vGlobal) != 0 {
+					markSize(l)
+				}
+				if r.anyArg() && l&(vMem|vGlobal) != 0 {
+					markSize(r)
+				}
 				set(in.Rd, vConst)
 			case isa.OpSLTI, isa.OpSLTIU:
 				set(in.Rd, vConst)

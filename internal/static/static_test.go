@@ -137,6 +137,53 @@ func TestSummaryAllocShaped(t *testing.T) {
 	}
 }
 
+// TestSummarizeSizeArgMovedBeforeUse pins the provenance fix: a size
+// argument copied to a temporary register before the bound compare must
+// still be recognised as size-like, whether the compare is a branch or its
+// branchless slt form.
+func TestSummarizeSizeArgMovedBeforeUse(t *testing.T) {
+	b := kasm.NewBuilder(kasm.Target{Arch: isa.ArchARM32E, Sanitize: kasm.SanNone})
+	b.Func("_start")
+	b.Li(isa.RegSP, 0x8000)
+	b.La(isa.RegA0, "limit")
+	b.Li(isa.RegA1, 24)
+	b.Call("fits")
+	b.Ready()
+	b.HALT()
+
+	b.Func("fits")
+	b.MV(isa.RegT0, isa.RegA1)              // size arg moved away
+	b.LW(isa.RegT1, isa.RegA0, 0)           // loaded heap bound
+	b.SLTU(isa.RegA4, isa.RegT0, isa.RegT1) // branchless fit test
+	b.OR(isa.RegA2, isa.RegA3, isa.RegZero) // or-form move of a3
+	b.LW(isa.RegT1, isa.RegA0, 0)
+	b.BLTU(isa.RegA2, isa.RegT1, "fits_ok")
+	b.Label("fits_ok")
+	b.Ret()
+
+	b.GlobalRaw("limit", 4)
+	img, err := b.Link("summarize-move")
+	if err != nil {
+		t.Fatalf("link: %v", err)
+	}
+	a, err := static.Analyze(img)
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	fits, _ := img.Lookup("fits")
+	f, _ := a.FuncAt(fits.Addr)
+	sum := a.Summarize(f)
+	if !sum.SizeLike[1] {
+		t.Fatalf("a1 moved through mv lost its size-likeness: %+v", sum)
+	}
+	if !sum.SizeLike[3] {
+		t.Fatalf("a3 moved through or lost its size-likeness: %+v", sum)
+	}
+	if sum.SizeLike[0] {
+		t.Fatalf("pointer arg a0 wrongly marked size-like: %+v", sum)
+	}
+}
+
 func TestRankAllocCandidatesStripped(t *testing.T) {
 	img := buildMini(t, isa.ArchARM32E, kasm.SanNone)
 	alloc, _ := img.Lookup("alloc")
