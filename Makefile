@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build vet test test-short race lint elide-audit fuzz-smoke bench-parallel ci ci-short
+.PHONY: build vet test test-short race lint elide-audit obs-check fuzz-smoke bench-parallel ci ci-short
 
 build:
 	$(GO) build ./...
@@ -39,6 +39,23 @@ elide-audit:
 	$(GO) run ./cmd/embsan lint -elide -all
 	$(GO) run ./cmd/embsan lint -elide -selftest
 
+# Observability checks: trace a registry firmware end to end (the exporter
+# validates its own Chrome trace_event output and two runs must be
+# byte-identical), prove the off path allocates nothing, and run the paired
+# traced/untraced campaign comparison (identical outcomes, phase columns
+# only when asked for).
+obs-check:
+	@dir=$$(mktemp -d); trap 'rm -rf "$$dir"' EXIT; set -e; \
+	mkdir -p "$$dir/a" "$$dir/b"; \
+	$(GO) run ./cmd/embsan trace -firmware InfiniTime -out "$$dir/a" -validate; \
+	$(GO) run ./cmd/embsan trace -firmware InfiniTime -out "$$dir/b" -validate >/dev/null; \
+	cmp "$$dir/a/InfiniTime.trace.json" "$$dir/b/InfiniTime.trace.json"; \
+	cmp "$$dir/a/InfiniTime.folded" "$$dir/b/InfiniTime.folded"; \
+	cmp "$$dir/a/InfiniTime.metrics.json" "$$dir/b/InfiniTime.metrics.json"; \
+	echo "obs-check: trace output is byte-reproducible"
+	$(GO) test ./internal/obs -run 'TestEmitZeroAlloc|TestChromeTraceExport' -count 1
+	$(GO) test ./internal/exps -run TestTraceOffIsNoop -count 1
+
 # Short smoke runs of the native fuzz targets (corpora under testdata/).
 # Minimization is capped at one exec: the default 60s budget would eat the
 # whole smoke run shrinking the first coverage-expanding input.
@@ -47,12 +64,13 @@ fuzz-smoke:
 	$(GO) test ./internal/dsl -fuzz FuzzParseRoundTrip -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/static -fuzz FuzzRecoverCFG -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/static/absint -fuzz FuzzAbsint -fuzztime $(FUZZTIME) -fuzzminimizetime 1x
+	$(GO) test ./internal/obs -fuzz FuzzTraceRoundTrip -fuzztime $(FUZZTIME)
 
 # The pooled-scheduler throughput series (serial runner vs worker pool).
 bench-parallel:
 	$(GO) test -run xxx -bench BenchmarkParallelCampaigns -benchtime 2x .
 
-ci: vet build lint elide-audit race fuzz-smoke
+ci: vet build lint elide-audit obs-check race fuzz-smoke
 
 # ci with the long campaign/overhead experiments skipped.
-ci-short: vet build lint elide-audit race-short fuzz-smoke
+ci-short: vet build lint elide-audit obs-check race-short fuzz-smoke

@@ -22,6 +22,7 @@ import (
 
 	"embsan/internal/exps"
 	"embsan/internal/guest/firmware"
+	"embsan/internal/obs"
 	"embsan/internal/sched"
 )
 
@@ -35,6 +36,8 @@ func main() {
 		seed    = flag.Int64("seed", 7, "RNG seed")
 		workers = flag.Int("workers", 0, "campaign worker pool size (0 = GOMAXPROCS, 1 = serial)")
 		elision = flag.Bool("elision", false, "measure sanitizer dispatches elided by static safety proofs")
+		trace   = flag.String("trace", "", "capture table 3/4 campaign traces and write a Chrome trace_event JSON to this file")
+		metrics = flag.Bool("metrics", false, "append the per-phase virtual-time breakdown to the campaign stats")
 	)
 	flag.Parse()
 
@@ -59,12 +62,20 @@ func main() {
 		fmt.Println(exps.FormatTable2(rows))
 	}
 	if needCampaigns {
-		cr, err := exps.RunCampaignSet(nil, exps.CampaignOptions{Execs: *execs, Seed: *seed, Workers: *workers})
+		cr, err := exps.RunCampaignSet(nil, exps.CampaignOptions{Execs: *execs, Seed: *seed, Workers: *workers,
+			Trace: *trace != "", Metrics: *metrics})
 		if err != nil {
 			fatal(err)
 		}
 		campaigns = cr.Campaigns
 		workerStats = cr.Workers
+		if *trace != "" {
+			data := obs.ChromeTrace(exps.JobTraces(campaigns))
+			if err := os.WriteFile(*trace, data, 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("trace written to %s (%d bytes)\n", *trace, len(data))
+		}
 	}
 	if run(3) {
 		fmt.Println(exps.FormatTable3(campaigns))

@@ -23,6 +23,7 @@ import (
 	"embsan"
 	"embsan/internal/exps"
 	"embsan/internal/guest/firmware"
+	"embsan/internal/obs"
 	"embsan/internal/sched"
 )
 
@@ -46,10 +47,13 @@ func main() {
 		repeats = flag.Int("repeats", 1, "independent campaigns per firmware")
 		elide   = flag.Bool("elide", false, "drop provably-safe sanitizer checks (static safety proofs); findings are unchanged")
 		outDir  = flag.String("out", "", "save corpus and crash artifacts under this directory")
+		trace   = flag.String("trace", "", "capture per-campaign event traces and write a Chrome trace_event JSON to this file")
+		metrics = flag.Bool("metrics", false, "print merged campaign metrics and the per-phase virtual-time breakdown")
 	)
 	flag.Parse()
 
-	opts := exps.CampaignOptions{Execs: *execs, Seed: *seed, Workers: *workers, Repeats: *repeats, Elide: *elide}
+	opts := exps.CampaignOptions{Execs: *execs, Seed: *seed, Workers: *workers, Repeats: *repeats, Elide: *elide,
+		Trace: *trace != "", Metrics: *metrics}
 	var campaigns []*exps.Campaign
 	var workerStats []sched.WorkerStats
 	switch {
@@ -85,6 +89,23 @@ func main() {
 		}
 	}
 
+	if *trace != "" {
+		data := obs.ChromeTrace(exps.JobTraces(campaigns))
+		if err := os.WriteFile(*trace, data, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trace written to %s (%d bytes)\n", *trace, len(data))
+	}
+	if *metrics {
+		var regs []*obs.Registry
+		for _, c := range campaigns {
+			if c.Raw != nil {
+				regs = append(regs, c.Raw.Metrics)
+			}
+		}
+		fmt.Print(obs.Merge(regs...).Text())
+		fmt.Println()
+	}
 	fmt.Print(exps.FormatCampaignStats(campaigns, workerStats...))
 	fmt.Println()
 	for _, c := range campaigns {

@@ -7,6 +7,7 @@
 //	embsan -firmware OpenWRT-x86_64 [-sanitizers kasan,kcsan] [-trigger N]
 //	embsan -image fw.img [-probe-text]
 //	embsan lint -firmware NAME | -image FILE | -all | -selftest
+//	embsan trace -firmware NAME [-out DIR] [-validate]
 package main
 
 import (
@@ -26,6 +27,10 @@ import (
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "lint" {
 		lintMain(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "trace" {
+		traceMain(os.Args[2:])
 		return
 	}
 	var (

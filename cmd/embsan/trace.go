@@ -1,0 +1,134 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"embsan"
+	"embsan/internal/core"
+	"embsan/internal/emu"
+	"embsan/internal/kasm"
+	"embsan/internal/obs"
+	"embsan/internal/static"
+)
+
+// traceMain implements `embsan trace`: run a firmware with the observability
+// layer attached and emit the captured artefacts — a Chrome trace_event JSON
+// timeline, a flamegraph folded-stack profile, the SANCK/probe dispatch-cost
+// table, and the metrics registry snapshots. Everything is keyed on the
+// virtual clock, so two invocations produce byte-identical files.
+func traceMain(args []string) {
+	fs := flag.NewFlagSet("embsan trace", flag.ExitOnError)
+	var (
+		fwName     = fs.String("firmware", "", "bundled Table 1 firmware name")
+		imagePath  = fs.String("image", "", "path to an encoded firmware image")
+		sanitizers = fs.String("sanitizers", "kasan", "comma-separated sanitizers: kasan,kcsan")
+		budget     = fs.Uint64("budget", 200_000_000, "instruction budget (boot and free-run)")
+		outDir     = fs.String("out", ".", "directory for the emitted artefacts")
+		events     = fs.Int("events", obs.DefaultRingEvents, "trace ring capacity (oldest events drop beyond it)")
+		validate   = fs.Bool("validate", false, "validate the emitted Chrome trace and fail on schema errors")
+		top        = fs.Int("top", 20, "rows in the dispatch-cost table")
+	)
+	if err := fs.Parse(args); err != nil {
+		fatal(err)
+	}
+
+	var img *kasm.Image
+	var fw *embsan.Firmware
+	switch {
+	case *fwName != "":
+		var err error
+		fw, err = embsan.BuildFirmware(*fwName)
+		if err != nil {
+			fatal(err)
+		}
+		img = fw.Image
+	case *imagePath != "":
+		raw, err := os.ReadFile(*imagePath)
+		if err != nil {
+			fatal(err)
+		}
+		img, err = kasm.DecodeImage(raw)
+		if err != nil {
+			fatal(err)
+		}
+	default:
+		fatal(fmt.Errorf("trace: need -firmware or -image"))
+	}
+
+	// The profiler attributes cost through the statically recovered function
+	// table — the same symbols the lint and reachability reports use.
+	var funcs []obs.FuncRange
+	if an, err := static.Analyze(img); err == nil {
+		funcs = make([]obs.FuncRange, len(an.Funcs))
+		for i, f := range an.Funcs {
+			funcs[i] = obs.FuncRange{Entry: f.Entry, End: f.End, Name: f.Name}
+		}
+	}
+
+	inst, err := embsan.New(core.Config{
+		Image:      img,
+		Sanitizers: strings.Split(*sanitizers, ","),
+		Machine:    emu.Config{MaxHarts: 2},
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	ring := obs.NewRing(*events)
+	prof := obs.NewProfile()
+	inst.SetTrace(ring)
+	inst.Machine.SetProfile(prof)
+
+	if err := inst.Boot(*budget); err != nil {
+		fatal(err)
+	}
+	inst.Snapshot()
+
+	// Drive the firmware's seeded triggers when it has them (the registry
+	// images), otherwise free-run the budget: both are deterministic.
+	if fw != nil && len(fw.Bugs) > 0 {
+		for i := range fw.Bugs {
+			inst.Restore()
+			inst.Exec(fw.Bugs[i].Trigger, *budget)
+		}
+	} else {
+		inst.Run(*budget)
+	}
+
+	base := filepath.Join(*outDir, traceName(img.Name))
+	chrome := obs.ChromeTrace([]obs.JobTrace{{ID: 0, Events: ring.Events(), Dropped: ring.Dropped()}})
+	if *validate {
+		if err := obs.ValidateChrome(chrome); err != nil {
+			fatal(fmt.Errorf("trace: emitted Chrome trace fails validation: %w", err))
+		}
+	}
+	write := func(suffix string, data []byte) {
+		path := base + suffix
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s (%d bytes)\n", path, len(data))
+	}
+	write(".trace.json", chrome)
+	write(".folded", []byte(prof.Folded(funcs)))
+	write(".dispatch.txt", []byte(obs.FormatDispatchTable(prof.DispatchSites(funcs), *top)))
+	write(".metrics.txt", []byte(inst.Machine.Metrics().Text()))
+	write(".metrics.json", inst.Machine.Metrics().JSON())
+
+	fmt.Printf("trace: %d events (%d dropped), %d guest insts profiled across %d dispatch sites\n",
+		ring.Len(), ring.Dropped(), prof.TotalInsts(), len(prof.DispatchSites(funcs)))
+}
+
+func traceName(n string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+			return r
+		}
+		return '_'
+	}, n)
+}

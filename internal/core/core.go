@@ -12,6 +12,7 @@ import (
 	"embsan/internal/dsl"
 	"embsan/internal/emu"
 	"embsan/internal/kasm"
+	"embsan/internal/obs"
 	"embsan/internal/probe"
 	"embsan/internal/san"
 	"embsan/internal/static"
@@ -261,6 +262,16 @@ func (i *Instance) Restore() {
 	i.Machine.Restore()
 	if i.Runtime != nil {
 		i.Runtime.Restore()
+	}
+}
+
+// SetTrace attaches (or, with nil, detaches) an obs event ring to the whole
+// deployment: the emulator's TB/dispatch/snapshot events and the sanitizer
+// runtime's allocator/shadow/report events land in one virtual-time stream.
+func (i *Instance) SetTrace(r *obs.Ring) {
+	i.Machine.SetTrace(r)
+	if i.Runtime != nil {
+		i.Runtime.SetTrace(r)
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 
 	"embsan/internal/isa"
 	"embsan/internal/kasm"
+	"embsan/internal/obs"
 )
 
 // Config sizes a machine.
@@ -153,16 +154,38 @@ type Machine struct {
 	snapICnt  uint64
 	hasSnap   bool
 
-	counters Counters
+	// Runtime accounting lives in named obs instruments (registered in the
+	// machine's metrics registry); ctr caches the pointers for the hot
+	// paths. trace/prof are the opt-in observability hooks: nil (the
+	// default) means the interpreter loop pays one pointer compare and
+	// nothing else.
+	metrics *obs.Registry
+	ctr     machineCounters
+	trace   *obs.Ring
+	prof    *obs.Profile
 }
 
-// Counters is per-machine runtime accounting: translation-block cache
-// behaviour and snapshot restores. The campaign scheduler reads these to
-// attribute work to its pool workers.
+// machineCounters caches the machine's registered instruments so hot paths
+// bump a pointer instead of looking names up.
+type machineCounters struct {
+	tbHits, tbMisses, transInsts *obs.Counter
+	restores, restorePages       *obs.Counter
+	sanckTraps, sanckElided      *obs.Counter
+	memProbes, memElided         *obs.Counter
+}
+
+// Counters is a point-in-time snapshot of the machine's runtime accounting:
+// translation-block cache behaviour, snapshot restores and sanitizer
+// dispatches. The campaign scheduler diffs these to attribute work to its
+// pool workers; the live values are named instruments in Metrics().
 type Counters struct {
-	TBHits   uint64 // translation blocks served from the cache
-	TBMisses uint64 // translation blocks decoded fresh
-	Restores uint64 // snapshot restores performed
+	TBHits     uint64 // translation blocks served from the cache
+	TBMisses   uint64 // translation blocks decoded fresh
+	TransInsts uint64 // instructions decoded while translating (translate-phase work)
+	Restores   uint64 // snapshot restores performed
+	// RestorePages counts dirty pages copied back by restores — the
+	// snapshot-phase virtual work unit of the campaign phase breakdown.
+	RestorePages uint64
 
 	// Sanitizer dispatch accounting, split by instrumentation mode. The
 	// *Elided counters tally dispatches that static safety proofs removed:
@@ -198,6 +221,18 @@ func New(img *kasm.Image, cfg Config) (*Machine, error) {
 		hypers:  make(map[int32]HyperFn),
 		tbs:     make(map[uint32]*tb),
 		rng:     cfg.Seed | 1,
+		metrics: obs.NewRegistry(),
+	}
+	m.ctr = machineCounters{
+		tbHits:       m.metrics.Counter("emu.tb.hits"),
+		tbMisses:     m.metrics.Counter("emu.tb.misses"),
+		transInsts:   m.metrics.Counter("emu.translate.insts"),
+		restores:     m.metrics.Counter("emu.snapshot.restores"),
+		restorePages: m.metrics.Counter("emu.snapshot.restore_pages"),
+		sanckTraps:   m.metrics.Counter("emu.sanck.traps"),
+		sanckElided:  m.metrics.Counter("emu.sanck.elided"),
+		memProbes:    m.metrics.Counter("emu.mem.probes"),
+		memElided:    m.metrics.Counter("emu.mem.elided"),
 	}
 	m.bus.ram = make([]byte, cfg.RAMSize)
 	m.bus.order = img.Arch.ByteOrder()
@@ -259,8 +294,37 @@ func (m *Machine) ICount() uint64 { return m.icnt }
 // RAMSize returns the machine's RAM size.
 func (m *Machine) RAMSize() uint32 { return m.cfg.RAMSize }
 
-// Counters returns the accumulated runtime accounting.
-func (m *Machine) Counters() Counters { return m.counters }
+// Counters returns a snapshot of the accumulated runtime accounting.
+func (m *Machine) Counters() Counters {
+	return Counters{
+		TBHits:       m.ctr.tbHits.Value(),
+		TBMisses:     m.ctr.tbMisses.Value(),
+		TransInsts:   m.ctr.transInsts.Value(),
+		Restores:     m.ctr.restores.Value(),
+		RestorePages: m.ctr.restorePages.Value(),
+		SanckTraps:   m.ctr.sanckTraps.Value(),
+		SanckElided:  m.ctr.sanckElided.Value(),
+		MemProbes:    m.ctr.memProbes.Value(),
+		MemElided:    m.ctr.memElided.Value(),
+	}
+}
+
+// Metrics returns the machine's instrument registry (named counters backing
+// the Counters snapshot).
+func (m *Machine) Metrics() *obs.Registry { return m.metrics }
+
+// SetTrace attaches (or, with nil, detaches) a virtual-time event ring. The
+// machine emits TB enter/exit, sanitizer dispatch and snapshot/restore
+// events into it; the sanitizer runtime shares the same ring for allocator,
+// shadow and report events. The caller owns the ring's goroutine affinity.
+func (m *Machine) SetTrace(r *obs.Ring) { m.trace = r }
+
+// Trace returns the attached event ring (nil when tracing is off).
+func (m *Machine) Trace() *obs.Ring { return m.trace }
+
+// SetProfile attaches (or, with nil, detaches) a guest PC profiler that
+// accumulates per-block instruction cost and per-site dispatch counts.
+func (m *Machine) SetProfile(p *obs.Profile) { m.prof = p }
 
 // Reseed re-seeds the interleaving-jitter RNG. A pooled machine is reused
 // across campaigns via Restore + Reseed: after both, its observable
@@ -429,6 +493,9 @@ func (m *Machine) Snapshot() {
 		m.bus.dirty[i] = 0
 	}
 	m.hasSnap = true
+	if m.trace != nil {
+		m.trace.Emit(obs.Event{ICnt: m.icnt, Kind: obs.EvSnapshot, Hart: uint8(m.cur)})
+	}
 }
 
 // Restore rewinds RAM (dirty pages only), harts and devices to the snapshot.
@@ -447,6 +514,7 @@ func (m *Machine) Restore() {
 			p := uint32(wi*64 + b)
 			off := p << pageShift
 			copy(m.bus.ram[off:off+pageSize], m.pristine[off:off+pageSize])
+			m.ctr.restorePages.Inc()
 		}
 		m.bus.dirty[wi] = 0
 	}
@@ -456,13 +524,19 @@ func (m *Machine) Restore() {
 	// (CSRCycles reads, suspend deadlines) identical on every restore, so a
 	// pooled machine behaves the same however many campaigns preceded it.
 	m.icnt = m.snapICnt
-	m.counters.Restores++
+	m.ctr.restores.Inc()
 	m.stop = StopNone
 	m.fault = nil
 	m.exitCode = 0
 	m.cur = 0
 	for _, d := range m.bus.devices {
 		d.Reset()
+	}
+	// Emitted after the rewind so the event's virtual timestamp (and hence
+	// the whole subsequent stream) is a pure function of the snapshot, not
+	// of whatever ran on a pooled machine before.
+	if m.trace != nil {
+		m.trace.Emit(obs.Event{ICnt: m.icnt, Kind: obs.EvRestore})
 	}
 }
 

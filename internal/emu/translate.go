@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"embsan/internal/isa"
+	"embsan/internal/obs"
 )
 
 // Translation-block engine. Guest code is decoded once per (pc, generation)
@@ -40,11 +41,11 @@ type tb struct {
 func (m *Machine) tbFor(pc uint32) (*tb, FaultKind) {
 	if !m.cfg.NoTBCache {
 		if t := m.tbs[pc]; t != nil && t.gen == m.globalGen && t.pgen == m.pageGen[pc>>pageShift] {
-			m.counters.TBHits++
+			m.ctr.tbHits.Inc()
 			return t, FaultNone
 		}
 	}
-	m.counters.TBMisses++
+	m.ctr.tbMisses.Inc()
 	t, f := m.translate(pc)
 	if f != FaultNone {
 		return nil, f
@@ -100,6 +101,7 @@ func (m *Machine) translate(pc uint32) (*tb, FaultKind) {
 	if len(t.steps) == 0 {
 		return nil, FaultBadFetch
 	}
+	m.ctr.transInsts.Add(uint64(len(t.steps)))
 	return t, FaultNone
 }
 
@@ -198,7 +200,19 @@ func (m *Machine) runHart(h *Hart, quantum, target uint64) {
 		if m.CoverageHook != nil {
 			m.CoverageHook(h.PC)
 		}
-		switch m.execTB(h, t, end) {
+		enterPC := h.PC
+		start := m.icnt
+		if m.trace != nil {
+			m.trace.Emit(obs.Event{ICnt: start, PC: enterPC, Kind: obs.EvTBEnter, Hart: uint8(h.ID)})
+		}
+		ex := m.execTB(h, t, end)
+		if m.prof != nil {
+			m.prof.AddInsts(enterPC, m.icnt-start)
+		}
+		if m.trace != nil {
+			m.trace.Emit(obs.Event{ICnt: m.icnt, PC: enterPC, Arg: uint32(ex), Kind: obs.EvTBExit, Hart: uint8(h.ID)})
+		}
+		switch ex {
 		case tbYield, tbStall, tbStop, tbHalt:
 			return
 		}
@@ -327,7 +341,7 @@ func (m *Machine) execTB(h *Hart, t *tb, end uint64) tbExit {
 					return ex
 				}
 			} else if s.flags&stepMemSafe != 0 {
-				m.counters.MemElided++
+				m.ctr.memElided.Inc()
 			}
 			v, f := m.bus.read(addr, size)
 			if f != FaultNone {
@@ -362,7 +376,7 @@ func (m *Machine) execTB(h *Hart, t *tb, end uint64) tbExit {
 					return ex
 				}
 			} else if s.flags&stepMemSafe != 0 {
-				m.counters.MemElided++
+				m.ctr.memElided.Inc()
 			}
 			if f := m.bus.write(addr, size, r[in.Rs2]); f != FaultNone {
 				m.raiseFault(f, h, s.pc, addr)
@@ -383,7 +397,7 @@ func (m *Machine) execTB(h *Hart, t *tb, end uint64) tbExit {
 					return ex
 				}
 			} else if s.flags&stepMemSafe != 0 {
-				m.counters.MemElided++
+				m.ctr.memElided.Inc()
 			}
 			old, f := m.bus.read(addr, 4)
 			if f != FaultNone {
@@ -473,7 +487,7 @@ func (m *Machine) execTB(h *Hart, t *tb, end uint64) tbExit {
 		case isa.OpFENCE:
 			// ordering no-op; an elision pad counts the trap it replaced
 			if s.flags&stepElided != 0 {
-				m.counters.SanckElided++
+				m.ctr.sanckElided.Inc()
 			}
 		case isa.OpCSRR:
 			var v uint32
@@ -502,9 +516,16 @@ func (m *Machine) execTB(h *Hart, t *tb, end uint64) tbExit {
 
 		case isa.OpSANCK:
 			if s.flags&stepSanck != 0 {
-				m.counters.SanckTraps++
+				m.ctr.sanckTraps.Inc()
 				addr := r[in.Rs1] + uint32(in.Imm)
 				size, write, atomic := isa.SanckDecode(in.Rd)
+				if m.trace != nil {
+					m.trace.Emit(obs.Event{ICnt: m.icnt, PC: s.pc, Addr: addr,
+						Arg: obs.PackAccess(uint32(size), write, atomic), Kind: obs.EvSanck, Hart: uint8(h.ID)})
+				}
+				if m.prof != nil {
+					m.prof.AddDispatch(s.pc)
+				}
 				ev := MemEvent{Hart: h.ID, PC: s.pc, Addr: addr, Size: size, Write: write, Atomic: atomic}
 				m.probes.Sanck(&ev)
 				if ev.StallInsts > 0 {
@@ -530,7 +551,14 @@ func (m *Machine) execTB(h *Hart, t *tb, end uint64) tbExit {
 // fireMem invokes the memory probe and translates its outcome. It returns
 // tbDone when execution should proceed with the access.
 func (m *Machine) fireMem(h *Hart, pc, addr, size uint32, write, atomic bool) tbExit {
-	m.counters.MemProbes++
+	m.ctr.memProbes.Inc()
+	if m.trace != nil {
+		m.trace.Emit(obs.Event{ICnt: m.icnt, PC: pc, Addr: addr,
+			Arg: obs.PackAccess(size, write, atomic), Kind: obs.EvMemProbe, Hart: uint8(h.ID)})
+	}
+	if m.prof != nil {
+		m.prof.AddDispatch(pc)
+	}
 	ev := MemEvent{Hart: h.ID, PC: pc, Addr: addr, Size: size, Write: write, Atomic: atomic}
 	m.probes.Mem(&ev)
 	if ev.StallInsts > 0 {

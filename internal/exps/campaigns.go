@@ -9,6 +9,7 @@ import (
 	"embsan/internal/emu"
 	"embsan/internal/fuzz"
 	"embsan/internal/guest/firmware"
+	"embsan/internal/obs"
 	"embsan/internal/san"
 	"embsan/internal/sched"
 	"embsan/internal/static"
@@ -33,6 +34,17 @@ type CampaignOptions struct {
 	// EMBSAN-D machines. Bug findings are unchanged; only the trap/probe
 	// counters move.
 	Elide bool
+	// Trace captures a per-campaign obs event stream (Campaign.Trace).
+	// Campaign outcomes are unchanged — each job's stream is a pure function
+	// of its index, so determinism across worker counts holds with tracing
+	// on or off.
+	Trace bool
+	// TraceEvents bounds each campaign's ring (default obs.DefaultRingEvents);
+	// overflow drops the oldest events and bumps Campaign.TraceDropped.
+	TraceEvents int
+	// Metrics computes the per-phase virtual-time breakdown
+	// (Campaign.Phases) even when full event tracing is off.
+	Metrics bool
 }
 
 // FoundBug is one campaign finding attributed to a seeded bug.
@@ -54,6 +66,15 @@ type Campaign struct {
 	Missed   []string // seeded bugs the campaign did not reach
 	Corpus   [][]byte
 	Raw      *fuzz.Result // full fuzzer output (for artifact persistence)
+
+	// Observability extras, populated only when CampaignOptions.Trace /
+	// .Metrics ask for them. Phases is a worker-local diagnostic — its
+	// translate and snapshot components depend on how warm the pooled
+	// machine's TB cache was — so none of these fields participate in
+	// campaign-result comparisons.
+	Trace        []obs.Event
+	TraceDropped uint64
+	Phases       obs.Phases
 }
 
 // warmed is one worker-held firmware deployment: booted once, ground-truth
@@ -242,19 +263,50 @@ func RunCampaignSet(fws []*firmware.Firmware, opts CampaignOptions) (*CampaignRu
 		if err != nil {
 			return err
 		}
+		var ring *obs.Ring
+		if opts.Trace {
+			events := opts.TraceEvents
+			if events <= 0 {
+				events = obs.DefaultRingEvents
+			}
+			ring = w.TraceRing(events)
+			ring.Reset()
+			wm.inst.SetTrace(ring)
+		}
 		before := wm.inst.Machine.Counters()
 		c, err := wm.runOne(fw, sched.Split(opts.Seed, i), opts.Execs)
+		if ring != nil {
+			wm.inst.SetTrace(nil)
+		}
 		if err != nil {
 			return err
 		}
 		out[i] = c
 		after := wm.inst.Machine.Counters()
-		ctr := w.Counters()
-		ctr.Jobs++
-		ctr.Execs += uint64(c.Stats.Execs)
-		ctr.Resets += after.Restores - before.Restores
-		ctr.TBHits += after.TBHits - before.TBHits
-		ctr.Reports += uint64(len(c.Raw.Crashes))
+		if ring != nil {
+			c.Trace = ring.Events()
+			c.TraceDropped = ring.Dropped()
+		}
+		if opts.Trace || opts.Metrics {
+			c.Phases = obs.Phases{
+				Translate: after.TransInsts - before.TransInsts,
+				Execute:   c.Stats.Insts,
+				Sanitize: (after.SanckTraps - before.SanckTraps) +
+					(after.MemProbes - before.MemProbes),
+				Snapshot: after.RestorePages - before.RestorePages,
+			}
+		}
+		for _, crash := range c.Raw.Crashes {
+			if crash.Report != nil {
+				crash.Report.Worker = w.ID()
+			}
+		}
+		ctr := w.Inst()
+		ctr.Jobs.Inc()
+		ctr.Execs.Add(uint64(c.Stats.Execs))
+		ctr.Resets.Add(after.Restores - before.Restores)
+		ctr.TBHits.Add(after.TBHits - before.TBHits)
+		ctr.Reports.Add(uint64(len(c.Raw.Crashes)))
 		return nil
 	})
 	if err != nil {
@@ -330,11 +382,38 @@ func FormatTable4(cs []*Campaign) string {
 	return b.String()
 }
 
+// JobTraces collects the campaigns' captured event streams in campaign-index
+// order — the canonical merged trace the exporters consume.
+func JobTraces(cs []*Campaign) []obs.JobTrace {
+	var out []obs.JobTrace
+	for i, c := range cs {
+		if c == nil || len(c.Trace) == 0 {
+			continue
+		}
+		out = append(out, obs.JobTrace{ID: i, Events: c.Trace, Dropped: c.TraceDropped})
+	}
+	return out
+}
+
 // FormatCampaignStats summarises fuzzing effort, and — when the campaigns
-// ran on the parallel executor — the per-worker pool accounting.
+// ran on the parallel executor — the per-worker pool accounting. When any
+// campaign carries a virtual-time phase breakdown (CampaignOptions.Trace or
+// .Metrics), per-phase columns are appended; otherwise the output is
+// byte-identical to the metrics-free formatter.
 func FormatCampaignStats(cs []*Campaign, workers ...sched.WorkerStats) string {
+	phases := false
+	for _, c := range cs {
+		if c.Phases.Any() {
+			phases = true
+			break
+		}
+	}
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-24s %8s %8s %8s %7s %7s %8s %7s\n", "Firmware", "execs", "corpus", "blocks", "cover", "prove", "found", "missed")
+	fmt.Fprintf(&b, "%-24s %8s %8s %8s %7s %7s %8s %7s", "Firmware", "execs", "corpus", "blocks", "cover", "prove", "found", "missed")
+	if phases {
+		fmt.Fprintf(&b, " %10s %12s %10s %9s", "translate", "execute", "sanitize", "snapshot")
+	}
+	b.WriteString("\n")
 	for _, c := range cs {
 		cover := "-"
 		if frac, ok := c.Stats.Coverage(); ok {
@@ -344,8 +423,13 @@ func FormatCampaignStats(cs []*Campaign, workers ...sched.WorkerStats) string {
 		if frac, ok := c.Stats.ProofDensity(); ok {
 			prove = fmt.Sprintf("%.1f%%", frac*100)
 		}
-		fmt.Fprintf(&b, "%-24s %8d %8d %8d %7s %7s %8d %7d\n", c.Firmware.Name,
+		fmt.Fprintf(&b, "%-24s %8d %8d %8d %7s %7s %8d %7d", c.Firmware.Name,
 			c.Stats.Execs, c.Stats.CorpusSize, c.Stats.CoverBlocks, cover, prove, len(c.Found), len(c.Missed))
+		if phases {
+			fmt.Fprintf(&b, " %10d %12d %10d %9d",
+				c.Phases.Translate, c.Phases.Execute, c.Phases.Sanitize, c.Phases.Snapshot)
+		}
+		b.WriteString("\n")
 	}
 	if len(workers) > 0 {
 		fmt.Fprintf(&b, "\nWorker pool (%d workers):\n", len(workers))

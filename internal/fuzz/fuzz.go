@@ -12,6 +12,7 @@ import (
 	"embsan/internal/core"
 	"embsan/internal/emu"
 	"embsan/internal/guest/gabi"
+	"embsan/internal/obs"
 	"embsan/internal/san"
 )
 
@@ -115,7 +116,13 @@ type Result struct {
 	Crashes []*Crash
 	Corpus  [][]byte
 	Stats   Stats
+	// Metrics is the campaign's obs registry snapshot (fuzz.* instruments).
+	Metrics *obs.Registry
 }
+
+// execInstBounds buckets per-execution guest instruction cost
+// (fuzz.exec.insts): 1k, 8k, 64k, 512k, 4M.
+var execInstBounds = []uint64{1 << 10, 1 << 13, 1 << 16, 1 << 19, 1 << 22}
 
 // Fuzzer runs one campaign against one instance.
 type Fuzzer struct {
@@ -137,6 +144,12 @@ type Fuzzer struct {
 
 	// OnCrash, if set, fires for each new deduplicated crash.
 	OnCrash func(*Crash)
+
+	metrics   *obs.Registry
+	mExecs    *obs.Counter
+	mCrashes  *obs.Counter
+	mCorpus   *obs.Gauge
+	mExecCost *obs.Histogram
 }
 
 // New creates a fuzzer.
@@ -157,11 +170,16 @@ func New(cfg Config) (*Fuzzer, error) {
 		cfg.MaxInput = 128
 	}
 	f := &Fuzzer{
-		cfg:   cfg,
-		rng:   rand.New(rand.NewSource(cfg.Seed)),
-		cover: make(map[uint32]struct{}),
-		seen:  make(map[string]bool),
+		cfg:     cfg,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		cover:   make(map[uint32]struct{}),
+		seen:    make(map[string]bool),
+		metrics: obs.NewRegistry(),
 	}
+	f.mExecs = f.metrics.Counter("fuzz.execs")
+	f.mCrashes = f.metrics.Counter("fuzz.crashes.unique")
+	f.mCorpus = f.metrics.Gauge("fuzz.corpus.size")
+	f.mExecCost = f.metrics.Histogram("fuzz.exec.insts", execInstBounds)
 	if len(cfg.ReachableLeaders) > 0 {
 		f.leaders = make(map[uint32]struct{}, len(cfg.ReachableLeaders))
 		for _, pc := range cfg.ReachableLeaders {
@@ -206,8 +224,10 @@ func (f *Fuzzer) Run() *Result {
 		inst.Restore()
 		f.newCov = 0
 		execs++
+		f.mExecs.Inc()
 		r := inst.Exec(input, f.cfg.ExecBudget)
 		res.Stats.Insts += r.Insts
+		f.mExecCost.Observe(r.Insts)
 		return r
 	}
 
@@ -217,6 +237,7 @@ func (f *Fuzzer) Run() *Result {
 			return
 		}
 		f.seen[sig] = true
+		f.mCrashes.Inc()
 		c := &Crash{
 			Signature: sig,
 			Fault:     r.Fault,
@@ -266,6 +287,8 @@ func (f *Fuzzer) Run() *Result {
 	res.Corpus = f.corpus
 	res.Stats.Execs = execs
 	res.Stats.CorpusSize = len(f.corpus)
+	f.mCorpus.Set(int64(len(f.corpus)))
+	res.Metrics = f.metrics
 	res.Stats.CoverBlocks = len(f.cover)
 	res.Stats.CoverLeaders = f.covLeaders
 	res.Stats.ReachableBlocks = len(f.cfg.ReachableLeaders)

@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// Chrome trace_event exporter. Events become a chrome://tracing /
+// Perfetto-loadable JSON object: each job is a process (pid = job index),
+// each hart a thread (tid), and the timestamp axis is the virtual clock —
+// one guest instruction = one microsecond of timeline. Translation blocks
+// render as B/E duration slices; everything else is an instant event.
+//
+// The JSON is built by hand in event order with no maps, so the bytes are
+// a pure function of the event streams: two runs of the same campaign
+// export identical files.
+
+// ChromeTrace renders jobs (in the caller's order — canonically job-index
+// order) as a trace_event JSON document.
+func ChromeTrace(jobs []JobTrace) []byte {
+	var b strings.Builder
+	b.WriteString("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[")
+	first := true
+	emit := func(s string) {
+		if !first {
+			b.WriteByte(',')
+		}
+		first = false
+		b.WriteString("\n")
+		b.WriteString(s)
+	}
+	for _, j := range jobs {
+		emit(fmt.Sprintf(`{"name":"process_name","ph":"M","pid":%d,"tid":0,"args":{"name":"campaign-%d"}}`, j.ID, j.ID))
+		if j.Dropped > 0 {
+			emit(fmt.Sprintf(`{"name":"ring-dropped","ph":"i","ts":0,"pid":%d,"tid":0,"s":"p","args":{"dropped":%d}}`, j.ID, j.Dropped))
+		}
+		// The raw virtual clock rewinds on every snapshot restore (each
+		// fuzzer execution rewinds icnt for determinism), which a timeline
+		// viewer cannot render. Timestamps are therefore normalised to a
+		// monotone per-job timeline: forward progress accumulates, rewinds
+		// pin to the current position. The mapping is a pure function of
+		// the event stream, so exports stay bit-identical; the raw icnt is
+		// kept in args for correlating sanitizer reports.
+		var ts, prevRaw uint64
+		for i, e := range j.Events {
+			if i == 0 {
+				prevRaw = e.ICnt
+			}
+			if e.ICnt >= prevRaw {
+				ts += e.ICnt - prevRaw
+			}
+			prevRaw = e.ICnt
+			switch e.Kind {
+			case EvTBEnter:
+				emit(fmt.Sprintf(`{"name":"tb","ph":"B","ts":%d,"pid":%d,"tid":%d,"args":{"pc":"%#08x","icnt":%d}}`,
+					ts, j.ID, e.Hart, e.PC, e.ICnt))
+			case EvTBExit:
+				emit(fmt.Sprintf(`{"name":"tb","ph":"E","ts":%d,"pid":%d,"tid":%d,"args":{"pc":"%#08x","exit":%d,"icnt":%d}}`,
+					ts, j.ID, e.Hart, e.PC, e.Arg, e.ICnt))
+			default:
+				emit(fmt.Sprintf(`{"name":%q,"ph":"i","ts":%d,"pid":%d,"tid":%d,"s":"t","args":{"pc":"%#08x","addr":"%#08x","arg":%d,"icnt":%d}}`,
+					e.Kind.String(), ts, j.ID, e.Hart, e.PC, e.Addr, e.Arg, e.ICnt))
+			}
+		}
+	}
+	b.WriteString("\n]}\n")
+	return []byte(b.String())
+}
+
+// chromeEvent is the schema subset ValidateChrome checks.
+type chromeEvent struct {
+	Name *string  `json:"name"`
+	Ph   *string  `json:"ph"`
+	Ts   *float64 `json:"ts"`
+	Pid  *int64   `json:"pid"`
+	Tid  *int64   `json:"tid"`
+}
+
+var validPhases = map[string]bool{"B": true, "E": true, "i": true, "M": true, "X": true}
+
+// ValidateChrome checks that data is a well-formed trace_event document:
+// it parses, carries a traceEvents array, every event has name/ph/pid/tid
+// (and a non-negative ts unless it is metadata), the phase is one this
+// exporter produces, and within each (pid, tid) lane timestamps never go
+// backwards — the virtual clock is monotone, so a regression means a
+// corrupted export.
+func ValidateChrome(data []byte) error {
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("obs: trace does not parse: %w", err)
+	}
+	if doc.TraceEvents == nil {
+		return fmt.Errorf("obs: trace has no traceEvents array")
+	}
+	type lane struct{ pid, tid int64 }
+	lastTs := map[lane]float64{}
+	for i, raw := range doc.TraceEvents {
+		var e chromeEvent
+		if err := json.Unmarshal(raw, &e); err != nil {
+			return fmt.Errorf("obs: event %d does not parse: %w", i, err)
+		}
+		if e.Name == nil || e.Ph == nil || e.Pid == nil || e.Tid == nil {
+			return fmt.Errorf("obs: event %d missing a required field (name/ph/pid/tid)", i)
+		}
+		if !validPhases[*e.Ph] {
+			return fmt.Errorf("obs: event %d has unknown phase %q", i, *e.Ph)
+		}
+		if *e.Ph == "M" {
+			continue // metadata events carry no timestamp
+		}
+		if e.Ts == nil || *e.Ts < 0 {
+			return fmt.Errorf("obs: event %d has a missing or negative ts", i)
+		}
+		l := lane{*e.Pid, *e.Tid}
+		if prev, ok := lastTs[l]; ok && *e.Ts < prev {
+			return fmt.Errorf("obs: event %d time went backwards in lane pid=%d tid=%d (%v < %v)",
+				i, l.pid, l.tid, *e.Ts, prev)
+		}
+		lastTs[l] = *e.Ts
+	}
+	return nil
+}

@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Binary trace format: a fixed 20-byte header followed by fixed 22-byte
+// little-endian event records. The encoding is canonical — there is exactly
+// one byte string for a given event stream, and decoding rejects anything
+// that is not such a byte string (bad magic, bad version, unknown kinds,
+// length mismatches) — so encode∘decode and decode∘encode are both
+// identities on their domains (obs.FuzzTraceRoundTrip enforces this).
+//
+//	header:  "EMTR" | u16 version | u16 reserved=0 | u32 count | u64 dropped
+//	record:  u64 icnt | u32 pc | u32 addr | u32 arg | u8 kind | u8 hart
+
+const (
+	traceMagic   = "EMTR"
+	traceVersion = 1
+	headerSize   = 20
+	recordSize   = 22
+)
+
+// EncodeEvents serialises events plus the ring's dropped count.
+func EncodeEvents(events []Event, dropped uint64) []byte {
+	out := make([]byte, headerSize+recordSize*len(events))
+	copy(out, traceMagic)
+	binary.LittleEndian.PutUint16(out[4:], traceVersion)
+	binary.LittleEndian.PutUint32(out[8:], uint32(len(events)))
+	binary.LittleEndian.PutUint64(out[12:], dropped)
+	off := headerSize
+	for _, e := range events {
+		binary.LittleEndian.PutUint64(out[off:], e.ICnt)
+		binary.LittleEndian.PutUint32(out[off+8:], e.PC)
+		binary.LittleEndian.PutUint32(out[off+12:], e.Addr)
+		binary.LittleEndian.PutUint32(out[off+16:], e.Arg)
+		out[off+20] = byte(e.Kind)
+		out[off+21] = e.Hart
+		off += recordSize
+	}
+	return out
+}
+
+// Encode serialises the ring's retained events (oldest first).
+func (r *Ring) Encode() []byte { return EncodeEvents(r.Events(), r.Dropped()) }
+
+// DecodeEvents parses a binary trace, returning the events and the dropped
+// count. It never panics on malformed input.
+func DecodeEvents(b []byte) ([]Event, uint64, error) {
+	if len(b) < headerSize {
+		return nil, 0, fmt.Errorf("obs: trace too short (%d bytes)", len(b))
+	}
+	if string(b[:4]) != traceMagic {
+		return nil, 0, fmt.Errorf("obs: bad trace magic %q", b[:4])
+	}
+	if v := binary.LittleEndian.Uint16(b[4:]); v != traceVersion {
+		return nil, 0, fmt.Errorf("obs: unsupported trace version %d", v)
+	}
+	if r := binary.LittleEndian.Uint16(b[6:]); r != 0 {
+		return nil, 0, fmt.Errorf("obs: reserved header bytes set (%#x)", r)
+	}
+	count := binary.LittleEndian.Uint32(b[8:])
+	dropped := binary.LittleEndian.Uint64(b[12:])
+	want := headerSize + recordSize*int(count)
+	if len(b) != want {
+		return nil, 0, fmt.Errorf("obs: trace length %d does not match %d events (want %d)", len(b), count, want)
+	}
+	events := make([]Event, count)
+	off := headerSize
+	for i := range events {
+		e := Event{
+			ICnt: binary.LittleEndian.Uint64(b[off:]),
+			PC:   binary.LittleEndian.Uint32(b[off+8:]),
+			Addr: binary.LittleEndian.Uint32(b[off+12:]),
+			Arg:  binary.LittleEndian.Uint32(b[off+16:]),
+			Kind: Kind(b[off+20]),
+			Hart: b[off+21],
+		}
+		if !e.Kind.Valid() {
+			return nil, 0, fmt.Errorf("obs: event %d has unknown kind %d", i, e.Kind)
+		}
+		events[i] = e
+		off += recordSize
+	}
+	return events, dropped, nil
+}

@@ -1,0 +1,42 @@
+package obs
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzTraceRoundTrip fuzzes the binary ring-buffer codec: any input that
+// decodes must re-encode to exactly the same bytes (the encoding is
+// canonical), and the decoded events must survive a second round trip.
+// Inputs that do not decode must fail with an error, never a panic.
+func FuzzTraceRoundTrip(f *testing.F) {
+	f.Add(EncodeEvents(nil, 0))
+	f.Add(EncodeEvents(mkEvents(3), 0))
+	f.Add(EncodeEvents(mkEvents(17), 99))
+	f.Add([]byte("EMTR"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		events, dropped, err := DecodeEvents(data)
+		if err != nil {
+			return // rejected inputs just need to not panic
+		}
+		enc := EncodeEvents(events, dropped)
+		if !bytes.Equal(enc, data) {
+			t.Fatalf("decode→encode is not the identity:\n in: %x\nout: %x", data, enc)
+		}
+		events2, dropped2, err := DecodeEvents(enc)
+		if err != nil {
+			t.Fatalf("canonical bytes failed to decode: %v", err)
+		}
+		if dropped2 != dropped || len(events2) != len(events) {
+			t.Fatalf("second decode diverged: dropped %d vs %d, len %d vs %d",
+				dropped2, dropped, len(events2), len(events))
+		}
+		for i := range events {
+			if events2[i] != events[i] {
+				t.Fatalf("event %d diverged: %+v vs %+v", i, events2[i], events[i])
+			}
+		}
+	})
+}

@@ -116,6 +116,14 @@ type Report struct {
 
 	// Symbolised location (function containing PC), filled by the runtime.
 	Location string
+
+	// ICnt is the guest instruction counter at detection time — the virtual
+	// timestamp correlating the report with obs trace events. Worker is the
+	// scheduler worker that produced the report (filled by the campaign
+	// executor; 0 outside one). Neither participates in Signature, Title or
+	// Format, so report text and dedup stay byte-identical.
+	ICnt   uint64
+	Worker int
 }
 
 // Signature returns the deduplication key: tool, bug type and the function

@@ -7,6 +7,7 @@ import (
 	"embsan/internal/emu"
 	"embsan/internal/isa"
 	"embsan/internal/kasm"
+	"embsan/internal/obs"
 )
 
 // Native report kinds written to the SanDev by in-guest sanitizer runtimes.
@@ -61,6 +62,9 @@ type Runtime struct {
 
 	// OnReport fires for every new (non-duplicate) report.
 	OnReport func(*Report)
+
+	// trace, when non-nil, receives allocator and report events.
+	trace *obs.Ring
 
 	shadowSnap    *Shadow
 	kasanSnap     *KASANState
@@ -176,9 +180,14 @@ func Attach(m *emu.Machine, opts Options) (*Runtime, error) {
 				if !rt.enabled {
 					return
 				}
+				size := h.Regs[sizeReg]
+				if rt.trace != nil {
+					rt.trace.Emit(obs.Event{ICnt: m.ICount(), PC: key, Arg: size,
+						Kind: obs.EvAllocEnter, Hart: uint8(h.ID)})
+				}
 				pk := pendKey{h.ID, key}
 				rt.pending[pk] = append(rt.pending[pk], pendingAlloc{
-					size: h.Regs[sizeReg],
+					size: size,
 					ra:   h.Regs[isa.RegRA],
 				})
 			})
@@ -194,6 +203,10 @@ func Attach(m *emu.Machine, opts Options) (*Runtime, error) {
 					}
 					p := st[len(st)-1]
 					rt.pending[pk] = st[:len(st)-1]
+					if rt.trace != nil {
+						rt.trace.Emit(obs.Event{ICnt: m.ICount(), PC: key, Addr: h.Regs[retReg],
+							Arg: p.size, Kind: obs.EvAllocExit, Hart: uint8(h.ID)})
+					}
 					if rt.kasan != nil {
 						rt.kasan.OnAlloc(h.Regs[retReg], p.size, p.ra)
 					}
@@ -210,6 +223,10 @@ func Attach(m *emu.Machine, opts Options) (*Runtime, error) {
 				if !rt.enabled || rt.kasan == nil {
 					return
 				}
+				if rt.trace != nil {
+					rt.trace.Emit(obs.Event{ICnt: m.ICount(), PC: f.Entry, Addr: h.Regs[ptrReg],
+						Kind: obs.EvFree, Hart: uint8(h.ID)})
+				}
 				if r := rt.kasan.OnFree(h.Regs[ptrReg], h.Regs[isa.RegRA], h.ID); r != nil {
 					rt.report(r)
 				}
@@ -221,12 +238,23 @@ func Attach(m *emu.Machine, opts Options) (*Runtime, error) {
 	if opts.Hypercalls {
 		m.HandleHypercall(isa.HcallSanAlloc, func(m *emu.Machine, h *emu.Hart) {
 			if rt.enabled && rt.kasan != nil {
+				if rt.trace != nil {
+					// The hypercall reports a completed allocation, so it maps
+					// to the exit event alone.
+					rt.trace.Emit(obs.Event{ICnt: m.ICount(), PC: h.Regs[isa.RegRA],
+						Addr: h.Regs[isa.RegA0], Arg: h.Regs[isa.RegA1],
+						Kind: obs.EvAllocExit, Hart: uint8(h.ID)})
+				}
 				rt.kasan.OnAlloc(h.Regs[isa.RegA0], h.Regs[isa.RegA1], h.Regs[isa.RegRA])
 			}
 		})
 		m.HandleHypercall(isa.HcallSanFree, func(m *emu.Machine, h *emu.Hart) {
 			if !rt.enabled || rt.kasan == nil {
 				return
+			}
+			if rt.trace != nil {
+				rt.trace.Emit(obs.Event{ICnt: m.ICount(), PC: h.Regs[isa.RegRA],
+					Addr: h.Regs[isa.RegA0], Kind: obs.EvFree, Hart: uint8(h.ID)})
 			}
 			if r := rt.kasan.OnFree(h.Regs[isa.RegA0], h.Regs[isa.RegRA], h.ID); r != nil {
 				rt.report(r)
@@ -383,6 +411,7 @@ var libFrames = map[string]bool{
 
 func (rt *Runtime) report(r *Report) {
 	img := rt.m.Image()
+	r.ICnt = rt.m.ICount()
 	r.Location = img.Symbolize(r.PC)
 	if r.CallerPC != 0 {
 		if fn, ok := img.FuncAt(r.PC); ok {
@@ -401,11 +430,29 @@ func (rt *Runtime) report(r *Report) {
 	}
 	rt.seen[sig] = true
 	rt.reports = append(rt.reports, r)
+	if rt.trace != nil {
+		rt.trace.Emit(obs.Event{ICnt: r.ICnt, PC: r.PC, Addr: r.Addr,
+			Arg: uint32(r.Bug), Kind: obs.EvReport, Hart: uint8(r.Hart)})
+	}
 	if rt.OnReport != nil {
 		rt.OnReport(r)
 	}
 	if rt.opts.StopOnReport {
 		rt.m.RequestStop()
+	}
+}
+
+// SetTrace attaches (or, with nil, detaches) a trace ring. Allocator
+// interceptions and new reports are emitted into it, and the shadow memory
+// is wired to the same ring so poison/unpoison events land in one stream.
+func (rt *Runtime) SetTrace(r *obs.Ring) {
+	rt.trace = r
+	if rt.kasan != nil {
+		if r == nil {
+			rt.kasan.Shadow().SetTrace(nil, nil)
+		} else {
+			rt.kasan.Shadow().SetTrace(r, rt.m.ICount)
+		}
 	}
 }
 

@@ -5,7 +5,11 @@
 // functionalities share one unified shadow memory.
 package san
 
-import "fmt"
+import (
+	"fmt"
+
+	"embsan/internal/obs"
+)
 
 // Granularity is the shadow granule size: one shadow byte per 8 guest bytes,
 // matching KASAN's generic mode.
@@ -71,6 +75,11 @@ func CodeByName(name string) (byte, bool) {
 type Shadow struct {
 	bytes []byte
 	size  uint32 // covered guest bytes
+
+	// Optional trace sink. clock supplies the virtual timestamp (the
+	// machine's instruction counter); both are nil unless tracing is on.
+	trace *obs.Ring
+	clock func() uint64
 }
 
 // NewShadow creates shadow memory covering ramSize guest bytes.
@@ -88,12 +97,22 @@ func (s *Shadow) Clone() *Shadow {
 // CopyFrom restores this shadow from a clone of equal size.
 func (s *Shadow) CopyFrom(o *Shadow) { copy(s.bytes, o.bytes) }
 
+// SetTrace attaches (or, with nil arguments, detaches) a trace ring and the
+// virtual clock that timestamps poison/unpoison events.
+func (s *Shadow) SetTrace(r *obs.Ring, clock func() uint64) {
+	s.trace = r
+	s.clock = clock
+}
+
 // Poison marks [addr, addr+size) with the given poison code. Partial leading
 // granules keep their validity prefix; partial trailing granules are wholly
 // poisoned (conservative, like KASAN's kasan_poison).
 func (s *Shadow) Poison(addr, size uint32, code byte) {
 	if size == 0 {
 		return
+	}
+	if s.trace != nil {
+		s.trace.Emit(obs.Event{ICnt: s.clock(), PC: uint32(code), Addr: addr, Arg: size, Kind: obs.EvPoison})
 	}
 	end := addr + size
 	first := addr / Granularity
@@ -129,6 +148,9 @@ func (s *Shadow) Poison(addr, size uint32, code byte) {
 func (s *Shadow) Unpoison(addr, size uint32) {
 	if size == 0 {
 		return
+	}
+	if s.trace != nil {
+		s.trace.Emit(obs.Event{ICnt: s.clock(), Addr: addr, Arg: size, Kind: obs.EvUnpoison})
 	}
 	end := addr + size
 	first := addr / Granularity

@@ -24,6 +24,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"embsan/internal/obs"
 )
 
 // Options tunes the executor.
@@ -39,8 +41,9 @@ type Options struct {
 
 const defaultPoolCap = 4
 
-// Counters is per-worker accounting, filled in by jobs via
-// Worker.Counters and surfaced by the campaign stat formatters.
+// Counters is a snapshot of one worker's accounting, surfaced by the
+// campaign stat formatters. Jobs bump the live instruments (Worker.Inst)
+// instead; the snapshot is taken once per worker when Run returns.
 type Counters struct {
 	Jobs    int    // jobs completed
 	Execs   uint64 // fuzzer executions driven
@@ -55,13 +58,26 @@ type WorkerStats struct {
 	Counters
 }
 
+// Instruments is the worker's live accounting, backed by the worker's
+// obs.Registry. Each counter is owned by exactly one worker goroutine, so
+// bumping it is race-free without atomics.
+type Instruments struct {
+	Jobs    *obs.Counter
+	Execs   *obs.Counter
+	Resets  *obs.Counter
+	TBHits  *obs.Counter
+	Reports *obs.Counter
+}
+
 // Worker is the per-goroutine context handed to every job it runs.
 type Worker struct {
-	id       int
-	counters Counters
-	poolCap  int
-	pool     map[string]*list.Element
-	order    *list.List // front = most recently used
+	id      int
+	metrics *obs.Registry
+	inst    Instruments
+	ring    *obs.Ring
+	poolCap int
+	pool    map[string]*list.Element
+	order   *list.List // front = most recently used
 }
 
 type poolEntry struct {
@@ -73,14 +89,50 @@ func newWorker(id, poolCap int) *Worker {
 	if poolCap <= 0 {
 		poolCap = defaultPoolCap
 	}
-	return &Worker{id: id, poolCap: poolCap, pool: make(map[string]*list.Element), order: list.New()}
+	w := &Worker{id: id, metrics: obs.NewRegistry(), poolCap: poolCap,
+		pool: make(map[string]*list.Element), order: list.New()}
+	w.inst = Instruments{
+		Jobs:    w.metrics.Counter("sched.worker.jobs"),
+		Execs:   w.metrics.Counter("sched.worker.execs"),
+		Resets:  w.metrics.Counter("sched.worker.resets"),
+		TBHits:  w.metrics.Counter("sched.worker.tb_hits"),
+		Reports: w.metrics.Counter("sched.worker.reports"),
+	}
+	return w
 }
 
 // ID returns the worker's pool index (0-based).
 func (w *Worker) ID() int { return w.id }
 
-// Counters exposes the worker's accounting for jobs to add to.
-func (w *Worker) Counters() *Counters { return &w.counters }
+// Inst exposes the worker's live accounting instruments for jobs to bump.
+func (w *Worker) Inst() Instruments { return w.inst }
+
+// Metrics is the worker-private registry behind Inst. Callers may register
+// additional worker-scoped instruments in it and merge registries across
+// workers after Run returns.
+func (w *Worker) Metrics() *obs.Registry { return w.metrics }
+
+// TraceRing returns the worker's event ring, lazily allocated at the given
+// capacity (events). The ring is worker-private; jobs that capture traces
+// Reset it at job start and copy events out at job end, so the buffer is
+// reused across jobs without its contents leaking between them.
+func (w *Worker) TraceRing(capacity int) *obs.Ring {
+	if w.ring == nil || w.ring.Cap() != capacity {
+		w.ring = obs.NewRing(capacity)
+	}
+	return w.ring
+}
+
+// stats snapshots the live instruments into the stable Counters form.
+func (w *Worker) stats() Counters {
+	return Counters{
+		Jobs:    int(w.inst.Jobs.Value()),
+		Execs:   w.inst.Execs.Value(),
+		Resets:  w.inst.Resets.Value(),
+		TBHits:  w.inst.TBHits.Value(),
+		Reports: w.inst.Reports.Value(),
+	}
+}
 
 // Pooled returns the worker-local value for key, constructing it with
 // build on first use. Values are private to one worker — this is what
@@ -131,10 +183,10 @@ func Run(opts Options, n int, fn func(w *Worker, index int) error) ([]WorkerStat
 		w := newWorker(0, opts.PoolCap)
 		for i := 0; i < n; i++ {
 			if err := fn(w, i); err != nil {
-				return []WorkerStats{{Worker: 0, Counters: w.counters}}, err
+				return []WorkerStats{{Worker: 0, Counters: w.stats()}}, err
 			}
 		}
-		return []WorkerStats{{Worker: 0, Counters: w.counters}}, nil
+		return []WorkerStats{{Worker: 0, Counters: w.stats()}}, nil
 	}
 
 	var (
@@ -158,7 +210,7 @@ func Run(opts Options, n int, fn func(w *Worker, index int) error) ([]WorkerStat
 					aborted.Store(true)
 				}
 			}
-			stats[wi] = WorkerStats{Worker: wi, Counters: w.counters}
+			stats[wi] = WorkerStats{Worker: wi, Counters: w.stats()}
 		}(wi)
 	}
 	wg.Wait()

@@ -15,7 +15,7 @@ func TestRunCompletesAllJobs(t *testing.T) {
 			var ran [n]atomic.Int32
 			ws, err := Run(Options{Workers: workers}, n, func(w *Worker, i int) error {
 				ran[i].Add(1)
-				w.Counters().Jobs++
+				w.Inst().Jobs.Inc()
 				return nil
 			})
 			if err != nil {
