@@ -1,7 +1,8 @@
 GO ?= go
 FUZZTIME ?= 10s
+BENCH_EXECS ?= 8000
 
-.PHONY: build vet test test-short race lint elide-audit obs-check fuzz-smoke bench-parallel ci ci-short
+.PHONY: build vet test test-short race lint elide-audit obs-check fuzz-smoke bench-parallel bench-record bench-check ci ci-short
 
 build:
 	$(GO) build ./...
@@ -65,12 +66,27 @@ fuzz-smoke:
 	$(GO) test ./internal/static -fuzz FuzzRecoverCFG -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/static/absint -fuzz FuzzAbsint -fuzztime $(FUZZTIME) -fuzzminimizetime 1x
 	$(GO) test ./internal/obs -fuzz FuzzTraceRoundTrip -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/emu -fuzz FuzzChainedExecution -fuzztime $(FUZZTIME) -fuzzminimizetime 1x
 
 # The pooled-scheduler throughput series (serial runner vs worker pool).
 bench-parallel:
 	$(GO) test -run xxx -bench BenchmarkParallelCampaigns -benchtime 2x .
 
-ci: vet build lint elide-audit obs-check race fuzz-smoke
+# Re-record the translation fast-path bench artefact: every registry
+# firmware, fast engine vs NoFastPaths baseline on the identical replay
+# workload. Run after engine changes and commit the refreshed JSON — the
+# repo carries the throughput trajectory alongside the code.
+bench-record:
+	$(GO) run ./cmd/embsan-bench -record BENCH_translate.json -record-execs $(BENCH_EXECS)
+
+# CI gate on the committed artefact: its schema and registry coverage must
+# match the current code (measured values are machine-dependent and never
+# diffed), and a bounded live smoke must show the fast paths engaging —
+# zero chain hits or zero dispatches elided fails the build.
+bench-check:
+	$(GO) run ./cmd/embsan-bench -bench-check BENCH_translate.json
+
+ci: vet build lint elide-audit obs-check race fuzz-smoke bench-check
 
 # ci with the long campaign/overhead experiments skipped.
-ci-short: vet build lint elide-audit obs-check race-short fuzz-smoke
+ci-short: vet build lint elide-audit obs-check race-short fuzz-smoke bench-check

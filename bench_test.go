@@ -5,6 +5,7 @@
 package embsan_test
 
 import (
+	"flag"
 	"fmt"
 	"testing"
 
@@ -100,40 +101,69 @@ func BenchmarkElisionStats(b *testing.B) {
 	b.ReportMetric(frac*100, "%elided")
 }
 
+// campaignSeed parameterises the campaign benchmark series: the default
+// matches the evaluation seed, and sweeping it checks the throughput numbers
+// are not an artefact of one lucky corpus trajectory.
+var campaignSeed = flag.Int64("campaign-seed", 7, "base seed for the campaign benchmark series")
+
 // BenchmarkParallelCampaigns compares the fresh-boot serial runner against
 // the pooled scheduler (internal/sched) on a multi-campaign workload: the
 // pool warms each firmware once per worker and rewinds it by
 // snapshot/restore between campaigns, so the per-campaign boot+labelling
 // cost is amortised away. The pooled/4-workers series should sustain at
-// least twice the serial runner's campaign throughput.
+// least twice the serial runner's campaign throughput. Beyond campaigns/s,
+// each series reports execs/s (the paper's throughput unit) and chain-hit%
+// (the fraction of block transfers the translation engine resolved through
+// an exit chain instead of the dispatcher).
 func BenchmarkParallelCampaigns(b *testing.B) {
 	fw, err := firmware.Build("OpenWRT-x86_64")
 	if err != nil {
 		b.Fatal(err)
 	}
 	const repeats, execs = 32, 15
-	campaigns := func(b *testing.B, elapsed float64) {
-		b.ReportMetric(float64(b.N*repeats)/elapsed, "campaigns/s")
-	}
-	b.Run("serial-fresh", func(b *testing.B) {
+	bench := func(b *testing.B, run func() ([]*exps.Campaign, error)) {
+		var execsDone, chainHits, transfers uint64
 		for i := 0; i < b.N; i++ {
-			for r := 0; r < repeats; r++ {
-				if _, err := exps.RunCampaign(fw, exps.CampaignOptions{Execs: execs, Seed: 7}); err != nil {
-					b.Fatal(err)
-				}
+			cs, err := run()
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, c := range cs {
+				execsDone += uint64(c.Stats.Execs)
+				chainHits += c.Engine.ChainHits
+				transfers += c.Engine.ChainHits + c.Engine.Dispatches
 			}
 		}
-		campaigns(b, b.Elapsed().Seconds())
+		sec := b.Elapsed().Seconds()
+		b.ReportMetric(float64(b.N*repeats)/sec, "campaigns/s")
+		b.ReportMetric(float64(execsDone)/sec, "execs/s")
+		if transfers > 0 {
+			b.ReportMetric(100*float64(chainHits)/float64(transfers), "chain-hit%")
+		}
+	}
+	b.Run("serial-fresh", func(b *testing.B) {
+		bench(b, func() ([]*exps.Campaign, error) {
+			out := make([]*exps.Campaign, 0, repeats)
+			for r := 0; r < repeats; r++ {
+				c, err := exps.RunCampaign(fw, exps.CampaignOptions{Execs: execs, Seed: *campaignSeed})
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, c)
+			}
+			return out, nil
+		})
 	})
 	for _, workers := range []int{1, 4} {
 		b.Run(fmt.Sprintf("pooled-%d-workers", workers), func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				opts := exps.CampaignOptions{Execs: execs, Seed: 7, Workers: workers, Repeats: repeats}
-				if _, err := exps.RunCampaignSet([]*firmware.Firmware{fw}, opts); err != nil {
-					b.Fatal(err)
+			bench(b, func() ([]*exps.Campaign, error) {
+				opts := exps.CampaignOptions{Execs: execs, Seed: *campaignSeed, Workers: workers, Repeats: repeats}
+				run, err := exps.RunCampaignSet([]*firmware.Firmware{fw}, opts)
+				if err != nil {
+					return nil, err
 				}
-			}
-			campaigns(b, b.Elapsed().Seconds())
+				return run.Campaigns, nil
+			})
 		})
 	}
 }

@@ -10,12 +10,15 @@
 //	embsan-bench -figure 2        # runtime overhead (Figure 2)
 //	embsan-bench -elision         # dispatch savings from static safety proofs
 //	embsan-bench -all [-workers 4]
+//	embsan-bench -record BENCH_translate.json   # translation fast-path bench
+//	embsan-bench -bench-check BENCH_translate.json
 //
 // The table 3/4 campaigns run on the deterministic parallel executor
 // (internal/sched); -workers sizes its pool without changing any output.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -38,6 +41,10 @@ func main() {
 		elision = flag.Bool("elision", false, "measure sanitizer dispatches elided by static safety proofs")
 		trace   = flag.String("trace", "", "capture table 3/4 campaign traces and write a Chrome trace_event JSON to this file")
 		metrics = flag.Bool("metrics", false, "append the per-phase virtual-time breakdown to the campaign stats")
+
+		record      = flag.String("record", "", "measure the translation fast paths on every registry firmware and write the bench JSON here")
+		recordExecs = flag.Int("record-execs", 8000, "timed replays per engine per firmware for -record")
+		benchCheck  = flag.String("bench-check", "", "validate a recorded bench JSON (schema + registry coverage, never values) and smoke the fast paths live")
 	)
 	flag.Parse()
 
@@ -98,9 +105,66 @@ func main() {
 		}
 		fmt.Println(exps.FormatElisionTable(stats))
 	}
-	if !*all && *table == 0 && *figure == 0 && !*elision {
+	if *record != "" {
+		tb, err := exps.RunTranslateBench(nil, exps.TranslateBenchOptions{Execs: *recordExecs, Seed: *seed})
+		if err != nil {
+			fatal(err)
+		}
+		data, err := json.MarshalIndent(tb, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*record, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Println(exps.FormatTranslateBench(tb))
+		fmt.Printf("bench written to %s\n", *record)
+	}
+	if *benchCheck != "" {
+		benchCheckRun(*benchCheck, *seed)
+	}
+	if !*all && *table == 0 && *figure == 0 && !*elision && *record == "" && *benchCheck == "" {
 		flag.Usage()
 	}
+}
+
+// benchCheckRun is the CI gate on the committed bench artefact: the schema
+// and registry coverage must match the current code (measured values are
+// machine-dependent and never compared), and a bounded live smoke on one
+// EMBSAN-C and one EMBSAN-D firmware must show the fast paths engaging —
+// nonzero exit chains followed and dispatches elided.
+func benchCheckRun(path string, seed int64) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	if err := exps.CheckTranslateBench(data, nil); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("bench-check: %s schema and registry coverage OK\n", path)
+
+	var fws []*firmware.Firmware
+	for _, name := range []string{"OpenWRT-armvirt", "OpenWRT-bcm63xx"} {
+		fw, err := firmware.Build(name)
+		if err != nil {
+			fatal(err)
+		}
+		fws = append(fws, fw)
+	}
+	smoke, err := exps.RunTranslateBench(fws, exps.TranslateBenchOptions{Execs: 120, Seed: seed})
+	if err != nil {
+		fatal(err)
+	}
+	var chains, elided uint64
+	for _, r := range smoke.Rows {
+		chains += r.ChainHits
+		elided += r.DispatchesElided
+	}
+	if chains == 0 || elided == 0 {
+		fmt.Println(exps.FormatTranslateBench(smoke))
+		fatal(fmt.Errorf("fast paths did not engage on the registry smoke (chains=%d elided=%d)", chains, elided))
+	}
+	fmt.Printf("bench-check: live smoke engaged the fast paths (%d chains, %d dispatches elided)\n", chains, elided)
 }
 
 func fatal(err error) {

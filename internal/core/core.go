@@ -275,6 +275,19 @@ func (i *Instance) SetTrace(r *obs.Ring) {
 	}
 }
 
+// EnableInlineFastPath arms the machine's in-template shadow fast path for
+// the given access-site PCs — normally the hottest dispatch sites from an
+// obs.Profile of a representative run. It returns false when the deployment
+// cannot skip delegate dispatch behaviourally (no sanitizer runtime, or an
+// engine mix that observes clean dispatches — see
+// san.Runtime.InstallInlineFastPath).
+func (i *Instance) EnableInlineFastPath(pcs []uint32) bool {
+	if i.Runtime == nil {
+		return false
+	}
+	return i.Runtime.InstallInlineFastPath(pcs)
+}
+
 // Image returns the firmware image under test.
 func (i *Instance) Image() *kasm.Image { return i.img }
 

@@ -1,0 +1,403 @@
+package emu
+
+import (
+	"testing"
+
+	"embsan/internal/isa"
+	"embsan/internal/kasm"
+)
+
+// chainLoopImage builds the canonical chaining workload: a counted loop whose
+// body block's taken exit points back at itself, so a chained run follows the
+// self-link on every iteration while an unchained run re-enters the
+// dispatcher each time.
+func chainLoopImage(t *testing.T, iters int32) *kasm.Image {
+	t.Helper()
+	b := kasm.NewBuilder(kasm.Target{Arch: isa.ArchARM32E})
+	b.Func("_start")
+	b.Li(rT0, iters)
+	b.Li(rA0, 0)
+	b.Label("loop")
+	b.ADDI(rA0, rA0, 1)
+	b.ADDI(rT0, rT0, -1)
+	b.BNEZ(rT0, "loop")
+	exitWith(b)
+	return mustLink(t, b, "chainloop")
+}
+
+// TestChainingEquivalenceAndCounters: the chained and the unchained engine
+// retire the same instructions to the same exit state; only the dispatcher
+// accounting moves. The chained run must settle almost every block transfer
+// through exit links — the dispatcher is entered once per quantum at most.
+func TestChainingEquivalenceAndCounters(t *testing.T) {
+	img := chainLoopImage(t, 5000)
+
+	fast, err := New(img, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := fast.Run(0); r != StopExit || fast.ExitCode() != 5000 {
+		t.Fatalf("fast: stop=%v exit=%d", r, fast.ExitCode())
+	}
+	slow, err := New(img, Config{NoChain: true, NoSharedTB: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := slow.Run(0); r != StopExit || slow.ExitCode() != 5000 {
+		t.Fatalf("slow: stop=%v exit=%d", r, slow.ExitCode())
+	}
+	if fast.ICount() != slow.ICount() {
+		t.Errorf("icnt diverged: fast %d, slow %d", fast.ICount(), slow.ICount())
+	}
+	fc, sc := fast.Counters(), slow.Counters()
+	if fc.ChainHits == 0 {
+		t.Error("chained run followed no exit links")
+	}
+	if sc.ChainHits != 0 {
+		t.Errorf("NoChain run followed %d exit links", sc.ChainHits)
+	}
+	// ~5000 block transfers: unchained, each is a dispatcher entry; chained,
+	// only quantum boundaries (64 insts apart) re-enter the dispatcher.
+	if fc.Dispatches*10 > sc.Dispatches {
+		t.Errorf("chaining barely moved dispatch count: %d chained vs %d unchained",
+			fc.Dispatches, sc.Dispatches)
+	}
+	if fc.ChainHits+fc.Dispatches != sc.Dispatches {
+		t.Errorf("block transfers not conserved: %d chained + %d dispatched != %d unchained dispatches",
+			fc.ChainHits, fc.Dispatches, sc.Dispatches)
+	}
+}
+
+// TestChainSurvivesRestore: Restore keeps healthy exit links and jump-cache
+// entries alive — a chain transfer re-validates its target's generations, so
+// there is nothing a rewind of data pages can make stale (reverted text pages
+// bump their generation inside Restore itself). The proof is two-sided:
+// behaviour from the snapshot is bit-identical on every replay, and warm
+// replays run fully chained — zero dispatcher entries beyond the first run's.
+func TestChainSurvivesRestore(t *testing.T) {
+	b := kasm.NewBuilder(kasm.Target{Arch: isa.ArchARM32E})
+	b.Func("_start")
+	b.Ready()
+	b.Li(rT0, 2000)
+	b.Li(rA0, 0)
+	b.Label("loop")
+	b.ADDI(rA0, rA0, 1)
+	b.ADDI(rT0, rT0, -1)
+	b.BNEZ(rT0, "loop")
+	exitWith(b)
+	img := mustLink(t, b, "restorechain")
+	m := newMachine(t, img)
+	m.ReadyHook = func(m *Machine) { m.Snapshot() }
+
+	deltas := make([]Counters, 3)
+	var prev Counters
+	for run := 0; run < 3; run++ {
+		if run > 0 {
+			m.Restore()
+		}
+		if r := m.Run(0); r != StopExit || m.ExitCode() != 2000 {
+			t.Fatalf("run %d: stop=%v exit=%d", run, r, m.ExitCode())
+		}
+		cur := m.Counters()
+		deltas[run] = cur.Sub(prev)
+		prev = cur
+	}
+	if deltas[0].ChainHits == 0 {
+		t.Fatal("no chaining installed on the first run")
+	}
+	// Warm replays must be in steady state: identical accounting run to run.
+	if d1, d2 := deltas[1], deltas[2]; d1.ChainHits != d2.ChainHits || d1.Dispatches != d2.Dispatches {
+		t.Errorf("warm replays diverged: run1 chain=%d dispatch=%d, run2 chain=%d dispatch=%d",
+			d1.ChainHits, d1.Dispatches, d2.ChainHits, d2.Dispatches)
+	}
+	// Links installed on run 0 must carry over: a replay re-dispatches at
+	// most through quantum boundaries already primed in the jump cache, so
+	// it resolves strictly fewer transfers through the dispatcher map.
+	if deltas[1].Dispatches >= deltas[0].Dispatches {
+		t.Errorf("replay dispatched %d >= first run's %d — links did not survive Restore",
+			deltas[1].Dispatches, deltas[0].Dispatches)
+	}
+	if deltas[1].ChainHits == 0 {
+		t.Error("replay ran unchained")
+	}
+}
+
+// TestHookOnChainedTB: installing a PC hook mid-run must take effect even
+// when the hooked PC is inside a block reachable only through installed
+// chain links; removing it must take effect the same way. A stale chained
+// block without the hook flag slipping past the flush would miss the hook.
+func TestHookOnChainedTB(t *testing.T) {
+	img := chainLoopImage(t, 4000)
+	m := newMachine(t, img)
+	// Let the loop chain onto itself for a while.
+	if r := m.Run(1000); r != StopBudget {
+		t.Fatalf("stop=%v", r)
+	}
+	if m.Counters().ChainHits == 0 {
+		t.Fatal("loop did not chain")
+	}
+	loopPC := m.CurrentHart().PC // mid-loop: the body is the live chained block
+	hits := 0
+	m.HookPC(loopPC, func(m *Machine, h *Hart) { hits++ })
+	if r := m.Run(1000); r != StopBudget {
+		t.Fatalf("stop=%v", r)
+	}
+	if hits == 0 {
+		t.Error("hook on chained block never fired")
+	}
+	m.UnhookPC(loopPC)
+	before := hits
+	if r := m.Run(1000); r != StopBudget {
+		t.Fatalf("stop=%v", r)
+	}
+	if hits != before {
+		t.Errorf("hook fired %d more times after UnhookPC", hits-before)
+	}
+	if r := m.Run(0); r != StopExit || m.ExitCode() != 4000 {
+		t.Errorf("stop=%v exit=%d, want exit 4000", r, m.ExitCode())
+	}
+}
+
+// TestSelfModifyingChainTarget: patching text mid-run must invalidate both
+// the cached block and every chain link into it. The loop calls victim every
+// iteration, so the loop block's JAL exit holds a chain link to victim's
+// block; victim's ADDI #1 is overwritten (host-side, as a firmware loader
+// would) with an ADDI #2 word, and iterations after the patch add 2 — only
+// observable if the stale chained translation dies.
+func TestSelfModifyingChainTarget(t *testing.T) {
+	b := kasm.NewBuilder(kasm.Target{Arch: isa.ArchARM32E})
+	b.Func("_start")
+	b.Li(rT0, 1000)
+	b.Li(rA0, 0)
+	b.Label("loop")
+	b.Call("victim")
+	b.ADDI(rT0, rT0, -1)
+	b.BNEZ(rT0, "loop")
+	exitWith(b)
+	b.Func("victim")
+	b.ADDI(rA0, rA0, 1)
+	b.Ret()
+	img := mustLink(t, b, "selfmod")
+	m := newMachine(t, img)
+
+	victim, ok := img.Lookup("victim")
+	if !ok {
+		t.Fatal("victim not linked")
+	}
+	if r := m.Run(600); r != StopBudget { // mid-loop, chains installed
+		t.Fatalf("stop=%v", r)
+	}
+	if m.Counters().ChainHits == 0 {
+		t.Fatal("loop did not chain before the patch")
+	}
+	patched, err := isa.Encode(isa.Inst{Op: isa.OpADDI, Rd: rA0, Rs1: rA0, Imm: 2}, isa.ArchARM32E)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var word [4]byte
+	img.Arch.ByteOrder().PutUint32(word[:], patched)
+	if err := m.WriteBytes(victim.Addr, word[:]); err != nil {
+		t.Fatal(err)
+	}
+	if r := m.Run(0); r != StopExit {
+		t.Fatalf("stop=%v fault=%v", r, m.Fault())
+	}
+	got := m.ExitCode()
+	// k pre-patch iterations contribute 1 each, the rest 2: exit in (1000, 2000].
+	if got <= 1000 || got > 2000 {
+		t.Errorf("exit=%d, want in (1000, 2000] — stale translation executed", got)
+	}
+}
+
+// TestSelfModifyingFaultThroughChain: when the patched chain target no
+// longer decodes, the fault must surface identically whether the transfer
+// re-resolves through the dispatcher or through chainNext — same kind, same
+// PC.
+func TestSelfModifyingFaultThroughChain(t *testing.T) {
+	run := func(noChain bool) (*Machine, *kasm.Image) {
+		b := kasm.NewBuilder(kasm.Target{Arch: isa.ArchARM32E})
+		b.Func("_start")
+		b.Li(rT0, 1000)
+		b.Label("loop")
+		b.Call("victim")
+		b.ADDI(rT0, rT0, -1)
+		b.BNEZ(rT0, "loop")
+		exitWith(b)
+		b.Func("victim")
+		b.ADDI(rA0, rA0, 1)
+		b.Ret()
+		img := mustLink(t, b, "selfmodfault")
+		m, err := New(img, Config{NoChain: noChain, NoSharedTB: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r := m.Run(500); r != StopBudget {
+			t.Fatalf("stop=%v", r)
+		}
+		victim, _ := img.Lookup("victim")
+		if err := m.WriteBytes(victim.Addr, []byte{0xFF, 0xFF, 0xFF, 0xFF}); err != nil {
+			t.Fatal(err)
+		}
+		if r := m.Run(0); r != StopFault {
+			t.Fatalf("noChain=%v: stop=%v, want fault", noChain, r)
+		}
+		return m, img
+	}
+	chained, _ := run(false)
+	plain, _ := run(true)
+	cf, pf := chained.Fault(), plain.Fault()
+	if cf.Kind != pf.Kind || cf.PC != pf.PC || cf.Addr != pf.Addr {
+		t.Errorf("fault diverged: chained %+v, unchained %+v", cf, pf)
+	}
+	if chained.ICount() != plain.ICount() {
+		t.Errorf("icnt at fault diverged: chained %d, unchained %d", chained.ICount(), plain.ICount())
+	}
+}
+
+// padImage builds an image whose text spans several full pages (the shared
+// translation cache only publishes blocks from pages lying entirely inside
+// the text section), with an executed loop in the padded region.
+func padImage(t *testing.T) *kasm.Image {
+	t.Helper()
+	b := kasm.NewBuilder(kasm.Target{Arch: isa.ArchARM32E})
+	b.Func("_start")
+	b.Li(rT0, 300)
+	b.Li(rA0, 0)
+	b.Label("loop")
+	b.Call("work")
+	b.ADDI(rT0, rT0, -1)
+	b.BNEZ(rT0, "loop")
+	exitWith(b)
+	b.Func("work") // ~3 pages of straight-line text
+	for i := 0; i < 3000; i++ {
+		b.ADDI(rA0, rA0, 1)
+	}
+	b.Ret()
+	return mustLink(t, b, "padded")
+}
+
+// TestSharedTranslationCache: a second machine on the same image content and
+// configuration consumes the first machine's published translations instead
+// of decoding its own, with identical observable behaviour; a NoSharedTB
+// machine stays off the cache entirely.
+func TestSharedTranslationCache(t *testing.T) {
+	img := padImage(t)
+	m1, err := New(img, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := m1.Run(0); r != StopExit {
+		t.Fatalf("m1: stop=%v fault=%v", r, m1.Fault())
+	}
+	m2, err := New(img, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := m2.Run(0); r != StopExit {
+		t.Fatalf("m2: stop=%v", r)
+	}
+	if m2.ExitCode() != m1.ExitCode() || m2.ICount() != m1.ICount() {
+		t.Errorf("shared-cache consumer diverged: exit %d/%d icnt %d/%d",
+			m1.ExitCode(), m2.ExitCode(), m1.ICount(), m2.ICount())
+	}
+	c2 := m2.Counters()
+	if c2.SharedTBHits == 0 {
+		t.Error("second machine consumed nothing from the shared cache")
+	}
+	if c2.TransInsts != m1.Counters().TransInsts {
+		t.Errorf("translate-phase accounting depends on cache luck: %d vs %d",
+			c2.TransInsts, m1.Counters().TransInsts)
+	}
+	m3, err := New(img, Config{NoSharedTB: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m3.Run(0)
+	if h := m3.Counters().SharedTBHits; h != 0 {
+		t.Errorf("NoSharedTB machine hit the shared cache %d times", h)
+	}
+}
+
+// TestInlineFastPathCounters: an armed access site settles clean accesses in
+// the template (InlineFast, no delegate call) and falls back to the delegate
+// the moment its shadow granule is poisoned (InlineSlow). Dispatch
+// accounting is identical either way.
+func TestInlineFastPathCounters(t *testing.T) {
+	build := func() *kasm.Image {
+		b := kasm.NewBuilder(kasm.Target{Arch: isa.ArchARM32E})
+		b.GlobalRaw("buf", 8)
+		b.Func("_start")
+		b.La(rA1, "buf")
+		b.Li(rT0, 200)
+		b.Label("loop")
+		b.SW(rT0, rA1, 0)
+		b.ADDI(rT0, rT0, -1)
+		b.BNEZ(rT0, "loop")
+		b.Li(rA0, 0)
+		exitWith(b)
+		return mustLink(t, b, "inline")
+	}
+
+	// Reference run: find the store's dispatch site and delegate call count.
+	img := build()
+	buf, _ := img.Lookup("buf")
+	m1 := newMachine(t, img)
+	var sitePC uint32
+	calls1 := 0
+	m1.SetProbes(ProbeSet{Mem: func(ev *MemEvent) {
+		if ev.Addr == buf.Addr {
+			sitePC = ev.PC
+			calls1++
+		}
+	}})
+	if r := m1.Run(0); r != StopExit {
+		t.Fatalf("m1: stop=%v", r)
+	}
+	if sitePC == 0 || calls1 != 200 {
+		t.Fatalf("reference run: site=%#x calls=%d", sitePC, calls1)
+	}
+
+	// Armed with a clean shadow: the template settles every dispatch.
+	shadow := make([]byte, m1.RAMSize()/8)
+	m2 := newMachine(t, img)
+	calls2 := 0
+	m2.SetProbes(ProbeSet{Mem: func(ev *MemEvent) {
+		if ev.Addr == buf.Addr {
+			calls2++
+		}
+	}})
+	m2.SetInlineShadow(shadow)
+	m2.SetInlineMemPCs([]uint32{sitePC})
+	if r := m2.Run(0); r != StopExit {
+		t.Fatalf("m2: stop=%v", r)
+	}
+	c2 := m2.Counters()
+	if calls2 != 0 || c2.InlineFast != 200 || c2.InlineSlow != 0 {
+		t.Errorf("clean shadow: delegate calls=%d inlineFast=%d inlineSlow=%d, want 0/200/0",
+			calls2, c2.InlineFast, c2.InlineSlow)
+	}
+	if c2.MemProbes != m1.Counters().MemProbes {
+		t.Errorf("dispatch accounting diverged: %d vs %d probes", c2.MemProbes, m1.Counters().MemProbes)
+	}
+
+	// Poisoned granule: every armed dispatch must fall back to the delegate.
+	m3 := newMachine(t, img)
+	calls3 := 0
+	m3.SetProbes(ProbeSet{Mem: func(ev *MemEvent) {
+		if ev.Addr == buf.Addr {
+			calls3++
+		}
+	}})
+	poisoned := make([]byte, m1.RAMSize()/8)
+	poisoned[buf.Addr/8] = 0xFA
+	m3.SetInlineShadow(poisoned)
+	m3.SetInlineMemPCs([]uint32{sitePC})
+	if r := m3.Run(0); r != StopExit {
+		t.Fatalf("m3: stop=%v", r)
+	}
+	c3 := m3.Counters()
+	if calls3 != 200 || c3.InlineFast != 0 || c3.InlineSlow != 200 {
+		t.Errorf("poisoned shadow: delegate calls=%d inlineFast=%d inlineSlow=%d, want 200/0/200",
+			calls3, c3.InlineFast, c3.InlineSlow)
+	}
+}

@@ -15,8 +15,16 @@ type Config struct {
 	Quantum  int    // instructions per scheduling slice; defaults to 64
 	Seed     uint64 // non-zero enables interleaving jitter
 	// NoTBCache disables the translation-block cache (ablation): every
-	// block is re-decoded on entry.
+	// block is re-decoded on entry. It implies NoChain and NoSharedTB —
+	// chain links would pin stale blocks, and there is no local cache to
+	// share into.
 	NoTBCache bool
+	// NoChain disables TB exit chaining (ablation / differential testing):
+	// every block transfer goes through the dispatcher.
+	NoChain bool
+	// NoSharedTB keeps this machine off the process-global translation
+	// cache: it neither consumes nor publishes shared blocks.
+	NoSharedTB bool
 }
 
 // DefaultRAMSize is 16 MiB.
@@ -65,7 +73,9 @@ func (s StopReason) String() string {
 
 // MemEvent is passed to memory probes. Probes may set StallInsts to suspend
 // the hart *before* the access executes — the mechanism KCSAN-style delayed
-// watchpoints are built on.
+// watchpoints are built on. The machine reuses one event value across
+// dispatches to keep the hot path allocation-free, so the pointer is valid
+// only for the duration of the callback: copy the value to retain it.
 type MemEvent struct {
 	Hart   int
 	PC     uint32
@@ -112,6 +122,24 @@ type Machine struct {
 	tbs       map[uint32]*tb
 	pageGen   []uint32
 	globalGen uint32
+	// chainGen stamps TB exit links; bumping it (Restore, any TB flush)
+	// severs every installed chain at once without walking the cache.
+	chainGen uint32
+
+	// sharedTBs is this image's slot in the process-global translation
+	// cache (nil with NoSharedTB); sharedSig keys the machine's
+	// translation-relevant configuration within it and is recomputed lazily
+	// after every flush.
+	sharedTBs   *sharedImageCache
+	sharedSig   uint64
+	sharedSigOK bool
+
+	// inlineShadow/inlineMem arm the in-template shadow fast path: for
+	// access-site PCs in inlineMem, translated code tests the common
+	// fully-addressable case against inlineShadow (the sanitizer's live
+	// shadow array) and skips delegate dispatch when it cannot act.
+	inlineShadow []byte
+	inlineMem    map[uint32]bool
 
 	// safeMem marks access PCs the static prover showed can never touch
 	// invalid or poisoned memory; translation skips the Mem probe for them
@@ -163,6 +191,15 @@ type Machine struct {
 	ctr     machineCounters
 	trace   *obs.Ring
 	prof    *obs.Profile
+
+	// memEv is the scratch event handed to Mem/Sanck probes; reusing it
+	// keeps sanitizer dispatch off the heap (see the MemEvent contract).
+	memEv MemEvent
+
+	// jmpCache chains indirect transfers (JALR exits, quantum resumption):
+	// a direct-mapped PC-indexed table consulted before the dispatcher,
+	// severed by the same chainGen bump as the exit links.
+	jmpCache [jmpCacheSize]jmpEntry
 }
 
 // machineCounters caches the machine's registered instruments so hot paths
@@ -172,6 +209,9 @@ type machineCounters struct {
 	restores, restorePages       *obs.Counter
 	sanckTraps, sanckElided      *obs.Counter
 	memProbes, memElided         *obs.Counter
+	dispatches, chainHits        *obs.Counter
+	inlineFast, inlineSlow       *obs.Counter
+	sharedHits                   *obs.Counter
 }
 
 // Counters is a point-in-time snapshot of the machine's runtime accounting:
@@ -197,6 +237,39 @@ type Counters struct {
 	SanckElided uint64 // elision pads executed in lieu of a SANCK trap
 	MemProbes   uint64 // accesses dispatched to the Mem probe
 	MemElided   uint64 // proven accesses that skipped the Mem probe
+
+	// Fast-path accounting. Dispatches counts dispatcher entries (tbFor
+	// calls); ChainHits counts block transfers that followed a patched exit
+	// link instead. InlineFast/InlineSlow split inline-armed dispatches by
+	// whether the in-template shadow test settled them; SharedTBHits counts
+	// blocks consumed from the process-global translation cache (schedule-
+	// dependent across worker pools — diagnostic only).
+	Dispatches   uint64
+	ChainHits    uint64
+	InlineFast   uint64
+	InlineSlow   uint64
+	SharedTBHits uint64
+}
+
+// Sub returns the field-wise difference c-o: the accounting accumulated
+// between two snapshots.
+func (c Counters) Sub(o Counters) Counters {
+	return Counters{
+		TBHits:       c.TBHits - o.TBHits,
+		TBMisses:     c.TBMisses - o.TBMisses,
+		TransInsts:   c.TransInsts - o.TransInsts,
+		Restores:     c.Restores - o.Restores,
+		RestorePages: c.RestorePages - o.RestorePages,
+		SanckTraps:   c.SanckTraps - o.SanckTraps,
+		SanckElided:  c.SanckElided - o.SanckElided,
+		MemProbes:    c.MemProbes - o.MemProbes,
+		MemElided:    c.MemElided - o.MemElided,
+		Dispatches:   c.Dispatches - o.Dispatches,
+		ChainHits:    c.ChainHits - o.ChainHits,
+		InlineFast:   c.InlineFast - o.InlineFast,
+		InlineSlow:   c.InlineSlow - o.InlineSlow,
+		SharedTBHits: c.SharedTBHits - o.SharedTBHits,
+	}
 }
 
 // New creates a machine and loads the firmware image.
@@ -209,6 +282,10 @@ func New(img *kasm.Image, cfg Config) (*Machine, error) {
 	}
 	if cfg.Quantum <= 0 {
 		cfg.Quantum = 64
+	}
+	if cfg.NoTBCache {
+		cfg.NoChain = true
+		cfg.NoSharedTB = true
 	}
 	if img.MemTop() > cfg.RAMSize {
 		return nil, fmt.Errorf("emu: image needs %#x bytes of RAM, machine has %#x", img.MemTop(), cfg.RAMSize)
@@ -233,6 +310,14 @@ func New(img *kasm.Image, cfg Config) (*Machine, error) {
 		sanckElided:  m.metrics.Counter("emu.sanck.elided"),
 		memProbes:    m.metrics.Counter("emu.mem.probes"),
 		memElided:    m.metrics.Counter("emu.mem.elided"),
+		dispatches:   m.metrics.Counter("emu.dispatch.entries"),
+		chainHits:    m.metrics.Counter("emu.chain.hits"),
+		inlineFast:   m.metrics.Counter("emu.inline.fast"),
+		inlineSlow:   m.metrics.Counter("emu.inline.slow"),
+		sharedHits:   m.metrics.Counter("emu.tbcache.shared_hits"),
+	}
+	if !cfg.NoSharedTB {
+		m.sharedTBs = sharedCacheFor(imageIDFor(img))
 	}
 	m.bus.ram = make([]byte, cfg.RAMSize)
 	m.bus.order = img.Arch.ByteOrder()
@@ -282,6 +367,32 @@ func (m *Machine) SetSafeAccessPCs(pcs []uint32) {
 	m.flushTBs()
 }
 
+// SetInlineShadow installs (or, with nil, removes) the shadow byte array the
+// in-template fast path tests against. The caller — normally the sanitizer
+// runtime — must pass its live backing array, not a copy: the template reads
+// it on every armed dispatch and must observe poison changes immediately.
+func (m *Machine) SetInlineShadow(shadow []byte) {
+	m.inlineShadow = shadow
+}
+
+// SetInlineMemPCs arms the in-template shadow fast path for the given
+// access-site PCs (nil or empty disarms all sites). All code is
+// retranslated. The behavioural contract — an armed site whose access lies
+// fully in addressable shadow must be indistinguishable from a delegated
+// dispatch — is the caller's responsibility; san.Runtime.InstallInlineFastPath
+// enforces it by refusing engine mixes that observe clean dispatches.
+func (m *Machine) SetInlineMemPCs(pcs []uint32) {
+	if len(pcs) == 0 {
+		m.inlineMem = nil
+	} else {
+		m.inlineMem = make(map[uint32]bool, len(pcs))
+		for _, pc := range pcs {
+			m.inlineMem[pc] = true
+		}
+	}
+	m.flushTBs()
+}
+
 // Image returns the loaded firmware image.
 func (m *Machine) Image() *kasm.Image { return m.image }
 
@@ -306,6 +417,11 @@ func (m *Machine) Counters() Counters {
 		SanckElided:  m.ctr.sanckElided.Value(),
 		MemProbes:    m.ctr.memProbes.Value(),
 		MemElided:    m.ctr.memElided.Value(),
+		Dispatches:   m.ctr.dispatches.Value(),
+		ChainHits:    m.ctr.chainHits.Value(),
+		InlineFast:   m.ctr.inlineFast.Value(),
+		InlineSlow:   m.ctr.inlineSlow.Value(),
+		SharedTBHits: m.ctr.sharedHits.Value(),
 	}
 }
 
@@ -383,6 +499,11 @@ func (m *Machine) HandleHypercall(n int32, fn HyperFn) { m.hypers[n] = fn }
 
 func (m *Machine) flushTBs() {
 	m.globalGen++
+	// Every cached block is now stale, so every installed exit link is too.
+	m.chainGen++
+	// The translation signature depends on what flushed (probes, hooks,
+	// safe/inline sets); recompute it on the next shared-cache touch.
+	m.sharedSigOK = false
 }
 
 // Hart returns hart i.
@@ -515,6 +636,13 @@ func (m *Machine) Restore() {
 			off := p << pageShift
 			copy(m.bus.ram[off:off+pageSize], m.pristine[off:off+pageSize])
 			m.ctr.restorePages.Inc()
+			// Reverting the page's bytes is a write like any other: if the
+			// page holds text that was modified after the snapshot, every TB
+			// translated from the modified bytes is now stale and must not
+			// serve the restored code. invalidateRange bumps the page
+			// generation (it early-returns for pure data pages), which kills
+			// both the dispatcher's cached TBs and any exit links into them.
+			m.invalidateRange(off, pageSize)
 		}
 		m.bus.dirty[wi] = 0
 	}
@@ -524,6 +652,11 @@ func (m *Machine) Restore() {
 	// (CSRCycles reads, suspend deadlines) identical on every restore, so a
 	// pooled machine behaves the same however many campaigns preceded it.
 	m.icnt = m.snapICnt
+	// TB exit links deliberately survive the rewind: a chain transfer
+	// re-validates its target's generations against the same staleness rules
+	// the dispatcher applies, and any text the rewind reverted had its page
+	// generation bumped above. Keeping healthy links is what makes replay
+	// loops (Restore+Exec per input) run chained nearly end to end.
 	m.ctr.restores.Inc()
 	m.stop = StopNone
 	m.fault = nil

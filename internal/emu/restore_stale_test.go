@@ -1,0 +1,49 @@
+package emu
+
+import (
+	"testing"
+
+	"embsan/internal/isa"
+	"embsan/internal/kasm"
+)
+
+func TestRestoreRevertsPatchedText(t *testing.T) {
+	b := kasm.NewBuilder(kasm.Target{Arch: isa.ArchARM32E})
+	b.Func("_start")
+	b.Ready()
+	b.Li(rT0, 100)
+	b.Li(rA0, 0)
+	b.Label("loop")
+	b.Call("victim")
+	b.ADDI(rT0, rT0, -1)
+	b.BNEZ(rT0, "loop")
+	exitWith(b)
+	b.Func("victim")
+	b.ADDI(rA0, rA0, 1)
+	b.Ret()
+	img := mustLink(t, b, "restorestale")
+	m := newMachine(t, img)
+	m.ReadyHook = func(m *Machine) { m.Snapshot() }
+	if r := m.Run(0); r != StopExit || m.ExitCode() != 100 {
+		t.Fatalf("original run: stop=%v exit=%d", r, m.ExitCode())
+	}
+	victim, _ := img.Lookup("victim")
+	patched, err := isa.Encode(isa.Inst{Op: isa.OpADDI, Rd: rA0, Rs1: rA0, Imm: 2}, isa.ArchARM32E)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var word [4]byte
+	img.Arch.ByteOrder().PutUint32(word[:], patched)
+	m.Restore()
+	if err := m.WriteBytes(victim.Addr, word[:]); err != nil {
+		t.Fatal(err)
+	}
+	if r := m.Run(0); r != StopExit || m.ExitCode() != 200 {
+		t.Fatalf("patched run: stop=%v exit=%d, want 200", r, m.ExitCode())
+	}
+	m.Restore() // reverts the patch: victim adds 1 again
+	if r := m.Run(0); r != StopExit || m.ExitCode() != 100 {
+		t.Errorf("restored run: stop=%v exit=%d, want 100 — stale translation of patched text survived Restore",
+			r, m.ExitCode())
+	}
+}

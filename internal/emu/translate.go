@@ -12,6 +12,28 @@ import (
 // while translating — the direct analogue of EMBSAN modifying QEMU/TCG's
 // translation templates. Code with no registered probes carries no probe
 // flags and pays nothing at execution time.
+//
+// Three fast paths keep the dispatch loop off the hot path (docs/TRANSLATE.md):
+//
+//   - TB chaining: blocks record their static successor PCs at translation
+//     time, and runHart patches executed exits with direct links to the
+//     successor TB, so straight-line code transfers block-to-block without
+//     re-entering the dispatcher. Indirect exits (JALR — function returns and
+//     pointer calls) have no static successor to patch, so they go through a
+//     direct-mapped jump cache keyed by target PC instead. Links and jump
+//     cache entries are invalidated wholesale by bumping chainGen (any TB
+//     flush) and individually by the target's gen/pgen going stale (page
+//     invalidation — including text pages reverted by Restore). Healthy
+//     links survive Restore, so replay loops run chained end to end.
+//   - Inline shadow checks: access sites armed via SetInlineMemPCs test the
+//     common fully-addressable case against the sanitizer shadow inside the
+//     translated template and skip the delegate call entirely when it cannot
+//     observably act. Dispatch accounting (counters, trace, profile) is
+//     identical on both paths, so fast-path runs stay byte-comparable.
+//   - Shared translation cache: machines running the same image content with
+//     the same translation-relevant configuration publish and consume
+//     immutable step slices through a process-global cache (shared.go), so a
+//     worker pool translates each firmware once per process.
 
 const maxTBLen = 64
 
@@ -23,6 +45,7 @@ const (
 	stepHook
 	stepMemSafe // access proven safe: Mem probe skipped, counted as elided
 	stepElided  // FENCE pad left by link-time SANCK elision
+	stepInline  // access site armed with the in-template shadow fast path
 )
 
 type step struct {
@@ -36,13 +59,39 @@ type tb struct {
 	steps []step
 	gen   uint32 // globalGen at translation time
 	pgen  uint32 // pageGen of the block's page at translation time
+
+	// Static successor PCs, 0 = none. A conditional branch has both; a JAL
+	// or a block that simply runs off its end has one; indirect or
+	// exceptional exits (JALR, ECALL, EBREAK, HALT, YIELD) have neither.
+	succTaken uint32
+	succFall  uint32
+
+	// Chain links to the successor TBs, valid only while the stamped
+	// chainGen is current and the target's own generations still hold.
+	linkTaken, linkFall *tb
+	cgenTaken, cgenFall uint32
 }
 
 func (m *Machine) tbFor(pc uint32) (*tb, FaultKind) {
+	m.ctr.dispatches.Inc()
 	if !m.cfg.NoTBCache {
 		if t := m.tbs[pc]; t != nil && t.gen == m.globalGen && t.pgen == m.pageGen[pc>>pageShift] {
 			m.ctr.tbHits.Inc()
 			return t, FaultNone
+		}
+		if m.sharedTBs != nil && m.pageGen[pc>>pageShift] == 0 && m.sharedPageOK(pc) {
+			if e := m.sharedTBs.get(m.sharedSigNow(), pc); e != nil {
+				m.ctr.sharedHits.Inc()
+				// Count the acquired steps as translate-phase work exactly as
+				// a local decode would, so the phase attribution is a pure
+				// function of the executed code, not of cache luck (which is
+				// schedule-dependent across worker counts).
+				m.ctr.transInsts.Add(uint64(len(e.steps)))
+				t := &tb{pc: pc, steps: e.steps, gen: m.globalGen,
+					succTaken: e.succTaken, succFall: e.succFall}
+				m.tbs[pc] = t
+				return t, FaultNone
+			}
 		}
 	}
 	m.ctr.tbMisses.Inc()
@@ -52,8 +101,74 @@ func (m *Machine) tbFor(pc uint32) (*tb, FaultKind) {
 	}
 	if !m.cfg.NoTBCache {
 		m.tbs[pc] = t
+		if m.sharedTBs != nil && t.pgen == 0 && m.sharedPageOK(pc) {
+			m.sharedTBs.put(m.sharedSigNow(), pc,
+				&sharedTB{steps: t.steps, succTaken: t.succTaken, succFall: t.succFall})
+		}
 	}
 	return t, FaultNone
+}
+
+// jmpCacheSize is the direct-mapped jump cache's entry count (power of two).
+// 1024 entries cover the return sites of a deep call tree; collisions just
+// cost a dispatcher trip, exactly like an unchained transfer.
+const jmpCacheSize = 1024
+
+type jmpEntry struct {
+	t    *tb
+	cgen uint32 // chainGen at install time, same severing rule as exit links
+}
+
+// lookupTB resolves a transfer that arrives without an exit link: indirect
+// exits (JALR returns, function-pointer calls), quantum resumption, and the
+// first entry into a block graph. With chaining enabled it consults the jump
+// cache first — the indirect-exit analogue of the patched exit links, under
+// the identical validity rule — and falls back to the dispatcher, installing
+// the resolved block for next time. Counter semantics match edge chaining:
+// every transfer is either a chain hit or a dispatcher entry, never both.
+func (m *Machine) lookupTB(pc uint32) (*tb, FaultKind) {
+	if m.cfg.NoChain || m.cfg.NoTBCache {
+		return m.tbFor(pc)
+	}
+	e := &m.jmpCache[(pc>>2)&(jmpCacheSize-1)]
+	if t := e.t; t != nil && t.pc == pc && e.cgen == m.chainGen &&
+		t.gen == m.globalGen && t.pgen == m.pageGen[pc>>pageShift] {
+		m.ctr.chainHits.Inc()
+		return t, FaultNone
+	}
+	t, f := m.tbFor(pc)
+	if f != FaultNone {
+		return nil, f
+	}
+	e.t, e.cgen = t, m.chainGen
+	return t, FaultNone
+}
+
+// chainNext resolves the successor TB for the exit edge the block just took:
+// through the patched link when it is still valid, or through the dispatcher
+// (installing the link for next time) otherwise.
+func (m *Machine) chainNext(t *tb, h *Hart, taken bool) (*tb, FaultKind) {
+	var nt *tb
+	var cgen uint32
+	if taken {
+		nt, cgen = t.linkTaken, t.cgenTaken
+	} else {
+		nt, cgen = t.linkFall, t.cgenFall
+	}
+	if nt != nil && cgen == m.chainGen && nt.gen == m.globalGen && nt.pgen == m.pageGen[nt.pc>>pageShift] {
+		m.ctr.chainHits.Inc()
+		return nt, FaultNone
+	}
+	nt, f := m.tbFor(h.PC)
+	if f != FaultNone {
+		return nil, f
+	}
+	if taken {
+		t.linkTaken, t.cgenTaken = nt, m.chainGen
+	} else {
+		t.linkFall, t.cgenFall = nt, m.chainGen
+	}
+	return nt, FaultNone
 }
 
 func (m *Machine) translate(pc uint32) (*tb, FaultKind) {
@@ -79,11 +194,17 @@ func (m *Machine) translate(pc uint32) (*tb, FaultKind) {
 					fl |= stepMemSafe
 				} else {
 					fl |= stepMem
+					if m.inlineMem != nil && m.inlineMem[cur] {
+						fl |= stepInline
+					}
 				}
 			}
 		case isa.ClassSanck:
 			if m.probes.Sanck != nil {
 				fl |= stepSanck
+				if m.inlineMem != nil && m.inlineMem[cur] {
+					fl |= stepInline
+				}
 			}
 		default:
 			if inst.Op == isa.OpFENCE && m.probes.Sanck != nil && m.elided != nil && m.elided[cur] {
@@ -100,6 +221,20 @@ func (m *Machine) translate(pc uint32) (*tb, FaultKind) {
 	}
 	if len(t.steps) == 0 {
 		return nil, FaultBadFetch
+	}
+	last := t.steps[len(t.steps)-1]
+	switch last.inst.Op {
+	case isa.OpBEQ, isa.OpBNE, isa.OpBLT, isa.OpBGE, isa.OpBLTU, isa.OpBGEU:
+		t.succTaken = last.pc + uint32(last.inst.Imm)*4
+		t.succFall = last.pc + 4
+	case isa.OpJAL:
+		t.succTaken = last.pc + uint32(last.inst.Imm)*4
+	case isa.OpJALR, isa.OpECALL, isa.OpEBREAK, isa.OpHALT, isa.OpYIELD:
+		// Indirect or exceptional exit: no static successor to chain to.
+	default:
+		// The block ran off its end (page boundary, length cap, or a word
+		// that will fault if reached): execution falls through to last.pc+4.
+		t.succFall = last.pc + 4
 	}
 	m.ctr.transInsts.Add(uint64(len(t.steps)))
 	return t, FaultNone
@@ -191,11 +326,20 @@ func (m *Machine) runHart(h *Hart, quantum, target uint64) {
 	if end > target {
 		end = target
 	}
+	// t carries the block resolved by the previous iteration's chain link;
+	// nil sends the transfer through the dispatcher. Per-block work other
+	// than the lookup — coverage, trace events, profiling — runs identically
+	// on both paths, which is what keeps traces byte-identical with chaining
+	// on or off.
+	var t *tb
 	for m.stop == StopNone && m.icnt < end {
-		t, f := m.tbFor(h.PC)
-		if f != FaultNone {
-			m.raiseFault(f, h, h.PC, h.PC)
-			return
+		if t == nil {
+			var f FaultKind
+			t, f = m.lookupTB(h.PC)
+			if f != FaultNone {
+				m.raiseFault(f, h, h.PC, h.PC)
+				return
+			}
 		}
 		if m.CoverageHook != nil {
 			m.CoverageHook(h.PC)
@@ -215,6 +359,24 @@ func (m *Machine) runHart(h *Hart, quantum, target uint64) {
 		switch ex {
 		case tbYield, tbStall, tbStop, tbHalt:
 			return
+		}
+		cur := t
+		t = nil
+		// Follow a chain link only for a completed block exit that will
+		// actually execute next (same guard as the loop head): a budget stop
+		// leaves h.PC mid-block, where a coincidental match with a static
+		// successor must not bypass the dispatcher.
+		if !m.cfg.NoChain && m.stop == StopNone && m.icnt < end {
+			var f FaultKind
+			if cur.succTaken != 0 && h.PC == cur.succTaken {
+				t, f = m.chainNext(cur, h, true)
+			} else if cur.succFall != 0 && h.PC == cur.succFall {
+				t, f = m.chainNext(cur, h, false)
+			}
+			if f != FaultNone {
+				m.raiseFault(f, h, h.PC, h.PC)
+				return
+			}
 		}
 	}
 }
@@ -337,7 +499,7 @@ func (m *Machine) execTB(h *Hart, t *tb, end uint64) tbExit {
 			addr := r[in.Rs1] + uint32(in.Imm)
 			size := isa.AccessSize(in.Op)
 			if s.flags&stepMem != 0 {
-				if ex := m.fireMem(h, s.pc, addr, size, false, in.Op == isa.OpLRW); ex != tbDone {
+				if ex := m.fireMem(h, s.pc, addr, size, false, in.Op == isa.OpLRW, s.flags&stepInline != 0); ex != tbDone {
 					return ex
 				}
 			} else if s.flags&stepMemSafe != 0 {
@@ -372,7 +534,7 @@ func (m *Machine) execTB(h *Hart, t *tb, end uint64) tbExit {
 			}
 			size := isa.AccessSize(in.Op)
 			if s.flags&stepMem != 0 {
-				if ex := m.fireMem(h, s.pc, addr, size, true, in.Op == isa.OpSCW); ex != tbDone {
+				if ex := m.fireMem(h, s.pc, addr, size, true, in.Op == isa.OpSCW, s.flags&stepInline != 0); ex != tbDone {
 					return ex
 				}
 			} else if s.flags&stepMemSafe != 0 {
@@ -393,7 +555,7 @@ func (m *Machine) execTB(h *Hart, t *tb, end uint64) tbExit {
 		case isa.OpAMOADDW, isa.OpAMOSWAPW, isa.OpAMOORW, isa.OpAMOANDW:
 			addr := r[in.Rs1]
 			if s.flags&stepMem != 0 {
-				if ex := m.fireMem(h, s.pc, addr, 4, true, true); ex != tbDone {
+				if ex := m.fireMem(h, s.pc, addr, 4, true, true, s.flags&stepInline != 0); ex != tbDone {
 					return ex
 				}
 			} else if s.flags&stepMemSafe != 0 {
@@ -526,11 +688,18 @@ func (m *Machine) execTB(h *Hart, t *tb, end uint64) tbExit {
 				if m.prof != nil {
 					m.prof.AddDispatch(s.pc)
 				}
-				ev := MemEvent{Hart: h.ID, PC: s.pc, Addr: addr, Size: size, Write: write, Atomic: atomic}
-				m.probes.Sanck(&ev)
-				if ev.StallInsts > 0 {
+				if s.flags&stepInline != 0 {
+					if m.inlineClean(addr, size) {
+						m.ctr.inlineFast.Inc()
+						break
+					}
+					m.ctr.inlineSlow.Inc()
+				}
+				m.memEv = MemEvent{Hart: h.ID, PC: s.pc, Addr: addr, Size: size, Write: write, Atomic: atomic}
+				m.probes.Sanck(&m.memEv)
+				if m.memEv.StallInsts > 0 {
 					h.PC = s.pc
-					h.resumeAt = m.icnt + ev.StallInsts
+					h.resumeAt = m.icnt + m.memEv.StallInsts
 					return tbStall
 				}
 				if m.stop != StopNone {
@@ -549,8 +718,10 @@ func (m *Machine) execTB(h *Hart, t *tb, end uint64) tbExit {
 }
 
 // fireMem invokes the memory probe and translates its outcome. It returns
-// tbDone when execution should proceed with the access.
-func (m *Machine) fireMem(h *Hart, pc, addr, size uint32, write, atomic bool) tbExit {
+// tbDone when execution should proceed with the access. An inline-armed site
+// performs the full dispatch accounting, then settles the common clean case
+// against the shadow in place and skips only the delegate call itself.
+func (m *Machine) fireMem(h *Hart, pc, addr, size uint32, write, atomic, inline bool) tbExit {
 	m.ctr.memProbes.Inc()
 	if m.trace != nil {
 		m.trace.Emit(obs.Event{ICnt: m.icnt, PC: pc, Addr: addr,
@@ -559,11 +730,18 @@ func (m *Machine) fireMem(h *Hart, pc, addr, size uint32, write, atomic bool) tb
 	if m.prof != nil {
 		m.prof.AddDispatch(pc)
 	}
-	ev := MemEvent{Hart: h.ID, PC: pc, Addr: addr, Size: size, Write: write, Atomic: atomic}
-	m.probes.Mem(&ev)
-	if ev.StallInsts > 0 {
+	if inline {
+		if m.inlineClean(addr, size) {
+			m.ctr.inlineFast.Inc()
+			return tbDone
+		}
+		m.ctr.inlineSlow.Inc()
+	}
+	m.memEv = MemEvent{Hart: h.ID, PC: pc, Addr: addr, Size: size, Write: write, Atomic: atomic}
+	m.probes.Mem(&m.memEv)
+	if m.memEv.StallInsts > 0 {
 		h.PC = pc
-		h.resumeAt = m.icnt + ev.StallInsts
+		h.resumeAt = m.icnt + m.memEv.StallInsts
 		// Undo the retired-instruction count for the access we did not run.
 		m.icnt--
 		return tbStall
@@ -573,6 +751,20 @@ func (m *Machine) fireMem(h *Hart, pc, addr, size uint32, write, atomic bool) tb
 		return tbStop
 	}
 	return tbDone
+}
+
+// inlineClean is the in-template shadow test: true only when the access
+// provably needs no sanitizer attention — at or above the null guard, fully
+// covered by the shadow, and with both boundary granules completely
+// addressable (shadow byte 0). Accesses are at most 4 bytes, so they span at
+// most two 8-byte granules. Partially-valid granules (codes 1..7), poison,
+// MMIO and out-of-shadow addresses all fall through to the delegate; a nil
+// inline shadow makes the bounds test fail, so an armed site without an
+// installed shadow degrades to the plain dispatch path.
+func (m *Machine) inlineClean(addr, size uint32) bool {
+	sh := m.inlineShadow
+	last := (addr + size - 1) >> 3
+	return addr >= NullGuardSize && last < uint32(len(sh)) && sh[addr>>3]|sh[last] == 0
 }
 
 func (m *Machine) clearReservations(addr uint32, except *Hart) {

@@ -1,0 +1,233 @@
+package exps
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+
+	"embsan/internal/emu"
+	"embsan/internal/guest/firmware"
+)
+
+// TranslateBenchSchema names the BENCH_translate.json wire format. Bump it
+// whenever the row shape changes: `make bench-check` diffs this string (never
+// the measured values, which are machine-dependent) against the committed
+// artefact, so a schema drift fails CI until the artefact is re-recorded.
+const TranslateBenchSchema = "embsan/bench-translate/v1"
+
+// TranslateBench is the recorded translation fast-path benchmark: for every
+// firmware, the replay throughput of the full engine against the
+// NoFastPaths baseline on the identical deterministic workload. It is
+// serialised to BENCH_translate.json by `embsan-bench -record` so the
+// repository carries a throughput trajectory across engine changes.
+type TranslateBench struct {
+	Schema string              `json:"schema"`
+	Execs  int                 `json:"execs"` // replays per engine per firmware
+	Seed   int64               `json:"seed"`
+	Rows   []TranslateBenchRow `json:"rows"`
+}
+
+// TranslateBenchRow is one firmware's measurement. The counter-derived
+// fields come from the fast engine's run: DispatchesElided is the number of
+// block transfers and access checks that skipped the dispatcher entirely
+// (exit chains followed + inline shadow settles + shared-cache TB imports),
+// and ChainHitRate is the fraction of block transfers resolved by an exit
+// chain instead of a dispatcher entry.
+type TranslateBenchRow struct {
+	Firmware         string  `json:"firmware"`
+	BaseExecsPerSec  float64 `json:"base_execs_per_sec"`
+	FastExecsPerSec  float64 `json:"fast_execs_per_sec"`
+	Speedup          float64 `json:"speedup"`
+	ChainHitRate     float64 `json:"chain_hit_rate"`
+	DispatchesElided uint64  `json:"dispatches_elided"`
+	ChainHits        uint64  `json:"chain_hits"`
+	InlineFast       uint64  `json:"inline_fast"`
+	SharedTBHits     uint64  `json:"shared_tb_hits"`
+}
+
+// TranslateBenchOptions bounds the bench.
+type TranslateBenchOptions struct {
+	Execs  int   // timed replays per engine per round (default 8000)
+	Rounds int   // alternating base/fast rounds; best rate wins (default 3)
+	Seed   int64 // warm-up base seed (default 7)
+}
+
+// RunTranslateBench measures every firmware in fws (nil = the full Table 1
+// registry). The workload is the firmware's deterministic replay set — every
+// non-racing seeded-bug trigger plus every corpus seed, one Restore+Exec
+// each, cycled until the budget is spent — so both engines execute the
+// bit-identical instruction stream and the throughput ratio isolates the
+// translation fast paths from fuzzer mutation noise. Each engine gets one
+// untimed settle pass first so neither side pays first-translation cost
+// inside the timed window, and the engines then alternate timed rounds with
+// the best rate kept per side — the standard minimum-time estimator, which
+// cancels GC pauses and scheduler drift that a single long window folds in.
+func RunTranslateBench(fws []*firmware.Firmware, opts TranslateBenchOptions) (*TranslateBench, error) {
+	if opts.Execs <= 0 {
+		opts.Execs = 8000
+	}
+	if opts.Rounds <= 0 {
+		opts.Rounds = 3
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 7
+	}
+	if fws == nil {
+		var err error
+		fws, err = firmware.BuildAll()
+		if err != nil {
+			return nil, err
+		}
+	}
+	out := &TranslateBench{Schema: TranslateBenchSchema, Execs: opts.Execs, Seed: opts.Seed}
+	for _, fw := range fws {
+		row, err := translateBenchRow(fw, opts)
+		if err != nil {
+			return nil, err
+		}
+		out.Rows = append(out.Rows, *row)
+	}
+	return out, nil
+}
+
+func translateBenchRow(fw *firmware.Firmware, opts TranslateBenchOptions) (*TranslateBenchRow, error) {
+	var inputs [][]byte
+	for i := range fw.Bugs {
+		if !fw.Bugs[i].NeedsKCSAN {
+			inputs = append(inputs, fw.Bugs[i].Trigger)
+		}
+	}
+	inputs = append(inputs, fw.Seeds...)
+	if len(inputs) == 0 {
+		return nil, fmt.Errorf("exps: %s: no deterministic replay workload", fw.Name)
+	}
+
+	prepare := func(noFast bool) (*warmed, error) {
+		w, err := warmUp(fw, opts.Seed, false, noFast)
+		if err != nil {
+			return nil, err
+		}
+		// Settle pass: arming the inline sites flushed the fast engine's TB
+		// cache, and the first replay of each input translates cold paths on
+		// both engines. One untimed cycle pushes that outside the windows.
+		for _, in := range inputs {
+			w.inst.Restore()
+			w.inst.Exec(in, 100_000_000)
+		}
+		return w, nil
+	}
+	round := func(w *warmed) (float64, emu.Counters) {
+		inst := w.inst
+		before := inst.Machine.Counters()
+		start := time.Now()
+		for n := 0; n < opts.Execs; {
+			for _, in := range inputs {
+				inst.Restore()
+				inst.Exec(in, 100_000_000)
+				if n++; n >= opts.Execs {
+					break
+				}
+			}
+		}
+		rate := float64(opts.Execs) / time.Since(start).Seconds()
+		return rate, inst.Machine.Counters().Sub(before)
+	}
+
+	base, err := prepare(true)
+	if err != nil {
+		return nil, err
+	}
+	fast, err := prepare(false)
+	if err != nil {
+		return nil, err
+	}
+	var baseRate, fastRate float64
+	var baseCtr, fastCtr emu.Counters
+	for r := 0; r < opts.Rounds; r++ {
+		if br, bc := round(base); br > baseRate {
+			baseRate, baseCtr = br, bc
+		}
+		if fr, fc := round(fast); fr > fastRate {
+			fastRate, fastCtr = fr, fc
+		}
+	}
+	if baseCtr.ChainHits|baseCtr.InlineFast|baseCtr.SharedTBHits != 0 {
+		return nil, fmt.Errorf("exps: %s: NoFastPaths baseline engaged fast paths: %+v", fw.Name, baseCtr)
+	}
+
+	row := &TranslateBenchRow{
+		Firmware:         fw.Name,
+		BaseExecsPerSec:  baseRate,
+		FastExecsPerSec:  fastRate,
+		Speedup:          fastRate / baseRate,
+		ChainHits:        fastCtr.ChainHits,
+		InlineFast:       fastCtr.InlineFast,
+		SharedTBHits:     fastCtr.SharedTBHits,
+		DispatchesElided: fastCtr.ChainHits + fastCtr.InlineFast + fastCtr.SharedTBHits,
+	}
+	if transfers := fastCtr.ChainHits + fastCtr.Dispatches; transfers > 0 {
+		row.ChainHitRate = float64(fastCtr.ChainHits) / float64(transfers)
+	}
+	return row, nil
+}
+
+// FormatTranslateBench renders the bench as a table.
+func FormatTranslateBench(tb *TranslateBench) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Translation fast paths (%d replays per engine, seed %d)\n", tb.Execs, tb.Seed)
+	fmt.Fprintf(&b, "%-24s %11s %11s %8s %10s %14s\n",
+		"Firmware", "base e/s", "fast e/s", "speedup", "chain-hit", "elided")
+	for _, r := range tb.Rows {
+		fmt.Fprintf(&b, "%-24s %11.1f %11.1f %7.2fx %9.1f%% %14d\n",
+			r.Firmware, r.BaseExecsPerSec, r.FastExecsPerSec, r.Speedup,
+			r.ChainHitRate*100, r.DispatchesElided)
+	}
+	return b.String()
+}
+
+// CheckTranslateBench validates a recorded bench artefact against the
+// current code without comparing any measured value: the schema string must
+// match, every firmware in names (nil = the full registry) must have a row,
+// every row must be structurally sane, and at least one row must show the
+// fast paths engaged. This is the CI gate that keeps BENCH_translate.json
+// from silently rotting when the row shape or the registry changes.
+func CheckTranslateBench(data []byte, names []string) error {
+	var tb TranslateBench
+	if err := json.Unmarshal(data, &tb); err != nil {
+		return fmt.Errorf("exps: bench artefact unreadable: %w", err)
+	}
+	if tb.Schema != TranslateBenchSchema {
+		return fmt.Errorf("exps: bench artefact schema %q, code expects %q — re-record with `make bench-record`",
+			tb.Schema, TranslateBenchSchema)
+	}
+	if len(tb.Rows) == 0 {
+		return fmt.Errorf("exps: bench artefact has no rows")
+	}
+	have := map[string]bool{}
+	var elided uint64
+	for _, r := range tb.Rows {
+		if r.Firmware == "" || r.BaseExecsPerSec <= 0 || r.FastExecsPerSec <= 0 || r.Speedup <= 0 {
+			return fmt.Errorf("exps: bench artefact row %+v is malformed", r)
+		}
+		have[r.Firmware] = true
+		elided += r.DispatchesElided
+	}
+	if elided == 0 {
+		return fmt.Errorf("exps: bench artefact shows zero dispatches elided — fast paths never engaged when recorded")
+	}
+	if names == nil {
+		names = firmware.Names
+	}
+	var missing []string
+	for _, n := range names {
+		if !have[n] {
+			missing = append(missing, n)
+		}
+	}
+	if len(missing) > 0 {
+		return fmt.Errorf("exps: bench artefact missing firmware rows: %s — re-record with `make bench-record`",
+			strings.Join(missing, ", "))
+	}
+	return nil
+}

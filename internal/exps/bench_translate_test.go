@@ -1,0 +1,50 @@
+package exps
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestTranslateBenchRecordAndCheck exercises the record → serialise →
+// validate cycle on one firmware with a small replay budget. Timing values
+// are machine-dependent, so the test asserts structure and the counter
+// invariants only — the speedup itself is the committed artefact's job.
+func TestTranslateBenchRecordAndCheck(t *testing.T) {
+	fws := buildSubset(t, "OpenWRT-armvirt")
+	tb, err := RunTranslateBench(fws, TranslateBenchOptions{Execs: 120, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.Schema != TranslateBenchSchema || len(tb.Rows) != 1 {
+		t.Fatalf("unexpected bench shape: %+v", tb)
+	}
+	row := tb.Rows[0]
+	if row.BaseExecsPerSec <= 0 || row.FastExecsPerSec <= 0 {
+		t.Errorf("non-positive throughput: %+v", row)
+	}
+	if row.ChainHits == 0 || row.DispatchesElided == 0 {
+		t.Errorf("fast paths did not engage: %+v", row)
+	}
+	if row.ChainHitRate <= 0 || row.ChainHitRate > 1 {
+		t.Errorf("chain-hit rate %v outside (0,1]", row.ChainHitRate)
+	}
+
+	data, err := json.MarshalIndent(tb, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckTranslateBench(data, []string{"OpenWRT-armvirt"}); err != nil {
+		t.Errorf("valid artefact rejected: %v", err)
+	}
+	if err := CheckTranslateBench(data, []string{"OpenWRT-armvirt", "InfiniTime"}); err == nil {
+		t.Error("artefact missing a required firmware row was accepted")
+	}
+	stale := bytes.Replace(data, []byte(TranslateBenchSchema), []byte("embsan/bench-translate/v0"), 1)
+	if err := CheckTranslateBench(stale, []string{"OpenWRT-armvirt"}); err == nil {
+		t.Error("stale schema accepted")
+	}
+	if err := CheckTranslateBench([]byte("{"), nil); err == nil {
+		t.Error("truncated JSON accepted")
+	}
+}

@@ -45,6 +45,13 @@ type CampaignOptions struct {
 	// Metrics computes the per-phase virtual-time breakdown
 	// (Campaign.Phases) even when full event tracing is off.
 	Metrics bool
+	// NoFastPaths runs the campaigns on the pre-fast-path engine: TB
+	// chaining and the shared translation cache are disabled on the pooled
+	// machines and no inline shadow sites are armed. Campaign outcomes are
+	// identical with it on or off — the differential oracle tests assert
+	// exactly that — so the flag exists for those oracles and for recording
+	// the bench baseline, not for production use.
+	NoFastPaths bool
 }
 
 // FoundBug is one campaign finding attributed to a seeded bug.
@@ -75,6 +82,13 @@ type Campaign struct {
 	Trace        []obs.Event
 	TraceDropped uint64
 	Phases       obs.Phases
+
+	// Engine is the machine-counter delta accumulated by this campaign:
+	// dispatch, chaining, inline and shared-cache accounting included. Like
+	// Phases it is a worker-local diagnostic (shared-cache hits depend on
+	// which worker translated first) and participates in no campaign-result
+	// comparison; the bench recorder reads it to report dispatches elided.
+	Engine emu.Counters
 }
 
 // warmed is one worker-held firmware deployment: booted once, ground-truth
@@ -90,10 +104,22 @@ type warmed struct {
 	proof    absint.Stats       // static safety-proof tally, computed once
 }
 
+// inlineHotDispatches is the profiler threshold for arming the in-template
+// shadow fast path: access sites that dispatched at least this often during
+// the warm-up workload (boot + trigger labelling) are considered hot. The
+// warm-up is deliberately short, so the bar is low: a site a single trigger
+// replay crosses a handful of times is a loop body or shared parser path
+// that a 30k-exec campaign will cross millions of times. The threshold only
+// trades speed — unarmed sites dispatch normally.
+const inlineHotDispatches = 4
+
 // warmUp boots fw and labels its seeded bugs. The machine seed depends only
 // on the base seed, so every worker warming the same firmware reaches the
-// bit-identical snapshot.
-func warmUp(fw *firmware.Firmware, baseSeed int64, elide bool) (*warmed, error) {
+// bit-identical snapshot. Unless noFast asks for the pre-fast-path engine,
+// the warm-up workload is profiled and the hottest dispatch sites are armed
+// with the inline shadow fast path — a pure function of (fw, baseSeed,
+// elide), so pooled machines on every worker arm the same sites.
+func warmUp(fw *firmware.Firmware, baseSeed int64, elide, noFast bool) (*warmed, error) {
 	sans := []string{"kasan"}
 	for _, b := range fw.Bugs {
 		if b.NeedsKCSAN {
@@ -105,12 +131,18 @@ func warmUp(fw *firmware.Firmware, baseSeed int64, elide bool) (*warmed, error) 
 		Image:        fw.Image,
 		Sanitizers:   sans,
 		StopOnReport: true,
-		Machine:      emu.Config{MaxHarts: 2, Seed: uint64(baseSeed) + 1},
-		KCSAN:        san.KCSANConfig{SampleInterval: 13, Delay: 600},
-		Elide:        elide,
+		Machine: emu.Config{MaxHarts: 2, Seed: uint64(baseSeed) + 1,
+			NoChain: noFast, NoSharedTB: noFast},
+		KCSAN: san.KCSANConfig{SampleInterval: 13, Delay: 600},
+		Elide: elide,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("exps: %s: %w", fw.Name, err)
+	}
+	var prof *obs.Profile
+	if !noFast {
+		prof = obs.NewProfile()
+		inst.Machine.SetProfile(prof)
 	}
 	if err := inst.Boot(200_000_000); err != nil {
 		return nil, fmt.Errorf("exps: %s: %w", fw.Name, err)
@@ -142,6 +174,20 @@ func warmUp(fw *firmware.Firmware, baseSeed int64, elide bool) (*warmed, error) 
 			w.sigToBug[res.Reports[0].Signature()] = b
 		}
 	}
+	if prof != nil {
+		// The warm-up workload's dispatch-cost table picks the inline
+		// fast-path candidates; campaigns then run unprofiled.
+		inst.Machine.SetProfile(nil)
+		var hot []uint32
+		for _, site := range prof.DispatchSites(nil) {
+			if site.Count >= inlineHotDispatches {
+				hot = append(hot, site.PC)
+			}
+		}
+		if len(hot) > 0 {
+			inst.EnableInlineFastPath(hot)
+		}
+	}
 	return w, nil
 }
 
@@ -151,6 +197,7 @@ func warmUp(fw *firmware.Firmware, baseSeed int64, elide bool) (*warmed, error) 
 // ran on the pooled machine before.
 func (w *warmed) runOne(fw *firmware.Firmware, seed int64, execs int) (*Campaign, error) {
 	inst := w.inst
+	before := inst.Machine.Counters()
 	inst.Restore()
 	inst.Machine.Reseed(uint64(seed))
 
@@ -178,7 +225,8 @@ func (w *warmed) runOne(fw *firmware.Firmware, seed int64, execs int) (*Campaign
 	}
 	res := f.Run()
 
-	c := &Campaign{Firmware: fw, Stats: res.Stats, Corpus: res.Corpus, Raw: res}
+	c := &Campaign{Firmware: fw, Stats: res.Stats, Corpus: res.Corpus, Raw: res,
+		Engine: inst.Machine.Counters().Sub(before)}
 	foundFns := map[string]bool{}
 	for _, crash := range res.Crashes {
 		if crash.Report == nil {
@@ -216,7 +264,7 @@ func RunCampaign(fw *firmware.Firmware, opts CampaignOptions) (*Campaign, error)
 	if opts.Execs == 0 {
 		opts.Execs = 30000
 	}
-	w, err := warmUp(fw, opts.Seed, opts.Elide)
+	w, err := warmUp(fw, opts.Seed, opts.Elide, opts.NoFastPaths)
 	if err != nil {
 		return nil, err
 	}
@@ -257,8 +305,11 @@ func RunCampaignSet(fws []*firmware.Firmware, opts CampaignOptions) (*CampaignRu
 		if opts.Elide {
 			key += "+elide"
 		}
+		if opts.NoFastPaths {
+			key += "+nofp"
+		}
 		wm, err := sched.Pooled(w, key, func() (*warmed, error) {
-			return warmUp(fw, opts.Seed, opts.Elide)
+			return warmUp(fw, opts.Seed, opts.Elide, opts.NoFastPaths)
 		})
 		if err != nil {
 			return err
@@ -273,7 +324,6 @@ func RunCampaignSet(fws []*firmware.Firmware, opts CampaignOptions) (*CampaignRu
 			ring.Reset()
 			wm.inst.SetTrace(ring)
 		}
-		before := wm.inst.Machine.Counters()
 		c, err := wm.runOne(fw, sched.Split(opts.Seed, i), opts.Execs)
 		if ring != nil {
 			wm.inst.SetTrace(nil)
@@ -282,18 +332,16 @@ func RunCampaignSet(fws []*firmware.Firmware, opts CampaignOptions) (*CampaignRu
 			return err
 		}
 		out[i] = c
-		after := wm.inst.Machine.Counters()
 		if ring != nil {
 			c.Trace = ring.Events()
 			c.TraceDropped = ring.Dropped()
 		}
 		if opts.Trace || opts.Metrics {
 			c.Phases = obs.Phases{
-				Translate: after.TransInsts - before.TransInsts,
+				Translate: c.Engine.TransInsts,
 				Execute:   c.Stats.Insts,
-				Sanitize: (after.SanckTraps - before.SanckTraps) +
-					(after.MemProbes - before.MemProbes),
-				Snapshot: after.RestorePages - before.RestorePages,
+				Sanitize:  c.Engine.SanckTraps + c.Engine.MemProbes,
+				Snapshot:  c.Engine.RestorePages,
 			}
 		}
 		for _, crash := range c.Raw.Crashes {
@@ -304,8 +352,8 @@ func RunCampaignSet(fws []*firmware.Firmware, opts CampaignOptions) (*CampaignRu
 		ctr := w.Inst()
 		ctr.Jobs.Inc()
 		ctr.Execs.Add(uint64(c.Stats.Execs))
-		ctr.Resets.Add(after.Restores - before.Restores)
-		ctr.TBHits.Add(after.TBHits - before.TBHits)
+		ctr.Resets.Add(c.Engine.Restores)
+		ctr.TBHits.Add(c.Engine.TBHits)
 		ctr.Reports.Add(uint64(len(c.Raw.Crashes)))
 		return nil
 	})

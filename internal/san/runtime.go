@@ -468,10 +468,39 @@ func (rt *Runtime) KASANEngine() *KASAN { return rt.kasan }
 // KCSANEngine exposes the KCSAN engine (nil when not configured).
 func (rt *Runtime) KCSANEngine() *KCSAN { return rt.kcsan }
 
+// InstallInlineFastPath arms the machine's in-template shadow fast path for
+// the given access-site PCs (normally the profiler's hottest dispatch
+// sites). It returns false — arming nothing — when skipping a clean
+// dispatch would be observable: KCSAN samples watchpoints statefully on
+// every access, UBSAN reports misalignment on perfectly addressable memory,
+// and without KASAN there is no shadow to test. Suppressed sites are
+// filtered out rather than armed, since their delegate deliberately ignores
+// even poisoned accesses. For the surviving pure-KASAN sites, a dispatch
+// whose access lies wholly in addressable shadow is a no-op in the
+// delegate, so settling it in the template is behaviour-preserving.
+func (rt *Runtime) InstallInlineFastPath(pcs []uint32) bool {
+	if rt.kasan == nil || rt.kcsan != nil || rt.ubsan {
+		return false
+	}
+	armed := make([]uint32, 0, len(pcs))
+nextPC:
+	for _, pc := range pcs {
+		for _, r := range rt.suppress {
+			if r.Contains(pc) {
+				continue nextPC
+			}
+		}
+		armed = append(armed, pc)
+	}
+	rt.m.SetInlineShadow(rt.kasan.Shadow().Bytes())
+	rt.m.SetInlineMemPCs(armed)
+	return true
+}
+
 // Snapshot captures the runtime state in lockstep with Machine.Snapshot.
 func (rt *Runtime) Snapshot() {
 	if rt.kasan != nil {
-		rt.shadowSnap = rt.kasan.Shadow().Clone()
+		rt.shadowSnap = rt.kasan.Shadow().Checkpoint()
 		rt.kasanSnap = rt.kasan.Snapshot()
 	}
 	rt.enabledAtSnap = rt.enabled
@@ -480,7 +509,7 @@ func (rt *Runtime) Snapshot() {
 // Restore rewinds the runtime state in lockstep with Machine.Restore.
 func (rt *Runtime) Restore() {
 	if rt.kasan != nil && rt.shadowSnap != nil {
-		rt.kasan.Shadow().CopyFrom(rt.shadowSnap)
+		rt.kasan.Shadow().RestoreFrom(rt.shadowSnap)
 		rt.kasan.RestoreState(rt.kasanSnap)
 	}
 	if rt.kcsan != nil {

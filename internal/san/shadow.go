@@ -76,6 +76,12 @@ type Shadow struct {
 	bytes []byte
 	size  uint32 // covered guest bytes
 
+	// Mutation window: the inclusive granule range touched by Poison or
+	// Unpoison since the last Checkpoint. RestoreFrom copies only this
+	// window back — the shadow analogue of the machine's dirty-page
+	// restore. Empty is encoded as mutLo > mutHi.
+	mutLo, mutHi uint32
+
 	// Optional trace sink. clock supplies the virtual timestamp (the
 	// machine's instruction counter); both are nil unless tracing is on.
 	trace *obs.Ring
@@ -84,18 +90,60 @@ type Shadow struct {
 
 // NewShadow creates shadow memory covering ramSize guest bytes.
 func NewShadow(ramSize uint32) *Shadow {
-	return &Shadow{bytes: make([]byte, ramSize/Granularity), size: ramSize}
+	return &Shadow{bytes: make([]byte, ramSize/Granularity), size: ramSize, mutLo: ^uint32(0)}
 }
+
+// Bytes exposes the live shadow byte array (one byte per 8-byte granule).
+// The machine's in-template fast path reads it directly; callers must not
+// retain it across a shadow of different size and must never write to it.
+func (s *Shadow) Bytes() []byte { return s.bytes }
 
 // Clone deep-copies the shadow (snapshot support).
 func (s *Shadow) Clone() *Shadow {
-	out := &Shadow{bytes: make([]byte, len(s.bytes)), size: s.size}
+	out := &Shadow{bytes: make([]byte, len(s.bytes)), size: s.size, mutLo: ^uint32(0)}
 	copy(out.bytes, s.bytes)
 	return out
 }
 
 // CopyFrom restores this shadow from a clone of equal size.
-func (s *Shadow) CopyFrom(o *Shadow) { copy(s.bytes, o.bytes) }
+func (s *Shadow) CopyFrom(o *Shadow) {
+	copy(s.bytes, o.bytes)
+	s.mutLo, s.mutHi = ^uint32(0), 0
+}
+
+// Checkpoint deep-copies the shadow and resets the mutation window, so a
+// later RestoreFrom of the returned snapshot needs to copy back only the
+// granules poisoned or unpoisoned since this call.
+func (s *Shadow) Checkpoint() *Shadow {
+	out := s.Clone()
+	s.mutLo, s.mutHi = ^uint32(0), 0
+	return out
+}
+
+// RestoreFrom rewinds the shadow to a Checkpoint snapshot, copying only the
+// granule window mutated since. With a typical execution touching a tiny
+// fraction of guest RAM, this is far cheaper than the full-array CopyFrom.
+func (s *Shadow) RestoreFrom(snap *Shadow) {
+	lo, hi := s.mutLo, s.mutHi
+	s.mutLo, s.mutHi = ^uint32(0), 0
+	if hi >= uint32(len(s.bytes)) {
+		hi = uint32(len(s.bytes)) - 1
+	}
+	if lo > hi {
+		return // no granule inside coverage was touched
+	}
+	copy(s.bytes[lo:hi+1], snap.bytes[lo:hi+1])
+}
+
+// noteMut widens the mutation window to include granules [first, last].
+func (s *Shadow) noteMut(first, last uint32) {
+	if first < s.mutLo {
+		s.mutLo = first
+	}
+	if last > s.mutHi {
+		s.mutHi = last
+	}
+}
 
 // SetTrace attaches (or, with nil arguments, detaches) a trace ring and the
 // virtual clock that timestamps poison/unpoison events.
@@ -117,6 +165,7 @@ func (s *Shadow) Poison(addr, size uint32, code byte) {
 	end := addr + size
 	first := addr / Granularity
 	last := (end - 1) / Granularity
+	s.noteMut(first, last)
 	for g := first; g <= last && g < uint32(len(s.bytes)); g++ {
 		gStart := g * Granularity
 		if gStart < addr {
@@ -155,6 +204,7 @@ func (s *Shadow) Unpoison(addr, size uint32) {
 	end := addr + size
 	first := addr / Granularity
 	last := (end - 1) / Granularity
+	s.noteMut(first, last)
 	for g := first; g <= last && g < uint32(len(s.bytes)); g++ {
 		gStart := g * Granularity
 		gEnd := gStart + Granularity
