@@ -2,7 +2,7 @@ GO ?= go
 FUZZTIME ?= 10s
 BENCH_EXECS ?= 8000
 
-.PHONY: build vet test test-short race lint elide-audit obs-check fuzz-smoke bench-parallel bench-record bench-check ci ci-short
+.PHONY: build vet test test-short race lint elide-audit obs-check fuzz-smoke bench-parallel bench-record bench-check rehost-check ci ci-short
 
 build:
 	$(GO) build ./...
@@ -64,9 +64,22 @@ fuzz-smoke:
 	$(GO) test ./internal/isa -fuzz FuzzDecode -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/dsl -fuzz FuzzParseRoundTrip -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/static -fuzz FuzzRecoverCFG -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/static -fuzz FuzzRehostLift -fuzztime $(FUZZTIME) -fuzzminimizetime 1x
 	$(GO) test ./internal/static/absint -fuzz FuzzAbsint -fuzztime $(FUZZTIME) -fuzzminimizetime 1x
 	$(GO) test ./internal/obs -fuzz FuzzTraceRoundTrip -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/emu -fuzz FuzzChainedExecution -fuzztime $(FUZZTIME) -fuzzminimizetime 1x
+
+# Static rehosting gate: emit the binary-only mystery image to a file, lift
+# it from the encoded bytes alone, boot it through the synthesized bridge,
+# have the Prober confirm the allocator, run a short campaign — then audit
+# the recorded profile against the image and prove the auditor catches a
+# tampered one.
+rehost-check:
+	@dir=$$(mktemp -d); trap 'rm -rf "$$dir"' EXIT; set -e; \
+	$(GO) run ./cmd/embsan rehost -emit-mystery x86e -image-out "$$dir/mystery.img"; \
+	$(GO) run ./cmd/embsan rehost -image "$$dir/mystery.img" -profile-out "$$dir/mystery.profile" -campaign 2000; \
+	$(GO) run ./cmd/embsan lint -rehost -image "$$dir/mystery.img" -profile "$$dir/mystery.profile"; \
+	$(GO) run ./cmd/embsan lint -rehost -selftest
 
 # The pooled-scheduler throughput series (serial runner vs worker pool).
 bench-parallel:
@@ -78,6 +91,7 @@ bench-parallel:
 # repo carries the throughput trajectory alongside the code.
 bench-record:
 	$(GO) run ./cmd/embsan-bench -record BENCH_translate.json -record-execs $(BENCH_EXECS)
+	$(GO) run ./cmd/embsan-bench -record-rehost BENCH_rehost.json
 
 # CI gate on the committed artefact: its schema and registry coverage must
 # match the current code (measured values are machine-dependent and never
@@ -85,8 +99,9 @@ bench-record:
 # zero chain hits or zero dispatches elided fails the build.
 bench-check:
 	$(GO) run ./cmd/embsan-bench -bench-check BENCH_translate.json
+	$(GO) run ./cmd/embsan-bench -rehost-check BENCH_rehost.json
 
-ci: vet build lint elide-audit obs-check race fuzz-smoke bench-check
+ci: vet build lint elide-audit obs-check race fuzz-smoke rehost-check bench-check
 
 # ci with the long campaign/overhead experiments skipped.
-ci-short: vet build lint elide-audit obs-check race-short fuzz-smoke bench-check
+ci-short: vet build lint elide-audit obs-check race-short fuzz-smoke rehost-check bench-check

@@ -12,6 +12,8 @@
 //	embsan-bench -all [-workers 4]
 //	embsan-bench -record BENCH_translate.json   # translation fast-path bench
 //	embsan-bench -bench-check BENCH_translate.json
+//	embsan-bench -record-rehost BENCH_rehost.json   # rehosted replay throughput
+//	embsan-bench -rehost-check BENCH_rehost.json
 //
 // The table 3/4 campaigns run on the deterministic parallel executor
 // (internal/sched); -workers sizes its pool without changing any output.
@@ -45,6 +47,10 @@ func main() {
 		record      = flag.String("record", "", "measure the translation fast paths on every registry firmware and write the bench JSON here")
 		recordExecs = flag.Int("record-execs", 8000, "timed replays per engine per firmware for -record")
 		benchCheck  = flag.String("bench-check", "", "validate a recorded bench JSON (schema + registry coverage, never values) and smoke the fast paths live")
+
+		recordRehost = flag.String("record-rehost", "", "measure rehosted-firmware replay throughput and write the bench JSON here")
+		rehostExecs  = flag.Int("rehost-execs", 4000, "timed replays per firmware for -record-rehost")
+		rehostCheck  = flag.String("rehost-check", "", "validate a recorded rehost bench JSON (schema + family coverage, never values)")
 	)
 	flag.Parse()
 
@@ -123,7 +129,33 @@ func main() {
 	if *benchCheck != "" {
 		benchCheckRun(*benchCheck, *seed)
 	}
-	if !*all && *table == 0 && *figure == 0 && !*elision && *record == "" && *benchCheck == "" {
+	if *recordRehost != "" {
+		rb, err := exps.RunRehostBench(exps.RehostBenchOptions{Execs: *rehostExecs, Seed: *seed})
+		if err != nil {
+			fatal(err)
+		}
+		data, err := json.MarshalIndent(rb, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*recordRehost, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Println(exps.FormatRehostBench(rb))
+		fmt.Printf("bench written to %s\n", *recordRehost)
+	}
+	if *rehostCheck != "" {
+		data, err := os.ReadFile(*rehostCheck)
+		if err != nil {
+			fatal(err)
+		}
+		if err := exps.CheckRehostBench(data); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("rehost-check: %s schema and family coverage OK\n", *rehostCheck)
+	}
+	if !*all && *table == 0 && *figure == 0 && !*elision && *record == "" && *benchCheck == "" &&
+		*recordRehost == "" && *rehostCheck == "" {
 		flag.Usage()
 	}
 }

@@ -8,6 +8,7 @@
 //	embsan -image fw.img [-probe-text]
 //	embsan lint -firmware NAME | -image FILE | -all | -selftest
 //	embsan trace -firmware NAME [-out DIR] [-validate]
+//	embsan rehost -image FILE [-profile-out F] [-stub-out F] [-campaign N]
 package main
 
 import (
@@ -31,6 +32,10 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "trace" {
 		traceMain(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "rehost" {
+		rehostMain(os.Args[2:])
 		return
 	}
 	var (

@@ -1,0 +1,159 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"embsan/internal/emu"
+	"embsan/internal/exps"
+	"embsan/internal/guest/firmware"
+	"embsan/internal/guest/mystery"
+	"embsan/internal/isa"
+	"embsan/internal/kasm"
+	"embsan/internal/probe"
+	"embsan/internal/static/rehost"
+)
+
+// rehostMain implements `embsan rehost`: the static rehosting pipeline for
+// foreign closed binaries. The image is lifted (entry, stack, MMIO register
+// map, allocator candidates) with no source or metadata access, the
+// synthesized bridge device is attached to an otherwise stock machine, and
+// the firmware is booted, probed and optionally fuzzed through it.
+func rehostMain(args []string) {
+	fs := flag.NewFlagSet("rehost", flag.ExitOnError)
+	var (
+		imagePath  = fs.String("image", "", "path to an encoded firmware image")
+		profileOut = fs.String("profile-out", "", "write the lifted profile (rehost profile v1 text) here")
+		stubOut    = fs.String("stub-out", "", "write the generated bridge-device Go source here")
+		campaign   = fs.Int("campaign", 0, "after booting, fuzz the image for N executions through the bridge")
+		workers    = fs.Int("workers", 1, "campaign worker pool size")
+		seed       = fs.Int64("seed", 7, "RNG seed")
+		budget     = fs.Uint64("budget", 200_000_000, "boot instruction budget")
+
+		emitMystery = fs.String("emit-mystery", "", "write the bundled binary-only mystery image for this frontend (arm32e/mips32e/x86e) to -image-out and exit")
+		imageOut    = fs.String("image-out", "", "output path for -emit-mystery")
+	)
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: embsan rehost -image FILE [-profile-out F] [-stub-out F] [-campaign N]")
+		fmt.Fprintln(os.Stderr, "       embsan rehost -emit-mystery ARCH -image-out FILE")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+
+	if *emitMystery != "" {
+		arch, ok := isa.ArchByName(*emitMystery)
+		if !ok {
+			fatal(fmt.Errorf("unknown frontend %q", *emitMystery))
+		}
+		if *imageOut == "" {
+			fatal(fmt.Errorf("-emit-mystery needs -image-out"))
+		}
+		fw, err := mystery.Build("mystery-"+*emitMystery, arch)
+		if err != nil {
+			fatal(err)
+		}
+		data, err := fw.Image.Encode()
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*imageOut, data, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("mystery image (%s, stripped) written to %s (%d bytes)\n",
+			arch, *imageOut, len(data))
+		return
+	}
+
+	if *imagePath == "" {
+		fs.Usage()
+		os.Exit(2)
+	}
+	raw, err := os.ReadFile(*imagePath)
+	if err != nil {
+		fatal(err)
+	}
+	img, err := kasm.DecodeImage(raw)
+	if err != nil {
+		fatal(err)
+	}
+
+	// ---- lift ----
+	p, err := rehost.Lift(img)
+	if err != nil {
+		fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		fatal(err)
+	}
+	fmt.Print(p.Render())
+	if *profileOut != "" {
+		if err := os.WriteFile(*profileOut, []byte(p.Render()), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+	if *stubOut != "" {
+		if err := os.WriteFile(*stubOut, []byte(p.RenderStub()), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+
+	// ---- boot through the synthesized bridge ----
+	devices := []emu.DeviceFactory{rehost.Device(p)}
+	m, err := emu.New(img, emu.Config{Devices: devices})
+	if err != nil {
+		fatal(err)
+	}
+	m.ReadyHook = func(m *emu.Machine) { m.RequestStop() }
+	if r := m.Run(*budget); r != emu.StopRequest {
+		fatal(fmt.Errorf("boot through the lifted bridge stopped with %v (fault %v)", r, m.Fault()))
+	}
+	fmt.Printf("\nbooted to ready through the lifted bridge (%d instructions)\n", m.ICount())
+	if out := m.UART.String(); out != "" {
+		fmt.Printf("console: %q\n", strings.TrimSuffix(out, "\n"))
+	}
+
+	// ---- probe: the Prober must confirm the inferred allocator ----
+	res, err := probe.Probe(img, probe.Options{Machine: emu.Config{Devices: devices}})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("prober mode: %s (%d dry-run pass(es))\n", res.Mode, res.DryRunPasses)
+	if len(res.Platform.Allocs) == 0 {
+		fatal(fmt.Errorf("prober classified no allocator behind the lifted bridge"))
+	}
+	for _, a := range res.Platform.Allocs {
+		fmt.Printf("prober allocator: %s entry=%#x size-arg=%s\n", a.Name, a.Entry, a.SizeArg)
+	}
+	if len(p.Allocs) > 0 && res.Platform.Allocs[0].Entry == p.Allocs[0].Entry {
+		fmt.Printf("prober confirms the top static allocator candidate (%#x)\n", p.Allocs[0].Entry)
+	} else if len(p.Allocs) > 0 {
+		fmt.Printf("warning: prober allocator %#x differs from the top static candidate %#x\n",
+			res.Platform.Allocs[0].Entry, p.Allocs[0].Entry)
+	}
+
+	// ---- optional campaign ----
+	if *campaign > 0 {
+		fw := &firmware.Firmware{
+			Name: img.Name, BaseOS: "Unknown (rehosted)", Arch: img.Arch,
+			InstMode: "EmbSan-D", SourceOpen: false, Fuzzer: "Tardis",
+			Frontend: firmware.FrontendBytes, Image: img,
+			Machine: emu.Config{Devices: devices},
+		}
+		run, err := exps.RunCampaignSet([]*firmware.Firmware{fw},
+			exps.CampaignOptions{Execs: *campaign, Seed: *seed, Workers: *workers})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+		fmt.Print(exps.FormatCampaignStats(run.Campaigns, run.Workers...))
+		for _, c := range run.Campaigns {
+			for _, crash := range c.Raw.Crashes {
+				if crash.Report != nil {
+					fmt.Printf("crash: %s (execs=%d)\n", crash.Signature, crash.Execs)
+				}
+			}
+		}
+	}
+}

@@ -110,6 +110,12 @@ func New(cfg Config) (*Instance, error) {
 	if cfg.PlatformText != "" {
 		platformText = cfg.PlatformText
 	} else {
+		// Dry runs inside the Prober must see the same extra devices as
+		// the testing machine — a rehosted image never boots without its
+		// synthesized bridge.
+		if cfg.Probe.Machine.Devices == nil {
+			cfg.Probe.Machine.Devices = cfg.Machine.Devices
+		}
 		probed, err := probe.Probe(cfg.Image, cfg.Probe)
 		if err != nil {
 			return nil, err

@@ -8,6 +8,8 @@ package emu
 import (
 	"encoding/binary"
 	"fmt"
+
+	"embsan/internal/obs"
 )
 
 // Physical memory map. RAM occupies [0, RAMSize); the first page is never
@@ -85,6 +87,10 @@ type bus struct {
 	order   binary.ByteOrder
 	dirty   []uint64 // one bit per RAM page, set on write
 	devices []Device
+
+	// MMIO dispatch accounting (accesses that reached a device), surfaced
+	// as Counters.DeviceReads/DeviceWrites.
+	devReads, devWrites *obs.Counter
 }
 
 func (b *bus) inRAM(addr, size uint32) bool {
@@ -122,6 +128,7 @@ func (b *bus) read(addr, size uint32) (uint32, FaultKind) {
 	}
 	if addr >= MMIOBase {
 		if d := b.device(addr); d != nil {
+			b.devReads.Inc()
 			return d.Read(addr, size), FaultNone
 		}
 		return 0, FaultUnmapped
@@ -147,6 +154,7 @@ func (b *bus) write(addr, size, val uint32) FaultKind {
 	}
 	if addr >= MMIOBase {
 		if d := b.device(addr); d != nil {
+			b.devWrites.Inc()
 			d.Write(addr, size, val)
 			return FaultNone
 		}

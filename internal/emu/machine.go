@@ -25,7 +25,19 @@ type Config struct {
 	// NoSharedTB keeps this machine off the process-global translation
 	// cache: it neither consumes nor publishes shared blocks.
 	NoSharedTB bool
+	// Devices appends extra memory-mapped peripherals after the platform
+	// set. Factories run at the end of New so a device can hold the machine
+	// it serves (the rehosting bridge uses this to forward console bytes to
+	// the UART and request stops). Extra devices never affect translation —
+	// MMIO dispatch happens on the bus, not in the templates — so they are
+	// invisible to the shared-cache signature.
+	Devices []DeviceFactory
 }
+
+// DeviceFactory builds one extra peripheral for the machine being
+// constructed. The returned device joins bus dispatch immediately and its
+// Reset participates in Snapshot/Restore like the platform devices.
+type DeviceFactory func(*Machine) Device
 
 // DefaultRAMSize is 16 MiB.
 const DefaultRAMSize = 16 << 20
@@ -212,6 +224,7 @@ type machineCounters struct {
 	dispatches, chainHits        *obs.Counter
 	inlineFast, inlineSlow       *obs.Counter
 	sharedHits                   *obs.Counter
+	devReads, devWrites          *obs.Counter
 }
 
 // Counters is a point-in-time snapshot of the machine's runtime accounting:
@@ -249,6 +262,11 @@ type Counters struct {
 	InlineFast   uint64
 	InlineSlow   uint64
 	SharedTBHits uint64
+
+	// MMIO dispatch accounting: data accesses that reached a device (the
+	// platform peripherals or any Config.Devices extra).
+	DeviceReads  uint64
+	DeviceWrites uint64
 }
 
 // Sub returns the field-wise difference c-o: the accounting accumulated
@@ -269,6 +287,8 @@ func (c Counters) Sub(o Counters) Counters {
 		InlineFast:   c.InlineFast - o.InlineFast,
 		InlineSlow:   c.InlineSlow - o.InlineSlow,
 		SharedTBHits: c.SharedTBHits - o.SharedTBHits,
+		DeviceReads:  c.DeviceReads - o.DeviceReads,
+		DeviceWrites: c.DeviceWrites - o.DeviceWrites,
 	}
 }
 
@@ -315,11 +335,15 @@ func New(img *kasm.Image, cfg Config) (*Machine, error) {
 		inlineFast:   m.metrics.Counter("emu.inline.fast"),
 		inlineSlow:   m.metrics.Counter("emu.inline.slow"),
 		sharedHits:   m.metrics.Counter("emu.tbcache.shared_hits"),
+		devReads:     m.metrics.Counter("emu.mmio.reads"),
+		devWrites:    m.metrics.Counter("emu.mmio.writes"),
 	}
 	if !cfg.NoSharedTB {
 		m.sharedTBs = sharedCacheFor(imageIDFor(img))
 	}
 	m.bus.ram = make([]byte, cfg.RAMSize)
+	m.bus.devReads = m.ctr.devReads
+	m.bus.devWrites = m.ctr.devWrites
 	m.bus.order = img.Arch.ByteOrder()
 	m.bus.dirty = make([]uint64, (cfg.RAMSize>>pageShift+63)/64)
 	m.pageGen = make([]uint32, cfg.RAMSize>>pageShift)
@@ -329,6 +353,11 @@ func New(img *kasm.Image, cfg Config) (*Machine, error) {
 	m.TestDev = &TestDev{machine: m}
 	m.SanDev = &SanDev{}
 	m.bus.devices = []Device{m.UART, m.Mailbox, m.TestDev, m.SanDev}
+	for _, f := range cfg.Devices {
+		if d := f(m); d != nil {
+			m.bus.devices = append(m.bus.devices, d)
+		}
+	}
 
 	copy(m.bus.ram[img.Base:], img.Text)
 	copy(m.bus.ram[img.DataAddr:], img.Data)
@@ -422,6 +451,8 @@ func (m *Machine) Counters() Counters {
 		InlineFast:   m.ctr.inlineFast.Value(),
 		InlineSlow:   m.ctr.inlineSlow.Value(),
 		SharedTBHits: m.ctr.sharedHits.Value(),
+		DeviceReads:  m.ctr.devReads.Value(),
+		DeviceWrites: m.ctr.devWrites.Value(),
 	}
 }
 
@@ -497,6 +528,19 @@ func (m *Machine) UnhookPC(pc uint32) {
 // HandleHypercall registers a handler for hypercall number n.
 func (m *Machine) HandleHypercall(n int32, fn HyperFn) { m.hypers[n] = fn }
 
+// MarkReady records the firmware as ready-to-run exactly as the ready
+// hypercall would: foreign binaries have no hypercalls, so a rehosted
+// device calls this when the guest first polls for input. Idempotent; the
+// hook fires once.
+func (m *Machine) MarkReady() {
+	if !m.ReadyReached {
+		m.ReadyReached = true
+		if m.ReadyHook != nil {
+			m.ReadyHook(m)
+		}
+	}
+}
+
 func (m *Machine) flushTBs() {
 	m.globalGen++
 	// Every cached block is now stale, so every installed exit link is too.
@@ -526,12 +570,7 @@ func (m *Machine) installPlatformHypercalls() {
 		m.UART.Write(UARTBase, 1, h.Regs[isa.RegA0])
 	}
 	m.hypers[isa.HcallReady] = func(m *Machine, h *Hart) {
-		if !m.ReadyReached {
-			m.ReadyReached = true
-			if m.ReadyHook != nil {
-				m.ReadyHook(m)
-			}
-		}
+		m.MarkReady()
 	}
 	m.hypers[isa.HcallSpawn] = func(m *Machine, h *Hart) {
 		id := int(h.Regs[isa.RegA0])

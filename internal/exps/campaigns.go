@@ -127,14 +127,21 @@ func warmUp(fw *firmware.Firmware, baseSeed int64, elide, noFast bool) (*warmed,
 			break
 		}
 	}
+	// Start from the firmware's own machine config (rehosted images carry
+	// their synthesized bridge device there) and layer the campaign tuning
+	// on top.
+	mcfg := fw.Machine
+	mcfg.MaxHarts = 2
+	mcfg.Seed = uint64(baseSeed) + 1
+	mcfg.NoChain = noFast
+	mcfg.NoSharedTB = noFast
 	inst, err := core.New(core.Config{
 		Image:        fw.Image,
 		Sanitizers:   sans,
 		StopOnReport: true,
-		Machine: emu.Config{MaxHarts: 2, Seed: uint64(baseSeed) + 1,
-			NoChain: noFast, NoSharedTB: noFast},
-		KCSAN: san.KCSANConfig{SampleInterval: 13, Delay: 600},
-		Elide: elide,
+		Machine:      mcfg,
+		KCSAN:        san.KCSANConfig{SampleInterval: 13, Delay: 600},
+		Elide:        elide,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("exps: %s: %w", fw.Name, err)

@@ -8,6 +8,7 @@ package firmware
 import (
 	"fmt"
 
+	"embsan/internal/emu"
 	"embsan/internal/guest/elinux"
 	"embsan/internal/guest/freertos"
 	"embsan/internal/guest/gabi"
@@ -57,6 +58,11 @@ type Firmware struct {
 	Syscalls []string // syscall-frontend only
 	Bugs     []Bug
 	Seeds    [][]byte // initial fuzzing corpus
+
+	// Machine carries extra emulator configuration the firmware needs to
+	// boot — rehosted images attach their synthesized bridge device here.
+	// Registry firmware leave it zero (the stock platform).
+	Machine emu.Config
 }
 
 // Names lists the Table 1 firmware in table order.

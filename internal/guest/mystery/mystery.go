@@ -1,0 +1,419 @@
+// Package mystery is the 5th guest personality: a binary-only firmware for
+// an unknown board, the ground truth the static rehosting pipeline is tested
+// against. Unlike the other closed guest (vxworks), it speaks to none of the
+// platform devices and issues no hypercalls — all of its I/O goes through a
+// foreign MMIO block at 0xF100_0000 that does not exist on a stock machine,
+// so the image faults on boot unless a rehosted device is synthesized from
+// the binary alone. The firmware carries a custom bump-plus-freelist
+// allocator (for the Prober to classify behaviourally), a PC-relative
+// service dispatch through a self-relative data table (the CFG-recovery gap
+// of the non-mips frontends), and two seeded heap bugs.
+package mystery
+
+import (
+	"fmt"
+
+	"embsan/internal/emu"
+	"embsan/internal/isa"
+	"embsan/internal/kasm"
+	"embsan/internal/san"
+)
+
+const (
+	rZ  = isa.RegZero
+	rRA = isa.RegRA
+	rSP = isa.RegSP
+	rA0 = isa.RegA0
+	rA1 = isa.RegA1
+	rA2 = isa.RegA2
+	rA3 = isa.RegA3
+	rA4 = isa.RegA4
+	rA5 = isa.RegA5
+	rA6 = isa.RegA6
+	rT0 = isa.RegT0
+	rT1 = isa.RegT1
+)
+
+// The foreign MMIO block. These constants are the ground truth the lifted
+// register map is compared against in tests; the lifter never sees them.
+const (
+	DeviceBase = 0xF100_0000
+
+	RegClkStatus = DeviceBase + 0x00 // boot poll: firmware waits for bit 0
+	RegCtrl      = DeviceBase + 0x04 // boot-time control writes
+	RegConsole   = DeviceBase + 0x08 // write-only byte console
+	RegRxStatus  = DeviceBase + 0x10 // input poll: nonzero when a frame is pending
+	RegRxLen     = DeviceBase + 0x14 // pending frame length
+	RegDone      = DeviceBase + 0x18 // completion: result code write ends the frame
+	Window       = DeviceBase + 0x1000
+	WindowSize   = 0x1000
+)
+
+// StackTop is the materialised boot stack pointer (no stack symbol survives
+// in the stripped binary; the lifter must recover it from the entry block).
+const StackTop = 0x0010_0000
+
+const poolSize = 64 << 10
+
+// li32 converts a full 32-bit address to the signed immediate Li takes.
+func li32(v uint32) int32 { return int32(v) }
+
+// Service selector: the low two bits of the first frame byte index the
+// dispatch table.
+const (
+	svcNop  = 0x40
+	svcEcho = 0x41
+	svcCfg  = 0x42
+	svcSess = 0x43
+)
+
+// Bug describes one seeded bug with its triggering frame.
+type Bug struct {
+	Fn       string
+	Location string
+	Type     san.BugType
+	Trigger  []byte
+}
+
+// Firmware is a built (and stripped) mystery image.
+type Firmware struct {
+	Image *kasm.Image // stripped: what the rehosting pipeline gets
+	// FullImage keeps the symbols for ground-truth verification in tests.
+	FullImage *kasm.Image
+	Bugs      []Bug
+	Seeds     [][]byte
+}
+
+// Build assembles and strips the firmware. The board is closed: mode is
+// always SanNone (EMBSAN-D through rehosting).
+func Build(name string, arch isa.Arch) (*Firmware, error) {
+	b := kasm.NewBuilder(kasm.Target{Arch: arch, Sanitize: kasm.SanNone})
+	emitBoot(b)
+	emitConsole(b)
+	emitAlloc(b)
+	emitLoop(b)
+	emitServices(b)
+
+	full, err := b.Link(name)
+	if err != nil {
+		return nil, fmt.Errorf("mystery: build %s: %w", name, err)
+	}
+
+	// cfg frame: [svc, rsv, payload...]. The handler copies the whole
+	// payload into a 24-byte heap buffer, trusting it to fit.
+	cfgTrig := append([]byte{svcCfg, 0}, make([]byte, 32)...)
+	// sess frame: [svc, op, flag]. Flag 0xDD frees the session and then
+	// writes a field through the stale pointer.
+	sessTrig := []byte{svcSess, 1, 0xDD}
+
+	return &Firmware{
+		Image:     full.Strip(),
+		FullImage: full,
+		Bugs: []Bug{
+			{Fn: "mys_cfg", Location: "cfg_store", Type: san.BugOOB, Trigger: cfgTrig},
+			{Fn: "mys_sess", Location: "sess_close", Type: san.BugUAF, Trigger: sessTrig},
+		},
+		Seeds: [][]byte{
+			{svcEcho, 1, 2, 3, 4, 5},
+			append([]byte{svcCfg, 8}, []byte{1, 2, 3, 4, 5, 6, 7, 8}...),
+			{svcSess, 1, 0},
+			{svcNop, 0},
+		},
+	}, nil
+}
+
+func emitBoot(b *kasm.Builder) {
+	b.Asciz("mys_banner", "mys v1\n")
+
+	b.Func("_start")
+	b.Li(rSP, li32(StackTop))
+	b.Call("mys_init")
+	b.Call("mys_loop")
+	b.HALT()
+
+	b.Func("mys_init")
+	b.Prologue(16)
+	// Wait for the clock/PLL to lock: the boot status poll a synthesized
+	// device must satisfy or the firmware never reaches its main loop.
+	b.Li(rT0, li32(RegClkStatus))
+	b.Label("init.clkwait")
+	b.YIELD()
+	b.LW(rT1, rT0, 0)
+	b.BEQZ(rT1, "init.clkwait")
+	// Bring the block out of reset (control writes a device may absorb).
+	b.Li(rT1, 3)
+	b.SW(rT1, rT0, 4)
+	b.Li(rT1, 1)
+	b.SW(rT1, rT0, 4)
+	b.La(rA0, "mys_banner")
+	b.Call("mys_puts")
+	// Allocator init + boot allocations: the behavioural observations the
+	// closed-mode Prober classifies the allocator from.
+	b.La(rT0, "mys_cur")
+	b.SW(rZ, rT0, 0)
+	b.La(rT0, "mys_fl")
+	b.SW(rZ, rT0, 0)
+	b.Li(rA0, 40)
+	b.Call("mys_alloc")
+	b.Li(rA0, 72)
+	b.Call("mys_alloc")
+	b.SW(rA0, rSP, 0)
+	b.Li(rA0, 24)
+	b.Call("mys_alloc")
+	b.Li(rA0, 56)
+	b.Call("mys_alloc")
+	b.LW(rA0, rSP, 0)
+	b.Call("mys_free")
+	b.Epilogue(16)
+}
+
+func emitConsole(b *kasm.Builder) {
+	// mys_puts(a0 = NUL-terminated string): bytes out the foreign console.
+	b.Func("mys_puts")
+	b.Li(rT0, li32(RegConsole))
+	b.Label("puts.loop")
+	b.LBU(rT1, rA0, 0)
+	b.BEQZ(rT1, "puts.done")
+	b.SB(rT1, rT0, 0)
+	b.ADDI(rA0, rA0, 1)
+	b.J("puts.loop")
+	b.Label("puts.done")
+	b.Ret()
+}
+
+// emitAlloc emits the custom allocator: a bump cursor over a static pool
+// with a first-fit singly linked free list. Block header: word 0 free-list
+// link, word 4 total block size.
+func emitAlloc(b *kasm.Builder) {
+	b.GlobalAlign("mys_pool", poolSize, 8)
+	b.GlobalRaw("mys_cur", 4)
+	b.GlobalRaw("mys_fl", 4)
+
+	// mys_alloc(a0 = size) -> a0 = ptr or 0.
+	b.Func("mys_alloc")
+	b.ADDI(rT0, rA0, 15)
+	b.ANDI(rT0, rT0, -8) // total incl. 8-byte header, 8-aligned
+	b.La(rA2, "mys_fl")
+	b.LW(rA3, rA2, 0)
+	b.Label("alloc.walk")
+	b.BEQZ(rA3, "alloc.bump")
+	b.LW(rT1, rA3, 4)
+	b.BGEU(rT1, rT0, "alloc.reuse")
+	b.MV(rA2, rA3)
+	b.LW(rA3, rA3, 0)
+	b.J("alloc.walk")
+	b.Label("alloc.reuse")
+	b.LW(rA4, rA3, 0)
+	b.SW(rA4, rA2, 0)
+	b.ADDI(rA0, rA3, 8)
+	b.Ret()
+	b.Label("alloc.bump")
+	b.La(rA2, "mys_cur")
+	b.LW(rA3, rA2, 0)
+	b.ADD(rA4, rA3, rT0)
+	b.Li(rT1, poolSize)
+	b.BLTU(rT1, rA4, "alloc.fail")
+	b.SW(rA4, rA2, 0)
+	b.La(rA4, "mys_pool")
+	b.ADD(rA3, rA4, rA3)
+	b.SW(rT0, rA3, 4)
+	b.ADDI(rA0, rA3, 8)
+	b.Ret()
+	b.Label("alloc.fail")
+	b.Li(rA0, 0)
+	b.Ret()
+
+	// mys_free(a0 = ptr).
+	b.Func("mys_free")
+	b.BEQZ(rA0, "free.out")
+	b.ADDI(rT0, rA0, -8)
+	b.La(rA2, "mys_fl")
+	b.LW(rA3, rA2, 0)
+	b.SW(rA3, rT0, 0)
+	b.SW(rT0, rA2, 0)
+	b.Label("free.out")
+	b.Ret()
+}
+
+// emitLoop emits the main service loop: poll for a frame, copy it out of
+// the device window into a heap buffer (the varying-address MMIO reads a
+// lifter recovers the window from), dispatch on the low bits of the first
+// byte through a self-relative table (PC-relative toolchain idiom), and
+// acknowledge through the done register.
+func emitLoop(b *kasm.Builder) {
+	b.DataWordRel("mys_tab", []string{"mys_nop", "mys_echo", "mys_cfg", "mys_sess"})
+
+	b.Func("mys_loop")
+	b.ADDI(rSP, rSP, -32) // never returns; scratch frame only
+	b.Li(rA6, li32(RegRxStatus))
+	b.Label("loop.poll")
+	b.YIELD()
+	b.LW(rT0, rA6, 0)
+	b.BEQZ(rT0, "loop.poll")
+	b.LW(rA1, rA6, 4) // frame length
+	b.BEQZ(rA1, "loop.ack0")
+	b.SW(rA1, rSP, 4)
+	b.MV(rA0, rA1)
+	b.Call("mys_alloc") // frame buffer
+	b.BEQZ(rA0, "loop.ack0")
+	b.SW(rA0, rSP, 8)
+	// Copy the frame out of the rx window.
+	b.Li(rA5, li32(Window))
+	b.MV(rT0, rA0)
+	b.LW(rT1, rSP, 4)
+	b.ADD(rT1, rA0, rT1)
+	b.Label("loop.copy")
+	b.BGEU(rT0, rT1, "loop.parsed")
+	b.LBU(rA2, rA5, 0)
+	b.SB(rA2, rT0, 0)
+	b.ADDI(rA5, rA5, 1)
+	b.ADDI(rT0, rT0, 1)
+	b.J("loop.copy")
+	b.Label("loop.parsed")
+	b.LW(rA0, rSP, 8)
+	b.LBU(rT0, rA0, 0) // service byte
+	b.ANDI(rT0, rT0, 3)
+	b.SLLI(rT0, rT0, 2)
+	b.LaPC(rA3, "mys_tab")
+	b.ADD(rT0, rA3, rT0)
+	b.LW(rT0, rT0, 0)    // self-relative entry
+	b.ADD(rT0, rA3, rT0) // + table base (mod 2^32)
+	b.LW(rA1, rSP, 4)
+	b.JALR(rRA, rT0, 0) // handler(a0 = frame, a1 = len) -> a0 = result
+	b.SW(rA0, rSP, 12)
+	b.LW(rA0, rSP, 8)
+	b.Call("mys_free")
+	b.LW(rA0, rSP, 12)
+	b.SW(rA0, rA6, 8) // done register
+	b.J("loop.poll")
+	b.Label("loop.ack0")
+	b.Li(rA0, 0)
+	b.SW(rA0, rA6, 8)
+	b.J("loop.poll")
+}
+
+func emitServices(b *kasm.Builder) {
+	// mys_nop(a0 = frame, a1 = len): ignore.
+	b.Func("mys_nop")
+	b.Li(rA0, 0)
+	b.Ret()
+
+	// mys_echo: checksum the payload.
+	b.Func("mys_echo")
+	b.ADDI(rT0, rA0, 1)
+	b.ADD(rT1, rA0, rA1)
+	b.Li(rA0, 0)
+	b.Label("echo.loop")
+	b.BGEU(rT0, rT1, "echo.done")
+	b.LBU(rA2, rT0, 0)
+	b.ADD(rA0, rA0, rA2)
+	b.ADDI(rT0, rT0, 1)
+	b.J("echo.loop")
+	b.Label("echo.done")
+	b.Ret()
+
+	// mys_cfg: copy the frame payload (frame[2:len]) into a 24-byte config
+	// block. The reads stay inside the frame, but the payload length is
+	// trusted to fit the block — the seeded heap OOB write.
+	b.Func("mys_cfg")
+	b.Prologue(32)
+	b.SW(rA0, rSP, 0)
+	b.SW(rA1, rSP, 4)
+	b.Li(rT0, 2)
+	b.BLTU(rA1, rT0, "cfg.out")
+	b.Li(rA0, 24)
+	b.Call("mys_alloc")
+	b.BEQZ(rA0, "cfg.out")
+	b.SW(rA0, rSP, 8)
+	b.LW(rA3, rSP, 0)
+	b.LW(rA2, rSP, 4)
+	b.ADDI(rA2, rA2, -2) // payload length, trusted to fit the block
+	b.MV(rT0, rA0)       // dst cursor
+	b.ADDI(rT1, rA3, 2)
+	b.ADD(rA4, rT1, rA2)
+	b.Label("cfg.copy")
+	b.BGEU(rT1, rA4, "cfg.done")
+	b.LBU(rA5, rT1, 0)
+	b.SB(rA5, rT0, 0)
+	b.ADDI(rT0, rT0, 1)
+	b.ADDI(rT1, rT1, 1)
+	b.J("cfg.copy")
+	b.Label("cfg.done")
+	b.LW(rA0, rSP, 8)
+	b.Call("mys_free")
+	b.Label("cfg.out")
+	b.Li(rA0, 1)
+	b.Epilogue(32)
+
+	// mys_sess: open a 40-byte session. Flag byte 0xDD takes the "abort"
+	// path that frees the session and then stamps its state field — the
+	// seeded use-after-free write.
+	b.Func("mys_sess")
+	b.Prologue(32)
+	b.SW(rA0, rSP, 0)
+	b.SW(rA1, rSP, 4)
+	b.Li(rT0, 3)
+	b.BLTU(rA1, rT0, "sess.out")
+	b.Li(rA0, 40)
+	b.Call("mys_alloc")
+	b.BEQZ(rA0, "sess.out")
+	b.SW(rA0, rSP, 8)
+	b.Li(rT0, 0x7E)
+	b.SW(rT0, rA0, 0)
+	b.LW(rA3, rSP, 0)
+	b.LBU(rT0, rA3, 2)
+	b.Li(rT1, 0xDD)
+	b.BNE(rT0, rT1, "sess.close")
+	b.LW(rA0, rSP, 8)
+	b.Call("mys_free")
+	b.LW(rT0, rSP, 8)
+	b.Li(rT1, 0x41)
+	b.SW(rT1, rT0, 4) // write through the freed session
+	b.J("sess.out")
+	b.Label("sess.close")
+	b.LW(rA0, rSP, 8)
+	b.Call("mys_free")
+	b.Label("sess.out")
+	b.Li(rA0, 2)
+	b.Epilogue(32)
+}
+
+// Device returns the hand-written ground-truth bridge for the foreign MMIO
+// block: what a correctly synthesized rehost device must behave like. It
+// forwards input-path registers to the platform mailbox, the console to the
+// UART, and absorbs control writes. Tests use it to validate the guest
+// independently of the lifter.
+func Device(m *emu.Machine) emu.Device { return &refDevice{m: m} }
+
+type refDevice struct{ m *emu.Machine }
+
+func (d *refDevice) Name() string { return "mystery-ref" }
+func (d *refDevice) Contains(addr uint32) bool {
+	return addr >= DeviceBase && addr < Window+WindowSize
+}
+
+func (d *refDevice) Read(addr, size uint32) uint32 {
+	switch {
+	case addr >= Window:
+		return d.m.Mailbox.Read(emu.MailboxData+(addr-Window), size)
+	case addr == RegClkStatus:
+		return 1
+	case addr == RegRxStatus:
+		d.m.MarkReady()
+		return d.m.Mailbox.Read(emu.MailboxBase, size)
+	case addr == RegRxLen:
+		return d.m.Mailbox.Read(emu.MailboxBase+4, size)
+	}
+	return 0
+}
+
+func (d *refDevice) Write(addr, size, val uint32) {
+	switch addr {
+	case RegConsole:
+		d.m.UART.Write(emu.UARTBase, 1, val)
+	case RegDone:
+		d.m.Mailbox.Write(emu.MailboxBase+8, size, val)
+	}
+}
+
+func (d *refDevice) Reset() {}

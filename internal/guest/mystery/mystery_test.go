@@ -1,0 +1,114 @@
+package mystery
+
+import (
+	"strings"
+	"testing"
+
+	"embsan/internal/emu"
+	"embsan/internal/isa"
+)
+
+// bootWithRef builds the firmware for arch and boots the stripped image on
+// a machine carrying only the ground-truth bridge device.
+func bootWithRef(t *testing.T, arch isa.Arch) (*Firmware, *emu.Machine) {
+	t.Helper()
+	fw, err := Build("Mystery", arch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := emu.New(fw.Image, emu.Config{Devices: []emu.DeviceFactory{Device}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.ReadyHook = func(m *emu.Machine) { m.RequestStop() }
+	if r := m.Run(50_000_000); r != emu.StopRequest {
+		t.Fatalf("boot stopped with %v (fault %v), ready=%v", r, m.Fault(), m.ReadyReached)
+	}
+	if !m.ReadyReached {
+		t.Fatal("boot finished without reaching the input poll")
+	}
+	return fw, m
+}
+
+func TestBootsOnAllFrontends(t *testing.T) {
+	for _, arch := range []isa.Arch{isa.ArchARM32E, isa.ArchMIPS32E, isa.ArchX86E} {
+		t.Run(arch.String(), func(t *testing.T) {
+			_, m := bootWithRef(t, arch)
+			if out := m.UART.String(); !strings.Contains(out, "mys v1") {
+				t.Fatalf("console missing banner: %q", out)
+			}
+		})
+	}
+}
+
+// exec posts one frame and runs the machine until the guest acknowledges it
+// through the done register.
+func exec(t *testing.T, m *emu.Machine, frame []byte) uint32 {
+	t.Helper()
+	m.ClearStop()
+	m.Mailbox.Post(frame)
+	if r := m.Run(50_000_000); r != emu.StopRequest {
+		t.Fatalf("exec stopped with %v (fault %v)", r, m.Fault())
+	}
+	done, code := m.Mailbox.Done()
+	if !done {
+		t.Fatal("frame not acknowledged")
+	}
+	return code
+}
+
+func TestServiceDispatchThroughRelativeTable(t *testing.T) {
+	_, m := bootWithRef(t, isa.ArchX86E)
+
+	// Echo: the handler must be reached through the self-relative table and
+	// return the payload checksum.
+	frame := []byte{svcEcho, 10, 20, 30}
+	if code := exec(t, m, frame); code != 60 {
+		t.Fatalf("echo returned %d, want 60", code)
+	}
+	// Nop: distinct table slot, distinct result.
+	if code := exec(t, m, []byte{svcNop, 9, 9}); code != 0 {
+		t.Fatalf("nop returned %d, want 0", code)
+	}
+	// Benign cfg and sess frames complete without faulting (the seeded bugs
+	// are silent without a sanitizer attached — both stay inside the pool).
+	if code := exec(t, m, append([]byte{svcCfg, 8}, make([]byte, 8)...)); code != 1 {
+		t.Fatalf("cfg returned %d, want 1", code)
+	}
+	if code := exec(t, m, []byte{svcSess, 1, 0}); code != 2 {
+		t.Fatalf("sess returned %d, want 2", code)
+	}
+}
+
+func TestStrippedImageHasNoMetadata(t *testing.T) {
+	fw, err := Build("Mystery", isa.ArchX86E)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fw.Image.Symbols) != 0 || !fw.Image.Stripped {
+		t.Fatal("distributed image must be stripped")
+	}
+	if len(fw.Image.Meta.AllocFuncs) != 0 || len(fw.Image.Meta.Globals) != 0 {
+		t.Fatal("distributed image must carry no link metadata")
+	}
+	if len(fw.FullImage.Symbols) == 0 {
+		t.Fatal("ground-truth image must keep its symbols")
+	}
+}
+
+func TestBootFaultsWithoutBridgeDevice(t *testing.T) {
+	fw, err := Build("Mystery", isa.ArchX86E)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := emu.New(fw.Image, emu.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := m.Run(1_000_000); r != emu.StopFault {
+		t.Fatalf("stock machine ran the foreign image: %v", r)
+	}
+	if f := m.Fault(); f == nil || f.Kind != emu.FaultUnmapped || f.Addr < DeviceBase {
+		t.Fatalf("expected unmapped fault in the foreign block, got %v", m.Fault())
+	}
+}

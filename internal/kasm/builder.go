@@ -26,6 +26,8 @@ const (
 	fixJAL            // imm = (target - pc) / 4, imm20
 	fixHi             // imm = %hi(sym)
 	fixLo             // imm = %lo(sym)
+	fixPCHi           // imm = %pcrel_hi(sym): auipc-relative high part
+	fixPCLo           // imm = %pcrel_lo(sym): low part against the auipc at pc-4
 )
 
 type centry struct {
@@ -48,6 +50,7 @@ type dsym struct {
 	align    uint32
 	init     []byte
 	wordSyms map[uint32]string // offset -> symbol whose address to store
+	relSyms  map[uint32]string // offset -> symbol; stores addr(sym)-addr(table)
 	redzone  bool
 	addr     uint32
 }
@@ -235,6 +238,11 @@ func (b *Builder) SLTIU(rd, rs1 uint8, imm int32) { b.rri(isa.OpSLTIU, rd, rs1, 
 
 func (b *Builder) LUI(rd uint8, imm20 int32) { b.emit(isa.Inst{Op: isa.OpLUI, Rd: rd, Imm: imm20}) }
 
+// AUIPC adds imm20<<12 to the instruction's own address.
+func (b *Builder) AUIPC(rd uint8, imm20 int32) {
+	b.emit(isa.Inst{Op: isa.OpAUIPC, Rd: rd, Imm: imm20})
+}
+
 // MV copies rs into rd.
 func (b *Builder) MV(rd, rs uint8) { b.ADDI(rd, rs, 0) }
 
@@ -256,6 +264,15 @@ func (b *Builder) La(rd uint8, sym string) {
 	b.checkRegs(isa.Inst{Op: isa.OpLUI, Rd: rd})
 	b.emitRawFix(isa.Inst{Op: isa.OpLUI, Rd: rd}, fixHi, sym)
 	b.emitRawFix(isa.Inst{Op: isa.OpADDI, Rd: rd, Rs1: rd}, fixLo, sym)
+}
+
+// LaPC loads the address of sym into rd PC-relatively (auipc+addi), the
+// position-independent idiom the arm32e/x86e toolchains favour over La's
+// absolute lui+addi pair.
+func (b *Builder) LaPC(rd uint8, sym string) {
+	b.checkRegs(isa.Inst{Op: isa.OpAUIPC, Rd: rd})
+	b.emitRawFix(isa.Inst{Op: isa.OpAUIPC, Rd: rd}, fixPCHi, sym)
+	b.emitRawFix(isa.Inst{Op: isa.OpADDI, Rd: rd, Rs1: rd}, fixPCLo, sym)
 }
 
 // splitConst splits v into %hi/%lo parts such that (hi<<12)+signext(lo) == v.
@@ -571,6 +588,24 @@ func (b *Builder) DataWordSyms(name string, syms []string) {
 	}
 	for i, s := range syms {
 		d.wordSyms[uint32(4*i)] = s
+	}
+	b.defData(d)
+}
+
+// DataWordRel defines a self-relative word table: each entry stores
+// addr(sym) - addr(table), the position-independent jump-table layout
+// PC-relative toolchains emit. Consumers recover a target by adding the
+// table base to the entry modulo 2^32.
+func (b *Builder) DataWordRel(name string, syms []string) {
+	d := &dsym{
+		name:    name,
+		kind:    dataInit,
+		size:    uint32(4 * len(syms)),
+		init:    make([]byte, 4*len(syms)),
+		relSyms: make(map[uint32]string, len(syms)),
+	}
+	for i, s := range syms {
+		d.relSyms[uint32(4*i)] = s
 	}
 	b.defData(d)
 }

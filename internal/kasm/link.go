@@ -145,6 +145,14 @@ func (b *Builder) Link(name string) (*Image, error) {
 			case fixLo:
 				_, lo := splitConst(target)
 				inst.Imm = lo
+			case fixPCHi:
+				hi, _ := splitConst(target - pc)
+				inst.Imm = hi
+			case fixPCLo:
+				// The low part pairs with the auipc immediately before it,
+				// so the split is of the same delta that auipc saw.
+				_, lo := splitConst(target - (pc - 4))
+				inst.Imm = lo
 			}
 		}
 		w, err := isa.Encode(inst, b.target.Arch)
@@ -166,6 +174,14 @@ func (b *Builder) Link(name string) (*Image, error) {
 				continue
 			}
 			b.target.Arch.PutWord(data[d.addr-dataAddr+off:], target)
+		}
+		for off, sym := range d.relSyms {
+			target, ok := resolve(sym)
+			if !ok {
+				errs = append(errs, fmt.Errorf("kasm: undefined symbol %q in %s", sym, d.name))
+				continue
+			}
+			b.target.Arch.PutWord(data[d.addr-dataAddr+off:], target-d.addr)
 		}
 	}
 

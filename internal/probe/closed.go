@@ -287,7 +287,7 @@ type obs struct {
 // every static call target, returning the subset that executes before ready.
 func discoverLive(img *kasm.Image, opts Options, entries []uint32) ([]uint32, error) {
 	counts := map[uint32]int{}
-	_, ready, err := dryRun(img, opts.DryRunBudget, func(m *emu.Machine) {
+	_, ready, err := dryRun(img, opts, func(m *emu.Machine) {
 		for _, e := range entries {
 			entry := e
 			m.HookPC(entry, func(m *emu.Machine, h *emu.Hart) {
@@ -326,7 +326,7 @@ func traceCalls(img *kasm.Image, opts Options, hookSet []uint32) (map[uint32][]o
 	seq := 0
 	hookedRets := map[uint32]bool{}
 
-	_, ready, err := dryRun(img, opts.DryRunBudget, func(m *emu.Machine) {
+	_, ready, err := dryRun(img, opts, func(m *emu.Machine) {
 		retHook := func(m *emu.Machine, h *emu.Hart) {
 			st := stacks[h.ID]
 			pc := h.PC
@@ -391,7 +391,7 @@ func staticCorroborates(an *static.Analysis, entry uint32) bool {
 func confirmAlloc(img *kasm.Image, opts Options, entry uint32, exits []uint32, traced []obs) (bool, error) {
 	hits := 0
 	rets := map[uint32]bool{}
-	_, ready, err := dryRun(img, opts.DryRunBudget, func(m *emu.Machine) {
+	_, ready, err := dryRun(img, opts, func(m *emu.Machine) {
 		m.HookPC(entry, func(m *emu.Machine, h *emu.Hart) {
 			hits++
 		})

@@ -30,7 +30,7 @@ func probeC(img *kasm.Image, opts Options) (*Result, error) {
 	live := map[uint32]liveAlloc{}
 	var poisons []dsl.InitOp
 
-	_, ready, err := dryRun(img, opts.DryRunBudget, func(m *emu.Machine) {
+	_, ready, err := dryRun(img, opts, func(m *emu.Machine) {
 		m.HandleHypercall(isa.HcallSanAlloc, func(m *emu.Machine, h *emu.Hart) {
 			a := liveAlloc{h.Regs[isa.RegA0], h.Regs[isa.RegA1]}
 			if _, seen := live[a.addr]; !seen {
@@ -91,7 +91,7 @@ func probeDOpen(img *kasm.Image, opts Options) (*Result, error) {
 	live := map[uint32]liveAlloc{}
 	var ptrs []uint32
 
-	_, ready, err := dryRun(img, opts.DryRunBudget, func(m *emu.Machine) {
+	_, ready, err := dryRun(img, opts, func(m *emu.Machine) {
 		for i := range plat.Allocs {
 			a := plat.Allocs[i]
 			sizeReg, _ := isa.RegByName(a.SizeArg)

@@ -69,6 +69,12 @@ type Options struct {
 	Hints        []Hint
 	DryRunBudget uint64 // instruction budget for the dry run (default 50M)
 
+	// Machine configures the emulated machine used for dry runs. Rehosted
+	// images need their synthesized bridge device attached here, or the
+	// firmware never reaches its ready point. The zero value is the stock
+	// platform.
+	Machine emu.Config
+
 	// NoStaticRank disables the static allocator-candidate ranking in
 	// closed-source probing, falling back to the baseline multi-pass dry-run
 	// schedule (discovery, trace, confirmation). Both schedules produce
@@ -193,8 +199,8 @@ func funcEnd(entries []uint32, entry, textEnd uint32) uint32 {
 
 // dryRun executes the firmware until its ready point (or the budget runs
 // out) with the given recorder installed, and reports whether ready was hit.
-func dryRun(img *kasm.Image, budget uint64, setup func(*emu.Machine)) (*emu.Machine, bool, error) {
-	m, err := emu.New(img, emu.Config{})
+func dryRun(img *kasm.Image, opts Options, setup func(*emu.Machine)) (*emu.Machine, bool, error) {
+	m, err := emu.New(img, opts.Machine)
 	if err != nil {
 		return nil, false, err
 	}
@@ -206,7 +212,7 @@ func dryRun(img *kasm.Image, budget uint64, setup func(*emu.Machine)) (*emu.Mach
 	if setup != nil {
 		setup(m)
 	}
-	r := m.Run(budget)
+	r := m.Run(opts.DryRunBudget)
 	if r == emu.StopFault {
 		return m, false, fmt.Errorf("probe: dry run faulted: %v", m.Fault())
 	}

@@ -4,9 +4,11 @@ import (
 	"testing"
 
 	"embsan/internal/guest/firmware"
+	"embsan/internal/guest/mystery"
 	"embsan/internal/isa"
 	"embsan/internal/kasm"
 	"embsan/internal/static"
+	"embsan/internal/static/rehost"
 )
 
 // FuzzRecoverCFG feeds arbitrary bytes to the analyzer as image text/data:
@@ -44,5 +46,49 @@ func FuzzRecoverCFG(f *testing.F) {
 		if _, err := static.Lint(img); err != nil {
 			t.Fatalf("lint errored on analyzable image: %v", err)
 		}
+	})
+}
+
+// FuzzRehostLift feeds arbitrary bytes to the rehosting lifter: whatever
+// the input decodes to, Lift must not panic, the resulting profile must be
+// internally consistent (Validate), its renderings must be reproducible,
+// and the synthesized bridge must be constructible. The seed corpus is the
+// mystery guest on all three frontends.
+func FuzzRehostLift(f *testing.F) {
+	for _, arch := range []isa.Arch{isa.ArchARM32E, isa.ArchMIPS32E, isa.ArchX86E} {
+		fw, err := mystery.Build("Mystery", arch)
+		if err != nil {
+			f.Fatalf("build mystery: %v", err)
+		}
+		f.Add(uint8(arch), fw.Image.Entry, fw.Image.Text, fw.Image.Data)
+	}
+	f.Fuzz(func(t *testing.T, archB uint8, entry uint32, text, data []byte) {
+		img := &kasm.Image{
+			Name:     "fuzz",
+			Arch:     isa.Arch(archB % uint8(isa.NumArchs)),
+			Base:     kasm.DefaultBase,
+			Entry:    entry,
+			Text:     text,
+			Data:     data,
+			DataAddr: kasm.DefaultBase + uint32(len(text)) + 64,
+		}
+		p, err := rehost.Lift(img)
+		if err != nil {
+			return
+		}
+		if verr := p.Validate(); verr != nil {
+			t.Fatalf("inconsistent profile: %v", verr)
+		}
+		if p.Render() == "" || p.RenderStub() == "" {
+			t.Fatal("empty rendering")
+		}
+		q, err := rehost.Lift(img)
+		if err != nil {
+			t.Fatalf("second lift errored: %v", err)
+		}
+		if q.Render() != p.Render() {
+			t.Fatal("lift is not deterministic")
+		}
+		rehost.Device(p) // must be constructible for any valid profile
 	})
 }

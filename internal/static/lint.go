@@ -64,6 +64,29 @@ func Lint(img *kasm.Image) ([]Diag, error) {
 	return diags, nil
 }
 
+// LintSkips reports which metadata-dependent rule groups Lint cannot run on
+// this image, with the reason. A non-empty result means a "clean" verdict
+// covers only the universally-applicable checks — callers surface this so a
+// clean report on a metadata-less binary is never mistaken for a full
+// instrumentation audit.
+func LintSkips(img *kasm.Image) []string {
+	var skips []string
+	switch {
+	case img.Stripped:
+		skips = append(skips,
+			RuleSanckCoverage+"/"+RuleSanckOrphan+": link metadata stripped from the image",
+			RuleGlobalRedzone+": global layout metadata stripped from the image")
+	case img.Meta.Sanitize != kasm.SanEmbsanC:
+		skips = append(skips,
+			RuleSanckCoverage+"/"+RuleSanckOrphan+": image has no EMBSAN-C link metadata ("+img.Meta.Sanitize.String()+" build)",
+			RuleGlobalRedzone+": image has no EMBSAN-C global metadata")
+	}
+	if len(img.Symbols) == 0 && !img.Stripped {
+		skips = append(skips, RuleXref+": image carries no symbol table")
+	}
+	return skips
+}
+
 // lintText walks the text section once, checking decodability and — on
 // EMBSAN-C builds — the probe/access pairing in both directions.
 func lintText(a *Analysis, report func(string, uint32, string, ...any)) {

@@ -1,0 +1,92 @@
+package rehost
+
+import "embsan/internal/emu"
+
+// Device returns a factory for the synthesized bridge device: an emu.Device
+// that serves the inferred register map by forwarding the input path onto
+// the platform mailbox, the console onto the UART, and feeding each status
+// poll its recovered exit value. With it attached, a foreign image boots on
+// an otherwise stock machine.
+func Device(p *Profile) emu.DeviceFactory {
+	return func(m *emu.Machine) emu.Device {
+		return &bridge{m: m, p: p}
+	}
+}
+
+type bridge struct {
+	m *emu.Machine
+	p *Profile
+}
+
+func (d *bridge) Name() string { return "rehost:" + d.p.Name }
+
+func (d *bridge) Contains(addr uint32) bool {
+	for i := range d.p.Windows {
+		w := &d.p.Windows[i]
+		if addr >= w.Base && addr-w.Base < w.Size {
+			return true
+		}
+	}
+	for i := range d.p.Registers {
+		r := &d.p.Registers[i]
+		if addr >= r.Addr && addr < r.Addr+4 {
+			return true
+		}
+	}
+	return false
+}
+
+func (d *bridge) reg(addr uint32) *Register {
+	for i := range d.p.Registers {
+		r := &d.p.Registers[i]
+		if addr >= r.Addr && addr < r.Addr+4 {
+			return r
+		}
+	}
+	return nil
+}
+
+func (d *bridge) Read(addr, size uint32) uint32 {
+	for i := range d.p.Windows {
+		w := &d.p.Windows[i]
+		if addr >= w.Base && addr-w.Base < w.Size {
+			return d.m.Mailbox.Read(emu.MailboxData+(addr-w.Base), size)
+		}
+	}
+	r := d.reg(addr)
+	if r == nil {
+		return 0
+	}
+	switch r.Role {
+	case RoleBootStatus:
+		return r.Exit
+	case RoleRxStatus:
+		// The firmware has reached its input poll: the boot is done.
+		d.m.MarkReady()
+		if d.m.Mailbox.Read(emu.MailboxBase, size) != 0 {
+			return r.Exit
+		}
+		return r.Stall
+	case RoleRxLen:
+		return d.m.Mailbox.Read(emu.MailboxBase+4, size)
+	}
+	return 0
+}
+
+func (d *bridge) Write(addr, size, val uint32) {
+	r := d.reg(addr)
+	if r == nil {
+		return
+	}
+	switch r.Role {
+	case RoleConsole:
+		d.m.UART.Write(emu.UARTBase, 1, val)
+	case RoleDone:
+		d.m.Mailbox.Write(emu.MailboxBase+8, size, val)
+	}
+	// Control writes (and window writes) are absorbed.
+}
+
+// Reset: the bridge is stateless — all frame state lives in the platform
+// mailbox, which the machine resets itself.
+func (d *bridge) Reset() {}

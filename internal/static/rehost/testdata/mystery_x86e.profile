@@ -1,0 +1,21 @@
+rehost profile v1
+name:  Mystery
+arch:  x86e
+entry: 0x0000001000
+image: 0x0000001000..0x0000011388
+stack: 0x0000100000
+funcs: 10 recovered, 10 reachable
+registers: 6
+  0x00f1000000 r- w4 boot-status poll(exit=0x1 stall=0x0) sites=1
+  0x00f1000004 -w w4 control     sites=2
+  0x00f1000008 -w w1 console     sites=1
+  0x00f1000010 r- w4 rx-status   poll(exit=0x1 stall=0x0) sites=1
+  0x00f1000014 r- w4 rx-len      sites=1
+  0x00f1000018 -w w4 done        sites=2
+windows: 1
+  0x00f1001000 +0x1000 r- sites=1
+alloc candidates: 4
+  0x00000010b4 score=17 shaped fn_0x10b4
+  0x0000001010 score=9 - fn_0x1010
+  0x000000112c score=9 - fn_0x112c
+  0x0000001200 score=9 - fn_0x1200

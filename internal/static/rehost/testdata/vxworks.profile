@@ -1,0 +1,17 @@
+rehost profile v1
+name:  VxWorks
+arch:  arm32e
+entry: 0x0000001000
+image: 0x0000001000..0x000001d4c8
+stack: 0x00000054b0
+funcs: 12 recovered, 11 reachable
+registers: 3
+  0x00f0002000 r- w4 rx-status   poll(exit=0x1 stall=0x0) sites=1
+  0x00f0002004 r- w4 rx-len      sites=1
+  0x00f0002008 -w w4 done        sites=1
+windows: 0
+alloc candidates: 4
+  0x000000117c score=16 shaped fn_0x117c
+  0x0000001144 score=9 - fn_0x1144
+  0x000000123c score=9 - fn_0x123c
+  0x00000012fc score=9 - fn_0x12fc

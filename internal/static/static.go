@@ -167,8 +167,24 @@ func (a *Analysis) findEntries() {
 	}
 	// Indirect targets: (1) data-section words that point into text — the
 	// address tables behind syscall dispatch and hart spawning; (2) lui+addi
-	// address materialisations (the La idiom) whose value lands in text.
+	// address materialisations (the La idiom) whose value lands in text;
+	// (3) auipc+addi materialisations (the PC-relative LaPC idiom of the
+	// non-mips toolchains); (4) self-relative jump tables: a materialised
+	// data pointer followed by words that, added to the table base mod 2^32,
+	// land in text. Absolute and self-relative interpretations cannot alias:
+	// data lies above TextEnd, so base+word reaches text only by wrapping —
+	// exactly the "negative offset" encoding — while a self-relative word is
+	// itself far too large to pass the absolute inText test.
 	indir := map[uint32]bool{}
+	tables := map[uint32]bool{}
+	addMat := func(v uint32) {
+		if a.inText(v) {
+			indir[v] = true
+		} else if v >= img.DataAddr && v%4 == 0 &&
+			uint64(v)+4 <= uint64(img.DataAddr)+uint64(len(img.Data)) {
+			tables[v] = true
+		}
+	}
 	for off := 0; off+4 <= len(img.Data); off += 4 {
 		if v := img.Arch.Word(img.Data[off:]); a.inText(v) {
 			indir[v] = true
@@ -178,12 +194,32 @@ func (a *Analysis) findEntries() {
 		if !a.valid[i] || !a.valid[i+1] {
 			continue
 		}
-		lui, add := a.insts[i], a.insts[i+1]
-		if lui.Op != isa.OpLUI || add.Op != isa.OpADDI || add.Rd != lui.Rd || add.Rs1 != lui.Rd {
+		hi, add := a.insts[i], a.insts[i+1]
+		if add.Op != isa.OpADDI || add.Rd != hi.Rd || add.Rs1 != hi.Rd {
 			continue
 		}
-		if v := uint32(lui.Imm)<<12 + uint32(add.Imm); a.inText(v) {
-			indir[v] = true
+		switch hi.Op {
+		case isa.OpLUI:
+			addMat(uint32(hi.Imm)<<12 + uint32(add.Imm))
+		case isa.OpAUIPC:
+			pc := img.Base + uint32(i)*4
+			addMat(pc + uint32(hi.Imm)<<12 + uint32(add.Imm))
+		}
+	}
+	// Walk each table-base candidate while its entries keep resolving; a
+	// bounded scan so a stray pointer into a large data blob stays cheap.
+	const maxRelTable = 64
+	for base := range tables {
+		for k := uint32(0); k < maxRelTable; k++ {
+			off := base - img.DataAddr + k*4
+			if uint64(off)+4 > uint64(len(img.Data)) {
+				break
+			}
+			tgt := base + img.Arch.Word(img.Data[off:])
+			if !a.inText(tgt) {
+				break
+			}
+			indir[tgt] = true
 		}
 	}
 	for t := range indir {

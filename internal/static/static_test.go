@@ -269,3 +269,131 @@ func TestAnalyzeAllFrontends(t *testing.T) {
 		t.Fatalf("block counts differ across frontends: %v", blocks)
 	}
 }
+
+// buildPIC builds a firmware that dispatches through a self-relative data
+// table addressed PC-relatively (auipc+addi) — the position-independent
+// idiom of the non-mips toolchains that recovery used to miss entirely:
+// the handlers are reached only through the table, never by a direct call.
+func buildPIC(t *testing.T, arch isa.Arch) *kasm.Image {
+	t.Helper()
+	b := kasm.NewBuilder(kasm.Target{Arch: arch, Sanitize: kasm.SanNone})
+
+	b.Func("_start")
+	b.Li(isa.RegSP, 0x8000)
+	b.Ready()
+	// idx in a1: target = table + table[idx] (mod 2^32).
+	b.ANDI(isa.RegA1, isa.RegA1, 1)
+	b.SLLI(isa.RegA1, isa.RegA1, 2)
+	b.LaPC(isa.RegT0, "handlers")
+	b.ADD(isa.RegA1, isa.RegT0, isa.RegA1)
+	b.LW(isa.RegA1, isa.RegA1, 0)
+	b.ADD(isa.RegA1, isa.RegT0, isa.RegA1)
+	b.JALR(isa.RegRA, isa.RegA1, 0)
+	b.HALT()
+
+	b.Func("h_one")
+	b.Li(isa.RegA0, 1)
+	b.Ret()
+
+	b.Func("h_two")
+	b.Li(isa.RegA0, 2)
+	b.Ret()
+
+	b.DataWordRel("handlers", []string{"h_one", "h_two"})
+
+	img, err := b.Link("pic-" + arch.String())
+	if err != nil {
+		t.Fatalf("link: %v", err)
+	}
+	return img
+}
+
+// TestRecoverSelfRelativeTable: handlers referenced only through a
+// PC-relative self-relative table must be recovered as reachable function
+// entries on every frontend, even from a stripped image.
+func TestRecoverSelfRelativeTable(t *testing.T) {
+	for arch := isa.Arch(0); arch < isa.NumArchs; arch++ {
+		img := buildPIC(t, arch)
+		h1, _ := img.Lookup("h_one")
+		h2, _ := img.Lookup("h_two")
+		a, err := static.Analyze(img.Strip())
+		if err != nil {
+			t.Fatalf("%s: analyze: %v", arch, err)
+		}
+		for _, h := range []uint32{h1.Addr, h2.Addr} {
+			if _, ok := a.FuncAt(h); !ok {
+				t.Fatalf("%s: handler %#x not recovered as a function entry", arch, h)
+			}
+			if !a.FuncReachable(h) {
+				t.Fatalf("%s: handler %#x not reachable", arch, h)
+			}
+			found := false
+			for _, tgt := range a.IndirectTargets() {
+				if tgt == h {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("%s: handler %#x missing from indirect targets", arch, h)
+			}
+		}
+	}
+}
+
+// TestRecoverAuipcMaterialisation: a code address materialised with
+// auipc+addi (no table involved) must become an indirect target, mirroring
+// the existing lui+addi recovery.
+func TestRecoverAuipcMaterialisation(t *testing.T) {
+	b := kasm.NewBuilder(kasm.Target{Arch: isa.ArchX86E, Sanitize: kasm.SanNone})
+	b.Func("_start")
+	b.LaPC(isa.RegT0, "callee")
+	b.JALR(isa.RegRA, isa.RegT0, 0)
+	b.HALT()
+	b.Func("callee")
+	b.Ret()
+	img, err := b.Link("auipc-mat")
+	if err != nil {
+		t.Fatalf("link: %v", err)
+	}
+	callee, _ := img.Lookup("callee")
+	a, err := static.Analyze(img.Strip())
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	if !a.FuncReachable(callee.Addr) {
+		t.Fatalf("auipc-materialised callee %#x not reachable", callee.Addr)
+	}
+}
+
+// TestAbsoluteTableStillRecovered: the pre-existing absolute idiom
+// (DataWordSyms holding absolute text addresses) must keep working on the
+// mips frontend alongside the new relative scan, with no cross-talk: the
+// relative interpretation of an absolute table must add no entries.
+func TestAbsoluteTableStillRecovered(t *testing.T) {
+	b := kasm.NewBuilder(kasm.Target{Arch: isa.ArchMIPS32E, Sanitize: kasm.SanNone})
+	b.Func("_start")
+	b.La(isa.RegT0, "abs_tab")
+	b.LW(isa.RegT0, isa.RegT0, 0)
+	b.JALR(isa.RegRA, isa.RegT0, 0)
+	b.HALT()
+	b.Func("h_abs")
+	b.Ret()
+	b.DataWordSyms("abs_tab", []string{"h_abs"})
+	img, err := b.Link("abs-tab")
+	if err != nil {
+		t.Fatalf("link: %v", err)
+	}
+	h, _ := img.Lookup("h_abs")
+	a, err := static.Analyze(img.Strip())
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	if !a.FuncReachable(h.Addr) {
+		t.Fatalf("absolute table target %#x not reachable", h.Addr)
+	}
+	for _, tgt := range a.IndirectTargets() {
+		if tgt != h.Addr && tgt != img.Entry {
+			t.Fatalf("relative misread of an absolute table produced %#x", tgt)
+		}
+	}
+}
