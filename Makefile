@@ -2,7 +2,7 @@ GO ?= go
 FUZZTIME ?= 10s
 BENCH_EXECS ?= 8000
 
-.PHONY: build vet test test-short race lint elide-audit obs-check fuzz-smoke bench-parallel bench-record bench-check rehost-check ci ci-short
+.PHONY: build vet test test-short race lint elide-audit obs-check fuzz-smoke bench-parallel bench-record bench-check rehost-check races-check ci ci-short
 
 build:
 	$(GO) build ./...
@@ -65,6 +65,7 @@ fuzz-smoke:
 	$(GO) test ./internal/dsl -fuzz FuzzParseRoundTrip -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/static -fuzz FuzzRecoverCFG -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/static -fuzz FuzzRehostLift -fuzztime $(FUZZTIME) -fuzzminimizetime 1x
+	$(GO) test ./internal/static -fuzz FuzzLocksets -fuzztime $(FUZZTIME) -fuzzminimizetime 1x
 	$(GO) test ./internal/static/absint -fuzz FuzzAbsint -fuzztime $(FUZZTIME) -fuzzminimizetime 1x
 	$(GO) test ./internal/obs -fuzz FuzzTraceRoundTrip -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/emu -fuzz FuzzChainedExecution -fuzztime $(FUZZTIME) -fuzzminimizetime 1x
@@ -92,6 +93,7 @@ bench-parallel:
 bench-record:
 	$(GO) run ./cmd/embsan-bench -record BENCH_translate.json -record-execs $(BENCH_EXECS)
 	$(GO) run ./cmd/embsan-bench -record-rehost BENCH_rehost.json
+	$(GO) run ./cmd/embsan-bench -record-races BENCH_races.json
 
 # CI gate on the committed artefact: its schema and registry coverage must
 # match the current code (measured values are machine-dependent and never
@@ -101,7 +103,18 @@ bench-check:
 	$(GO) run ./cmd/embsan-bench -bench-check BENCH_translate.json
 	$(GO) run ./cmd/embsan-bench -rehost-check BENCH_rehost.json
 
-ci: vet build lint elide-audit obs-check race fuzz-smoke rehost-check bench-check
+# Static race-triage gate: every registry firmware must be clean-or-expected
+# under the lockset analysis (seeded races flagged, race-free firmware with
+# zero candidate pairs), the elision auditor must catch a planted bogus
+# lockset, and the committed guided-vs-uniform artefact must record the
+# lockset guidance beating uniform KCSAN sampling (virtual-clock exec counts
+# are machine-independent, so the values themselves are validated).
+races-check:
+	$(GO) run ./cmd/embsan lint -races -all
+	$(GO) run ./cmd/embsan lint -races -selftest
+	$(GO) run ./cmd/embsan-bench -races-check BENCH_races.json
+
+ci: vet build lint elide-audit obs-check race fuzz-smoke rehost-check bench-check races-check
 
 # ci with the long campaign/overhead experiments skipped.
-ci-short: vet build lint elide-audit obs-check race-short fuzz-smoke rehost-check bench-check
+ci-short: vet build lint elide-audit obs-check race-short fuzz-smoke rehost-check bench-check races-check

@@ -14,6 +14,8 @@
 //	embsan-bench -bench-check BENCH_translate.json
 //	embsan-bench -record-rehost BENCH_rehost.json   # rehosted replay throughput
 //	embsan-bench -rehost-check BENCH_rehost.json
+//	embsan-bench -record-races BENCH_races.json     # guided-vs-uniform race finding
+//	embsan-bench -races-check BENCH_races.json
 //
 // The table 3/4 campaigns run on the deterministic parallel executor
 // (internal/sched); -workers sizes its pool without changing any output.
@@ -51,6 +53,10 @@ func main() {
 		recordRehost = flag.String("record-rehost", "", "measure rehosted-firmware replay throughput and write the bench JSON here")
 		rehostExecs  = flag.Int("rehost-execs", 4000, "timed replays per firmware for -record-rehost")
 		rehostCheck  = flag.String("rehost-check", "", "validate a recorded rehost bench JSON (schema + family coverage, never values)")
+
+		recordRaces = flag.String("record-races", "", "run the guided-vs-uniform race-finding bench on the seeded race twin and write the bench JSON here")
+		raceExecs   = flag.Int("race-execs", 2000, "per-campaign execution budget for -record-races")
+		racesCheck  = flag.String("races-check", "", "validate a recorded race bench JSON (virtual-clock exec counts are machine-independent)")
 	)
 	flag.Parse()
 
@@ -154,8 +160,33 @@ func main() {
 		}
 		fmt.Printf("rehost-check: %s schema and family coverage OK\n", *rehostCheck)
 	}
+	if *recordRaces != "" {
+		rb, err := exps.RunRaceBench(exps.RaceBenchOptions{Execs: *raceExecs, Seed: *seed})
+		if err != nil {
+			fatal(err)
+		}
+		data, err := json.MarshalIndent(rb, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*recordRaces, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Println(exps.FormatRaceBench(rb))
+		fmt.Printf("bench written to %s\n", *recordRaces)
+	}
+	if *racesCheck != "" {
+		data, err := os.ReadFile(*racesCheck)
+		if err != nil {
+			fatal(err)
+		}
+		if err := exps.CheckRaceBench(data); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("races-check: %s records the guided campaign beating uniform sampling\n", *racesCheck)
+	}
 	if !*all && *table == 0 && *figure == 0 && !*elision && *record == "" && *benchCheck == "" &&
-		*recordRehost == "" && *rehostCheck == "" {
+		*recordRehost == "" && *rehostCheck == "" && *recordRaces == "" && *racesCheck == "" {
 		flag.Usage()
 	}
 }

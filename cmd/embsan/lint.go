@@ -30,13 +30,44 @@ func lintMain(args []string) {
 		elide     = fs.Bool("elide", false, "apply link-time SANCK elision and audit every elided probe's safety proof")
 		rehostAud = fs.Bool("rehost", false, "re-derive the MMIO map from the image and diff it against a recorded rehost profile")
 		profile   = fs.String("profile", "", "recorded rehost profile (text) for -rehost")
+		racesAud  = fs.Bool("races", false, "run the lockset/shared-state race triage and audit recorded race elisions")
 	)
 	fs.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: embsan lint [-elide] -firmware NAME | -image FILE | -all | -selftest")
 		fmt.Fprintln(os.Stderr, "       embsan lint -rehost -image FILE -profile FILE | -rehost -selftest")
+		fmt.Fprintln(os.Stderr, "       embsan lint -races -firmware NAME | -races -image FILE | -races -all | -races -selftest")
 		fs.PrintDefaults()
 	}
 	fs.Parse(args)
+
+	if *racesAud {
+		switch {
+		case *selftest:
+			racesSelftest()
+		case *all:
+			racesAll()
+		case *fwName != "":
+			fw, err := firmware.Build(*fwName)
+			if err != nil {
+				fatal(err)
+			}
+			exitCode(racesImage(fw.Image, raceExpected(fw)))
+		case *imagePath != "":
+			raw, err := os.ReadFile(*imagePath)
+			if err != nil {
+				fatal(err)
+			}
+			img, err := kasm.DecodeImage(raw)
+			if err != nil {
+				fatal(err)
+			}
+			exitCode(racesImage(img, false))
+		default:
+			fs.Usage()
+			os.Exit(2)
+		}
+		return
+	}
 
 	if *rehostAud {
 		switch {

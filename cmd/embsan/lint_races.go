@@ -1,0 +1,123 @@
+package main
+
+import (
+	"fmt"
+	"sort"
+
+	"embsan/internal/guest/firmware"
+	"embsan/internal/kasm"
+	"embsan/internal/san"
+	"embsan/internal/static"
+	"embsan/internal/static/races"
+)
+
+// racesAnalyze runs the lockset/shared-state analysis on one image.
+func racesAnalyze(img *kasm.Image) *races.Result {
+	an, err := static.Analyze(img)
+	if err != nil {
+		fatal(err)
+	}
+	return races.Analyze(an, races.Options{})
+}
+
+// raceExpected reports whether the firmware carries a seeded data race, in
+// which case the static triage is REQUIRED to emit candidate pairs.
+func raceExpected(fw *firmware.Firmware) bool {
+	for _, b := range fw.Bugs {
+		if b.Type == san.BugRace {
+			return true
+		}
+	}
+	return false
+}
+
+// racesImage runs the race triage on one image and prints the verdict with
+// symbol xrefs; returns the diagnostic count. The verdict is clean-or-
+// expected: firmware with a seeded race must yield candidate pairs, firmware
+// without one must yield none. Recorded race-elision metadata is audited
+// against a twice-re-derived proof (races.Audit), so a tampered or stale
+// record fails here without booting the image.
+func racesImage(img *kasm.Image, expectRace bool) int {
+	if img.Stripped || len(img.Symbols) == 0 {
+		fmt.Printf("%s: note: skipped %s: no symbol anchors\n", img.Name, static.RuleRaces)
+		return 0
+	}
+	r, again := racesAnalyze(img), racesAnalyze(img)
+	if err := races.Audit(r, again, img.Meta.RaceElisions); err != nil {
+		fmt.Printf("%s: %s: %v\n", img.Name, static.RuleRaces, err)
+		return 1
+	}
+	for _, p := range r.Pairs {
+		fmt.Printf("%s: %s: candidate pair %s\n", img.Name, static.RuleRaces, r.DescribePair(p))
+	}
+	s := r.Stats()
+	switch {
+	case expectRace && s.Pairs == 0:
+		fmt.Printf("%s: %s: firmware seeds a data race but the triage emitted no candidate pairs\n",
+			img.Name, static.RuleRaces)
+		return 1
+	case !expectRace && s.Pairs > 0:
+		fmt.Printf("%s: %s: %d unexpected candidate pairs on race-free firmware\n",
+			img.Name, static.RuleRaces, s.Pairs)
+		return s.Pairs
+	}
+	verdict := "races clean"
+	if expectRace {
+		verdict = fmt.Sprintf("races expected (%d seeded candidate pairs)", s.Pairs)
+	}
+	fmt.Printf("%s: %s (%d objects: %d protected, %d hart-local, %d racy; %d accesses, %d unresolved)\n",
+		img.Name, verdict, s.Objects, s.Protected, s.HartLocal, s.Racy, s.Accesses, s.Unresolved)
+	return 0
+}
+
+// racesAll audits every registry firmware (stock build, so the seeded-bug
+// list is attached) plus the race twin as the positive control.
+func racesAll() {
+	bad := 0
+	for _, name := range firmware.Names {
+		fw, err := firmware.Build(name)
+		if err != nil {
+			fatal(err)
+		}
+		bad += racesImage(fw.Image, raceExpected(fw))
+	}
+	twin, err := firmware.BuildRaceTwin()
+	if err != nil {
+		fatal(err)
+	}
+	bad += racesImage(twin.Image, true)
+	exitCode(bad)
+}
+
+// racesSelftest proves the race-elision audit has teeth: the honest
+// re-derived elision list must audit clean, and a planted bogus lockset — a
+// racy access recorded as if a protection proof existed — must be rejected.
+func racesSelftest() {
+	fw, err := firmware.BuildRaceTwin()
+	if err != nil {
+		fatal(err)
+	}
+	r, again := racesAnalyze(fw.Image), racesAnalyze(fw.Image)
+	if len(r.Pairs) == 0 {
+		fatal(fmt.Errorf("races selftest: seeded race twin yields no candidate pairs"))
+	}
+	recs, _ := r.Elisions()
+	if err := races.Audit(r, again, recs); err != nil {
+		fatal(fmt.Errorf("races selftest: honest elision list failed the audit: %v", err))
+	}
+
+	// Plant the bogus lockset: take one side of a flagged race pair and
+	// record it as protected, as a broken (or malicious) link step would.
+	p := r.Pairs[0]
+	bogus := append(append([]kasm.RaceElision(nil), recs...), kasm.RaceElision{
+		Site:   r.Accesses[p.A].PC,
+		Kind:   races.ClassProtected.String(),
+		Object: r.Objects[p.Object].Name,
+	})
+	sort.Slice(bogus, func(i, j int) bool { return bogus[i].Site < bogus[j].Site })
+	if err := races.Audit(r, again, bogus); err == nil {
+		fatal(fmt.Errorf("races selftest: bogus lockset audited clean"))
+	} else {
+		fmt.Printf("races selftest: bogus lockset rejected as expected: %v\n", err)
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"embsan/internal/san"
 	"embsan/internal/static"
 	"embsan/internal/static/absint"
+	"embsan/internal/static/races"
 )
 
 // Config describes one EMBSAN deployment on one firmware image.
@@ -43,6 +44,11 @@ type Config struct {
 	// NoSanitizer runs the firmware bare (baseline measurement) or relies
 	// on a natively-sanitized build's in-guest runtime.
 	NoSanitizer bool
+	// NoRaceGuidance disables the static lockset guidance of the
+	// concurrency sanitizer: KCSAN samples uniformly instead of boosting
+	// unprotected sites and skipping proven-safe ones. This is the
+	// measurement baseline for the guided-vs-uniform benchmarks.
+	NoRaceGuidance bool
 	// Elide applies the static safety proofs (internal/static/absint) to
 	// the deployment: EMBSAN-C images have provably-safe SANCK traps
 	// replaced by pads at link time, EMBSAN-D machines skip Mem-probe
@@ -174,6 +180,30 @@ func New(cfg Config) (*Instance, error) {
 		return nil, err
 	}
 	inst.Runtime = rt
+
+	if rt.KCSANEngine() != nil && !cfg.NoRaceGuidance && !img.Stripped && len(img.Symbols) > 0 {
+		// Lockset guidance for the concurrency sanitizer: boost watchpoint
+		// arming at statically unprotected/mixed sites, never arm at proven
+		// always-protected or hart-local ones. The weights apply whether or
+		// not elision is on, so elide-on/off campaigns arm identically; the
+		// Elide mode additionally skips proven-safe sites' KCSAN dispatch
+		// outright and records the proofs in the link metadata.
+		if an, err := static.Analyze(img); err == nil {
+			rr := races.Analyze(an, races.Options{Taint: elideTaint(opts)})
+			if prio := rr.SitePriorities(races.DefaultBoost); len(prio) > 0 {
+				m.SetRaceSitePriorities(prio)
+			}
+			if cfg.Elide {
+				if recs, pcs := rr.Elisions(); len(pcs) > 0 {
+					rt.SetRaceElisions(pcs)
+					cp := *img
+					cp.Meta.RaceElisions = recs
+					img = &cp
+					inst.img = img
+				}
+			}
+		}
+	}
 
 	if cfg.Elide && img.Meta.Sanitize == kasm.SanNone && !opts.Hypercalls {
 		// EMBSAN-D: the binary carries no instrumentation metadata, so the

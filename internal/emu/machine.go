@@ -160,6 +160,12 @@ type Machine struct {
 	safeMem map[uint32]bool
 	elided  map[uint32]bool
 
+	// racePrio carries the lockset analysis' per-site arming weights for
+	// the concurrency sanitizer (0 = proven race-free, >1 = preferential).
+	// Pure guidance data: translation is unaffected, the sanitizer runtime
+	// reads it through RaceSitePriority on each sampled dispatch.
+	racePrio map[uint32]uint8
+
 	stop     StopReason
 	exitCode int32
 	fault    *Fault
@@ -395,6 +401,35 @@ func (m *Machine) SetSafeAccessPCs(pcs []uint32) {
 	}
 	m.flushTBs()
 }
+
+// SetRaceSitePriorities installs the static race-triage priority map: for
+// each sanitizer dispatch PC, the arming weight the concurrency sanitizer
+// should use (0 = site proven always-protected or hart-local, never armed;
+// above 1 = unprotected/mixed site, armed preferentially). Unlike the
+// safe-site sets this is pure guidance data — no code is retranslated, and
+// sites absent from the map keep the default weight of 1. Passing nil
+// reverts to uniform sampling.
+func (m *Machine) SetRaceSitePriorities(prio map[uint32]uint8) {
+	if len(prio) == 0 {
+		m.racePrio = nil
+		return
+	}
+	m.racePrio = make(map[uint32]uint8, len(prio))
+	for pc, w := range prio {
+		m.racePrio[pc] = w
+	}
+}
+
+// RaceSitePriority reports the static arming weight for a dispatch PC and
+// whether the site appears in the installed priority map.
+func (m *Machine) RaceSitePriority(pc uint32) (uint8, bool) {
+	w, ok := m.racePrio[pc]
+	return w, ok
+}
+
+// Seed returns the machine's current interleaving seed (as set by Config or
+// the latest Reseed) — the campaign identity deterministic samplers mix in.
+func (m *Machine) Seed() uint64 { return m.cfg.Seed }
 
 // SetInlineShadow installs (or, with nil, removes) the shadow byte array the
 // in-template fast path tests against. The caller — normally the sanitizer

@@ -104,7 +104,7 @@ func translateBenchRow(fw *firmware.Firmware, opts TranslateBenchOptions) (*Tran
 	}
 
 	prepare := func(noFast bool) (*warmed, error) {
-		w, err := warmUp(fw, opts.Seed, false, noFast)
+		w, err := warmUp(fw, opts.Seed, false, noFast, false)
 		if err != nil {
 			return nil, err
 		}

@@ -52,6 +52,10 @@ type CampaignOptions struct {
 	// exactly that — so the flag exists for those oracles and for recording
 	// the bench baseline, not for production use.
 	NoFastPaths bool
+	// NoRaceGuidance runs KCSAN with uniform sampling instead of the static
+	// lockset guidance (core.Config.NoRaceGuidance) — the baseline side of
+	// the guided-vs-uniform race benchmarks.
+	NoRaceGuidance bool
 }
 
 // FoundBug is one campaign finding attributed to a seeded bug.
@@ -119,7 +123,7 @@ const inlineHotDispatches = 4
 // the warm-up workload is profiled and the hottest dispatch sites are armed
 // with the inline shadow fast path — a pure function of (fw, baseSeed,
 // elide), so pooled machines on every worker arm the same sites.
-func warmUp(fw *firmware.Firmware, baseSeed int64, elide, noFast bool) (*warmed, error) {
+func warmUp(fw *firmware.Firmware, baseSeed int64, elide, noFast, noGuide bool) (*warmed, error) {
 	sans := []string{"kasan"}
 	for _, b := range fw.Bugs {
 		if b.NeedsKCSAN {
@@ -136,12 +140,13 @@ func warmUp(fw *firmware.Firmware, baseSeed int64, elide, noFast bool) (*warmed,
 	mcfg.NoChain = noFast
 	mcfg.NoSharedTB = noFast
 	inst, err := core.New(core.Config{
-		Image:        fw.Image,
-		Sanitizers:   sans,
-		StopOnReport: true,
-		Machine:      mcfg,
-		KCSAN:        san.KCSANConfig{SampleInterval: 13, Delay: 600},
-		Elide:        elide,
+		Image:          fw.Image,
+		Sanitizers:     sans,
+		StopOnReport:   true,
+		Machine:        mcfg,
+		KCSAN:          san.KCSANConfig{SampleInterval: 13, Delay: 600},
+		Elide:          elide,
+		NoRaceGuidance: noGuide,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("exps: %s: %w", fw.Name, err)
@@ -271,7 +276,7 @@ func RunCampaign(fw *firmware.Firmware, opts CampaignOptions) (*Campaign, error)
 	if opts.Execs == 0 {
 		opts.Execs = 30000
 	}
-	w, err := warmUp(fw, opts.Seed, opts.Elide, opts.NoFastPaths)
+	w, err := warmUp(fw, opts.Seed, opts.Elide, opts.NoFastPaths, opts.NoRaceGuidance)
 	if err != nil {
 		return nil, err
 	}
@@ -315,8 +320,11 @@ func RunCampaignSet(fws []*firmware.Firmware, opts CampaignOptions) (*CampaignRu
 		if opts.NoFastPaths {
 			key += "+nofp"
 		}
+		if opts.NoRaceGuidance {
+			key += "+uniform"
+		}
 		wm, err := sched.Pooled(w, key, func() (*warmed, error) {
-			return warmUp(fw, opts.Seed, opts.Elide, opts.NoFastPaths)
+			return warmUp(fw, opts.Seed, opts.Elide, opts.NoFastPaths, opts.NoRaceGuidance)
 		})
 		if err != nil {
 			return err

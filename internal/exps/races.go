@@ -1,0 +1,141 @@
+package exps
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"embsan/internal/guest/firmware"
+	"embsan/internal/san"
+	"embsan/internal/sched"
+	"embsan/internal/static"
+	"embsan/internal/static/races"
+)
+
+// RaceBenchSchema names the BENCH_races.json wire format; `make races-check`
+// validates the committed artefact against it.
+const RaceBenchSchema = "embsan/bench-races/v1"
+
+// RaceBench is the guided-vs-uniform race-finding record: the seeded
+// freertos race twin fuzzed twice with identical budgets and seeds, once
+// with the static lockset guidance and once with uniform KCSAN sampling.
+// Execution is fully virtual, so both exec counts are machine-independent.
+type RaceBench struct {
+	Schema       string `json:"schema"`
+	Firmware     string `json:"firmware"`
+	Execs        int    `json:"execs"` // per-campaign budget
+	Seed         int64  `json:"seed"`
+	StaticPairs  int    `json:"static_pairs"`  // candidate pairs the triage emits
+	GuidedExecs  int    `json:"guided_execs"`  // execs consumed until the race fired (0 = missed)
+	UniformExecs int    `json:"uniform_execs"` // same, uniform sampling
+}
+
+// RaceBenchOptions bounds the bench.
+type RaceBenchOptions struct {
+	Execs int   // per-campaign execution budget (default 2000)
+	Seed  int64 // base seed (default 7)
+}
+
+// RunRaceBench builds the race twin, checks the static triage flags the
+// seeded pair, then measures how many executions guided and uniform KCSAN
+// campaigns each need to catch the race in flight.
+func RunRaceBench(opts RaceBenchOptions) (*RaceBench, error) {
+	if opts.Execs <= 0 {
+		opts.Execs = 2000
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 7
+	}
+	fw, err := firmware.BuildRaceTwin()
+	if err != nil {
+		return nil, err
+	}
+	an, err := static.Analyze(fw.Image)
+	if err != nil {
+		return nil, err
+	}
+	pairs := len(races.Analyze(an, races.Options{}).Pairs)
+	if pairs == 0 {
+		return nil, fmt.Errorf("exps: static triage emitted no candidate pairs for %s", fw.Name)
+	}
+	guided, err := raceFindExecs(fw, opts, false)
+	if err != nil {
+		return nil, err
+	}
+	uniform, err := raceFindExecs(fw, opts, true)
+	if err != nil {
+		return nil, err
+	}
+	return &RaceBench{
+		Schema: RaceBenchSchema, Firmware: fw.Name,
+		Execs: opts.Execs, Seed: opts.Seed,
+		StaticPairs: pairs, GuidedExecs: guided, UniformExecs: uniform,
+	}, nil
+}
+
+// raceFindExecs runs one campaign on the twin and returns the executions
+// consumed when the first race report fired (0 = the budget missed it).
+func raceFindExecs(fw *firmware.Firmware, opts RaceBenchOptions, noGuide bool) (int, error) {
+	w, err := warmUp(fw, opts.Seed, false, false, noGuide)
+	if err != nil {
+		return 0, err
+	}
+	c, err := w.runOne(fw, sched.Split(opts.Seed, 0), opts.Execs)
+	if err != nil {
+		return 0, err
+	}
+	found := 0
+	for _, crash := range c.Raw.Crashes {
+		if crash.Report == nil || crash.Report.Bug != san.BugRace {
+			continue
+		}
+		if found == 0 || crash.Execs < found {
+			found = crash.Execs
+		}
+	}
+	return found, nil
+}
+
+// FormatRaceBench renders the bench.
+func FormatRaceBench(rb *RaceBench) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Guided vs uniform KCSAN on %s (budget %d execs, seed %d)\n",
+		rb.Firmware, rb.Execs, rb.Seed)
+	fmt.Fprintf(&b, "static candidate pairs: %d\n", rb.StaticPairs)
+	cell := func(n int) string {
+		if n == 0 {
+			return "missed"
+		}
+		return fmt.Sprintf("%d execs", n)
+	}
+	fmt.Fprintf(&b, "guided:  race found after %s\n", cell(rb.GuidedExecs))
+	fmt.Fprintf(&b, "uniform: race found after %s\n", cell(rb.UniformExecs))
+	return b.String()
+}
+
+// CheckRaceBench validates a recorded artefact: the schema must match, the
+// static triage must have flagged the pair, and the guided campaign must
+// have found the seeded race in strictly fewer executions than uniform
+// sampling. Both campaigns are virtual-clock deterministic, so the recorded
+// counts are reproducible on any machine.
+func CheckRaceBench(data []byte) error {
+	var rb RaceBench
+	if err := json.Unmarshal(data, &rb); err != nil {
+		return fmt.Errorf("exps: race bench artefact unreadable: %w", err)
+	}
+	if rb.Schema != RaceBenchSchema {
+		return fmt.Errorf("exps: race bench artefact schema %q, code expects %q — re-record with `make bench-record`",
+			rb.Schema, RaceBenchSchema)
+	}
+	if rb.StaticPairs == 0 {
+		return fmt.Errorf("exps: race bench artefact records no static candidate pairs")
+	}
+	if rb.GuidedExecs <= 0 {
+		return fmt.Errorf("exps: race bench artefact: guided campaign missed the seeded race")
+	}
+	if rb.UniformExecs > 0 && rb.GuidedExecs >= rb.UniformExecs {
+		return fmt.Errorf("exps: race bench artefact: guided (%d execs) not faster than uniform (%d execs)",
+			rb.GuidedExecs, rb.UniformExecs)
+	}
+	return nil
+}

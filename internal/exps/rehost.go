@@ -167,7 +167,7 @@ func rehostBenchRow(fw *firmware.Firmware, p *rehost.Profile, opts RehostBenchOp
 	}
 	inputs = append(inputs, fw.Seeds...)
 
-	w, err := warmUp(fw, opts.Seed, false, false)
+	w, err := warmUp(fw, opts.Seed, false, false, false)
 	if err != nil {
 		return nil, err
 	}

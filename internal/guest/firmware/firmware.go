@@ -251,6 +251,29 @@ func BuildVariant(name string, mode kasm.SanitizeMode) (*Firmware, error) {
 	return nil, fmt.Errorf("firmware: unknown firmware %q", name)
 }
 
+// BuildRaceTwin constructs the InfiniTime twin carrying a seeded data race
+// (an unlocked step counter shared between the sensor task and the display
+// service). It is not part of the Table 1 registry — it exists as ground
+// truth for the lockset analysis and the guided-KCSAN benchmarks.
+func BuildRaceTwin() (*Firmware, error) {
+	fw, err := freertos.BuildRacy("InfiniTime-racy", isa.ArchARM32E, kasm.SanNone)
+	if err != nil {
+		return nil, err
+	}
+	out := &Firmware{
+		Name: "InfiniTime-racy", BaseOS: "FreeRTOS", Arch: isa.ArchARM32E,
+		InstMode: "EmbSan-D", SourceOpen: true, Fuzzer: "Tardis",
+		Frontend: FrontendBytes, Image: fw.Image, Seeds: fw.Seeds,
+	}
+	for _, bug := range fw.Bugs {
+		out.Bugs = append(out.Bugs, Bug{
+			Fn: bug.Fn, Location: bug.Location, Type: bug.Type,
+			Trigger: bug.Trigger, NeedsKCSAN: bug.NeedsKCSAN,
+		})
+	}
+	return out, nil
+}
+
 // BuildAll constructs every Table 1 firmware.
 func BuildAll() ([]*Firmware, error) {
 	out := make([]*Firmware, 0, len(Names))

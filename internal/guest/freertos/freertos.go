@@ -36,6 +36,10 @@ type Bug struct {
 	Location string
 	Type     san.BugType
 	Trigger  []byte
+	// NeedsKCSAN marks bugs only the concurrency sanitizer can observe:
+	// the trigger input alone does not fault, the race must also be
+	// caught in flight by a watchpoint.
+	NeedsKCSAN bool
 }
 
 // Firmware is a built InfiniTime-like image.
@@ -65,21 +69,34 @@ const (
 
 // Build assembles the firmware.
 func Build(name string, arch isa.Arch, mode kasm.SanitizeMode) (*Firmware, error) {
+	return build(name, arch, mode, false)
+}
+
+// BuildRacy assembles the firmware twin with a seeded data race: an
+// unlocked step counter shared between the sensor task (hart 1) and the
+// display service (hart 0). It is the lockset analysis's ground truth —
+// the static triage must flag the pair, and a guided KCSAN campaign must
+// find it dynamically.
+func BuildRacy(name string, arch isa.Arch, mode kasm.SanitizeMode) (*Firmware, error) {
+	return build(name, arch, mode, true)
+}
+
+func build(name string, arch isa.Arch, mode kasm.SanitizeMode, racy bool) (*Firmware, error) {
 	b := kasm.NewBuilder(kasm.Target{Arch: arch, Sanitize: mode})
 	glib.AddBoot(b, glib.BootConfig{InitFn: "rtos_init", MainFn: "executor_loop"})
 	glib.AddLib(b)
 	emitHeap4(b)
-	emitQueue(b)
+	emitQueue(b, racy)
 	emitInit(b)
 	emitServices(b)
-	emitSensorTask(b)
+	emitSensorTask(b, racy)
 	glib.AddByteExecutor(b, "infinitime_dispatch")
 
 	img, err := b.Link(name)
 	if err != nil {
 		return nil, fmt.Errorf("freertos: build %s: %w", name, err)
 	}
-	return &Firmware{
+	fw := &Firmware{
 		Image: img,
 		Bugs: []Bug{
 			{Fn: "lfs_bd_read", Location: "src/libs/littlefs/", Type: san.BugOOB,
@@ -97,7 +114,14 @@ func Build(name string, arch isa.Arch, mode kasm.SanitizeMode) (*Firmware, error
 			{cmdRender, 0, 16},
 			{cmdDisplay, 0},
 		},
-	}, nil
+	}
+	if racy {
+		fw.Bugs = append(fw.Bugs, Bug{
+			Fn: "display_update", Location: "src/displayapp/", Type: san.BugRace,
+			Trigger: []byte{cmdDisplay, 0}, NeedsKCSAN: true,
+		})
+	}
+	return fw, nil
 }
 
 func emitInit(b *kasm.Builder) {
@@ -337,9 +361,12 @@ func emitServices(b *kasm.Builder) {
 // emitQueue emits a FreeRTOS-style fixed-capacity message queue guarded by
 // a spinlock: {lock, head, count, items[16]}. The sensor task produces
 // into it, the display service consumes.
-func emitQueue(b *kasm.Builder) {
+func emitQueue(b *kasm.Builder, racy bool) {
 	const qCap = 16
 	b.GlobalRaw("xSensorQueue", 12+qCap*4)
+	if racy {
+		b.GlobalRaw("step_count", 4)
+	}
 
 	// xQueueSend(a0 = queue, a1 = item) -> a0 = 1 ok / 0 full.
 	b.Func("xQueueSend")
@@ -419,19 +446,35 @@ func emitQueue(b *kasm.Builder) {
 	b.ADDI(rT0, rT0, -1)
 	b.BNEZ(rT0, "display.loop")
 	b.Label("display.done")
+	if racy {
+		// The seeded data race: an unlocked read-modify-write of the step
+		// counter the sensor task increments concurrently on hart 1.
+		b.La(rT1, "step_count")
+		b.LW(rA2, rT1, 0)
+		b.ADDI(rA2, rA2, 1)
+		b.SW(rA2, rT1, 0)
+	}
 	b.Li(rA0, 0)
 	b.Epilogue(16)
 }
 
 // emitSensorTask emits the background FreeRTOS task (hart 1): it publishes
 // samples through an atomic cell and produces into the sensor queue.
-func emitSensorTask(b *kasm.Builder) {
+func emitSensorTask(b *kasm.Builder, racy bool) {
 	b.Func("sensor_task")
 	b.Label("sensor.loop")
 	b.CSRR(rT1, isa.CSRRand)
 	b.ANDI(rT1, rT1, 255)
 	b.La(rT0, "hr_reading")
 	b.AMOSWAPW(rZ, rT0, rT1)
+	if racy {
+		// The other side of the seeded race: an unlocked increment of the
+		// shared step counter from hart 1.
+		b.La(rT0, "step_count")
+		b.LW(rA2, rT0, 0)
+		b.ADDI(rA2, rA2, 1)
+		b.SW(rA2, rT0, 0)
+	}
 	b.La(rA0, "xSensorQueue")
 	b.MV(rA1, rT1)
 	b.Call("xQueueSend")

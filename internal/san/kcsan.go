@@ -7,10 +7,14 @@ package san
 // change across the window catches races with uninstrumented writers.
 type KCSAN struct {
 	slots    []watchpoint
-	interval uint64 // sample every Nth eligible access
+	interval uint64 // mean sampling period per unit of site weight
 	delay    uint64 // stall length in global instructions
-	counter  uint64
+	counter  uint64 // fallback virtual clock when no machine clock is wired
 	read     func(addr, size uint32) (uint32, bool)
+	clock    func() uint64                 // retired-instruction clock (nil: internal counter)
+	seed     func() uint64                 // live campaign seed (nil: 0)
+	prio     func(pc uint32) (uint8, bool) // static site weights (nil: uniform)
+	elided   uint64                        // weight-0 sites skipped by static proof
 }
 
 type watchpoint struct {
@@ -58,6 +62,32 @@ func NewKCSAN(cfg KCSANConfig, read func(addr, size uint32) (uint32, bool)) *KCS
 		delay:    cfg.Delay,
 		read:     read,
 	}
+}
+
+// SetGuidance wires the deterministic sampling sources: clock is the
+// machine's retired-instruction counter, seed reads the live campaign seed,
+// and prio is an optional static site-weight lookup from the lockset
+// analysis — weight 0 marks a site proven race-free (never armed), weights
+// above 1 arm preferentially at sites left unprotected. With these wired,
+// every arming decision is a pure function of (seed, virtual clock, site):
+// it does not depend on how many accesses were sampled before this one, so
+// skipping a proven-safe site cannot shift any other site's decisions —
+// the property the elision and worker-count byte-identity oracles rely on.
+func (k *KCSAN) SetGuidance(clock, seed func() uint64, prio func(pc uint32) (uint8, bool)) {
+	k.clock = clock
+	k.seed = seed
+	k.prio = prio
+}
+
+// sampleMix is the splitmix64 finalizer over (campaign seed, virtual
+// clock, site). A shared modulus counter is deliberately avoided: a loop
+// whose access stride divides the sample interval would park the counter
+// on the same residues forever and systematically shadow a site.
+func sampleMix(seed, tick uint64, pc uint32) uint64 {
+	z := seed + 0x9E3779B97F4A7C15*tick + 0xBF58476D1CE4E5B9*uint64(pc)
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
 }
 
 // OnAccess processes one access. It returns a stall request (in
@@ -116,12 +146,35 @@ func (k *KCSAN) OnAccess(addr, size uint32, write bool, pc uint32, hart int, ato
 		}
 	}
 
-	// 3) Sampling: arm a new watchpoint every Nth access.
+	// 3) Sampling: arm a watchpoint on a pseudo-random subset of eligible
+	// accesses, hashed from (seed, clock, site) so decisions at one site
+	// never perturb another's. A site of weight w arms with probability
+	// w/interval; weight 0 is a statically proven race-free site.
 	if atomic {
 		return 0, nil
 	}
-	k.counter++
-	if k.counter%k.interval != 0 {
+	weight := uint64(1)
+	if k.prio != nil {
+		if w, ok := k.prio(pc); ok {
+			weight = uint64(w)
+		}
+	}
+	if weight == 0 {
+		k.elided++
+		return 0, nil
+	}
+	var tick uint64
+	if k.clock != nil {
+		tick = k.clock()
+	} else {
+		k.counter++
+		tick = k.counter
+	}
+	var seed uint64
+	if k.seed != nil {
+		seed = k.seed()
+	}
+	if sampleMix(seed, tick, pc)%k.interval >= weight {
 		return 0, nil
 	}
 	for i := range k.slots {
@@ -150,6 +203,12 @@ func (k *KCSAN) Reset() {
 		k.slots[i] = watchpoint{}
 	}
 	k.counter = 0
+}
+
+// Elided returns how many eligible accesses were skipped because their
+// site carried a static weight of 0 (proven always-protected/hart-local).
+func (k *KCSAN) Elided() uint64 {
+	return k.elided
 }
 
 // ActiveWatchpoints returns the number of armed watchpoints (test hook).

@@ -1,0 +1,49 @@
+package san
+
+import "testing"
+
+// TestKCSANSamplingNoStrideAliasing: a loop body that issues exactly
+// SampleInterval accesses per iteration pins every site to a fixed residue
+// of the access counter. The old shared-modulus sampler (counter%interval
+// == 0) would then arm only the one site sitting on residue zero and
+// systematically shadow the other sixty forever. The hashed sampler gives
+// every visit an independent pseudo-random decision, so over enough
+// iterations every site in the loop must get armed.
+func TestKCSANSamplingNoStrideAliasing(t *testing.T) {
+	const interval = 61
+	k := NewKCSAN(KCSANConfig{Slots: 4, SampleInterval: interval, Delay: 100},
+		func(addr, size uint32) (uint32, bool) { return 0, true })
+
+	armed := make([]int, interval)
+	total := 0
+	for iter := 0; iter < 400; iter++ {
+		for pos := 0; pos < interval; pos++ {
+			pc := uint32(0x1000 + 4*pos)
+			addr := uint32(0x8000 + 4*pos)
+			stall, rep := k.OnAccess(addr, 4, true, pc, 0, false)
+			if rep != nil {
+				t.Fatalf("single-hart loop produced a report: %+v", rep)
+			}
+			if stall != 0 {
+				armed[pos]++
+				total++
+				// Drain the stall window so the slot frees up again.
+				if rep := redeliver(k, addr, 4, true, pc, 0); rep != nil {
+					t.Fatalf("single-hart finalisation produced a report: %+v", rep)
+				}
+			}
+		}
+	}
+
+	for pos, n := range armed {
+		if n == 0 {
+			t.Errorf("site at loop position %d (stride aliasing the interval) was never sampled", pos)
+		}
+	}
+	// The per-visit arming probability is 1/interval, so a 400-iteration
+	// run should land near 400 total armings; an order-of-magnitude band
+	// catches a sampler that degenerated to always or never.
+	if total < 100 || total > 1600 {
+		t.Errorf("sampling rate off: %d armings over %d visits (expected ~400)", total, 400*interval)
+	}
+}

@@ -55,6 +55,15 @@ type Runtime struct {
 	enabled  bool
 	suppress []dsl.Region
 
+	// raceSafe holds dispatch PCs the static lockset analysis proved can
+	// never race (always-protected or hart-local); with elision on, the
+	// concurrency sanitizer is not consulted at all for them. raceElided
+	// counts the dispatches skipped this way. Safe behaviourally: those
+	// sites carry arming weight 0 (so they never arm in any mode) and the
+	// proof rules out the cross-hart overlaps phase 2 could observe.
+	raceSafe   map[uint32]bool
+	raceElided uint64
+
 	pending map[pendKey][]pendingAlloc
 
 	reports []*Report
@@ -142,6 +151,11 @@ func Attach(m *emu.Machine, opts Options) (*Runtime, error) {
 		rt.kcsan = NewKCSAN(opts.KCSAN, func(addr, size uint32) (uint32, bool) {
 			return m.Peek(addr, size)
 		})
+		// Deterministic guided sampling: arming is a pure function of the
+		// machine's virtual clock, its live campaign seed, and the static
+		// race-site priority map (installed later by the deployment layer;
+		// lookups on an empty machine map are simply "no weight").
+		rt.kcsan.SetGuidance(m.ICount, m.Seed, m.RaceSitePriority)
 	}
 
 	if opts.Platform != nil {
@@ -379,6 +393,10 @@ func (rt *Runtime) onMem(ev *emu.MemEvent) {
 		}
 	}
 	if rt.kcsan != nil {
+		if rt.raceSafe != nil && rt.raceSafe[ev.PC] {
+			rt.raceElided++
+			return
+		}
 		stall, r := rt.kcsan.OnAccess(ev.Addr, ev.Size, ev.Write, ev.PC, ev.Hart, ev.Atomic)
 		if r != nil {
 			rt.report(r)
@@ -391,6 +409,26 @@ func (rt *Runtime) onMem(ev *emu.MemEvent) {
 		}
 	}
 }
+
+// SetRaceElisions installs (or, with nil, clears) the set of dispatch PCs
+// proven race-free by the static lockset analysis: the concurrency
+// sanitizer is skipped entirely for them. Callers must only pass sites
+// whose arming weight is 0 in the machine's race-site priority map, so the
+// skip cannot change any sampling decision elsewhere.
+func (rt *Runtime) SetRaceElisions(pcs []uint32) {
+	if len(pcs) == 0 {
+		rt.raceSafe = nil
+		return
+	}
+	rt.raceSafe = make(map[uint32]bool, len(pcs))
+	for _, pc := range pcs {
+		rt.raceSafe[pc] = true
+	}
+}
+
+// RaceElided returns how many sanitizer dispatches were skipped outright at
+// statically proven race-free sites (elision mode only).
+func (rt *Runtime) RaceElided() uint64 { return rt.raceElided }
 
 // checkRange validates a whole region at once (range interceptor path).
 func (rt *Runtime) checkRange(addr, size uint32, write bool, h *emu.Hart) {

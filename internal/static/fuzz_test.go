@@ -1,13 +1,17 @@
 package static_test
 
 import (
+	"fmt"
 	"testing"
 
+	"embsan/internal/emu"
 	"embsan/internal/guest/firmware"
+	"embsan/internal/guest/glib"
 	"embsan/internal/guest/mystery"
 	"embsan/internal/isa"
 	"embsan/internal/kasm"
 	"embsan/internal/static"
+	"embsan/internal/static/races"
 	"embsan/internal/static/rehost"
 )
 
@@ -90,5 +94,199 @@ func FuzzRehostLift(f *testing.F) {
 			t.Fatal("lift is not deterministic")
 		}
 		rehost.Device(p) // must be constructible for any valid profile
+	})
+}
+
+// locksetGuest builds a two-hart guest from a fuzz-chosen op sequence: each
+// byte emits a lock acquire/release, a shared-global access (plain, atomic,
+// looped or through a callee), or ALU noise. The first half of the bytes
+// drives the hart-0 task, the second half the spawned hart-1 task, so the
+// fuzzer explores every mix of protected, hart-local and racy access
+// patterns the lockset analysis must classify.
+func locksetGuest(data []byte) (*kasm.Image, error) {
+	const (
+		z  = glib.Z
+		a0 = glib.A0
+		a1 = glib.A1
+		a2 = glib.A2
+		t0 = glib.T0
+		t1 = glib.T1
+	)
+	locks := []string{"fz_lock0", "fz_lock1"}
+	globals := []string{"fz_g0", "fz_g1", "fz_g2", "fz_g3"}
+
+	b := kasm.NewBuilder(kasm.Target{Arch: isa.ArchARM32E})
+	for _, l := range locks {
+		b.GlobalRaw(l, 4)
+	}
+	for _, g := range globals {
+		b.GlobalRaw(g, 4)
+	}
+	b.GlobalRaw("fz_stack", 2048)
+
+	b.Func("_start")
+	b.Li(a0, 1)
+	b.La(a1, "fz_task_b")
+	b.La(a2, "fz_stack")
+	b.Li(t0, 2044)
+	b.ADD(a2, a2, t0)
+	b.HCALL(isa.HcallSpawn)
+	b.Call("fz_task_a")
+	b.Li(a0, 0)
+	b.HCALL(isa.HcallExit)
+	b.HALT()
+
+	emitOps := func(name string, ops []byte) {
+		for i, op := range ops {
+			sel := int(op>>3) & 3
+			switch op & 7 {
+			case 0:
+				b.La(a0, locks[sel&1])
+				b.Call("spin_lock")
+			case 1:
+				b.La(a0, locks[sel&1])
+				b.Call("spin_unlock")
+			case 2:
+				b.La(t0, globals[sel])
+				b.LW(a1, t0, 0)
+			case 3:
+				b.La(t0, globals[sel])
+				b.SW(a1, t0, 0)
+			case 4:
+				b.La(t0, globals[sel])
+				b.Li(t1, 1)
+				b.AMOADDW(z, t0, t1)
+			case 5:
+				lp := fmt.Sprintf("%s.l%d", name, i)
+				b.Li(t1, 3)
+				b.Label(lp)
+				b.La(t0, globals[sel])
+				b.LW(a1, t0, 0)
+				b.ADDI(t1, t1, -1)
+				b.BNEZ(t1, lp)
+			case 6:
+				b.Call(fmt.Sprintf("fz_touch%d", sel))
+			default:
+				b.ADDI(a1, a1, 1)
+			}
+		}
+	}
+
+	if len(data) > 48 {
+		data = data[:48]
+	}
+	half := len(data) / 2
+
+	b.Func("fz_task_a")
+	b.Prologue(16)
+	emitOps("fz_task_a", data[:half])
+	b.Epilogue(16)
+
+	// The spawned entry never returns: its RA is not a call site.
+	b.Func("fz_task_b")
+	emitOps("fz_task_b", data[half:])
+	b.HALT()
+
+	for i, g := range globals {
+		b.Func(fmt.Sprintf("fz_touch%d", i))
+		b.La(t0, g)
+		b.SW(a1, t0, 0)
+		b.Ret()
+	}
+
+	b.Func("spin_lock")
+	b.Li(t1, 1)
+	b.Label("spin_lock.retry")
+	b.AMOSWAPW(t0, a0, t1)
+	b.BEQZ(t0, "spin_lock.got")
+	b.YIELD()
+	b.J("spin_lock.retry")
+	b.Label("spin_lock.got")
+	b.FENCE()
+	b.Ret()
+
+	b.Func("spin_unlock")
+	b.FENCE()
+	b.AMOSWAPW(z, a0, z)
+	b.Ret()
+
+	return b.Link("fuzz-locksets")
+}
+
+// FuzzLocksets cross-checks the lockset analysis against concrete
+// interleavings: for every fuzz-generated guest, any access the analysis
+// classifies as always-protected must — on every concrete execution, under
+// several interleaving seeds — retire with its proven lockset actually held
+// by the executing hart. A violation means the must-lockset fixpoint proved
+// something false, the exact unsoundness that would silence KCSAN on a real
+// race.
+func FuzzLocksets(f *testing.F) {
+	// acquire g0-store release, mirrored on both harts (protected);
+	// unlocked stores on both harts (racy); atomics and loops; calls;
+	// unbalanced acquire/release and lock-mixing.
+	f.Add([]byte{0x00, 0x03, 0x01, 0x00, 0x03, 0x01})
+	f.Add([]byte{0x03, 0x0b, 0x07, 0x03, 0x0b})
+	f.Add([]byte{0x04, 0x0d, 0x06, 0x0c, 0x05, 0x16, 0x1e})
+	f.Add([]byte{0x00, 0x03, 0x08, 0x0b, 0x09, 0x01, 0x00, 0x03, 0x01})
+	f.Add([]byte{0x00, 0x08, 0x03, 0x0b, 0x13, 0x1b, 0x01, 0x09})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		img, err := locksetGuest(data)
+		if err != nil {
+			return
+		}
+		an, err := static.Analyze(img)
+		if err != nil {
+			t.Fatalf("analyze errored on linked image: %v", err)
+		}
+		r := races.Analyze(an, races.Options{})
+
+		// The proof obligations: every plain access of an always-protected
+		// object must hold the object's proven lockset when it retires.
+		need := map[uint32][]uint32{}
+		for _, o := range r.Objects {
+			if o.Class != races.ClassProtected || len(o.Lockset) == 0 {
+				continue
+			}
+			for _, ai := range o.Accesses {
+				if acc := &r.Accesses[ai]; !acc.Atomic {
+					need[acc.PC] = o.Lockset
+				}
+			}
+		}
+
+		for _, seed := range []uint64{3, 11} {
+			held := map[int]map[uint32]bool{}
+			m, err := emu.New(img, emu.Config{MaxHarts: 2, Seed: seed})
+			if err != nil {
+				t.Fatalf("seed %d: machine: %v", seed, err)
+			}
+			m.TraceHook = func(hart int, pc uint32, in isa.Inst) {
+				h := m.Hart(hart)
+				if in.Op == isa.OpAMOSWAPW {
+					addr, val := h.Regs[in.Rs1], h.Regs[in.Rs2]
+					old, _ := m.Peek(addr, 4)
+					hm := held[hart]
+					if hm == nil {
+						hm = map[uint32]bool{}
+						held[hart] = hm
+					}
+					switch {
+					case val == 0:
+						delete(hm, addr)
+					case old == 0:
+						hm[addr] = true
+					}
+					return
+				}
+				for _, l := range need[pc] {
+					if !held[hart][l] {
+						t.Errorf("seed %d: access at %#x (%s) proven protected by lock %#x, but hart %d retired it without holding the lock",
+							seed, pc, img.Symbolize(pc), l, hart)
+					}
+				}
+			}
+			m.Run(300_000)
+		}
 	})
 }

@@ -15,6 +15,7 @@ const (
 	RuleSanckOrphan   = "sanck-orphan"   // every probe needs a matching access
 	RuleGlobalRedzone = "global-redzone" // global redzone layout consistency
 	RuleXref          = "xref"           // symbol table / link map cross-references
+	RuleRaces         = "races"          // lockset / shared-state race triage
 )
 
 // Diag is one lint diagnostic, addressed to a symbol+offset location so
@@ -83,6 +84,12 @@ func LintSkips(img *kasm.Image) []string {
 	}
 	if len(img.Symbols) == 0 && !img.Stripped {
 		skips = append(skips, RuleXref+": image carries no symbol table")
+	}
+	if img.Stripped || len(img.Symbols) == 0 {
+		// The lockset analysis classifies objects, and objects come from
+		// the symbol table: without anchors every access is unresolved and
+		// the triage would vacuously pass.
+		skips = append(skips, RuleRaces+": no symbol anchors")
 	}
 	return skips
 }
