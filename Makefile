@@ -2,7 +2,7 @@ GO ?= go
 FUZZTIME ?= 10s
 BENCH_EXECS ?= 8000
 
-.PHONY: build vet test test-short race lint elide-audit obs-check fuzz-smoke bench-parallel bench-record bench-check rehost-check races-check ci ci-short
+.PHONY: build vet test test-short race lint elide-audit obs-check explain-check fuzz-smoke bench-parallel bench-record bench-check rehost-check races-check ci ci-short
 
 build:
 	$(GO) build ./...
@@ -57,6 +57,21 @@ obs-check:
 	$(GO) test ./internal/obs -run 'TestEmitZeroAlloc|TestChromeTraceExport' -count 1
 	$(GO) test ./internal/exps -run TestTraceOffIsNoop -count 1
 
+# Bug-forensics gate: explain the seeded InfiniTime use-after-free twice and
+# require byte-identical report text and explain.json (the deterministic
+# replay contract of `embsan explain`), then run the forensic determinism
+# and ground-truth backtrace tests.
+explain-check:
+	@dir=$$(mktemp -d); trap 'rm -rf "$$dir"' EXIT; set -e; \
+	mkdir -p "$$dir/a" "$$dir/b"; \
+	$(GO) run ./cmd/embsan explain -firmware InfiniTime -bug st7789_draw -seed 7 -out "$$dir/a"; \
+	$(GO) run ./cmd/embsan explain -firmware InfiniTime -bug st7789_draw -seed 7 -out "$$dir/b" >/dev/null; \
+	cmp "$$dir/a/InfiniTime.explain.txt" "$$dir/b/InfiniTime.explain.txt"; \
+	cmp "$$dir/a/InfiniTime.explain.json" "$$dir/b/InfiniTime.explain.json"; \
+	echo "explain-check: explain output is byte-reproducible"
+	$(GO) test ./internal/exps -run 'TestExplainSeededUAF|TestExplainDeterministicAcrossWorkers' -count 1
+	$(GO) test ./internal/obs/forensics -count 1
+
 # Short smoke runs of the native fuzz targets (corpora under testdata/).
 # Minimization is capped at one exec: the default 60s budget would eat the
 # whole smoke run shrinking the first coverage-expanding input.
@@ -68,6 +83,7 @@ fuzz-smoke:
 	$(GO) test ./internal/static -fuzz FuzzLocksets -fuzztime $(FUZZTIME) -fuzzminimizetime 1x
 	$(GO) test ./internal/static/absint -fuzz FuzzAbsint -fuzztime $(FUZZTIME) -fuzzminimizetime 1x
 	$(GO) test ./internal/obs -fuzz FuzzTraceRoundTrip -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/obs/forensics -fuzz FuzzExplainRoundTrip -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/emu -fuzz FuzzChainedExecution -fuzztime $(FUZZTIME) -fuzzminimizetime 1x
 
 # Static rehosting gate: emit the binary-only mystery image to a file, lift
@@ -114,7 +130,7 @@ races-check:
 	$(GO) run ./cmd/embsan lint -races -selftest
 	$(GO) run ./cmd/embsan-bench -races-check BENCH_races.json
 
-ci: vet build lint elide-audit obs-check race fuzz-smoke rehost-check bench-check races-check
+ci: vet build lint elide-audit obs-check explain-check race fuzz-smoke rehost-check bench-check races-check
 
 # ci with the long campaign/overhead experiments skipped.
-ci-short: vet build lint elide-audit obs-check race-short fuzz-smoke rehost-check bench-check races-check
+ci-short: vet build lint elide-audit obs-check explain-check race-short fuzz-smoke rehost-check bench-check races-check

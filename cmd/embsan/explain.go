@@ -1,0 +1,75 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"embsan"
+	"embsan/internal/exps"
+)
+
+// explainMain implements `embsan explain`: deterministically re-execute an
+// input that reproduces a sanitizer report and emit the full forensic
+// story — access/alloc/free backtraces from the shadow call stack, the
+// faulting object's lifetime timeline, and the last writers of the
+// faulting address. The replay is keyed on the virtual clock, so repeated
+// invocations (and invocations explaining a crash found by campaigns at
+// any worker count) produce byte-identical report text and explain.json.
+func explainMain(args []string) {
+	fs := flag.NewFlagSet("embsan explain", flag.ExitOnError)
+	var (
+		fwName    = fs.String("firmware", "", "bundled Table 1 firmware name")
+		bugFn     = fs.String("bug", "", "seeded bug function name to replay (e.g. st7789_draw)")
+		signature = fs.String("signature", "", "report signature to explain (empty = first report)")
+		inputPath = fs.String("input", "", "file holding a raw crasher input to replay")
+		seed      = fs.Int64("seed", 0, "base seed (match the campaign that surfaced the bug)")
+		execs     = fs.Int("execs", 30000, "campaign budget when hunting an input by signature")
+		window    = fs.Uint64("window", 0, "forensic half-window in instructions (0 = default)")
+		outDir    = fs.String("out", "", "also write <firmware>.explain.txt/.json into this directory")
+	)
+	if err := fs.Parse(args); err != nil {
+		fatal(err)
+	}
+	if *fwName == "" {
+		fatal(fmt.Errorf("explain: need -firmware"))
+	}
+	fw, err := embsan.BuildFirmware(*fwName)
+	if err != nil {
+		fatal(err)
+	}
+	opts := exps.ExplainOptions{
+		Signature: *signature,
+		BugFn:     *bugFn,
+		Seed:      *seed,
+		Execs:     *execs,
+		Window:    *window,
+	}
+	if *inputPath != "" {
+		raw, err := os.ReadFile(*inputPath)
+		if err != nil {
+			fatal(err)
+		}
+		opts.Input = raw
+	}
+	res, err := exps.ExplainReport(fw, opts)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(res.Text)
+	fmt.Printf("explained %s: %d forensic records in window [%d, %d], input %x\n",
+		res.Report.Signature(), len(res.Records), res.WindowLo, res.WindowHi, res.Input)
+	if *outDir != "" {
+		base := filepath.Join(*outDir, traceName(fw.Name))
+		write := func(suffix string, data []byte) {
+			path := base + suffix
+			if err := os.WriteFile(path, data, 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s (%d bytes)\n", path, len(data))
+		}
+		write(".explain.txt", []byte(res.Text))
+		write(".explain.json", res.JSON)
+	}
+}

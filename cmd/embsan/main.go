@@ -7,8 +7,9 @@
 //	embsan -firmware OpenWRT-x86_64 [-sanitizers kasan,kcsan] [-trigger N]
 //	embsan -image fw.img [-probe-text]
 //	embsan lint -firmware NAME | -image FILE | -all | -selftest
-//	embsan trace -firmware NAME [-out DIR] [-validate]
+//	embsan trace -firmware NAME [-out DIR] [-validate] [-kind K,..] [-hart N] [-window lo:hi]
 //	embsan rehost -image FILE [-profile-out F] [-stub-out F] [-campaign N]
+//	embsan explain -firmware NAME [-bug FN | -signature SIG | -input FILE] [-out DIR]
 package main
 
 import (
@@ -36,6 +37,10 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "rehost" {
 		rehostMain(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "explain" {
+		explainMain(os.Args[2:])
 		return
 	}
 	var (

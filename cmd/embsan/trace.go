@@ -31,6 +31,10 @@ func traceMain(args []string) {
 		events     = fs.Int("events", obs.DefaultRingEvents, "trace ring capacity (oldest events drop beyond it)")
 		validate   = fs.Bool("validate", false, "validate the emitted Chrome trace and fail on schema errors")
 		top        = fs.Int("top", 20, "rows in the dispatch-cost table")
+		kinds      = fs.String("kind", "", "comma-separated event kinds to export (e.g. mem-probe,report); empty = all")
+		hart       = fs.Int("hart", -1, "export only events from this hart (-1 = all)")
+		window     = fs.String("window", "", "export only events in the lo:hi virtual-time window (either bound may be empty)")
+		metricsFmt = fs.String("metrics-format", "", "metrics artifact format: text, json or openmetrics (empty = text and json)")
 	)
 	if err := fs.Parse(args); err != nil {
 		fatal(err)
@@ -99,8 +103,36 @@ func traceMain(args []string) {
 		inst.Run(*budget)
 	}
 
+	// Export-time filtering: the ring holds the full capture; -kind, -hart
+	// and -window cut the exported view without perturbing what was
+	// recorded.
+	evs := ring.Events()
+	filt := obs.NewFilter()
+	filtering := false
+	if *kinds != "" {
+		for _, name := range strings.Split(*kinds, ",") {
+			if err := filt.AddKindName(strings.TrimSpace(name)); err != nil {
+				fatal(err)
+			}
+		}
+		filtering = true
+	}
+	if *hart >= 0 {
+		filt.Hart = *hart
+		filtering = true
+	}
+	if *window != "" {
+		if err := filt.ParseWindow(*window); err != nil {
+			fatal(err)
+		}
+		filtering = true
+	}
+	if filtering {
+		evs = filt.Apply(evs)
+	}
+
 	base := filepath.Join(*outDir, traceName(img.Name))
-	chrome := obs.ChromeTrace([]obs.JobTrace{{ID: 0, Events: ring.Events(), Dropped: ring.Dropped()}})
+	chrome := obs.ChromeTrace([]obs.JobTrace{{ID: 0, Events: evs, Dropped: ring.Dropped()}})
 	if *validate {
 		if err := obs.ValidateChrome(chrome); err != nil {
 			fatal(fmt.Errorf("trace: emitted Chrome trace fails validation: %w", err))
@@ -116,11 +148,22 @@ func traceMain(args []string) {
 	write(".trace.json", chrome)
 	write(".folded", []byte(prof.Folded(funcs)))
 	write(".dispatch.txt", []byte(obs.FormatDispatchTable(prof.DispatchSites(funcs), *top)))
-	write(".metrics.txt", []byte(inst.Machine.Metrics().Text()))
-	write(".metrics.json", inst.Machine.Metrics().JSON())
+	switch *metricsFmt {
+	case "":
+		write(".metrics.txt", []byte(inst.Machine.Metrics().Text()))
+		write(".metrics.json", inst.Machine.Metrics().JSON())
+	case "text":
+		write(".metrics.txt", []byte(inst.Machine.Metrics().Text()))
+	case "json":
+		write(".metrics.json", inst.Machine.Metrics().JSON())
+	case "openmetrics":
+		write(".metrics.om", inst.Machine.Metrics().OpenMetrics())
+	default:
+		fatal(fmt.Errorf("trace: unknown -metrics-format %q (text, json, openmetrics)", *metricsFmt))
+	}
 
-	fmt.Printf("trace: %d events (%d dropped), %d guest insts profiled across %d dispatch sites\n",
-		ring.Len(), ring.Dropped(), prof.TotalInsts(), len(prof.DispatchSites(funcs)))
+	fmt.Printf("trace: %d events exported (%d retained, %d dropped), %d guest insts profiled across %d dispatch sites\n",
+		len(evs), ring.Len(), ring.Dropped(), prof.TotalInsts(), len(prof.DispatchSites(funcs)))
 }
 
 func traceName(n string) string {

@@ -311,6 +311,16 @@ func (i *Instance) SetTrace(r *obs.Ring) {
 	}
 }
 
+// ArmForensics turns forensic provenance capture on or off for the whole
+// deployment: chunk alloc/free backtraces, EvFrame children on traced
+// allocator/report events, and EvQuarantine transitions. No-op without a
+// sanitizer runtime.
+func (i *Instance) ArmForensics(on bool) {
+	if i.Runtime != nil {
+		i.Runtime.ArmForensics(on)
+	}
+}
+
 // EnableInlineFastPath arms the machine's in-template shadow fast path for
 // the given access-site PCs — normally the hottest dispatch sites from an
 // obs.Profile of a representative run. It returns false when the deployment

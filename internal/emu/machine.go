@@ -25,6 +25,10 @@ type Config struct {
 	// NoSharedTB keeps this machine off the process-global translation
 	// cache: it neither consumes nor publishes shared blocks.
 	NoSharedTB bool
+	// NoShadowStack disables shadow call-stack maintenance (ablation /
+	// overhead measurement): JAL/JALR retire without recording call edges
+	// and CallStack returns nothing. Translation is unaffected either way.
+	NoShadowStack bool
 	// Devices appends extra memory-mapped peripherals after the platform
 	// set. Factories run at the end of New so a device can hold the machine
 	// it serves (the rehosting bridge uses this to forward console bytes to
@@ -53,6 +57,13 @@ type Hart struct {
 	resValid bool
 	resAddr  uint32
 	resumeAt uint64 // suspended until the global instruction counter reaches this
+
+	// Shadow call stack (see stack.go): a circular buffer of call-site PCs
+	// for the hart's live frames. Embedded by value so Snapshot/Restore,
+	// which copy harts wholesale, carry it with no extra bookkeeping.
+	css      [ShadowStackDepth]uint32
+	cssStart uint16
+	cssDepth uint16
 }
 
 // StopReason reports why Run returned.
@@ -619,6 +630,9 @@ func (m *Machine) installPlatformHypercalls() {
 		t.Active = true
 		t.Halted = false
 		t.resumeAt = 0
+		// A spawned hart starts a fresh call chain; frames recorded by a
+		// previous occupant of the slot must not leak into its backtraces.
+		t.resetCallStack()
 	}
 }
 

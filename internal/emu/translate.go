@@ -614,11 +614,21 @@ func (m *Machine) execTB(h *Hart, t *tb, end uint64) tbExit {
 
 		// ---- jumps ----
 		case isa.OpJAL:
+			if in.Rd == isa.RegRA && !m.cfg.NoShadowStack {
+				h.callPush(s.pc)
+			}
 			setReg(h, in.Rd, s.pc+4)
 			h.PC = s.pc + uint32(in.Imm)*4
 			return tbDone
 		case isa.OpJALR:
 			target := (r[in.Rs1] + uint32(in.Imm)) &^ 1
+			if !m.cfg.NoShadowStack {
+				if in.Rd == isa.RegRA {
+					h.callPush(s.pc)
+				} else {
+					h.callRet(target)
+				}
+			}
 			setReg(h, in.Rd, s.pc+4)
 			h.PC = target
 			return tbDone

@@ -56,6 +56,12 @@ type CampaignOptions struct {
 	// lockset guidance (core.Config.NoRaceGuidance) — the baseline side of
 	// the guided-vs-uniform race benchmarks.
 	NoRaceGuidance bool
+	// Forensics arms forensic provenance capture (core.Instance.ArmForensics)
+	// for the campaign: crash reports carry allocation and free backtraces
+	// stamped from the shadow call stack. Purely host-side, so campaign
+	// outcomes (found bugs, coverage, execs) are unchanged; only the report
+	// extras and the worker frame counters move.
+	Forensics bool
 }
 
 // FoundBug is one campaign finding attributed to a seeded bug.
@@ -280,6 +286,9 @@ func RunCampaign(fw *firmware.Firmware, opts CampaignOptions) (*Campaign, error)
 	if err != nil {
 		return nil, err
 	}
+	if opts.Forensics {
+		w.inst.ArmForensics(true)
+	}
 	return w.runOne(fw, sched.Split(opts.Seed, 0), opts.Execs)
 }
 
@@ -323,6 +332,12 @@ func RunCampaignSet(fws []*firmware.Firmware, opts CampaignOptions) (*CampaignRu
 		if opts.NoRaceGuidance {
 			key += "+uniform"
 		}
+		if opts.Forensics {
+			// Forensic arming stamps chunk backtraces as the campaign runs;
+			// a pooled machine must not leak stamped chunks into an unarmed
+			// campaign of the same firmware (or vice versa).
+			key += "+forensics"
+		}
 		wm, err := sched.Pooled(w, key, func() (*warmed, error) {
 			return warmUp(fw, opts.Seed, opts.Elide, opts.NoFastPaths, opts.NoRaceGuidance)
 		})
@@ -339,7 +354,13 @@ func RunCampaignSet(fws []*firmware.Firmware, opts CampaignOptions) (*CampaignRu
 			ring.Reset()
 			wm.inst.SetTrace(ring)
 		}
+		if opts.Forensics {
+			wm.inst.ArmForensics(true)
+		}
 		c, err := wm.runOne(fw, sched.Split(opts.Seed, i), opts.Execs)
+		if opts.Forensics {
+			wm.inst.ArmForensics(false)
+		}
 		if ring != nil {
 			wm.inst.SetTrace(nil)
 		}
@@ -370,6 +391,11 @@ func RunCampaignSet(fws []*firmware.Firmware, opts CampaignOptions) (*CampaignRu
 		ctr.Resets.Add(c.Engine.Restores)
 		ctr.TBHits.Add(c.Engine.TBHits)
 		ctr.Reports.Add(uint64(len(c.Raw.Crashes)))
+		for _, crash := range c.Raw.Crashes {
+			if r := crash.Report; r != nil {
+				ctr.Frames.Add(uint64(len(r.Stack) + len(r.AllocStack) + len(r.FreeStack)))
+			}
+		}
 		return nil
 	})
 	if err != nil {

@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Filter selects trace events at export time. The zero value matches
+// nothing useful — build one with NewFilter, which matches everything, and
+// narrow it down. Export-time filtering never perturbs what was recorded:
+// the ring holds the full stream and the filter is applied to a copy, so
+// the same capture can be cut different ways.
+type Filter struct {
+	// Kinds, when non-nil, retains only events of the listed kinds.
+	Kinds map[Kind]bool
+	// Hart, when >= 0, retains only events from that hart.
+	Hart int
+	// Lo and Hi bound the virtual-time window: events with
+	// Lo <= ICnt <= Hi are retained.
+	Lo, Hi uint64
+}
+
+// NewFilter returns a filter matching every event.
+func NewFilter() Filter {
+	return Filter{Hart: -1, Hi: math.MaxUint64}
+}
+
+// Match reports whether e passes the filter.
+func (f Filter) Match(e Event) bool {
+	if e.ICnt < f.Lo || e.ICnt > f.Hi {
+		return false
+	}
+	if f.Hart >= 0 && int(e.Hart) != f.Hart {
+		return false
+	}
+	if f.Kinds != nil && !f.Kinds[e.Kind] {
+		return false
+	}
+	return true
+}
+
+// Apply returns the events passing the filter, in input order. The input is
+// never mutated; with an all-matching filter the result is still a fresh
+// slice.
+func (f Filter) Apply(events []Event) []Event {
+	out := make([]Event, 0, len(events))
+	for _, e := range events {
+		if f.Match(e) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// AddKindName adds every kind whose exporter name is name (names are not
+// unique: "tb" covers both EvTBEnter and EvTBExit). Unknown names are an
+// error listing the valid set.
+func (f *Filter) AddKindName(name string) error {
+	if f.Kinds == nil {
+		f.Kinds = make(map[Kind]bool)
+	}
+	found := false
+	for k := Kind(1); k <= evMax; k++ {
+		if k.String() == name {
+			f.Kinds[k] = true
+			found = true
+		}
+	}
+	if !found {
+		return fmt.Errorf("obs: unknown event kind %q (valid: %s)", name, strings.Join(KindNames(), ", "))
+	}
+	return nil
+}
+
+// ParseWindow parses a "lo:hi" ICnt range; either bound may be empty for
+// unbounded ("1000:", ":5000", "1000:5000").
+func (f *Filter) ParseWindow(s string) error {
+	lo, hi, ok := strings.Cut(s, ":")
+	if !ok {
+		return fmt.Errorf("obs: window %q is not lo:hi", s)
+	}
+	f.Lo, f.Hi = 0, math.MaxUint64
+	if lo != "" {
+		if _, err := fmt.Sscanf(lo, "%d", &f.Lo); err != nil {
+			return fmt.Errorf("obs: bad window low bound %q", lo)
+		}
+	}
+	if hi != "" {
+		if _, err := fmt.Sscanf(hi, "%d", &f.Hi); err != nil {
+			return fmt.Errorf("obs: bad window high bound %q", hi)
+		}
+	}
+	if f.Lo > f.Hi {
+		return fmt.Errorf("obs: empty window %q", s)
+	}
+	return nil
+}
+
+// KindNames returns the distinct exporter names of all event kinds, in kind
+// order.
+func KindNames() []string {
+	var out []string
+	seen := make(map[string]bool)
+	for k := Kind(1); k <= evMax; k++ {
+		if n := k.String(); !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	return out
+}

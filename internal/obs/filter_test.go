@@ -1,0 +1,170 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+// recordedRing captures a small deterministic stream spanning kinds, harts
+// and a virtual-time range — the fixture the export filters cut.
+func recordedRing() *Ring {
+	r := NewRing(64)
+	r.Emit(Event{ICnt: 100, PC: 0x1000, Kind: EvTBEnter, Hart: 0})
+	r.Emit(Event{ICnt: 110, PC: 0x1000, Kind: EvTBExit, Hart: 0})
+	r.Emit(Event{ICnt: 120, PC: 0x1010, Addr: 0x8000, Arg: PackAccess(4, true, false), Kind: EvMemProbe, Hart: 0})
+	r.Emit(Event{ICnt: 130, PC: 0x1020, Addr: 0x8000, Arg: 16, Kind: EvAllocExit, Hart: 1})
+	r.Emit(Event{ICnt: 140, PC: 0x1030, Addr: 0x8000, Kind: EvFree, Hart: 1})
+	r.Emit(Event{ICnt: 150, PC: 0x1030, Addr: 0x8000, Arg: 16, Kind: EvQuarantine, Hart: 1})
+	r.Emit(Event{ICnt: 160, PC: 0x1040, Addr: 0x8004, Kind: EvReport, Hart: 0})
+	return r
+}
+
+func TestFilterByKind(t *testing.T) {
+	f := NewFilter()
+	if err := f.AddKindName("free"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.AddKindName("quarantine"); err != nil {
+		t.Fatal(err)
+	}
+	got := f.Apply(recordedRing().Events())
+	if len(got) != 2 || got[0].Kind != EvFree || got[1].Kind != EvQuarantine {
+		t.Fatalf("kind filter kept %+v", got)
+	}
+	// "tb" is a shared exporter name covering both enter and exit.
+	f2 := NewFilter()
+	if err := f2.AddKindName("tb"); err != nil {
+		t.Fatal(err)
+	}
+	if got := f2.Apply(recordedRing().Events()); len(got) != 2 {
+		t.Fatalf("tb filter kept %d events, want 2", len(got))
+	}
+	if err := new(Filter).AddKindName("bogus"); err == nil {
+		t.Fatal("unknown kind name accepted")
+	}
+}
+
+func TestFilterByHart(t *testing.T) {
+	f := NewFilter()
+	f.Hart = 1
+	got := f.Apply(recordedRing().Events())
+	if len(got) != 3 {
+		t.Fatalf("hart filter kept %d events, want 3", len(got))
+	}
+	for _, e := range got {
+		if e.Hart != 1 {
+			t.Fatalf("hart filter leaked %+v", e)
+		}
+	}
+}
+
+func TestFilterByWindow(t *testing.T) {
+	cases := []struct {
+		window string
+		want   int
+	}{
+		{"120:150", 4},
+		{"120:", 5},
+		{":110", 2},
+		{"0:99", 0},
+	}
+	for _, c := range cases {
+		f := NewFilter()
+		if err := f.ParseWindow(c.window); err != nil {
+			t.Fatalf("%s: %v", c.window, err)
+		}
+		if got := f.Apply(recordedRing().Events()); len(got) != c.want {
+			t.Errorf("window %s kept %d events, want %d", c.window, len(got), c.want)
+		}
+	}
+	var f Filter
+	if err := f.ParseWindow("200:100"); err == nil {
+		t.Error("inverted window accepted")
+	}
+	if err := f.ParseWindow("nope"); err == nil {
+		t.Error("malformed window accepted")
+	}
+}
+
+func TestFilterCompose(t *testing.T) {
+	f := NewFilter()
+	f.Hart = 1
+	if err := f.AddKindName("free"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.ParseWindow("100:200"); err != nil {
+		t.Fatal(err)
+	}
+	got := f.Apply(recordedRing().Events())
+	if len(got) != 1 || got[0].ICnt != 140 {
+		t.Fatalf("composed filter kept %+v", got)
+	}
+}
+
+func TestFilterDoesNotMutateInput(t *testing.T) {
+	events := recordedRing().Events()
+	f := NewFilter()
+	f.Hart = 0
+	_ = f.Apply(events)
+	if len(events) != 7 {
+		t.Fatalf("input mutated: %d events", len(events))
+	}
+}
+
+func TestEmitTimeFilter(t *testing.T) {
+	r := NewRing(8)
+	r.SetFilter(func(e Event) bool { return e.Kind != EvTBEnter })
+	if r.Emit(Event{Kind: EvTBEnter}) {
+		t.Error("filtered emit reported retained")
+	}
+	if !r.Emit(Event{Kind: EvReport}) {
+		t.Error("passing emit reported dropped")
+	}
+	if r.Len() != 1 || r.Events()[0].Kind != EvReport {
+		t.Fatalf("ring holds %+v", r.Events())
+	}
+	// Filtered events do not count as wraparound drops.
+	if r.Dropped() != 0 {
+		t.Errorf("dropped = %d", r.Dropped())
+	}
+	r.SetFilter(nil)
+	if !r.Emit(Event{Kind: EvTBEnter}) {
+		t.Error("emit rejected after filter removal")
+	}
+}
+
+func TestKindNamesCoverAllKinds(t *testing.T) {
+	names := KindNames()
+	seen := make(map[string]bool)
+	for _, n := range names {
+		if n == "unknown" {
+			t.Fatal("unknown leaked into KindNames")
+		}
+		if seen[n] {
+			t.Fatalf("duplicate name %q", n)
+		}
+		seen[n] = true
+	}
+	for k := Kind(1); k <= evMax; k++ {
+		if !seen[k.String()] {
+			t.Errorf("kind %d name %q missing", k, k.String())
+		}
+	}
+	// Every name must round-trip through AddKindName.
+	for _, n := range names {
+		f := NewFilter()
+		if err := f.AddKindName(n); err != nil {
+			t.Errorf("AddKindName(%q): %v", n, err)
+		}
+	}
+}
+
+func TestNewFilterMatchesEverything(t *testing.T) {
+	f := NewFilter()
+	if f.Hi != math.MaxUint64 || f.Hart != -1 {
+		t.Fatalf("NewFilter = %+v", f)
+	}
+	if got := f.Apply(recordedRing().Events()); len(got) != 7 {
+		t.Fatalf("all-pass filter kept %d of 7", len(got))
+	}
+}

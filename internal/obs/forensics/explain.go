@@ -1,0 +1,239 @@
+package forensics
+
+import (
+	"fmt"
+	"strings"
+
+	"embsan/internal/core"
+	"embsan/internal/obs"
+	"embsan/internal/san"
+)
+
+// Options configures one Explain run.
+type Options struct {
+	// Signature selects which report to explain (Report.Signature); empty
+	// means the first report the input produces.
+	Signature string
+	// Input is the distilled/minimized executor input reproducing the bug.
+	Input []byte
+	// Budget bounds each replay pass in guest instructions (0 = 4M).
+	Budget uint64
+	// Window is the virtual-time half-window, in instructions around the
+	// report, inside which memory accesses are traced (0 = 4096). Allocator
+	// and shadow events for the faulting object are kept regardless of
+	// window, so the lifetime timeline reaches back to the original
+	// allocation.
+	Window uint64
+	// RingSize is the focused trace ring capacity in events (0 = 65536).
+	RingSize int
+}
+
+// Explanation is the deterministic forensic story of one report: the
+// enriched report, the focused record stream it was reconstructed from,
+// and the rendered artifacts. All fields are pure functions of (firmware,
+// input, seed), so two runs — on any worker topology — produce
+// byte-identical Text and JSON.
+type Explanation struct {
+	Report  *san.Report
+	Records []Record
+	// WindowLo/WindowHi is the traced virtual-time window.
+	WindowLo, WindowHi uint64
+	// Text is the full KASAN-style report with forensic sections.
+	Text string
+}
+
+// Explain replays input on a booted, snapshotted instance and reconstructs
+// the forensic story of the selected report. Two passes: the first locates
+// the report's virtual timestamp with tracing off (full speed); the second
+// re-executes with forensic capture armed and an emit-time filter focusing
+// the ring on the faulting object and the window around the fault. The
+// second pass must reproduce the report at the identical instruction count
+// — anything else is a determinism violation and an error, never a silent
+// wrong answer.
+//
+// The instance's trace ring and forensic arming are restored to off on
+// return; the machine is left wherever the second pass stopped (callers
+// Restore before reuse, as after any Exec).
+func Explain(inst *core.Instance, opts Options) (*Explanation, error) {
+	if inst.Runtime == nil {
+		return nil, fmt.Errorf("forensics: instance has no sanitizer runtime")
+	}
+	budget := opts.Budget
+	if budget == 0 {
+		budget = 4 << 20
+	}
+	window := opts.Window
+	if window == 0 {
+		window = 4096
+	}
+	ringSize := opts.RingSize
+	if ringSize == 0 {
+		ringSize = 1 << 16
+	}
+	seed := inst.Machine.Seed()
+
+	// Pass 1: untraced replay to locate the report on the virtual clock.
+	inst.Restore()
+	inst.Machine.Reseed(seed)
+	res := inst.Exec(opts.Input, budget)
+	r1 := pickReport(res.Reports, opts.Signature)
+	if r1 == nil {
+		return nil, fmt.Errorf("forensics: input did not reproduce report %q (%d reports, stop=%v)",
+			opts.Signature, len(res.Reports), res.Stop)
+	}
+	lo := uint64(0)
+	if r1.ICnt > window {
+		lo = r1.ICnt - window
+	}
+	hi := r1.ICnt + window
+
+	// Pass 2: focused forensic replay. The filter keeps the faulting
+	// object's allocator and shadow events for all time (they are rare and
+	// carry the timeline), memory accesses only when they overlap the
+	// faulting range inside the window, and report/frame events always;
+	// translation-block noise is dropped entirely so the ring never wraps.
+	fSize := r1.Size
+	if fSize == 0 {
+		fSize = 1
+	}
+	chunkLo, chunkHi := r1.Addr, r1.Addr+fSize
+	if r1.ChunkAddr != 0 {
+		chunkLo, chunkHi = r1.ChunkAddr, r1.ChunkAddr+r1.ChunkSize
+	}
+	ring := obs.NewRing(ringSize)
+	ring.SetFilter(func(e obs.Event) bool {
+		switch e.Kind {
+		case obs.EvAllocExit, obs.EvFree, obs.EvQuarantine:
+			return e.Addr >= chunkLo && e.Addr < chunkHi
+		case obs.EvPoison, obs.EvUnpoison:
+			return e.Addr < chunkHi && e.Addr+e.Arg > chunkLo
+		case obs.EvMemProbe, obs.EvSanck:
+			sz := e.Arg & 0xFF
+			if sz == 0 {
+				sz = 1
+			}
+			return e.ICnt >= lo && e.ICnt <= hi &&
+				e.Addr < r1.Addr+fSize && e.Addr+sz > r1.Addr
+		case obs.EvReport, obs.EvFrame:
+			return true
+		}
+		return false
+	})
+	inst.Restore()
+	inst.Machine.Reseed(seed)
+	inst.SetTrace(ring)
+	inst.ArmForensics(true)
+	res2 := inst.Exec(opts.Input, budget)
+	inst.ArmForensics(false)
+	inst.SetTrace(nil)
+	r2 := pickReport(res2.Reports, opts.Signature)
+	if r2 == nil {
+		return nil, fmt.Errorf("forensics: forensic replay lost report %q", opts.Signature)
+	}
+	if r2.ICnt != r1.ICnt || r2.Signature() != r1.Signature() {
+		return nil, fmt.Errorf("forensics: nondeterministic replay: %q at icnt %d vs %q at icnt %d",
+			r1.Signature(), r1.ICnt, r2.Signature(), r2.ICnt)
+	}
+	if ring.Dropped() > 0 {
+		return nil, fmt.Errorf("forensics: focused ring overflowed (%d dropped); raise RingSize", ring.Dropped())
+	}
+
+	recs := Fold(ring.Events())
+	report := *r2
+	report.Timeline = ObjectTimeline(recs, chunkLo, chunkHi-chunkLo)
+	report.LastWriters = LastWriters(recs, r2.Addr, r2.Size, r2.ICnt, 8)
+	return &Explanation{
+		Report:   &report,
+		Records:  recs,
+		WindowLo: lo,
+		WindowHi: hi,
+		Text:     report.Format(inst.Image()),
+	}, nil
+}
+
+// pickReport returns the first report matching sig, or the first report
+// when sig is empty.
+func pickReport(reports []*san.Report, sig string) *san.Report {
+	for _, r := range reports {
+		if sig == "" || r.Signature() == sig {
+			return r
+		}
+	}
+	return nil
+}
+
+// JSON renders the explanation as canonical machine-readable bytes: fixed
+// key order, no whitespace variance, symbolized PCs. Byte-identical for
+// byte-identical explanations — the artifact `make explain-check` compares
+// across runs.
+func (x *Explanation) JSON(symbolize func(uint32) string) []byte {
+	if symbolize == nil {
+		symbolize = func(pc uint32) string { return fmt.Sprintf("%#08x", pc) }
+	}
+	r := x.Report
+	var b strings.Builder
+	b.WriteString("{")
+	fmt.Fprintf(&b, "%q:%s,", "signature", jsonStr(r.Signature()))
+	fmt.Fprintf(&b, "%q:%s,", "title", jsonStr(r.Title()))
+	fmt.Fprintf(&b, "%q:%s,", "tool", jsonStr(r.Tool.String()))
+	fmt.Fprintf(&b, "%q:%s,", "bug", jsonStr(r.Bug.String()))
+	fmt.Fprintf(&b, "%q:%d,", "icnt", r.ICnt)
+	fmt.Fprintf(&b, "%q:%d,", "hart", r.Hart)
+	fmt.Fprintf(&b, "%q:%s,", "pc", jsonStr(symbolize(r.PC)))
+	fmt.Fprintf(&b, "%q:\"%#08x\",", "addr", r.Addr)
+	fmt.Fprintf(&b, "%q:%d,", "size", r.Size)
+	fmt.Fprintf(&b, "%q:%t,", "write", r.Write)
+	fmt.Fprintf(&b, "%q:{%q:\"%#08x\",%q:%d},", "chunk", "addr", r.ChunkAddr, "size", r.ChunkSize)
+	fmt.Fprintf(&b, "%q:[%d,%d],", "window", x.WindowLo, x.WindowHi)
+	fmt.Fprintf(&b, "%q:{", "stacks")
+	fmt.Fprintf(&b, "%q:", "access")
+	jsonFrames(&b, r.Stack, symbolize)
+	fmt.Fprintf(&b, ",%q:", "alloc")
+	jsonFrames(&b, r.AllocStack, symbolize)
+	fmt.Fprintf(&b, ",%q:", "free")
+	jsonFrames(&b, r.FreeStack, symbolize)
+	b.WriteString("},")
+	fmt.Fprintf(&b, "%q:", "timeline")
+	jsonTimeline(&b, r.Timeline, symbolize)
+	fmt.Fprintf(&b, ",%q:", "last_writers")
+	jsonTimeline(&b, r.LastWriters, symbolize)
+	fmt.Fprintf(&b, ",%q:%d", "records", len(x.Records))
+	b.WriteString("}\n")
+	return []byte(b.String())
+}
+
+func jsonFrames(b *strings.Builder, frames []uint32, symbolize func(uint32) string) {
+	b.WriteString("[")
+	for i, pc := range frames {
+		if i > 0 {
+			b.WriteString(",")
+		}
+		b.WriteString(jsonStr(symbolize(pc)))
+	}
+	b.WriteString("]")
+}
+
+func jsonTimeline(b *strings.Builder, entries []san.TimelineEntry, symbolize func(uint32) string) {
+	b.WriteString("[")
+	for i, te := range entries {
+		if i > 0 {
+			b.WriteString(",")
+		}
+		fmt.Fprintf(b, "{%q:%d,%q:%s,%q:\"%#08x\",%q:%d,%q:%d",
+			"icnt", te.ICnt, "event", jsonStr(te.Event), "addr", te.Addr,
+			"size", te.Size, "hart", te.Hart)
+		if te.PC != 0 {
+			fmt.Fprintf(b, ",%q:%s", "pc", jsonStr(symbolize(te.PC)))
+		}
+		if len(te.Stack) > 0 {
+			fmt.Fprintf(b, ",%q:", "stack")
+			jsonFrames(b, te.Stack, symbolize)
+		}
+		b.WriteString("}")
+	}
+	b.WriteString("]")
+}
+
+// jsonStr escapes a string for JSON output; symbols and signatures are
+// ASCII but quoting is delegated to %q semantics for safety.
+func jsonStr(s string) string { return fmt.Sprintf("%q", s) }

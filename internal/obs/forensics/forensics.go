@@ -1,0 +1,154 @@
+// Package forensics reconstructs bug stories from obs event streams: it
+// folds backtrace frames into their parent events, rebuilds object lifetime
+// timelines (alloc → poison → free → quarantine → re-alloc) for a faulting
+// chunk, and collects the last writers of a faulting address. Everything
+// here is a pure function of the recorded events, so two byte-identical
+// traces yield byte-identical forensics — the property `embsan explain`
+// builds its determinism guarantee on.
+package forensics
+
+import (
+	"embsan/internal/obs"
+	"embsan/internal/san"
+)
+
+// Record is one forensic event: an obs.Event with the backtrace the
+// sanitizer runtime attached to it (EvFrame children) folded back in.
+type Record struct {
+	Event obs.Event
+	// Stack holds call-site PCs, innermost first; nil when the event
+	// carried no frames.
+	Stack []uint32
+}
+
+// Fold collapses EvFrame events into their parent records. A frame belongs
+// to the immediately preceding non-frame event when timestamps match and
+// its index continues the parent's stack (the runtime emits frames
+// innermost-first, directly after the parent). Frames that lost their
+// parent — a windowed cut through the stream — are dropped rather than
+// misattached.
+func Fold(events []obs.Event) []Record {
+	out := make([]Record, 0, len(events))
+	for _, e := range events {
+		if e.Kind == obs.EvFrame {
+			if n := len(out); n > 0 {
+				p := &out[n-1]
+				if p.Event.ICnt == e.ICnt && int(e.Arg) == len(p.Stack) {
+					p.Stack = append(p.Stack, e.Addr)
+				}
+			}
+			continue
+		}
+		out = append(out, Record{Event: e})
+	}
+	return out
+}
+
+// Flatten is the inverse of Fold: records become events with their stacks
+// re-expanded to EvFrame children. Fold(Flatten(recs)) is the identity for
+// any record list; Flatten(Fold(evs)) is the identity for streams whose
+// frames all have parents.
+func Flatten(recs []Record) []obs.Event {
+	var out []obs.Event
+	for _, r := range recs {
+		out = append(out, r.Event)
+		for i, pc := range r.Stack {
+			out = append(out, obs.Event{ICnt: r.Event.ICnt, PC: r.Event.PC,
+				Addr: pc, Arg: uint32(i), Kind: obs.EvFrame, Hart: r.Event.Hart})
+		}
+	}
+	return out
+}
+
+// ObjectTimeline reconstructs the lifetime of the chunk at base (size
+// bytes) from a folded record stream: allocations returning the base,
+// frees and quarantine transitions of it, and shadow poison transitions
+// overlapping it, in stream order. A second allocation of the same base is
+// classified "realloc" — the slot-reuse step that turns a stale pointer
+// into a use-after-free of someone else's object.
+func ObjectTimeline(recs []Record, base, size uint32) []san.TimelineEntry {
+	if size == 0 {
+		size = 1
+	}
+	var out []san.TimelineEntry
+	allocs := 0
+	for _, r := range recs {
+		e := r.Event
+		switch e.Kind {
+		case obs.EvAllocExit:
+			if e.Addr != base {
+				continue
+			}
+			name := "alloc"
+			if allocs > 0 {
+				name = "realloc"
+			}
+			allocs++
+			out = append(out, san.TimelineEntry{ICnt: e.ICnt, Event: name,
+				PC: e.PC, Addr: e.Addr, Size: e.Arg, Hart: e.Hart, Stack: r.Stack})
+		case obs.EvFree:
+			if e.Addr != base {
+				continue
+			}
+			out = append(out, san.TimelineEntry{ICnt: e.ICnt, Event: "free",
+				PC: e.PC, Addr: e.Addr, Hart: e.Hart, Stack: r.Stack})
+		case obs.EvQuarantine:
+			if e.Addr != base {
+				continue
+			}
+			out = append(out, san.TimelineEntry{ICnt: e.ICnt, Event: "quarantine",
+				Addr: e.Addr, Size: e.Arg, Hart: e.Hart})
+		case obs.EvPoison, obs.EvUnpoison:
+			// Addr/Arg is the poisoned range; PC carries the poison code,
+			// not a program counter, so it is deliberately not propagated.
+			if e.Addr >= base+size || e.Addr+e.Arg <= base {
+				continue
+			}
+			name := "poison"
+			if e.Kind == obs.EvUnpoison {
+				name = "unpoison"
+			}
+			out = append(out, san.TimelineEntry{ICnt: e.ICnt, Event: name,
+				Addr: e.Addr, Size: e.Arg, Hart: e.Hart})
+		}
+	}
+	return out
+}
+
+// LastWriters returns the trailing max write accesses overlapping
+// [addr, addr+size) at or before until, in chronological order — the
+// "who last touched this memory" window of a KASAN-style report. Reads are
+// ignored; the faulting access itself (at until) is included when it was a
+// write, since the stream cannot distinguish it from a racing peer.
+func LastWriters(recs []Record, addr, size uint32, until uint64, max int) []san.TimelineEntry {
+	if size == 0 {
+		size = 1
+	}
+	if max <= 0 {
+		max = 8
+	}
+	var out []san.TimelineEntry
+	for _, r := range recs {
+		e := r.Event
+		if e.ICnt > until {
+			break
+		}
+		if e.Kind != obs.EvMemProbe && e.Kind != obs.EvSanck {
+			continue
+		}
+		asz := e.Arg & 0xFF
+		write := e.Arg&(1<<8) != 0
+		if !write || asz == 0 {
+			continue
+		}
+		if e.Addr >= addr+size || e.Addr+asz <= addr {
+			continue
+		}
+		out = append(out, san.TimelineEntry{ICnt: e.ICnt, Event: "write",
+			PC: e.PC, Addr: e.Addr, Size: asz, Hart: e.Hart})
+	}
+	if len(out) > max {
+		out = out[len(out)-max:]
+	}
+	return out
+}

@@ -1,0 +1,57 @@
+package forensics
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"embsan/internal/obs"
+)
+
+func mustEncode(t testing.TB, recs []Record) []byte {
+	b, err := EncodeRecords(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// FuzzExplainRoundTrip fuzzes the forensic-record codec `embsan explain`
+// persists its evidence in: any input that decodes must re-encode to
+// exactly the same bytes (the encoding is canonical), and the decoded
+// records must survive a second round trip. Inputs that do not decode must
+// fail with an error, never a panic.
+func FuzzExplainRoundTrip(f *testing.F) {
+	f.Add(mustEncode(f, nil))
+	f.Add(mustEncode(f, Fold([]obs.Event{
+		ev(10, obs.EvAllocExit, 0x80, 0x2000, 32, 0),
+		frame(10, 0x80, 0x140, 0),
+		frame(10, 0x80, 0x104, 1),
+		ev(30, obs.EvFree, 0x90, 0x2000, 0, 1),
+		ev(40, obs.EvReport, 0x300, 0x2004, 3, 1),
+		frame(40, 0x300, 0x2f0, 0),
+	})))
+	f.Add([]byte("EMFX"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, err := DecodeRecords(data)
+		if err != nil {
+			return // rejected inputs just need to not panic
+		}
+		enc, err := EncodeRecords(recs)
+		if err != nil {
+			t.Fatalf("decoded records failed to re-encode: %v", err)
+		}
+		if !bytes.Equal(enc, data) {
+			t.Fatalf("decode→encode is not the identity:\n in: %x\nout: %x", data, enc)
+		}
+		recs2, err := DecodeRecords(enc)
+		if err != nil {
+			t.Fatalf("canonical bytes failed to decode: %v", err)
+		}
+		if !reflect.DeepEqual(recs2, recs) {
+			t.Fatalf("second decode diverged")
+		}
+	})
+}

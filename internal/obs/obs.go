@@ -55,8 +55,17 @@ const (
 	// EvReport is a new (deduplicated) sanitizer report
 	// (Arg = bug type ordinal).
 	EvReport
+	// EvQuarantine marks a freed chunk entering the sanitizer quarantine
+	// (Addr = chunk base, Arg = chunk size, PC = freeing call site).
+	EvQuarantine
+	// EvFrame attaches one shadow-call-stack frame to the immediately
+	// preceding event in the same stream: Addr = the frame's call-site PC,
+	// Arg = frame index (0 = innermost), PC = the parent event's PC so a
+	// windowed cut without the parent still attributes. Emitted only under
+	// forensic tracing (san.Runtime.ArmForensics).
+	EvFrame
 
-	evMax = EvReport
+	evMax = EvFrame
 )
 
 var kindNames = [...]string{
@@ -72,6 +81,8 @@ var kindNames = [...]string{
 	EvSnapshot:   "snapshot",
 	EvRestore:    "restore",
 	EvReport:     "report",
+	EvQuarantine: "quarantine",
+	EvFrame:      "frame",
 }
 
 // String returns the stable exporter name of the kind.
@@ -115,7 +126,13 @@ type Event struct {
 // are overwritten; Dropped counts them.
 type Ring struct {
 	buf  []Event
-	head uint64 // total events ever emitted
+	head uint64 // total events ever retained
+	// filter, when set, decides at emit time whether an event is retained.
+	// Focused forensic tracing uses it to keep a bounded ring from wrapping
+	// past the window of interest; the hot path pays one nil check. It takes
+	// the event by value — a pointer would escape the parameter to the heap
+	// and cost an allocation per emit even with no filter installed.
+	filter func(Event) bool
 }
 
 // DefaultRingEvents is the default per-job ring capacity.
@@ -129,12 +146,24 @@ func NewRing(capacity int) *Ring {
 	return &Ring{buf: make([]Event, capacity)}
 }
 
-// Emit appends e, overwriting the oldest event when full. It never
-// allocates.
-func (r *Ring) Emit(e Event) {
+// Emit appends e, overwriting the oldest event when full, and reports
+// whether the event was retained (an installed filter may reject it).
+// Emitters of dependent events — EvFrame records attached to an allocator
+// or report event — must consult the result so a filtered-out parent never
+// leaves orphaned children in the stream. It never allocates.
+func (r *Ring) Emit(e Event) bool {
+	if r.filter != nil && !r.filter(e) {
+		return false
+	}
 	r.buf[r.head%uint64(len(r.buf))] = e
 	r.head++
+	return true
 }
+
+// SetFilter installs (or, with nil, removes) an emit-time retention
+// predicate. The filter must be a pure function of the event for traces to
+// stay deterministic. Reset does not clear it.
+func (r *Ring) SetFilter(f func(Event) bool) { r.filter = f }
 
 // Len returns the number of retained events.
 func (r *Ring) Len() int {

@@ -1,0 +1,58 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+)
+
+// OpenMetrics renders the registry in the OpenMetrics text exposition
+// format (the Prometheus wire format), so campaign metrics can be scraped
+// or diffed with standard tooling. The mapping follows the conventions the
+// format expects:
+//
+//   - dotted instrument names become underscore-separated metric names
+//     ("emu.tb.hits" -> "emu_tb_hits");
+//   - counters get the counter type and a "_total"-suffixed sample;
+//   - gauges stay as-is;
+//   - histograms expose cumulative "_bucket" samples with le labels
+//     (inclusive upper bounds, closing with le="+Inf"), plus "_sum" and
+//     "_count".
+//
+// Like Text and JSON, the output is byte-deterministic: names are sorted
+// within each instrument class and no timestamps are emitted — the trace
+// clock is virtual, and wall-clock stamps would break reproducibility.
+// The exposition ends with the mandatory "# EOF" terminator.
+func (r *Registry) OpenMetrics() []byte {
+	cs, gs, hs := r.sortedNames()
+	var b strings.Builder
+	for _, n := range cs {
+		m := metricName(n)
+		fmt.Fprintf(&b, "# TYPE %s counter\n", m)
+		fmt.Fprintf(&b, "%s_total %d\n", m, r.counters[n].v)
+	}
+	for _, n := range gs {
+		m := metricName(n)
+		fmt.Fprintf(&b, "# TYPE %s gauge\n", m)
+		fmt.Fprintf(&b, "%s %d\n", m, r.gauges[n].v)
+	}
+	for _, n := range hs {
+		m := metricName(n)
+		h := r.hists[n]
+		fmt.Fprintf(&b, "# TYPE %s histogram\n", m)
+		cum := uint64(0)
+		for i, bd := range h.bounds {
+			cum += h.counts[i]
+			fmt.Fprintf(&b, "%s_bucket{le=\"%d\"} %d\n", m, bd, cum)
+		}
+		cum += h.counts[len(h.bounds)]
+		fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", m, cum)
+		fmt.Fprintf(&b, "%s_sum %d\n", m, h.sum)
+		fmt.Fprintf(&b, "%s_count %d\n", m, h.n)
+	}
+	b.WriteString("# EOF\n")
+	return []byte(b.String())
+}
+
+func metricName(dotted string) string {
+	return strings.ReplaceAll(dotted, ".", "_")
+}

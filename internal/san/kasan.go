@@ -14,15 +14,25 @@ type KASAN struct {
 	quarCap    int
 	heapLow    uint32
 	heapHigh   uint32
+
+	// stacker, when installed (forensic arming), captures the current
+	// shadow call stack; allocations and frees stamp their chunk with it so
+	// a later report can show full alloc/free backtraces. Off by default:
+	// stamping every allocation costs a slice per event.
+	stacker func() []uint32
 }
 
-// Chunk is one live or quarantined heap object.
+// Chunk is one live or quarantined heap object. AllocStack and FreeStack
+// are filled only under forensic arming; once stamped they are never
+// mutated in place, so snapshot copies may share their backing arrays.
 type Chunk struct {
-	Addr    uint32
-	Size    uint32
-	Freed   bool
-	AllocPC uint32
-	FreePC  uint32
+	Addr       uint32
+	Size       uint32
+	Freed      bool
+	AllocPC    uint32
+	FreePC     uint32
+	AllocStack []uint32
+	FreeStack  []uint32
 }
 
 // NewKASAN creates the engine on top of a shadow.
@@ -39,6 +49,14 @@ func NewKASAN(shadow *Shadow, quarantineCap int) *KASAN {
 
 // Shadow exposes the underlying shadow memory.
 func (k *KASAN) Shadow() *Shadow { return k.shadow }
+
+// SetStacker installs (or, with nil, removes) the backtrace capture hook
+// consulted on every allocation and free.
+func (k *KASAN) SetStacker(f func() []uint32) { k.stacker = f }
+
+// ChunkAt returns the chunk whose base address is exactly ptr (live or
+// quarantined), or nil.
+func (k *KASAN) ChunkAt(ptr uint32) *Chunk { return k.chunks[ptr] }
 
 // NoteHeapRegion widens the engine's notion of where heap objects live, and
 // poisons the region as never-allocated.
@@ -66,7 +84,11 @@ func (k *KASAN) OnAlloc(ptr, size, pc uint32) {
 	// Poison the tail up to the next granule boundary explicitly (handled by
 	// Unpoison's partial encoding) — nothing more to do for the slack: the
 	// rest of the heap is already poisoned as uninit/free.
-	k.chunks[ptr] = &Chunk{Addr: ptr, Size: size, AllocPC: pc}
+	c := &Chunk{Addr: ptr, Size: size, AllocPC: pc}
+	if k.stacker != nil {
+		c.AllocStack = k.stacker()
+	}
+	k.chunks[ptr] = c
 }
 
 // OnFree records a deallocation of ptr. It returns a report when the free
@@ -85,10 +107,14 @@ func (k *KASAN) OnFree(ptr, pc uint32, hart int) *Report {
 		return &Report{
 			Tool: ToolKASAN, Bug: BugDoubleFree, Addr: ptr, PC: pc, Hart: hart,
 			ChunkAddr: c.Addr, ChunkSize: c.Size, AllocPC: c.AllocPC, FreePC: c.FreePC,
+			AllocStack: c.AllocStack, FreeStack: c.FreeStack,
 		}
 	}
 	c.Freed = true
 	c.FreePC = pc
+	if k.stacker != nil {
+		c.FreeStack = k.stacker()
+	}
 	k.shadow.Poison(c.Addr, c.Size, CodeHeapFree)
 	k.quarantine = append(k.quarantine, ptr)
 	if len(k.quarantine) > k.quarCap {
@@ -123,6 +149,7 @@ func (k *KASAN) CheckAccess(addr, size uint32, write bool, pc uint32, hart int) 
 		if c := k.chunkFor(bad); c != nil {
 			r.ChunkAddr, r.ChunkSize = c.Addr, c.Size
 			r.AllocPC, r.FreePC = c.AllocPC, c.FreePC
+			r.AllocStack, r.FreeStack = c.AllocStack, c.FreeStack
 			if c.Freed && bad >= c.Addr && bad < c.Addr+c.Size {
 				r.Bug = BugUAF
 				return r
@@ -154,9 +181,11 @@ func (k *KASAN) CheckAccess(addr, size uint32, write bool, pc uint32, hart int) 
 	if c := k.chunkFor(bad); c != nil {
 		r.ChunkAddr, r.ChunkSize = c.Addr, c.Size
 		r.AllocPC, r.FreePC = c.AllocPC, c.FreePC
+		r.AllocStack, r.FreeStack = c.AllocStack, c.FreeStack
 	} else if c := k.nearestChunk(bad); c != nil {
 		r.ChunkAddr, r.ChunkSize = c.Addr, c.Size
 		r.AllocPC, r.FreePC = c.AllocPC, c.FreePC
+		r.AllocStack, r.FreeStack = c.AllocStack, c.FreeStack
 	}
 	return r
 }

@@ -104,10 +104,28 @@ type Report struct {
 	AllocPC   uint32
 	FreePC    uint32
 
-	// CallerPC is the return address live at the access — the one-frame
-	// backtrace used to attribute violations inside library routines
-	// (memcpy and friends) to their caller, like KASAN's stack skipping.
+	// CallerPC is the return address of the innermost live frame at the
+	// access — taken from the shadow call stack when available (immune to a
+	// clobbered RA register), falling back to the live RA. It drives the
+	// caller attribution of violations inside library routines (memcpy and
+	// friends), like KASAN's stack skipping.
 	CallerPC uint32
+
+	// Stack is the full shadow call stack at the access: call-site PCs,
+	// innermost first, excluding the faulting PC itself. AllocStack and
+	// FreeStack are the stacks recorded when the faulting chunk was
+	// allocated and freed (captured only under forensic arming —
+	// Runtime.ArmForensics — since stamping every allocation costs).
+	Stack      []uint32
+	AllocStack []uint32
+	FreeStack  []uint32
+
+	// Timeline is the faulting chunk's reconstructed lifetime and
+	// LastWriters the trailing accesses to the faulting address, both
+	// filled from the obs event stream by the forensics layer. They render
+	// as appended report sections and never affect Signature or Title.
+	Timeline    []TimelineEntry
+	LastWriters []TimelineEntry
 
 	// KCSAN second party.
 	OtherPC    uint32
@@ -124,6 +142,21 @@ type Report struct {
 	// Format, so report text and dedup stay byte-identical.
 	ICnt   uint64
 	Worker int
+}
+
+// TimelineEntry is one reconstructed step in an object's or address's
+// history: an allocator event, a shadow poison transition, or a memory
+// access, on the virtual clock.
+type TimelineEntry struct {
+	ICnt  uint64
+	Event string // alloc, free, quarantine, poison, unpoison, realloc, write, read
+	PC    uint32
+	Addr  uint32
+	Size  uint32
+	Hart  uint8
+	// Stack carries the event's attached backtrace frames (call-site PCs,
+	// innermost first) when the trace recorded them.
+	Stack []uint32
 }
 
 // Signature returns the deduplication key: tool, bug type and the function
@@ -174,8 +207,55 @@ func (r *Report) Format(img *kasm.Image) string {
 			fmt.Fprintf(&b, "Freed at %s\n", sym(img, r.FreePC))
 		}
 	}
+	// Forensic sections are strictly additive: a report without captured
+	// stacks or timelines renders byte-identically to the pre-forensics
+	// format, which is what keeps the Table 3/4 oracles and dedup stable.
+	if len(r.Stack) > 0 {
+		b.WriteString("Access backtrace:\n")
+		fmt.Fprintf(&b, " %s\n", sym(img, r.PC))
+		writeFrames(&b, img, r.Stack)
+	}
+	if len(r.AllocStack) > 0 {
+		b.WriteString("Allocation backtrace:\n")
+		writeFrames(&b, img, r.AllocStack)
+	}
+	if len(r.FreeStack) > 0 {
+		b.WriteString("Free backtrace:\n")
+		writeFrames(&b, img, r.FreeStack)
+	}
+	if len(r.Timeline) > 0 {
+		b.WriteString("Object timeline:\n")
+		for _, te := range r.Timeline {
+			fmt.Fprintf(&b, " icnt %d: %s", te.ICnt, te.Event)
+			if te.Size != 0 {
+				fmt.Fprintf(&b, " size %d", te.Size)
+			}
+			if te.PC != 0 {
+				fmt.Fprintf(&b, " at %s", sym(img, te.PC))
+			}
+			b.WriteByte('\n')
+			for _, pc := range te.Stack {
+				fmt.Fprintf(&b, "   %s\n", sym(img, pc))
+			}
+		}
+	}
+	if len(r.LastWriters) > 0 {
+		fmt.Fprintf(&b, "Last writers of %#08x:\n", r.Addr)
+		for _, te := range r.LastWriters {
+			fmt.Fprintf(&b, " icnt %d: hart %d %s of size %d at %s\n",
+				te.ICnt, te.Hart, te.Event, te.Size, sym(img, te.PC))
+		}
+	}
 	b.WriteString(line + "\n")
 	return b.String()
+}
+
+// writeFrames renders backtrace frames, one call site per line, innermost
+// first.
+func writeFrames(b *strings.Builder, img *kasm.Image, frames []uint32) {
+	for _, pc := range frames {
+		fmt.Fprintf(b, " %s\n", sym(img, pc))
+	}
 }
 
 func sym(img *kasm.Image, pc uint32) string {

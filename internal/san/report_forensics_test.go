@@ -1,0 +1,70 @@
+package san
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestReportFormatAdditive is the compatibility contract of the forensic
+// report fields: a report with backtraces and timelines attached renders
+// as the old report text with sections appended before the closing rule —
+// nothing in the pre-forensics text moves — and Signature/Title are
+// untouched by any forensic field.
+func TestReportFormatAdditive(t *testing.T) {
+	base := Report{
+		Tool: ToolKASAN, Bug: BugUAF, Addr: 0x2000, Size: 4, Write: false,
+		PC: 0x1540, Hart: 0, ChunkAddr: 0x2000, ChunkSize: 48,
+		AllocPC: 0x1500, FreePC: 0x1520, Location: "st7789_draw+0x3c",
+	}
+	old := base.Format(nil)
+
+	rich := base
+	rich.Stack = []uint32{0x1500, 0x1400}
+	rich.AllocStack = []uint32{0x1504, 0x1400}
+	rich.FreeStack = []uint32{0x1524, 0x1400}
+	rich.Timeline = []TimelineEntry{
+		{ICnt: 100, Event: "alloc", PC: 0x900, Addr: 0x2000, Size: 48, Stack: []uint32{0x1504}},
+		{ICnt: 150, Event: "free", PC: 0x910, Addr: 0x2000},
+		{ICnt: 150, Event: "quarantine", Addr: 0x2000, Size: 48},
+	}
+	rich.LastWriters = []TimelineEntry{
+		{ICnt: 140, Event: "write", PC: 0x1510, Addr: 0x2000, Size: 1},
+	}
+	enriched := rich.Format(nil)
+
+	if enriched == old {
+		t.Fatal("forensic fields did not change the rendered report")
+	}
+	oldLines := strings.Split(old, "\n")
+	newLines := strings.Split(enriched, "\n")
+	// Every pre-forensics line except the closing rule is preserved
+	// verbatim, in place, as a prefix of the enriched report.
+	prefix := oldLines[:len(oldLines)-2] // drop closing "===..." and trailing ""
+	for i, line := range prefix {
+		if newLines[i] != line {
+			t.Fatalf("line %d changed: %q -> %q", i, line, newLines[i])
+		}
+	}
+	// The closing rule is still the last line.
+	if newLines[len(newLines)-2] != oldLines[len(oldLines)-2] {
+		t.Errorf("closing rule moved: %q", newLines[len(newLines)-2])
+	}
+	// The appended region contains exactly the forensic sections.
+	appended := strings.Join(newLines[len(prefix):len(newLines)-2], "\n")
+	for _, section := range []string{"Access backtrace:", "Allocation backtrace:",
+		"Free backtrace:", "Object timeline:", "Last writers of 0x00002000:"} {
+		if !strings.Contains(appended, section) {
+			t.Errorf("appended region missing %q:\n%s", section, appended)
+		}
+	}
+	if strings.Contains(old, "backtrace") || strings.Contains(old, "timeline") {
+		t.Errorf("pre-forensics report already contains forensic sections:\n%s", old)
+	}
+
+	if rich.Signature() != base.Signature() {
+		t.Errorf("Signature changed: %q vs %q", rich.Signature(), base.Signature())
+	}
+	if rich.Title() != base.Title() {
+		t.Errorf("Title changed: %q vs %q", rich.Title(), base.Title())
+	}
+}

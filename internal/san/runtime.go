@@ -75,6 +75,12 @@ type Runtime struct {
 	// trace, when non-nil, receives allocator and report events.
 	trace *obs.Ring
 
+	// forensics arms full provenance capture: chunk alloc/free backtraces
+	// (via the KASAN stacker) and EvFrame/EvQuarantine trace events. Off in
+	// normal campaigns — the shadow stack itself is always maintained by
+	// the emulator, but copying it per allocator event costs.
+	forensics bool
+
 	shadowSnap    *Shadow
 	kasanSnap     *KASANState
 	enabledAtSnap bool
@@ -218,8 +224,10 @@ func Attach(m *emu.Machine, opts Options) (*Runtime, error) {
 					p := st[len(st)-1]
 					rt.pending[pk] = st[:len(st)-1]
 					if rt.trace != nil {
-						rt.trace.Emit(obs.Event{ICnt: m.ICount(), PC: key, Addr: h.Regs[retReg],
-							Arg: p.size, Kind: obs.EvAllocExit, Hart: uint8(h.ID)})
+						if rt.trace.Emit(obs.Event{ICnt: m.ICount(), PC: key, Addr: h.Regs[retReg],
+							Arg: p.size, Kind: obs.EvAllocExit, Hart: uint8(h.ID)}) {
+							rt.emitFrames(key, m.ICount(), h.ID)
+						}
 					}
 					if rt.kasan != nil {
 						rt.kasan.OnAlloc(h.Regs[retReg], p.size, p.ra)
@@ -237,12 +245,17 @@ func Attach(m *emu.Machine, opts Options) (*Runtime, error) {
 				if !rt.enabled || rt.kasan == nil {
 					return
 				}
+				ptr := h.Regs[ptrReg]
 				if rt.trace != nil {
-					rt.trace.Emit(obs.Event{ICnt: m.ICount(), PC: f.Entry, Addr: h.Regs[ptrReg],
-						Kind: obs.EvFree, Hart: uint8(h.ID)})
+					if rt.trace.Emit(obs.Event{ICnt: m.ICount(), PC: f.Entry, Addr: ptr,
+						Kind: obs.EvFree, Hart: uint8(h.ID)}) {
+						rt.emitFrames(f.Entry, m.ICount(), h.ID)
+					}
 				}
-				if r := rt.kasan.OnFree(h.Regs[ptrReg], h.Regs[isa.RegRA], h.ID); r != nil {
+				if r := rt.kasan.OnFree(ptr, h.Regs[isa.RegRA], h.ID); r != nil {
 					rt.report(r)
+				} else {
+					rt.traceQuarantine(ptr, h.Regs[isa.RegRA], h.ID)
 				}
 			})
 		}
@@ -255,9 +268,11 @@ func Attach(m *emu.Machine, opts Options) (*Runtime, error) {
 				if rt.trace != nil {
 					// The hypercall reports a completed allocation, so it maps
 					// to the exit event alone.
-					rt.trace.Emit(obs.Event{ICnt: m.ICount(), PC: h.Regs[isa.RegRA],
+					if rt.trace.Emit(obs.Event{ICnt: m.ICount(), PC: h.Regs[isa.RegRA],
 						Addr: h.Regs[isa.RegA0], Arg: h.Regs[isa.RegA1],
-						Kind: obs.EvAllocExit, Hart: uint8(h.ID)})
+						Kind: obs.EvAllocExit, Hart: uint8(h.ID)}) {
+						rt.emitFrames(h.Regs[isa.RegRA], m.ICount(), h.ID)
+					}
 				}
 				rt.kasan.OnAlloc(h.Regs[isa.RegA0], h.Regs[isa.RegA1], h.Regs[isa.RegRA])
 			}
@@ -267,11 +282,15 @@ func Attach(m *emu.Machine, opts Options) (*Runtime, error) {
 				return
 			}
 			if rt.trace != nil {
-				rt.trace.Emit(obs.Event{ICnt: m.ICount(), PC: h.Regs[isa.RegRA],
-					Addr: h.Regs[isa.RegA0], Kind: obs.EvFree, Hart: uint8(h.ID)})
+				if rt.trace.Emit(obs.Event{ICnt: m.ICount(), PC: h.Regs[isa.RegRA],
+					Addr: h.Regs[isa.RegA0], Kind: obs.EvFree, Hart: uint8(h.ID)}) {
+					rt.emitFrames(h.Regs[isa.RegRA], m.ICount(), h.ID)
+				}
 			}
 			if r := rt.kasan.OnFree(h.Regs[isa.RegA0], h.Regs[isa.RegRA], h.ID); r != nil {
 				rt.report(r)
+			} else {
+				rt.traceQuarantine(h.Regs[isa.RegA0], h.Regs[isa.RegRA], h.ID)
 			}
 		})
 		m.HandleHypercall(isa.HcallSanPoison, func(m *emu.Machine, h *emu.Hart) {
@@ -385,7 +404,8 @@ func (rt *Runtime) onMem(ev *emu.MemEvent) {
 	}
 	if rt.kasan != nil {
 		if r := rt.kasan.CheckAccess(ev.Addr, ev.Size, ev.Write, ev.PC, ev.Hart); r != nil {
-			r.CallerPC = rt.m.CurrentHart().Regs[isa.RegRA]
+			r.Stack = rt.m.CallStack(ev.Hart)
+			r.CallerPC = rt.callerPC(r.Stack, ev.Hart)
 			rt.report(r)
 			if rt.opts.StopOnReport {
 				return
@@ -436,10 +456,72 @@ func (rt *Runtime) checkRange(addr, size uint32, write bool, h *emu.Hart) {
 		return
 	}
 	if r := rt.kasan.CheckAccess(addr, size, write, h.Regs[isa.RegRA], h.ID); r != nil {
-		r.CallerPC = h.Regs[isa.RegRA]
+		r.Stack = rt.m.CallStack(h.ID)
+		r.CallerPC = rt.callerPC(r.Stack, h.ID)
 		rt.report(r)
 	}
 }
+
+// callerPC derives the return address of the innermost live frame: the
+// shadow-stack top when frames are recorded (a call-site PC plus 4 is its
+// return address), else the live RA register — the pre-shadow-stack
+// behaviour, still needed with NoShadowStack or before the first call.
+func (rt *Runtime) callerPC(stack []uint32, hart int) uint32 {
+	if len(stack) > 0 {
+		return stack[0] + 4
+	}
+	return rt.m.Hart(hart).Regs[isa.RegRA]
+}
+
+// emitFrames attaches the hart's current shadow call stack to the event
+// just retained in the trace ring, one EvFrame per frame. Forensic arming
+// only: callers gate on the parent event's retention so a filtered-out
+// parent never leaves orphaned frames.
+func (rt *Runtime) emitFrames(parentPC uint32, icnt uint64, hart int) {
+	if !rt.forensics {
+		return
+	}
+	for i, pc := range rt.m.CallStack(hart) {
+		rt.trace.Emit(obs.Event{ICnt: icnt, PC: parentPC, Addr: pc,
+			Arg: uint32(i), Kind: obs.EvFrame, Hart: uint8(hart)})
+	}
+}
+
+// traceQuarantine records a chunk entering the quarantine after a clean
+// free (forensic arming only).
+func (rt *Runtime) traceQuarantine(ptr, pc uint32, hart int) {
+	if !rt.forensics || rt.trace == nil || rt.kasan == nil {
+		return
+	}
+	c := rt.kasan.ChunkAt(ptr)
+	if c == nil || !c.Freed {
+		return
+	}
+	rt.trace.Emit(obs.Event{ICnt: rt.m.ICount(), PC: pc, Addr: c.Addr,
+		Arg: c.Size, Kind: obs.EvQuarantine, Hart: uint8(hart)})
+}
+
+// ArmForensics turns full provenance capture on or off: the KASAN engine
+// stamps every chunk with alloc/free backtraces, and traced allocator,
+// free and report events carry EvFrame children plus EvQuarantine
+// transitions. The emulator's shadow call stack is maintained regardless —
+// arming only changes what is copied out of it.
+func (rt *Runtime) ArmForensics(on bool) {
+	rt.forensics = on
+	if rt.kasan == nil {
+		return
+	}
+	if on {
+		rt.kasan.SetStacker(func() []uint32 {
+			return rt.m.CallStack(rt.m.CurrentHart().ID)
+		})
+	} else {
+		rt.kasan.SetStacker(nil)
+	}
+}
+
+// ForensicsArmed reports whether forensic capture is on.
+func (rt *Runtime) ForensicsArmed() bool { return rt.forensics }
 
 // libFrames are guest library routines whose reports are attributed to the
 // caller (one-frame stack skipping).
@@ -467,10 +549,20 @@ func (rt *Runtime) report(r *Report) {
 		return
 	}
 	rt.seen[sig] = true
+	// Free-path reports (double/invalid free) arrive without an access
+	// stack; the freeing call chain is live right now, so capture it.
+	if r.Stack == nil {
+		r.Stack = rt.m.CallStack(r.Hart)
+	}
 	rt.reports = append(rt.reports, r)
 	if rt.trace != nil {
-		rt.trace.Emit(obs.Event{ICnt: r.ICnt, PC: r.PC, Addr: r.Addr,
-			Arg: uint32(r.Bug), Kind: obs.EvReport, Hart: uint8(r.Hart)})
+		if rt.trace.Emit(obs.Event{ICnt: r.ICnt, PC: r.PC, Addr: r.Addr,
+			Arg: uint32(r.Bug), Kind: obs.EvReport, Hart: uint8(r.Hart)}) && rt.forensics {
+			for i, pc := range r.Stack {
+				rt.trace.Emit(obs.Event{ICnt: r.ICnt, PC: r.PC, Addr: pc,
+					Arg: uint32(i), Kind: obs.EvFrame, Hart: uint8(r.Hart)})
+			}
+		}
 	}
 	if rt.OnReport != nil {
 		rt.OnReport(r)

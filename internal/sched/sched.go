@@ -50,6 +50,7 @@ type Counters struct {
 	Resets  uint64 // snapshot restores (machine resets)
 	TBHits  uint64 // translation-block cache hits
 	Reports uint64 // sanitizer/fault findings recorded
+	Frames  uint64 // backtrace frames attached to findings (forensics)
 }
 
 // WorkerStats is one worker's final accounting.
@@ -67,6 +68,7 @@ type Instruments struct {
 	Resets  *obs.Counter
 	TBHits  *obs.Counter
 	Reports *obs.Counter
+	Frames  *obs.Counter
 }
 
 // Worker is the per-goroutine context handed to every job it runs.
@@ -97,6 +99,7 @@ func newWorker(id, poolCap int) *Worker {
 		Resets:  w.metrics.Counter("sched.worker.resets"),
 		TBHits:  w.metrics.Counter("sched.worker.tb_hits"),
 		Reports: w.metrics.Counter("sched.worker.reports"),
+		Frames:  w.metrics.Counter("sched.worker.frames"),
 	}
 	return w
 }
@@ -131,6 +134,7 @@ func (w *Worker) stats() Counters {
 		Resets:  w.inst.Resets.Value(),
 		TBHits:  w.inst.TBHits.Value(),
 		Reports: w.inst.Reports.Value(),
+		Frames:  w.inst.Frames.Value(),
 	}
 }
 
@@ -231,6 +235,7 @@ func MergeStats(ws []WorkerStats) Counters {
 		total.Resets += w.Resets
 		total.TBHits += w.TBHits
 		total.Reports += w.Reports
+		total.Frames += w.Frames
 	}
 	return total
 }
