@@ -1,8 +1,9 @@
 GO ?= go
 FUZZTIME ?= 10s
 BENCH_EXECS ?= 8000
+TIMELINE_EXECS ?= 2000
 
-.PHONY: build vet test test-short race lint elide-audit obs-check explain-check fuzz-smoke bench-parallel bench-record bench-check rehost-check races-check ci ci-short
+.PHONY: build vet test test-short race lint elide-audit obs-check explain-check monitor-check fuzz-smoke bench-parallel bench-record bench-trend bench-check rehost-check races-check ci ci-short
 
 build:
 	$(GO) build ./...
@@ -55,7 +56,16 @@ obs-check:
 	cmp "$$dir/a/InfiniTime.metrics.json" "$$dir/b/InfiniTime.metrics.json"; \
 	echo "obs-check: trace output is byte-reproducible"
 	$(GO) test ./internal/obs -run 'TestEmitZeroAlloc|TestChromeTraceExport' -count 1
-	$(GO) test ./internal/exps -run TestTraceOffIsNoop -count 1
+	$(GO) test ./internal/obs/timeline -run TestAdvanceZeroAlloc -count 1
+	$(GO) test ./internal/exps -run 'TestTraceOffIsNoop|TestTimelineOffIsNoop' -count 1
+
+# Monitor gate: the headless HTTP-client test drives every `embsan monitor`
+# endpoint (SSE stream, OpenMetrics scrape, artifact downloads) and asserts
+# the served EMTL byte-equals an offline run — liveness is a view, never an
+# input — then the subcommand itself runs one short monitored set end to end.
+monitor-check:
+	$(GO) test ./internal/exps -run 'TestMonitorEndpoints|TestMonitorArtifactsGatedUntilDone' -count 1
+	$(GO) run ./cmd/embsan monitor -firmware InfiniTime -execs 500 -addr 127.0.0.1:0 -exit-when-done
 
 # Bug-forensics gate: explain the seeded InfiniTime use-after-free twice and
 # require byte-identical report text and explain.json (the deterministic
@@ -83,6 +93,7 @@ fuzz-smoke:
 	$(GO) test ./internal/static -fuzz FuzzLocksets -fuzztime $(FUZZTIME) -fuzzminimizetime 1x
 	$(GO) test ./internal/static/absint -fuzz FuzzAbsint -fuzztime $(FUZZTIME) -fuzzminimizetime 1x
 	$(GO) test ./internal/obs -fuzz FuzzTraceRoundTrip -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/obs/timeline -fuzz FuzzTimelineRoundTrip -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/obs/forensics -fuzz FuzzExplainRoundTrip -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/emu -fuzz FuzzChainedExecution -fuzztime $(FUZZTIME) -fuzzminimizetime 1x
 
@@ -111,13 +122,23 @@ bench-record:
 	$(GO) run ./cmd/embsan-bench -record-rehost BENCH_rehost.json
 	$(GO) run ./cmd/embsan-bench -record-races BENCH_races.json
 
-# CI gate on the committed artefact: its schema and registry coverage must
+# Re-record the timeline-sampling overhead artefact and append one summary
+# row — distilled from all four BENCH_*.json files — to the cross-PR
+# throughput trajectory in BENCH_trend.json. Run after bench-record so the
+# sibling artefacts reflect the same tree.
+bench-trend:
+	$(GO) run ./cmd/embsan-bench -record-timeline BENCH_timeline.json -timeline-execs $(TIMELINE_EXECS)
+	$(GO) run ./cmd/embsan-bench -record-trend BENCH_trend.json
+
+# CI gate on the committed artefacts: schemas and registry coverage must
 # match the current code (measured values are machine-dependent and never
 # diffed), and a bounded live smoke must show the fast paths engaging —
 # zero chain hits or zero dispatches elided fails the build.
 bench-check:
 	$(GO) run ./cmd/embsan-bench -bench-check BENCH_translate.json
 	$(GO) run ./cmd/embsan-bench -rehost-check BENCH_rehost.json
+	$(GO) run ./cmd/embsan-bench -timeline-check BENCH_timeline.json
+	$(GO) run ./cmd/embsan-bench -trend-check BENCH_trend.json
 
 # Static race-triage gate: every registry firmware must be clean-or-expected
 # under the lockset analysis (seeded races flagged, race-free firmware with
@@ -130,7 +151,7 @@ races-check:
 	$(GO) run ./cmd/embsan lint -races -selftest
 	$(GO) run ./cmd/embsan-bench -races-check BENCH_races.json
 
-ci: vet build lint elide-audit obs-check explain-check race fuzz-smoke rehost-check bench-check races-check
+ci: vet build lint elide-audit obs-check explain-check monitor-check race fuzz-smoke rehost-check bench-check races-check
 
 # ci with the long campaign/overhead experiments skipped.
-ci-short: vet build lint elide-audit obs-check explain-check race-short fuzz-smoke rehost-check bench-check races-check
+ci-short: vet build lint elide-audit obs-check explain-check monitor-check race-short fuzz-smoke rehost-check bench-check races-check

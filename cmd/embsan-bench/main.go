@@ -16,6 +16,13 @@
 //	embsan-bench -rehost-check BENCH_rehost.json
 //	embsan-bench -record-races BENCH_races.json     # guided-vs-uniform race finding
 //	embsan-bench -races-check BENCH_races.json
+//	embsan-bench -record-timeline BENCH_timeline.json   # timeline sampling overhead
+//	embsan-bench -timeline-check BENCH_timeline.json
+//	embsan-bench -record-trend BENCH_trend.json     # append a cross-PR summary row
+//	embsan-bench -trend-check BENCH_trend.json
+//
+// -record-trend distils the four sibling BENCH_*.json artefacts (looked up
+// next to the target path) into one summary row and appends it.
 //
 // The table 3/4 campaigns run on the deterministic parallel executor
 // (internal/sched); -workers sizes its pool without changing any output.
@@ -26,6 +33,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"embsan/internal/exps"
 	"embsan/internal/guest/firmware"
@@ -57,6 +65,13 @@ func main() {
 		recordRaces = flag.String("record-races", "", "run the guided-vs-uniform race-finding bench on the seeded race twin and write the bench JSON here")
 		raceExecs   = flag.Int("race-execs", 2000, "per-campaign execution budget for -record-races")
 		racesCheck  = flag.String("races-check", "", "validate a recorded race bench JSON (virtual-clock exec counts are machine-independent)")
+
+		recordTimeline = flag.String("record-timeline", "", "measure timeline-sampling overhead on every registry firmware and write the bench JSON here")
+		timelineExecs  = flag.Int("timeline-execs", 2000, "per-campaign execution budget for -record-timeline")
+		timelineCheck  = flag.String("timeline-check", "", "validate a recorded timeline bench JSON (schema + registry coverage, never values)")
+
+		recordTrend = flag.String("record-trend", "", "append a summary row distilled from the sibling BENCH_*.json artefacts to this trend JSON")
+		trendCheck  = flag.String("trend-check", "", "validate a recorded trend JSON (schema + monotone sequence, never values)")
 	)
 	flag.Parse()
 
@@ -185,10 +200,81 @@ func main() {
 		}
 		fmt.Printf("races-check: %s records the guided campaign beating uniform sampling\n", *racesCheck)
 	}
+	if *recordTimeline != "" {
+		tb, err := exps.RunTimelineBench(nil, exps.TimelineBenchOptions{Execs: *timelineExecs, Seed: *seed})
+		if err != nil {
+			fatal(err)
+		}
+		data, err := json.MarshalIndent(tb, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*recordTimeline, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Println(exps.FormatTimelineBench(tb))
+		fmt.Printf("bench written to %s\n", *recordTimeline)
+	}
+	if *timelineCheck != "" {
+		data, err := os.ReadFile(*timelineCheck)
+		if err != nil {
+			fatal(err)
+		}
+		if err := exps.CheckTimelineBench(data, nil); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("timeline-check: %s schema and registry coverage OK\n", *timelineCheck)
+	}
+	if *recordTrend != "" {
+		recordTrendRun(*recordTrend)
+	}
+	if *trendCheck != "" {
+		data, err := os.ReadFile(*trendCheck)
+		if err != nil {
+			fatal(err)
+		}
+		if err := exps.CheckBenchTrend(data); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trend-check: %s schema and sequence OK\n", *trendCheck)
+	}
 	if !*all && *table == 0 && *figure == 0 && !*elision && *record == "" && *benchCheck == "" &&
-		*recordRehost == "" && *rehostCheck == "" && *recordRaces == "" && *racesCheck == "" {
+		*recordRehost == "" && *rehostCheck == "" && *recordRaces == "" && *racesCheck == "" &&
+		*recordTimeline == "" && *timelineCheck == "" && *recordTrend == "" && *trendCheck == "" {
 		flag.Usage()
 	}
+}
+
+// recordTrendRun appends one summary row to the trend artefact at path,
+// distilled from the four BENCH_*.json files in the same directory.
+func recordTrendRun(path string) {
+	dir := filepath.Dir(path)
+	read := func(name string) []byte {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			fatal(fmt.Errorf("trend needs %s next to %s: %w", name, path, err))
+		}
+		return data
+	}
+	prev, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		fatal(err)
+	}
+	trend, err := exps.AppendBenchTrend(prev,
+		read("BENCH_translate.json"), read("BENCH_races.json"),
+		read("BENCH_rehost.json"), read("BENCH_timeline.json"))
+	if err != nil {
+		fatal(err)
+	}
+	data, err := json.MarshalIndent(trend, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Println(exps.FormatBenchTrend(trend))
+	fmt.Printf("trend written to %s (%d rows)\n", path, len(trend.Rows))
 }
 
 // benchCheckRun is the CI gate on the committed bench artefact: the schema

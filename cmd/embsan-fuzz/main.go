@@ -24,6 +24,7 @@ import (
 	"embsan/internal/exps"
 	"embsan/internal/guest/firmware"
 	"embsan/internal/obs"
+	"embsan/internal/obs/timeline"
 	"embsan/internal/sched"
 )
 
@@ -49,11 +50,13 @@ func main() {
 		outDir  = flag.String("out", "", "save corpus and crash artifacts under this directory")
 		trace   = flag.String("trace", "", "capture per-campaign event traces and write a Chrome trace_event JSON to this file")
 		metrics = flag.Bool("metrics", false, "print merged campaign metrics and the per-phase virtual-time breakdown")
+		tlOut   = flag.String("timeline", "", "sample per-campaign progress timelines and write the canonical EMTL artifact to this file (.emtl; .txt/.json/.om siblings via -timeline-export)")
+		tlExp   = flag.String("timeline-export", "", "also export the timeline as comma-separated views: growth (folded text), chrome (counter trace), openmetrics")
 	)
 	flag.Parse()
 
 	opts := exps.CampaignOptions{Execs: *execs, Seed: *seed, Workers: *workers, Repeats: *repeats, Elide: *elide,
-		Trace: *trace != "", Metrics: *metrics}
+		Trace: *trace != "", Metrics: *metrics, Timeline: *tlOut != ""}
 	var campaigns []*exps.Campaign
 	var workerStats []sched.WorkerStats
 	switch {
@@ -95,6 +98,35 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("trace written to %s (%d bytes)\n", *trace, len(data))
+	}
+	if *tlOut != "" {
+		jobs := exps.JobTimelines(campaigns)
+		data := timeline.Encode(jobs)
+		if err := os.WriteFile(*tlOut, data, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("timeline written to %s (%d bytes, %d campaigns)\n", *tlOut, len(data), len(jobs))
+		base := strings.TrimSuffix(*tlOut, filepath.Ext(*tlOut))
+		for _, view := range strings.Split(*tlExp, ",") {
+			var out []byte
+			var path string
+			switch strings.TrimSpace(view) {
+			case "":
+				continue
+			case "growth":
+				out, path = []byte(timeline.GrowthCurve(jobs)), base+".txt"
+			case "chrome":
+				out, path = timeline.ChromeCounters(jobs), base+".json"
+			case "openmetrics":
+				out, path = timeline.OpenMetrics(jobs), base+".om"
+			default:
+				fatal(fmt.Errorf("unknown -timeline-export view %q (want growth, chrome, openmetrics)", view))
+			}
+			if err := os.WriteFile(path, out, 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("timeline view written to %s (%d bytes)\n", path, len(out))
+		}
 	}
 	if *metrics {
 		var regs []*obs.Registry

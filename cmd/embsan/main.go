@@ -10,6 +10,7 @@
 //	embsan trace -firmware NAME [-out DIR] [-validate] [-kind K,..] [-hart N] [-window lo:hi]
 //	embsan rehost -image FILE [-profile-out F] [-stub-out F] [-campaign N]
 //	embsan explain -firmware NAME [-bug FN | -signature SIG | -input FILE] [-out DIR]
+//	embsan monitor -firmware NAME | -all [-addr 127.0.0.1:8377] [-execs N] [-exit-when-done]
 package main
 
 import (
@@ -41,6 +42,10 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "explain" {
 		explainMain(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "monitor" {
+		monitorMain(os.Args[2:])
 		return
 	}
 	var (

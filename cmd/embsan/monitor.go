@@ -1,0 +1,74 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+
+	"embsan/internal/exps"
+	"embsan/internal/guest/firmware"
+)
+
+// monitorMain runs a fuzzing campaign set with the timeline sampler armed
+// while serving a wall-clock liveness view over HTTP: an OpenMetrics
+// scrape at /metrics, a server-sent event stream at /events, and — once
+// the set finishes — the canonical EMTL timeline at /timeline.emtl plus a
+// Chrome counter trace at /trace.json. The served EMTL is byte-identical
+// to an offline run of the same options: liveness is a view, never an
+// input to the campaigns.
+func monitorMain(args []string) {
+	fs := flag.NewFlagSet("monitor", flag.ExitOnError)
+	var (
+		fwName   = fs.String("firmware", "", "bundled Table 1 firmware name")
+		all      = fs.Bool("all", false, "run the full registry")
+		addr     = fs.String("addr", "127.0.0.1:8377", "HTTP listen address")
+		execs    = fs.Int("execs", 30000, "per-campaign execution budget")
+		seed     = fs.Int64("seed", 7, "campaign base seed")
+		workers  = fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS, 1 = serial)")
+		repeats  = fs.Int("repeats", 1, "campaigns per firmware")
+		interval = fs.Uint64("interval", 0, "timeline sample period in retired instructions (0 = default)")
+		exit     = fs.Bool("exit-when-done", false, "stop serving once the set finishes (otherwise keep serving the artifacts)")
+	)
+	fs.Parse(args)
+
+	var fws []*firmware.Firmware
+	if !*all {
+		if *fwName == "" {
+			fatal(fmt.Errorf("monitor needs -firmware NAME or -all"))
+		}
+		fw, err := firmware.Build(*fwName)
+		if err != nil {
+			fatal(err)
+		}
+		fws = []*firmware.Firmware{fw}
+	}
+
+	m := exps.NewMonitor()
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("monitor serving on http://%s (metrics, events, timeline.emtl, trace.json)\n", ln.Addr())
+	srv := &http.Server{Handler: m.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	run, err := exps.RunMonitor(fws, exps.CampaignOptions{
+		Execs: *execs, Seed: *seed, Workers: *workers, Repeats: *repeats,
+		TimelineInterval: *interval,
+	}, m)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(exps.FormatCampaignStats(run.Campaigns, run.Workers...))
+	fmt.Printf("campaign set finished; artifacts downloadable at /timeline.emtl and /trace.json\n")
+
+	if *exit {
+		srv.Close()
+		return
+	}
+	if err := <-serveErr; err != nil && err != http.ErrServerClosed {
+		fatal(err)
+	}
+}

@@ -2,6 +2,7 @@ package exps
 
 import (
 	"fmt"
+	"regexp"
 	"sort"
 	"strings"
 
@@ -10,6 +11,7 @@ import (
 	"embsan/internal/fuzz"
 	"embsan/internal/guest/firmware"
 	"embsan/internal/obs"
+	"embsan/internal/obs/timeline"
 	"embsan/internal/san"
 	"embsan/internal/sched"
 	"embsan/internal/static"
@@ -62,6 +64,27 @@ type CampaignOptions struct {
 	// outcomes (found bugs, coverage, execs) are unchanged; only the report
 	// extras and the worker frame counters move.
 	Forensics bool
+	// Timeline samples the campaign-progress metric vector every
+	// TimelineInterval retired instructions on the campaign's cumulative
+	// virtual clock (Campaign.Timeline). Like Trace, each campaign's
+	// timeline is a pure function of its index, so the merged timeline is
+	// byte-identical across worker counts.
+	Timeline bool
+	// TimelineInterval is the sample period in retired instructions
+	// (default timeline.DefaultInterval).
+	TimelineInterval uint64
+	// TimelineSamples bounds each campaign's sample buffer (default
+	// timeline.DefaultMaxSamples); beyond it the sampler decimates.
+	TimelineSamples int
+	// StallSamples tunes the plateau detector: a stall mark fires after
+	// this many consecutive samples without a new cover block (default
+	// timeline.DefaultStallSamples).
+	StallSamples int
+	// Monitor, when set, receives wall-clock liveness events (samples,
+	// marks, crashes, campaign completions) as the set runs — the embsan
+	// monitor's SSE feed. Purely view-side: the canonical timeline and
+	// campaign outcomes are unchanged with or without it.
+	Monitor *Monitor
 }
 
 // FoundBug is one campaign finding attributed to a seeded bug.
@@ -99,6 +122,15 @@ type Campaign struct {
 	// which worker translated first) and participates in no campaign-result
 	// comparison; the bench recorder reads it to report dispatches elided.
 	Engine emu.Counters
+
+	// Timeline extras, populated when CampaignOptions.Timeline asks for
+	// them. Unlike Phases these DO uphold the determinism contract: the
+	// samples are cut on the virtual clock from campaign-relative counter
+	// deltas, so a campaign's timeline is identical on every worker count
+	// and participates in the byte-identity oracles.
+	Timeline         []timeline.Sample
+	TimelineMarks    []timeline.Mark
+	TimelineInterval uint64
 }
 
 // warmed is one worker-held firmware deployment: booted once, ground-truth
@@ -209,15 +241,37 @@ func warmUp(fw *firmware.Firmware, baseSeed int64, elide, noFast, noGuide bool) 
 	return w, nil
 }
 
+// runExtras carries the optional observability attachments of one campaign
+// run: the worker's timeline sampler (already Reset for this job) and a
+// wall-clock crash notification hook for the monitor.
+type runExtras struct {
+	tl      *timeline.Sampler
+	onCrash func(*fuzz.Crash)
+}
+
 // runOne executes one campaign with the given derived seed on the warmed
 // deployment. The Restore+Reseed pair makes the outcome a pure function of
 // (firmware, base seed, campaign seed, execs) — independent of whatever
 // ran on the pooled machine before.
 func (w *warmed) runOne(fw *firmware.Firmware, seed int64, execs int) (*Campaign, error) {
+	return w.runX(fw, seed, execs, runExtras{})
+}
+
+// runX is runOne with observability extras attached.
+func (w *warmed) runX(fw *firmware.Firmware, seed int64, execs int, x runExtras) (*Campaign, error) {
 	inst := w.inst
 	before := inst.Machine.Counters()
 	inst.Restore()
 	inst.Machine.Reseed(uint64(seed))
+	if x.tl != nil {
+		// The timeline samples translate/chain counters into a
+		// determinism-bearing artifact, so the pooled machine's TB cache
+		// and exit chains must start cold: a second campaign on a warm
+		// machine would otherwise translate less and chain more than the
+		// same campaign run first, and the merged timeline would depend on
+		// worker count. Guest-visible outcomes are unchanged.
+		inst.Machine.FlushTBs()
+	}
 
 	fcfg := fuzz.Config{
 		Instance:          inst,
@@ -237,14 +291,21 @@ func (w *warmed) runOne(fw *firmware.Firmware, seed int64, execs int) (*Campaign
 		// header bytes; give the mutation-driven frontend a larger budget.
 		fcfg.MaxExecs = execs * 2
 	}
+	fcfg.Timeline = x.tl
 	f, err := fuzz.New(fcfg)
 	if err != nil {
 		return nil, err
 	}
+	f.OnCrash = x.onCrash
 	res := f.Run()
 
 	c := &Campaign{Firmware: fw, Stats: res.Stats, Corpus: res.Corpus, Raw: res,
 		Engine: inst.Machine.Counters().Sub(before)}
+	if x.tl != nil {
+		c.Timeline = x.tl.Samples()
+		c.TimelineMarks = x.tl.Marks()
+		c.TimelineInterval = x.tl.Interval()
+	}
 	foundFns := map[string]bool{}
 	for _, crash := range res.Crashes {
 		if crash.Report == nil {
@@ -289,7 +350,12 @@ func RunCampaign(fw *firmware.Firmware, opts CampaignOptions) (*Campaign, error)
 	if opts.Forensics {
 		w.inst.ArmForensics(true)
 	}
-	return w.runOne(fw, sched.Split(opts.Seed, 0), opts.Execs)
+	var x runExtras
+	if opts.Timeline {
+		x.tl = timeline.NewSampler(opts.TimelineInterval, opts.TimelineSamples)
+		x.tl.Reset(nil, timeline.DetectOptions{StallSamples: opts.StallSamples})
+	}
+	return w.runX(fw, sched.Split(opts.Seed, 0), opts.Execs, x)
 }
 
 // CampaignRun is the merged outcome of a scheduled campaign set.
@@ -357,7 +423,21 @@ func RunCampaignSet(fws []*firmware.Firmware, opts CampaignOptions) (*CampaignRu
 		if opts.Forensics {
 			wm.inst.ArmForensics(true)
 		}
-		c, err := wm.runOne(fw, sched.Split(opts.Seed, i), opts.Execs)
+		var x runExtras
+		if opts.Timeline {
+			x.tl = w.TimelineSampler(opts.TimelineInterval, opts.TimelineSamples)
+			x.tl.Reset(ring, timeline.DetectOptions{StallSamples: opts.StallSamples})
+			if m := opts.Monitor; m != nil {
+				idx, name := i, fw.Name
+				x.tl.SetLive(func(s timeline.Sample) { m.publishSample(idx, name, s) })
+				x.tl.SetLiveMark(func(mk timeline.Mark) { m.publishMark(idx, name, mk) })
+			}
+		}
+		if m := opts.Monitor; m != nil {
+			idx, name := i, fw.Name
+			x.onCrash = func(cr *fuzz.Crash) { m.publishCrash(idx, name, cr) }
+		}
+		c, err := wm.runX(fw, sched.Split(opts.Seed, i), opts.Execs, x)
 		if opts.Forensics {
 			wm.inst.ArmForensics(false)
 		}
@@ -395,6 +475,9 @@ func RunCampaignSet(fws []*firmware.Firmware, opts CampaignOptions) (*CampaignRu
 			if r := crash.Report; r != nil {
 				ctr.Frames.Add(uint64(len(r.Stack) + len(r.AllocStack) + len(r.FreeStack)))
 			}
+		}
+		if m := opts.Monitor; m != nil {
+			m.publishCampaign(i, c)
 		}
 		return nil
 	})
@@ -484,23 +567,64 @@ func JobTraces(cs []*Campaign) []obs.JobTrace {
 	return out
 }
 
+// JobTimelines collects the campaigns' sampled timelines in campaign-index
+// order — the canonical merged timeline the EMTL codec and the exporters
+// consume. Byte-identical across worker counts because each campaign's
+// samples are.
+func JobTimelines(cs []*Campaign) []timeline.JobTimeline {
+	var out []timeline.JobTimeline
+	for i, c := range cs {
+		if c == nil || len(c.Timeline) == 0 {
+			continue
+		}
+		out = append(out, timeline.JobTimeline{
+			ID: i, Interval: c.TimelineInterval,
+			Samples: c.Timeline, Marks: c.TimelineMarks,
+		})
+	}
+	return out
+}
+
+// wallClockRates matches the padded throughput tokens FormatCampaignStats
+// renders from wall-clock worker lifetimes ("  123.4/s", and the "-/s" it
+// prints for a zero lifetime). The "execs/s" column header has no digit
+// before the slash, so it survives masking.
+var wallClockRates = regexp.MustCompile(` *[0-9.\-]+/s`)
+
+// MaskWallClock replaces every wall-clock throughput token in a formatted
+// stats table with a constant so byte-identity oracles can compare outputs
+// across runs and worker counts: throughput is real time, everything else
+// in the table is virtual and deterministic.
+func MaskWallClock(s string) string {
+	return wallClockRates.ReplaceAllString(s, " -/s")
+}
+
 // FormatCampaignStats summarises fuzzing effort, and — when the campaigns
 // ran on the parallel executor — the per-worker pool accounting. When any
 // campaign carries a virtual-time phase breakdown (CampaignOptions.Trace or
-// .Metrics), per-phase columns are appended; otherwise the output is
-// byte-identical to the metrics-free formatter.
+// .Metrics), per-phase columns are appended; when any campaign carries a
+// sampled timeline, a stall@ column reports the virtual clock of its first
+// detected coverage plateau. Only the worker table's execs/s column reads
+// wall clock — byte-identity oracles mask it with MaskWallClock; every
+// other cell is deterministic.
 func FormatCampaignStats(cs []*Campaign, workers ...sched.WorkerStats) string {
 	phases := false
+	stalls := false
 	for _, c := range cs {
 		if c.Phases.Any() {
 			phases = true
-			break
+		}
+		if len(c.Timeline) > 0 {
+			stalls = true
 		}
 	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "%-24s %8s %8s %8s %7s %7s %8s %7s", "Firmware", "execs", "corpus", "blocks", "cover", "prove", "found", "missed")
 	if phases {
 		fmt.Fprintf(&b, " %10s %12s %10s %9s", "translate", "execute", "sanitize", "snapshot")
+	}
+	if stalls {
+		fmt.Fprintf(&b, " %12s", "stall@")
 	}
 	b.WriteString("\n")
 	for _, c := range cs {
@@ -518,17 +642,30 @@ func FormatCampaignStats(cs []*Campaign, workers ...sched.WorkerStats) string {
 			fmt.Fprintf(&b, " %10d %12d %10d %9d",
 				c.Phases.Translate, c.Phases.Execute, c.Phases.Sanitize, c.Phases.Snapshot)
 		}
+		if stalls {
+			cell := "-"
+			if at, ok := timeline.FirstStall(c.TimelineMarks); ok {
+				cell = fmt.Sprintf("%d", at)
+			}
+			fmt.Fprintf(&b, " %12s", cell)
+		}
 		b.WriteString("\n")
 	}
 	if len(workers) > 0 {
 		fmt.Fprintf(&b, "\nWorker pool (%d workers):\n", len(workers))
-		fmt.Fprintf(&b, "%-8s %9s %10s %9s %12s %8s\n", "worker", "jobs", "execs", "resets", "tb-hits", "reports")
+		fmt.Fprintf(&b, "%-8s %9s %10s %9s %12s %8s %10s\n", "worker", "jobs", "execs", "resets", "tb-hits", "reports", "execs/s")
+		rate := func(c sched.Counters) string {
+			if c.Elapsed <= 0 {
+				return "-/s"
+			}
+			return fmt.Sprintf("%.1f/s", float64(c.Execs)/c.Elapsed.Seconds())
+		}
 		for _, w := range workers {
-			fmt.Fprintf(&b, "%-8d %9d %10d %9d %12d %8d\n",
-				w.Worker, w.Jobs, w.Execs, w.Resets, w.TBHits, w.Reports)
+			fmt.Fprintf(&b, "%-8d %9d %10d %9d %12d %8d %10s\n",
+				w.Worker, w.Jobs, w.Execs, w.Resets, w.TBHits, w.Reports, rate(w.Counters))
 		}
 		t := sched.MergeStats(workers)
-		fmt.Fprintf(&b, "%-8s %9d %10d %9d %12d %8d\n", "total", t.Jobs, t.Execs, t.Resets, t.TBHits, t.Reports)
+		fmt.Fprintf(&b, "%-8s %9d %10d %9d %12d %8d %10s\n", "total", t.Jobs, t.Execs, t.Resets, t.TBHits, t.Reports, rate(t))
 	}
 	return b.String()
 }

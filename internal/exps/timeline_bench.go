@@ -1,0 +1,321 @@
+package exps
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+
+	"embsan/internal/guest/firmware"
+	"embsan/internal/obs/timeline"
+	"embsan/internal/sched"
+)
+
+// TimelineBenchSchema names the BENCH_timeline.json wire format; `make
+// bench-check` diffs this string (never the measured values) against the
+// committed artefact.
+const TimelineBenchSchema = "embsan/bench-timeline/v1"
+
+// TimelineBench is the recorded timeline-sampling overhead benchmark: for
+// every firmware, the fuzzing campaign throughput with the sampler armed
+// against the identical campaign with it off. It is serialised to
+// BENCH_timeline.json by `embsan-bench -record-timeline` so the repository
+// carries the sampling cost alongside the throughput trajectory.
+type TimelineBench struct {
+	Schema string             `json:"schema"`
+	Execs  int                `json:"execs"` // per-campaign budget per round
+	Seed   int64              `json:"seed"`
+	Rows   []TimelineBenchRow `json:"rows"`
+	// OverheadFrac aggregates the rows: 1 - sum(timeline rates)/sum(base
+	// rates). Negative means the armed runs measured faster (noise).
+	OverheadFrac float64 `json:"overhead_frac"`
+}
+
+// TimelineBenchRow is one firmware's measurement. Samples and Marks come
+// from the armed run's canonical timeline, so the artefact also records
+// how much telemetry the budget produced.
+type TimelineBenchRow struct {
+	Firmware            string  `json:"firmware"`
+	BaseExecsPerSec     float64 `json:"base_execs_per_sec"`
+	TimelineExecsPerSec float64 `json:"timeline_execs_per_sec"`
+	OverheadFrac        float64 `json:"overhead_frac"`
+	Samples             int     `json:"samples"`
+	Marks               int     `json:"marks"`
+}
+
+// TimelineBenchOptions bounds the bench.
+type TimelineBenchOptions struct {
+	Execs    int    // campaign budget per round (default 2000)
+	Rounds   int    // alternating off/on rounds; best rate wins (default 2)
+	Seed     int64  // campaign base seed (default 7)
+	Interval uint64 // sample period (default timeline.DefaultInterval)
+}
+
+// RunTimelineBench measures every firmware in fws (nil = the full Table 1
+// registry). Each engine side owns its own warmed deployment — the armed
+// side flushes translation state at campaign start (the determinism cost
+// the timeline pays), and sharing a machine would leak that flush into the
+// baseline's next round — and the sides alternate timed rounds with the
+// best rate kept, the same minimum-time estimator the translate bench
+// uses. Both sides run the bit-identical campaign (same derived seed), so
+// the ratio isolates sampling overhead.
+func RunTimelineBench(fws []*firmware.Firmware, opts TimelineBenchOptions) (*TimelineBench, error) {
+	if opts.Execs <= 0 {
+		opts.Execs = 2000
+	}
+	if opts.Rounds <= 0 {
+		opts.Rounds = 2
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 7
+	}
+	if fws == nil {
+		var err error
+		fws, err = firmware.BuildAll()
+		if err != nil {
+			return nil, err
+		}
+	}
+	out := &TimelineBench{Schema: TimelineBenchSchema, Execs: opts.Execs, Seed: opts.Seed}
+	var baseSum, tlSum float64
+	for _, fw := range fws {
+		row, err := timelineBenchRow(fw, opts)
+		if err != nil {
+			return nil, err
+		}
+		out.Rows = append(out.Rows, *row)
+		baseSum += row.BaseExecsPerSec
+		tlSum += row.TimelineExecsPerSec
+	}
+	if baseSum > 0 {
+		out.OverheadFrac = 1 - tlSum/baseSum
+	}
+	return out, nil
+}
+
+func timelineBenchRow(fw *firmware.Firmware, opts TimelineBenchOptions) (*TimelineBenchRow, error) {
+	base, err := warmUp(fw, opts.Seed, false, false, false)
+	if err != nil {
+		return nil, err
+	}
+	armed, err := warmUp(fw, opts.Seed, false, false, false)
+	if err != nil {
+		return nil, err
+	}
+	seed := sched.Split(opts.Seed, 0)
+	sampler := timeline.NewSampler(opts.Interval, 0)
+
+	round := func(w *warmed, x runExtras) (float64, *Campaign, error) {
+		start := time.Now()
+		c, err := w.runX(fw, seed, opts.Execs, x)
+		if err != nil {
+			return 0, nil, err
+		}
+		return float64(c.Stats.Execs) / time.Since(start).Seconds(), c, nil
+	}
+
+	row := &TimelineBenchRow{Firmware: fw.Name}
+	for r := 0; r < opts.Rounds; r++ {
+		br, _, err := round(base, runExtras{})
+		if err != nil {
+			return nil, err
+		}
+		if br > row.BaseExecsPerSec {
+			row.BaseExecsPerSec = br
+		}
+		sampler.Reset(nil, timeline.DetectOptions{})
+		tr, tc, err := round(armed, runExtras{tl: sampler})
+		if err != nil {
+			return nil, err
+		}
+		if tr > row.TimelineExecsPerSec {
+			row.TimelineExecsPerSec = tr
+		}
+		row.Samples = len(tc.Timeline)
+		row.Marks = len(tc.TimelineMarks)
+	}
+	if row.Samples == 0 {
+		return nil, fmt.Errorf("exps: %s: armed campaign produced no timeline samples", fw.Name)
+	}
+	if row.BaseExecsPerSec > 0 {
+		row.OverheadFrac = 1 - row.TimelineExecsPerSec/row.BaseExecsPerSec
+	}
+	return row, nil
+}
+
+// FormatTimelineBench renders the bench as a table.
+func FormatTimelineBench(tb *TimelineBench) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Timeline sampling overhead (%d execs per campaign, seed %d)\n", tb.Execs, tb.Seed)
+	fmt.Fprintf(&b, "%-24s %11s %11s %9s %8s %6s\n",
+		"Firmware", "off e/s", "on e/s", "overhead", "samples", "marks")
+	for _, r := range tb.Rows {
+		fmt.Fprintf(&b, "%-24s %11.1f %11.1f %8.2f%% %8d %6d\n",
+			r.Firmware, r.BaseExecsPerSec, r.TimelineExecsPerSec,
+			r.OverheadFrac*100, r.Samples, r.Marks)
+	}
+	fmt.Fprintf(&b, "aggregate overhead: %.2f%%\n", tb.OverheadFrac*100)
+	return b.String()
+}
+
+// CheckTimelineBench validates a recorded artefact structurally — schema,
+// registry coverage, positive rates, non-empty timelines — without
+// comparing any measured value.
+func CheckTimelineBench(data []byte, names []string) error {
+	var tb TimelineBench
+	if err := json.Unmarshal(data, &tb); err != nil {
+		return fmt.Errorf("exps: timeline bench artefact unreadable: %w", err)
+	}
+	if tb.Schema != TimelineBenchSchema {
+		return fmt.Errorf("exps: timeline bench artefact schema %q, code expects %q — re-record with `make bench-trend`",
+			tb.Schema, TimelineBenchSchema)
+	}
+	if len(tb.Rows) == 0 {
+		return fmt.Errorf("exps: timeline bench artefact has no rows")
+	}
+	have := map[string]bool{}
+	for _, r := range tb.Rows {
+		if r.Firmware == "" || r.BaseExecsPerSec <= 0 || r.TimelineExecsPerSec <= 0 || r.Samples <= 0 {
+			return fmt.Errorf("exps: timeline bench artefact row %+v is malformed", r)
+		}
+		have[r.Firmware] = true
+	}
+	if names == nil {
+		names = firmware.Names
+	}
+	var missing []string
+	for _, n := range names {
+		if !have[n] {
+			missing = append(missing, n)
+		}
+	}
+	if len(missing) > 0 {
+		return fmt.Errorf("exps: timeline bench artefact missing firmware rows: %s — re-record with `make bench-trend`",
+			strings.Join(missing, ", "))
+	}
+	return nil
+}
+
+// BenchTrendSchema names the BENCH_trend.json wire format.
+const BenchTrendSchema = "embsan/bench-trend/v1"
+
+// BenchTrend is the cross-PR performance trajectory: one summary row per
+// recording, distilled from the four per-subsystem bench artefacts. `make
+// bench-trend` appends a row after re-recording, so the committed file
+// accumulates the repo's throughput history.
+type BenchTrend struct {
+	Schema string          `json:"schema"`
+	Rows   []BenchTrendRow `json:"rows"`
+}
+
+// BenchTrendRow is one recording's summary.
+type BenchTrendRow struct {
+	Seq int `json:"seq"` // strictly increasing recording index
+	// From BENCH_translate.json: mean fast-engine campaign replay
+	// throughput and mean exit-chain hit rate across firmware.
+	FastExecsPerSec float64 `json:"fast_execs_per_sec"`
+	ChainHitRate    float64 `json:"chain_hit_rate"`
+	// From BENCH_rehost.json: mean replay throughput of the rehosted
+	// deployments.
+	RehostExecsPerSec float64 `json:"rehost_execs_per_sec"`
+	// From BENCH_races.json: execs the lockset-guided KCSAN needed to fire
+	// the seeded race (0 = missed when recorded).
+	GuidedRaceExecs int `json:"guided_race_execs"`
+	// From BENCH_timeline.json: aggregate sampling overhead and total
+	// samples recorded.
+	TimelineOverheadFrac float64 `json:"timeline_overhead_frac"`
+	TimelineSamples      int     `json:"timeline_samples"`
+}
+
+// AppendBenchTrend parses the four bench artefacts, distils one summary
+// row, and appends it to the previous trend (prev may be nil or empty for
+// a fresh file). The returned trend is ready to serialise.
+func AppendBenchTrend(prev, translate, races, rehost, timelineData []byte) (*BenchTrend, error) {
+	trend := &BenchTrend{Schema: BenchTrendSchema}
+	if len(prev) > 0 {
+		if err := json.Unmarshal(prev, trend); err != nil {
+			return nil, fmt.Errorf("exps: previous trend artefact unreadable: %w", err)
+		}
+		if trend.Schema != BenchTrendSchema {
+			return nil, fmt.Errorf("exps: previous trend artefact schema %q, code expects %q",
+				trend.Schema, BenchTrendSchema)
+		}
+	}
+
+	var tb TranslateBench
+	if err := json.Unmarshal(translate, &tb); err != nil || tb.Schema != TranslateBenchSchema {
+		return nil, fmt.Errorf("exps: trend needs a valid BENCH_translate.json (err %v, schema %q)", err, tb.Schema)
+	}
+	var rb RaceBench
+	if err := json.Unmarshal(races, &rb); err != nil || rb.Schema != RaceBenchSchema {
+		return nil, fmt.Errorf("exps: trend needs a valid BENCH_races.json (err %v, schema %q)", err, rb.Schema)
+	}
+	var hb RehostBench
+	if err := json.Unmarshal(rehost, &hb); err != nil || hb.Schema != RehostBenchSchema {
+		return nil, fmt.Errorf("exps: trend needs a valid BENCH_rehost.json (err %v, schema %q)", err, hb.Schema)
+	}
+	var lb TimelineBench
+	if err := json.Unmarshal(timelineData, &lb); err != nil || lb.Schema != TimelineBenchSchema {
+		return nil, fmt.Errorf("exps: trend needs a valid BENCH_timeline.json (err %v, schema %q)", err, lb.Schema)
+	}
+
+	row := BenchTrendRow{Seq: 1, GuidedRaceExecs: rb.GuidedExecs,
+		TimelineOverheadFrac: lb.OverheadFrac}
+	if n := len(trend.Rows); n > 0 {
+		row.Seq = trend.Rows[n-1].Seq + 1
+	}
+	for _, r := range tb.Rows {
+		row.FastExecsPerSec += r.FastExecsPerSec / float64(len(tb.Rows))
+		row.ChainHitRate += r.ChainHitRate / float64(len(tb.Rows))
+	}
+	for _, r := range hb.Rows {
+		row.RehostExecsPerSec += r.ExecsPerSec / float64(len(hb.Rows))
+	}
+	for _, r := range lb.Rows {
+		row.TimelineSamples += r.Samples
+	}
+	trend.Rows = append(trend.Rows, row)
+	return trend, nil
+}
+
+// FormatBenchTrend renders the trajectory as a table.
+func FormatBenchTrend(t *BenchTrend) string {
+	var b strings.Builder
+	b.WriteString("Cross-PR performance trajectory\n")
+	fmt.Fprintf(&b, "%4s %12s %10s %12s %11s %12s %9s\n",
+		"seq", "fast e/s", "chain-hit", "rehost e/s", "race execs", "tl overhead", "samples")
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%4d %12.1f %9.1f%% %12.1f %11d %11.2f%% %9d\n",
+			r.Seq, r.FastExecsPerSec, r.ChainHitRate*100, r.RehostExecsPerSec,
+			r.GuidedRaceExecs, r.TimelineOverheadFrac*100, r.TimelineSamples)
+	}
+	return b.String()
+}
+
+// CheckBenchTrend validates a trend artefact: schema, at least one row,
+// strictly increasing sequence numbers, sane summary fields. Measured
+// values are never compared.
+func CheckBenchTrend(data []byte) error {
+	var t BenchTrend
+	if err := json.Unmarshal(data, &t); err != nil {
+		return fmt.Errorf("exps: trend artefact unreadable: %w", err)
+	}
+	if t.Schema != BenchTrendSchema {
+		return fmt.Errorf("exps: trend artefact schema %q, code expects %q — re-record with `make bench-trend`",
+			t.Schema, BenchTrendSchema)
+	}
+	if len(t.Rows) == 0 {
+		return fmt.Errorf("exps: trend artefact has no rows")
+	}
+	prev := 0
+	for _, r := range t.Rows {
+		if r.Seq <= prev {
+			return fmt.Errorf("exps: trend artefact sequence not increasing at seq %d", r.Seq)
+		}
+		prev = r.Seq
+		if r.FastExecsPerSec <= 0 || r.RehostExecsPerSec <= 0 || r.TimelineSamples <= 0 {
+			return fmt.Errorf("exps: trend artefact row %+v is malformed", r)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,113 @@
+package exps
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestTimelineBenchRecordAndCheck exercises the record → serialise →
+// validate cycle on one firmware with a small budget. Timing is
+// machine-dependent, so only structure and counter invariants are
+// asserted — the overhead number itself is the committed artefact's job.
+func TestTimelineBenchRecordAndCheck(t *testing.T) {
+	fws := buildSubset(t, "InfiniTime")
+	tb, err := RunTimelineBench(fws, TimelineBenchOptions{Execs: 150, Rounds: 1, Seed: 7, Interval: 20_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.Schema != TimelineBenchSchema || len(tb.Rows) != 1 {
+		t.Fatalf("unexpected bench shape: %+v", tb)
+	}
+	row := tb.Rows[0]
+	if row.BaseExecsPerSec <= 0 || row.TimelineExecsPerSec <= 0 {
+		t.Errorf("non-positive throughput: %+v", row)
+	}
+	if row.Samples == 0 {
+		t.Errorf("armed run produced no samples: %+v", row)
+	}
+	if !strings.Contains(FormatTimelineBench(tb), "aggregate overhead") {
+		t.Error("format missing the aggregate line")
+	}
+
+	data, err := json.MarshalIndent(tb, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckTimelineBench(data, []string{"InfiniTime"}); err != nil {
+		t.Errorf("valid artefact rejected: %v", err)
+	}
+	if err := CheckTimelineBench(data, []string{"InfiniTime", "OpenWRT-bcm63xx"}); err == nil {
+		t.Error("artefact missing a required firmware row was accepted")
+	}
+	stale := bytes.Replace(data, []byte(TimelineBenchSchema), []byte("embsan/bench-timeline/v0"), 1)
+	if err := CheckTimelineBench(stale, []string{"InfiniTime"}); err == nil {
+		t.Error("stale schema accepted")
+	}
+	if err := CheckTimelineBench([]byte("{"), nil); err == nil {
+		t.Error("truncated JSON accepted")
+	}
+}
+
+// TestBenchTrendAppendAndCheck drives AppendBenchTrend with synthetic
+// minimal artefacts through two recordings and validates the result.
+func TestBenchTrendAppendAndCheck(t *testing.T) {
+	translate, _ := json.Marshal(TranslateBench{Schema: TranslateBenchSchema,
+		Rows: []TranslateBenchRow{{Firmware: "A", FastExecsPerSec: 100, ChainHitRate: 0.5}}})
+	races, _ := json.Marshal(RaceBench{Schema: RaceBenchSchema, GuidedExecs: 42})
+	rehost, _ := json.Marshal(RehostBench{Schema: RehostBenchSchema,
+		Rows: []RehostBenchRow{{Firmware: "A", ExecsPerSec: 80}}})
+	tl, _ := json.Marshal(TimelineBench{Schema: TimelineBenchSchema, OverheadFrac: 0.01,
+		Rows: []TimelineBenchRow{{Firmware: "A", BaseExecsPerSec: 100, TimelineExecsPerSec: 99, Samples: 7}}})
+
+	trend, err := AppendBenchTrend(nil, translate, races, rehost, tl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trend.Rows) != 1 || trend.Rows[0].Seq != 1 {
+		t.Fatalf("fresh trend shape: %+v", trend)
+	}
+	r := trend.Rows[0]
+	if r.FastExecsPerSec != 100 || r.ChainHitRate != 0.5 || r.RehostExecsPerSec != 80 ||
+		r.GuidedRaceExecs != 42 || r.TimelineSamples != 7 {
+		t.Errorf("distilled row wrong: %+v", r)
+	}
+
+	prev, _ := json.Marshal(trend)
+	trend2, err := AppendBenchTrend(prev, translate, races, rehost, tl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trend2.Rows) != 2 || trend2.Rows[1].Seq != 2 {
+		t.Fatalf("appended trend shape: %+v", trend2)
+	}
+	if !strings.Contains(FormatBenchTrend(trend2), "trajectory") {
+		t.Error("format missing header")
+	}
+
+	data, _ := json.Marshal(trend2)
+	if err := CheckBenchTrend(data); err != nil {
+		t.Errorf("valid trend rejected: %v", err)
+	}
+	if err := CheckBenchTrend([]byte(`{"schema":"embsan/bench-trend/v0","rows":[]}`)); err == nil {
+		t.Error("stale schema accepted")
+	}
+	if err := CheckBenchTrend([]byte(`{"schema":"embsan/bench-trend/v1","rows":[]}`)); err == nil {
+		t.Error("empty trend accepted")
+	}
+	bad, _ := json.Marshal(BenchTrend{Schema: BenchTrendSchema,
+		Rows: []BenchTrendRow{{Seq: 1, FastExecsPerSec: 1, RehostExecsPerSec: 1, TimelineSamples: 1},
+			{Seq: 1, FastExecsPerSec: 1, RehostExecsPerSec: 1, TimelineSamples: 1}}})
+	if err := CheckBenchTrend(bad); err == nil {
+		t.Error("non-increasing sequence accepted")
+	}
+
+	// Append refuses malformed inputs.
+	if _, err := AppendBenchTrend(nil, []byte("{"), races, rehost, tl); err == nil {
+		t.Error("bad translate artefact accepted")
+	}
+	if _, err := AppendBenchTrend([]byte(`{"schema":"wrong"}`), translate, races, rehost, tl); err == nil {
+		t.Error("bad previous trend accepted")
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"embsan/internal/emu"
 	"embsan/internal/guest/gabi"
 	"embsan/internal/obs"
+	"embsan/internal/obs/timeline"
 	"embsan/internal/san"
 )
 
@@ -50,6 +51,12 @@ type Config struct {
 	// per execution.
 	ProvenAccesses    int
 	ReachableAccesses int
+
+	// Timeline, when set, samples the campaign-progress metric vector on
+	// the cumulative retired-instruction clock (Stats.Insts). The sampler
+	// is caller-owned: the campaign driver Resets it per job and copies
+	// samples out afterwards. Nil costs one pointer check per execution.
+	Timeline *timeline.Sampler
 }
 
 // Crash is one deduplicated finding.
@@ -220,6 +227,40 @@ func (f *Fuzzer) Run() *Result {
 	}
 
 	execs := 0
+
+	// Timeline sampling: the metric vector is filled from campaign state
+	// only — counters are deltas against the machine's state at Run start,
+	// so a pooled machine's history from earlier campaigns never leaks in.
+	tl := f.cfg.Timeline
+	var sampleFill func(*timeline.Sample)
+	if tl != nil {
+		baseCtr := inst.Machine.Counters()
+		var baseEvals, baseArmed uint64
+		if inst.Runtime != nil && inst.Runtime.KCSANEngine() != nil {
+			baseEvals, baseArmed = inst.Runtime.KCSANEngine().Sampling()
+		}
+		sampleFill = func(s *timeline.Sample) {
+			s.Execs = uint64(execs)
+			s.CoverBlocks = uint64(len(f.cover))
+			s.CorpusSize = uint64(len(f.corpus))
+			s.Found = uint64(len(res.Crashes))
+			d := inst.Machine.Counters().Sub(baseCtr)
+			s.Translate = d.TransInsts
+			s.Execute = res.Stats.Insts
+			s.Sanitize = d.SanckTraps + d.MemProbes
+			s.Snapshot = d.RestorePages
+			s.ChainHits = d.ChainHits
+			s.Dispatches = d.Dispatches
+			s.ChecksElided = d.SanckElided + d.MemElided
+			s.ChecksRun = d.SanckTraps + d.MemProbes
+			if inst.Runtime != nil && inst.Runtime.KCSANEngine() != nil {
+				evals, armed := inst.Runtime.KCSANEngine().Sampling()
+				s.KCSANEvals = evals - baseEvals
+				s.KCSANArmed = armed - baseArmed
+			}
+		}
+	}
+
 	exec1 := func(input []byte) core.ExecResult {
 		inst.Restore()
 		f.newCov = 0
@@ -228,6 +269,9 @@ func (f *Fuzzer) Run() *Result {
 		r := inst.Exec(input, f.cfg.ExecBudget)
 		res.Stats.Insts += r.Insts
 		f.mExecCost.Observe(r.Insts)
+		if tl != nil {
+			tl.Advance(res.Stats.Insts, sampleFill)
+		}
 		return r
 	}
 
@@ -282,6 +326,13 @@ func (f *Fuzzer) Run() *Result {
 		if f.newCov > 0 && r.Done {
 			f.corpus = append(f.corpus, input)
 		}
+	}
+
+	if tl != nil {
+		// Terminal sample: every campaign ends with its final state on
+		// record, so short campaigns below one interval still produce a
+		// timeline.
+		tl.Flush(res.Stats.Insts, sampleFill)
 	}
 
 	res.Corpus = f.corpus

@@ -77,7 +77,7 @@ type chromeEvent struct {
 	Tid  *int64   `json:"tid"`
 }
 
-var validPhases = map[string]bool{"B": true, "E": true, "i": true, "M": true, "X": true}
+var validPhases = map[string]bool{"B": true, "E": true, "i": true, "M": true, "X": true, "C": true}
 
 // ValidateChrome checks that data is a well-formed trace_event document:
 // it parses, carries a traceEvents array, every event has name/ph/pid/tid

@@ -64,8 +64,17 @@ const (
 	// windowed cut without the parent still attributes. Emitted only under
 	// forensic tracing (san.Runtime.ArmForensics).
 	EvFrame
+	// EvStall flags a coverage plateau detected by the timeline sampler:
+	// N consecutive samples without a new cover block. ICnt is the
+	// campaign-cumulative virtual clock of the flagging sample (not the
+	// machine's rewinding icnt), Addr the plateaued block count.
+	EvStall
+	// EvNovelty flags a timeline novelty event: Arg 0 = a new cover
+	// block (the re-arm signal after a stall), Arg 1 = corpus growth.
+	// ICnt/Addr as for EvStall.
+	EvNovelty
 
-	evMax = EvFrame
+	evMax = EvNovelty
 )
 
 var kindNames = [...]string{
@@ -83,6 +92,8 @@ var kindNames = [...]string{
 	EvReport:     "report",
 	EvQuarantine: "quarantine",
 	EvFrame:      "frame",
+	EvStall:      "stall",
+	EvNovelty:    "novelty",
 }
 
 // String returns the stable exporter name of the kind.

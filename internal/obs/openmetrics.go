@@ -12,6 +12,9 @@ import (
 //
 //   - dotted instrument names become underscore-separated metric names
 //     ("emu.tb.hits" -> "emu_tb_hits");
+//   - every metric family carries a "# HELP" line (scrapers like
+//     Prometheus expect the metadata pair) followed by its "# TYPE"
+//     line;
 //   - counters get the counter type and a "_total"-suffixed sample;
 //   - gauges stay as-is;
 //   - histograms expose cumulative "_bucket" samples with le labels
@@ -27,17 +30,20 @@ func (r *Registry) OpenMetrics() []byte {
 	var b strings.Builder
 	for _, n := range cs {
 		m := metricName(n)
+		fmt.Fprintf(&b, "# HELP %s EMBSAN counter instrument\n", m)
 		fmt.Fprintf(&b, "# TYPE %s counter\n", m)
 		fmt.Fprintf(&b, "%s_total %d\n", m, r.counters[n].v)
 	}
 	for _, n := range gs {
 		m := metricName(n)
+		fmt.Fprintf(&b, "# HELP %s EMBSAN gauge instrument\n", m)
 		fmt.Fprintf(&b, "# TYPE %s gauge\n", m)
 		fmt.Fprintf(&b, "%s %d\n", m, r.gauges[n].v)
 	}
 	for _, n := range hs {
 		m := metricName(n)
 		h := r.hists[n]
+		fmt.Fprintf(&b, "# HELP %s EMBSAN histogram instrument\n", m)
 		fmt.Fprintf(&b, "# TYPE %s histogram\n", m)
 		cum := uint64(0)
 		for i, bd := range h.bounds {

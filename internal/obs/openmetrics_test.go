@@ -48,6 +48,9 @@ func TestOpenMetricsShape(t *testing.T) {
 		t.Error("missing # EOF terminator")
 	}
 	for _, want := range []string{
+		"# HELP emu_tb_hits EMBSAN counter instrument\n",
+		"# HELP campaign_corpus_size EMBSAN gauge instrument\n",
+		"# HELP fuzz_exec_insts EMBSAN histogram instrument\n",
 		"# TYPE emu_tb_hits counter\n",
 		"emu_tb_hits_total 1234\n",
 		"# TYPE campaign_corpus_size gauge\n",

@@ -1,0 +1,161 @@
+package timeline
+
+import "embsan/internal/obs"
+
+// Plateau/novelty detection. The detector is a pure function of the
+// sample stream: Detect(samples, opts) over a finished timeline yields
+// exactly the marks the sampler's incremental path emitted while the
+// campaign ran (the sampler and Detect share the detector below). This
+// is the input contract for the adaptive check-sampling controller
+// (ROADMAP item 3): stalls say when to widen sampling, novelty says when
+// to re-arm it, and both are deterministic, so the controller stays
+// inside the worker-count byte-identity oracles.
+//
+// Note Detect sees the stream it is given: the sampler detects on the
+// full-resolution stream as samples are taken, so after decimation the
+// sampler's recorded marks are the authoritative set (they may reference
+// sample points the decimated timeline no longer carries).
+
+// MarkKind classifies one detector finding.
+type MarkKind uint8
+
+const (
+	// MarkStall flags a coverage plateau: StallSamples consecutive
+	// samples without a new cover block. Value is the plateaued block
+	// count.
+	MarkStall MarkKind = iota + 1
+	// MarkCoverNovelty flags a sample that grew coverage — after a
+	// stall, this is the controller's re-arm signal. Value is the new
+	// block count.
+	MarkCoverNovelty
+	// MarkCorpusNovelty flags a sample that grew the corpus. Value is
+	// the new corpus size.
+	MarkCorpusNovelty
+
+	markMax = MarkCorpusNovelty
+)
+
+var markNames = [...]string{
+	MarkStall:         "stall",
+	MarkCoverNovelty:  "cover-novelty",
+	MarkCorpusNovelty: "corpus-novelty",
+}
+
+// String returns the stable exporter name of the kind.
+func (k MarkKind) String() string {
+	if k >= 1 && k <= markMax {
+		return markNames[k]
+	}
+	return "unknown"
+}
+
+// Valid reports whether k is a defined mark kind.
+func (k MarkKind) Valid() bool { return k >= 1 && k <= markMax }
+
+// Mark is one detector finding, stamped with the virtual clock of the
+// sample that triggered it.
+type Mark struct {
+	Kind   MarkKind
+	VClock uint64
+	Value  uint64
+}
+
+// event renders the mark as a trace event: stalls become EvStall (Arg =
+// plateau length in samples is not carried — Value is, in Addr), novelty
+// becomes EvNovelty with Arg 0 (cover) or 1 (corpus).
+func (m Mark) event() obs.Event {
+	e := obs.Event{ICnt: m.VClock, Addr: uint32(m.Value)}
+	switch m.Kind {
+	case MarkStall:
+		e.Kind = obs.EvStall
+	case MarkCoverNovelty:
+		e.Kind = obs.EvNovelty
+	case MarkCorpusNovelty:
+		e.Kind = obs.EvNovelty
+		e.Arg = 1
+	}
+	return e
+}
+
+// DetectOptions tunes the detector.
+type DetectOptions struct {
+	// StallSamples is how many consecutive samples without a new cover
+	// block flag a stall (default 8). A cleared stall (cover novelty)
+	// re-arms the detector, so long campaigns can stall repeatedly.
+	StallSamples int
+}
+
+// DefaultStallSamples is the default plateau threshold.
+const DefaultStallSamples = 8
+
+func (o DetectOptions) withDefaults() DetectOptions {
+	if o.StallSamples <= 0 {
+		o.StallSamples = DefaultStallSamples
+	}
+	return o
+}
+
+// detector is the incremental implementation shared by the sampler and
+// Detect. The first sample is the baseline and emits nothing.
+type detector struct {
+	opts       DetectOptions
+	seen       bool
+	prevCover  uint64
+	prevCorpus uint64
+	sinceCover int
+	stalled    bool
+	emitted    int // marks appended by the most recent step
+}
+
+func (d *detector) step(s Sample, marks []Mark) []Mark {
+	d.emitted = 0
+	if !d.seen {
+		d.seen = true
+		d.prevCover = s.CoverBlocks
+		d.prevCorpus = s.CorpusSize
+		return marks
+	}
+	if s.CoverBlocks > d.prevCover {
+		marks = append(marks, Mark{Kind: MarkCoverNovelty, VClock: s.VClock, Value: s.CoverBlocks})
+		d.emitted++
+		d.sinceCover = 0
+		d.stalled = false
+	} else {
+		d.sinceCover++
+		if !d.stalled && d.sinceCover >= d.opts.StallSamples {
+			marks = append(marks, Mark{Kind: MarkStall, VClock: s.VClock, Value: s.CoverBlocks})
+			d.emitted++
+			d.stalled = true
+		}
+	}
+	if s.CorpusSize > d.prevCorpus {
+		marks = append(marks, Mark{Kind: MarkCorpusNovelty, VClock: s.VClock, Value: s.CorpusSize})
+		d.emitted++
+	}
+	d.prevCover = s.CoverBlocks
+	d.prevCorpus = s.CorpusSize
+	return marks
+}
+
+// Detect runs the plateau/novelty detector over a recorded timeline and
+// returns the marks — a pure function of (samples, opts), independent of
+// when or where the samples were captured.
+func Detect(samples []Sample, opts DetectOptions) []Mark {
+	d := detector{opts: opts.withDefaults()}
+	var marks []Mark
+	for _, s := range samples {
+		marks = d.step(s, marks)
+	}
+	return marks
+}
+
+// FirstStall returns the virtual clock of the first stall mark; ok is
+// false when the campaign never plateaued.
+func FirstStall(marks []Mark) (uint64, bool) {
+	for _, m := range marks {
+		if m.Kind == MarkStall {
+			return m.VClock, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,103 @@
+package timeline
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Exporters. All three render the merged timeline (jobs in campaign-
+// index order) by hand in deterministic order, so the bytes are a pure
+// function of the samples — the same discipline as obs.ChromeTrace.
+
+// growthSeries are the per-sample curves the text and OpenMetrics
+// exporters emit, in fixed order.
+var growthSeries = []struct {
+	name string
+	help string
+	get  func(Sample) uint64
+}{
+	{"cover", "translation-block coverage", func(s Sample) uint64 { return s.CoverBlocks }},
+	{"corpus", "retained corpus inputs", func(s Sample) uint64 { return s.CorpusSize }},
+	{"execs", "fuzzer executions driven", func(s Sample) uint64 { return s.Execs }},
+	{"found", "deduplicated crash findings", func(s Sample) uint64 { return s.Found }},
+}
+
+// GrowthCurve renders the timeline as folded growth-curve text: one
+// `campaign-<id>;<metric>;<vclock> <value>` line per sample per curve —
+// the flamegraph folded-stack shape, so the usual folded-file tooling
+// (sort, uniq, flamegraph.pl-style collapsers) applies directly.
+func GrowthCurve(jobs []JobTimeline) string {
+	var b strings.Builder
+	for _, j := range jobs {
+		for _, s := range j.Samples {
+			for _, g := range growthSeries {
+				fmt.Fprintf(&b, "campaign-%d;%s;%d %d\n", j.ID, g.name, s.VClock, g.get(s))
+			}
+		}
+		for _, m := range j.Marks {
+			fmt.Fprintf(&b, "campaign-%d;mark;%s;%d %d\n", j.ID, m.Kind, m.VClock, m.Value)
+		}
+	}
+	return b.String()
+}
+
+// ChromeCounters renders the timeline as Chrome trace_event counter
+// events ("ph":"C"): each campaign is a process, each growth curve a
+// counter track, with the virtual clock as the timestamp axis (the
+// campaign clock is cumulative, so lanes are monotone without the
+// rewind normalisation the event exporter needs). Marks render as
+// instant events on tid 0. The output passes obs.ValidateChrome.
+func ChromeCounters(jobs []JobTimeline) []byte {
+	var b strings.Builder
+	b.WriteString("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[")
+	first := true
+	emit := func(s string) {
+		if !first {
+			b.WriteByte(',')
+		}
+		first = false
+		b.WriteString("\n")
+		b.WriteString(s)
+	}
+	for _, j := range jobs {
+		emit(fmt.Sprintf(`{"name":"process_name","ph":"M","pid":%d,"tid":0,"args":{"name":"campaign-%d"}}`, j.ID, j.ID))
+		for _, s := range j.Samples {
+			for _, g := range growthSeries {
+				emit(fmt.Sprintf(`{"name":%q,"ph":"C","ts":%d,"pid":%d,"tid":0,"args":{%q:%d}}`,
+					g.name, s.VClock, j.ID, g.name, g.get(s)))
+			}
+		}
+		// Marks live on their own lane (tid 1): their clocks interleave
+		// with — and may precede — the counter track's, and the validator
+		// checks monotonicity per (pid, tid) lane.
+		for _, m := range j.Marks {
+			emit(fmt.Sprintf(`{"name":%q,"ph":"i","ts":%d,"pid":%d,"tid":1,"s":"p","args":{"value":%d}}`,
+				m.Kind.String(), m.VClock, j.ID, m.Value))
+		}
+	}
+	b.WriteString("\n]}\n")
+	return []byte(b.String())
+}
+
+// OpenMetrics renders the timeline in the OpenMetrics text exposition
+// with explicit timestamps: each growth curve is a gauge family labelled
+// by campaign, and the sample timestamp is the virtual clock (retired
+// guest instructions — the repo's determinism contract forbids wall
+// clocks in artefacts, and OpenMetrics only requires timestamps to be
+// monotone per series, which the cumulative campaign clock is). Ends
+// with the mandatory "# EOF" terminator.
+func OpenMetrics(jobs []JobTimeline) []byte {
+	var b strings.Builder
+	for _, g := range growthSeries {
+		name := "embsan_timeline_" + g.name
+		fmt.Fprintf(&b, "# HELP %s %s over campaign virtual time\n", name, g.help)
+		fmt.Fprintf(&b, "# TYPE %s gauge\n", name)
+		for _, j := range jobs {
+			for _, s := range j.Samples {
+				fmt.Fprintf(&b, "%s{campaign=\"%d\"} %d %d\n", name, j.ID, g.get(s), s.VClock)
+			}
+		}
+	}
+	b.WriteString("# EOF\n")
+	return []byte(b.String())
+}

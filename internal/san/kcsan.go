@@ -15,6 +15,8 @@ type KCSAN struct {
 	seed     func() uint64                 // live campaign seed (nil: 0)
 	prio     func(pc uint32) (uint8, bool) // static site weights (nil: uniform)
 	elided   uint64                        // weight-0 sites skipped by static proof
+	evals    uint64                        // accesses that reached the arming decision
+	armed    uint64                        // watchpoints actually armed
 }
 
 type watchpoint struct {
@@ -163,6 +165,7 @@ func (k *KCSAN) OnAccess(addr, size uint32, write bool, pc uint32, hart int, ato
 		k.elided++
 		return 0, nil
 	}
+	k.evals++
 	var tick uint64
 	if k.clock != nil {
 		tick = k.clock()
@@ -188,6 +191,7 @@ func (k *KCSAN) OnAccess(addr, size uint32, write bool, pc uint32, hart int, ato
 			pc: pc, hart: hart, origVal: orig,
 			spins: int(k.delay / spinChunk),
 		}
+		k.armed++
 		return spinChunk, nil
 	}
 	return 0, nil
@@ -209,6 +213,15 @@ func (k *KCSAN) Reset() {
 // site carried a static weight of 0 (proven always-protected/hart-local).
 func (k *KCSAN) Elided() uint64 {
 	return k.elided
+}
+
+// Sampling returns the cumulative arming accounting: how many eligible
+// accesses reached the sampling decision and how many armed a
+// watchpoint. Like Elided, the counts survive Reset (they accumulate
+// across a campaign's executions) — the timeline sampler's "KCSAN
+// arming rate" metric reads them.
+func (k *KCSAN) Sampling() (evals, armed uint64) {
+	return k.evals, k.armed
 }
 
 // ActiveWatchpoints returns the number of armed watchpoints (test hook).

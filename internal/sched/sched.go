@@ -24,8 +24,10 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"embsan/internal/obs"
+	"embsan/internal/obs/timeline"
 )
 
 // Options tunes the executor.
@@ -51,6 +53,10 @@ type Counters struct {
 	TBHits  uint64 // translation-block cache hits
 	Reports uint64 // sanitizer/fault findings recorded
 	Frames  uint64 // backtrace frames attached to findings (forensics)
+	// Elapsed is the worker's wall-clock lifetime. It is view-side only —
+	// throughput columns divide Execs by it — and must never feed any
+	// byte-identity oracle (see exps.MaskWallClock).
+	Elapsed time.Duration
 }
 
 // WorkerStats is one worker's final accounting.
@@ -77,6 +83,8 @@ type Worker struct {
 	metrics *obs.Registry
 	inst    Instruments
 	ring    *obs.Ring
+	sampler *timeline.Sampler
+	start   time.Time
 	poolCap int
 	pool    map[string]*list.Element
 	order   *list.List // front = most recently used
@@ -91,8 +99,9 @@ func newWorker(id, poolCap int) *Worker {
 	if poolCap <= 0 {
 		poolCap = defaultPoolCap
 	}
-	w := &Worker{id: id, metrics: obs.NewRegistry(), poolCap: poolCap,
-		pool: make(map[string]*list.Element), order: list.New()}
+	w := &Worker{id: id, metrics: obs.NewRegistry(), start: time.Now(),
+		poolCap: poolCap,
+		pool:    make(map[string]*list.Element), order: list.New()}
 	w.inst = Instruments{
 		Jobs:    w.metrics.Counter("sched.worker.jobs"),
 		Execs:   w.metrics.Counter("sched.worker.execs"),
@@ -126,6 +135,29 @@ func (w *Worker) TraceRing(capacity int) *obs.Ring {
 	return w.ring
 }
 
+// TimelineSampler returns the worker's timeline sampler, lazily allocated
+// with the given interval and sample capacity. Like TraceRing it is
+// worker-private and reused across jobs: the job Resets it at start and
+// copies samples out at end, so the preallocated buffers never leak
+// between jobs and a steady-state campaign set allocates nothing per job.
+func (w *Worker) TimelineSampler(interval uint64, maxSamples int) *timeline.Sampler {
+	// Normalise like NewSampler does, so passing zeros on every job reuses
+	// one default-shaped sampler instead of reallocating each time.
+	if interval == 0 {
+		interval = timeline.DefaultInterval
+	}
+	if maxSamples <= 0 {
+		maxSamples = timeline.DefaultMaxSamples
+	}
+	if maxSamples < 2 {
+		maxSamples = 2
+	}
+	if w.sampler == nil || w.sampler.BaseInterval() != interval || w.sampler.Cap() != maxSamples {
+		w.sampler = timeline.NewSampler(interval, maxSamples)
+	}
+	return w.sampler
+}
+
 // stats snapshots the live instruments into the stable Counters form.
 func (w *Worker) stats() Counters {
 	return Counters{
@@ -135,6 +167,7 @@ func (w *Worker) stats() Counters {
 		TBHits:  w.inst.TBHits.Value(),
 		Reports: w.inst.Reports.Value(),
 		Frames:  w.inst.Frames.Value(),
+		Elapsed: time.Since(w.start),
 	}
 }
 
@@ -226,7 +259,10 @@ func Run(opts Options, n int, fn func(w *Worker, index int) error) ([]WorkerStat
 	return stats, nil
 }
 
-// MergeStats sums per-worker counters into one total.
+// MergeStats sums per-worker counters into one total. Elapsed is the
+// maximum across workers — the pool's wall-clock makespan — because the
+// workers ran concurrently and summing their lifetimes would overstate
+// the denominator of any aggregate throughput figure.
 func MergeStats(ws []WorkerStats) Counters {
 	var total Counters
 	for _, w := range ws {
@@ -236,6 +272,9 @@ func MergeStats(ws []WorkerStats) Counters {
 		total.TBHits += w.TBHits
 		total.Reports += w.Reports
 		total.Frames += w.Frames
+		if w.Elapsed > total.Elapsed {
+			total.Elapsed = w.Elapsed
+		}
 	}
 	return total
 }
